@@ -1,0 +1,73 @@
+//! Figure 6: ECDF of request latency when executing a single workload
+//! instance in isolation — three workloads × {λ-NIC, bare-metal,
+//! container}.
+//!
+//! Paper's headline numbers (§6.3.1): λ-NIC improves *average* latency
+//! by up to 880x over containers and 30x over bare metal for the web
+//! server and key-value client, and 5x/3x for the image transformer,
+//! with 5x-24x better 99th-percentile latency than bare metal.
+//!
+//! Run with: `cargo run --release -p lnic-bench --bin fig6_latency_ecdf`
+
+use lnic::prelude::BackendKind;
+use lnic_bench::{fmt_ms, print_comparison, print_ecdf, run_workload, Comparison, Workload};
+
+fn main() {
+    const SAMPLES: u64 = 600;
+    const WARMUP: usize = 100;
+
+    let backends = [
+        BackendKind::Nic,
+        BackendKind::BareMetal,
+        BackendKind::Container,
+    ];
+
+    let mut means = vec![vec![0.0f64; backends.len()]; Workload::ALL.len()];
+    let mut p99s = vec![vec![0.0f64; backends.len()]; Workload::ALL.len()];
+
+    for (wi, workload) in Workload::ALL.into_iter().enumerate() {
+        println!("\n#### {} ####", workload.name());
+        for (bi, backend) in backends.into_iter().enumerate() {
+            let r = run_workload(backend, workload, 1, SAMPLES, WARMUP, 42 + wi as u64);
+            let s = r.latency.summary();
+            means[wi][bi] = s.mean_ns;
+            p99s[wi][bi] = s.p99_ns as f64;
+            println!(
+                "\n{}: mean={} ms p50={} ms p99={} ms (n={}, {} failed)",
+                backend.name(),
+                fmt_ms(s.mean_ns),
+                fmt_ms(s.p50_ns as f64),
+                fmt_ms(s.p99_ns as f64),
+                s.count,
+                r.failed,
+            );
+            print_ecdf(
+                &format!("{} / {}", workload.name(), backend.name()),
+                &r.latency,
+                40,
+            );
+        }
+    }
+
+    // Paper-vs-measured improvement factors.
+    let mut rows = Vec::new();
+    let paper_avg = [("880x / 30x", 0usize), ("880x / 30x", 1), ("5x / 3x", 2)];
+    for (wi, workload) in Workload::ALL.into_iter().enumerate() {
+        let vs_ct = means[wi][2] / means[wi][0];
+        let vs_bm = means[wi][1] / means[wi][0];
+        rows.push(Comparison {
+            label: format!("{}: avg vs container / bare-metal", workload.name()),
+            paper: paper_avg[wi].0.to_owned(),
+            measured: format!("{vs_ct:.0}x / {vs_bm:.0}x"),
+        });
+    }
+    for (wi, workload) in Workload::ALL.into_iter().enumerate() {
+        let tail = p99s[wi][1] / p99s[wi][0];
+        rows.push(Comparison {
+            label: format!("{}: p99 vs bare-metal", workload.name()),
+            paper: "5x-24x".to_owned(),
+            measured: format!("{tail:.0}x"),
+        });
+    }
+    print_comparison("Figure 6: isolation latency", &rows);
+}

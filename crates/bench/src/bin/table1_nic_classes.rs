@@ -1,0 +1,46 @@
+//! Table 1: a comparison of various types of SmartNICs (survey table).
+//!
+//! This is the paper's qualitative comparison, reproduced from the
+//! encoded rows, plus a quantitative companion: the same three-lambda
+//! workload run on representative FPGA-, ASIC-, and SoC-class NIC
+//! parameters (see the `ablations` binary for the full study).
+//!
+//! Run with: `cargo run --release -p lnic-bench --bin table1_nic_classes`
+
+use lnic_nic::{NicClass, TABLE1};
+
+fn main() {
+    println!("Table 1: a comparison of various types of SmartNICs\n");
+    println!(
+        "{:<22} {:<18} {:<26} {:<16}",
+        "", "Programmability", "Performance", "Development cost"
+    );
+    for row in TABLE1 {
+        println!(
+            "{:<22} {:<18} {:<26} {:<16}",
+            format!("{} SmartNICs", row.class.name()),
+            row.programmability,
+            row.performance,
+            row.development_cost
+        );
+    }
+
+    println!("\nquantitative class profiles used by the ablation study:");
+    println!(
+        "{:<14} {:>8} {:>9} {:>10} {:>14}",
+        "class", "cores", "threads", "MHz", "swap time"
+    );
+    for class in [NicClass::Fpga, NicClass::Asic, NicClass::Soc] {
+        let p = class.params();
+        println!(
+            "{:<14} {:>8} {:>9} {:>10} {:>14}",
+            class.name(),
+            p.cores(),
+            p.threads(),
+            p.freq_mhz,
+            p.firmware_swap_time.to_string()
+        );
+    }
+    println!("\n(§2.2: the ASIC class pairs hundreds of low-latency cores with");
+    println!(" limited programmability — the trade λ-NIC is built around.)");
+}

@@ -1,0 +1,136 @@
+//! The autoscaler (§6.1.1: OpenFaaS includes "an autoscaler to scale
+//! lambdas as demands change").
+//!
+//! Periodically samples the gateway's per-workload latency window and
+//! scales a workload out — adding a replica placement on the next worker
+//! — whenever its p99 over the window exceeds the target. Workers all
+//! hold every deployed program (the manager rolls out to the whole
+//! fleet), so scaling out is purely a routing change at the gateway.
+
+use lnic_sim::prelude::*;
+
+use crate::cluster::Worker;
+use crate::gateway::{AddPlacement, QueryStats, StatsReport};
+
+/// Autoscaler policy.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoscalerConfig {
+    /// Sampling interval.
+    pub interval: SimDuration,
+    /// Scale out when a workload's windowed p99 exceeds this.
+    pub target_p99: SimDuration,
+    /// Maximum replicas per workload.
+    pub max_replicas: usize,
+    /// Minimum completed requests in a window before acting (avoids
+    /// scaling on noise).
+    pub min_samples: usize,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            interval: SimDuration::from_millis(50),
+            target_p99: SimDuration::from_millis(2),
+            max_replicas: 4,
+            min_samples: 10,
+        }
+    }
+}
+
+/// Control message: start the sampling loop.
+#[derive(Debug)]
+pub struct StartAutoscaler;
+
+#[derive(Debug)]
+struct Tick;
+
+/// One scale-out decision, for inspection in tests/experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// When the decision was made.
+    pub at: SimTime,
+    /// The workload scaled.
+    pub workload_id: u32,
+    /// Replica count after the decision.
+    pub replicas: usize,
+}
+
+/// The autoscaler component.
+///
+/// Note: once started, the autoscaler ticks forever; drive simulations
+/// containing one with [`lnic_sim::Simulation::run_for`] /
+/// [`lnic_sim::Simulation::run_until`] rather than `run()`.
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    gateway: ComponentId,
+    workers: Vec<Worker>,
+    events: Vec<ScaleEvent>,
+}
+
+impl Autoscaler {
+    /// Creates an autoscaler managing placements across `workers`.
+    pub fn new(cfg: AutoscalerConfig, gateway: ComponentId, workers: Vec<Worker>) -> Self {
+        Autoscaler {
+            cfg,
+            gateway,
+            workers,
+            events: Vec::new(),
+        }
+    }
+
+    /// Scale-out decisions taken so far.
+    pub fn events(&self) -> &[ScaleEvent] {
+        &self.events
+    }
+
+    fn on_report(&mut self, ctx: &mut Ctx<'_>, report: StatsReport) {
+        for (workload_id, summary, replicas) in report.workloads {
+            if summary.count < self.cfg.min_samples {
+                continue;
+            }
+            let over = summary.p99_ns > self.cfg.target_p99.as_nanos();
+            let cap = self.cfg.max_replicas.min(self.workers.len());
+            if over && replicas < cap {
+                // Place the next replica on the next worker in order
+                // (worker[replicas] — the fleet already holds the code).
+                let endpoint = self.workers[replicas % self.workers.len()].endpoint();
+                ctx.send(
+                    self.gateway,
+                    SimDuration::ZERO,
+                    AddPlacement {
+                        workload_id,
+                        endpoint,
+                    },
+                );
+                self.events.push(ScaleEvent {
+                    at: ctx.now(),
+                    workload_id,
+                    replicas: replicas + 1,
+                });
+            }
+        }
+    }
+}
+
+impl Component for Autoscaler {
+    fn name(&self) -> &str {
+        "autoscaler"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        if msg.is::<StartAutoscaler>() || msg.is::<Tick>() {
+            let self_id = ctx.self_id();
+            ctx.send(
+                self.gateway,
+                SimDuration::ZERO,
+                QueryStats { reply_to: self_id },
+            );
+            ctx.send_self(self.cfg.interval, Tick);
+            return;
+        }
+        match msg.downcast::<StatsReport>() {
+            Ok(r) => self.on_report(ctx, *r),
+            Err(other) => panic!("autoscaler received unknown message {other:?}"),
+        }
+    }
+}

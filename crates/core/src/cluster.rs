@@ -1,0 +1,400 @@
+//! Testbed assembly (Figure 5): a master node M1 (gateway, workload
+//! manager, memcached, control plane) and worker nodes M2–M5, all
+//! connected to a 10 G switch.
+
+use std::sync::Arc;
+
+use lnic_host::{HostBackend, HostParams};
+use lnic_kv::{KvServer, KvServerParams};
+use lnic_net::link::Link;
+use lnic_net::params::{LinkParams, SwitchParams};
+use lnic_net::switch::Switch;
+use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
+use lnic_nic::{Nic, NicParams, ServiceEndpoint};
+use lnic_raft::{NodeId, RaftConfig, RaftNet, RaftNode, StartNode};
+use lnic_sim::prelude::*;
+
+use crate::deploy::BackendKind;
+use crate::gateway::{Gateway, GatewayParams, WorkerEndpoint};
+
+/// The logical service id workers use to reach the memcached server.
+pub use lnic_workloads::kv::KV_SERVICE;
+
+/// Testbed configuration.
+#[derive(Clone, Debug)]
+pub struct TestbedConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Number of worker nodes (the paper's testbed has 4).
+    pub workers: usize,
+    /// Which backend the workers run.
+    pub backend: BackendKind,
+    /// Worker threads for host backends (1 or 56 in §6).
+    pub worker_threads: usize,
+    /// SmartNIC parameters (λ-NIC backend).
+    pub nic: NicParams,
+    /// Data-plane link parameters.
+    pub link: LinkParams,
+    /// Switch parameters.
+    pub switch: SwitchParams,
+    /// Gateway parameters.
+    pub gateway: GatewayParams,
+    /// Spin up a 3-node Raft control plane (etcd).
+    pub control_plane: bool,
+    /// Hybrid workers (λ-NIC backend only): put a bare-metal host
+    /// backend behind each SmartNIC; packets whose workload id matches
+    /// no NIC lambda are punted across PCIe and served by the host
+    /// (Listing 3's `send_pkt_to_host` / Figure 4).
+    pub hybrid: bool,
+}
+
+impl TestbedConfig {
+    /// The paper's testbed with the given backend.
+    pub fn new(backend: BackendKind) -> Self {
+        TestbedConfig {
+            seed: 42,
+            workers: 4,
+            backend,
+            worker_threads: 56,
+            nic: NicParams::agilio_cx(),
+            link: LinkParams::ten_gbps(),
+            switch: SwitchParams::default(),
+            gateway: GatewayParams::default(),
+            control_plane: false,
+            hybrid: false,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets host worker threads.
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = n;
+        self
+    }
+
+    /// Enables the Raft control plane.
+    pub fn with_control_plane(mut self) -> Self {
+        self.control_plane = true;
+        self
+    }
+
+    /// Enables hybrid NIC+host workers.
+    pub fn hybrid(mut self) -> Self {
+        self.hybrid = true;
+        self
+    }
+}
+
+/// One assembled worker node.
+#[derive(Clone, Copy, Debug)]
+pub struct Worker {
+    /// The serving component (a [`Nic`] or [`HostBackend`]).
+    pub component: ComponentId,
+    /// Worker MAC.
+    pub mac: MacAddr,
+    /// Worker UDP endpoint for lambda requests.
+    pub addr: SocketAddr,
+}
+
+impl Worker {
+    /// The gateway-visible endpoint of this worker.
+    pub fn endpoint(&self) -> WorkerEndpoint {
+        WorkerEndpoint {
+            mac: self.mac,
+            addr: self.addr,
+        }
+    }
+}
+
+/// The assembled testbed.
+pub struct Testbed {
+    /// The simulation everything runs in.
+    pub sim: Simulation,
+    /// The backend kind workers run.
+    pub backend: BackendKind,
+    /// Gateway component.
+    pub gateway: ComponentId,
+    /// Switch component.
+    pub switch: ComponentId,
+    /// memcached server component (on M1).
+    pub kv_server: ComponentId,
+    /// Worker nodes.
+    pub workers: Vec<Worker>,
+    /// Per-worker host backend behind the NIC (hybrid testbeds only).
+    pub worker_hosts: Vec<Option<ComponentId>>,
+    /// Raft control-plane nodes (empty unless enabled).
+    pub raft_nodes: Vec<ComponentId>,
+    /// Raft fabric (when enabled).
+    pub raft_net: Option<ComponentId>,
+}
+
+/// MAC/IP plan: gateway is node 1, the kv server node 9, workers node
+/// 2..
+fn worker_identity(i: usize) -> (MacAddr, SocketAddr) {
+    (
+        MacAddr::from_index(10 + i as u32),
+        SocketAddr::new(Ipv4Addr::node(2 + i as u8), 8000),
+    )
+}
+
+const KV_MAC_INDEX: u32 = 9;
+
+/// Builds the testbed.
+///
+/// # Panics
+///
+/// Panics if `config.workers` is zero.
+pub fn build_testbed(config: TestbedConfig) -> Testbed {
+    assert!(config.workers > 0, "at least one worker required");
+    let mut sim = Simulation::new(config.seed);
+
+    let switch = sim.add(Switch::new(config.switch));
+
+    // Gateway: uplink toward the switch; a port link back to it.
+    let gw_uplink = sim.add(Link::new(switch, config.link));
+    let gateway = sim.add(Gateway::new(config.gateway.clone(), gw_uplink));
+    let gw_port = sim.add(Link::new(gateway, config.link));
+    let gw_mac = config.gateway.mac;
+    sim.get_mut::<Switch>(switch)
+        .expect("switch exists")
+        .connect(gw_mac, gw_port);
+
+    // memcached on the master node.
+    let kv_uplink = sim.add(Link::new(switch, config.link));
+    let kv_server = sim.add(KvServer::new(KvServerParams::default(), kv_uplink));
+    let kv_port = sim.add(Link::new(kv_server, config.link));
+    let kv_mac = MacAddr::from_index(KV_MAC_INDEX);
+    let kv_addr = SocketAddr::new(Ipv4Addr::node(9), 11211);
+    sim.get_mut::<Switch>(switch)
+        .expect("switch exists")
+        .connect(kv_mac, kv_port);
+    let kv_endpoint_nic = ServiceEndpoint {
+        mac: kv_mac,
+        addr: kv_addr,
+    };
+    let kv_endpoint_host = lnic_host::ServiceEndpoint {
+        mac: kv_mac,
+        addr: kv_addr,
+    };
+
+    // Workers.
+    let mut workers = Vec::with_capacity(config.workers);
+    let mut worker_hosts = Vec::with_capacity(config.workers);
+    for i in 0..config.workers {
+        let (mac, addr) = worker_identity(i);
+        let uplink = sim.add(Link::new(switch, config.link));
+        let component = match config.backend {
+            BackendKind::Nic => {
+                let mut nic = Nic::new(config.nic.clone(), mac, addr.ip, uplink)
+                    .with_service(KV_SERVICE, kv_endpoint_nic);
+                if config.hybrid {
+                    // The host OS behind this NIC, with its own path to
+                    // the switch for responses.
+                    let host_uplink = sim.add(Link::new(switch, config.link));
+                    let host = sim.add(
+                        HostBackend::new(
+                            HostParams::bare_metal(config.worker_threads),
+                            mac,
+                            addr.ip,
+                            host_uplink,
+                        )
+                        .with_service(KV_SERVICE, kv_endpoint_host),
+                    );
+                    nic = nic.with_host(host);
+                    worker_hosts.push(Some(host));
+                } else {
+                    worker_hosts.push(None);
+                }
+                sim.add(nic)
+            }
+            BackendKind::BareMetal => {
+                worker_hosts.push(None);
+                sim.add(
+                    HostBackend::new(
+                        HostParams::bare_metal(config.worker_threads),
+                        mac,
+                        addr.ip,
+                        uplink,
+                    )
+                    .with_service(KV_SERVICE, kv_endpoint_host),
+                )
+            }
+            BackendKind::Container => {
+                worker_hosts.push(None);
+                sim.add(
+                    HostBackend::new(
+                        HostParams::container(config.worker_threads),
+                        mac,
+                        addr.ip,
+                        uplink,
+                    )
+                    .with_service(KV_SERVICE, kv_endpoint_host),
+                )
+            }
+        };
+        let port = sim.add(Link::new(component, config.link));
+        sim.get_mut::<Switch>(switch)
+            .expect("switch exists")
+            .connect(mac, port);
+        workers.push(Worker {
+            component,
+            mac,
+            addr,
+        });
+    }
+
+    // Control plane: a 3-node Raft cluster (M1 plus two workers'
+    // hosts), on its own management fabric.
+    let (raft_nodes, raft_net) = if config.control_plane {
+        let net = sim.add(RaftNet::new(
+            Vec::new(),
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(500),
+            0.0,
+        ));
+        let nodes: Vec<ComponentId> = (0..3)
+            .map(|i| sim.add(RaftNode::new(NodeId(i), 3, net, RaftConfig::default())))
+            .collect();
+        *sim.get_mut::<RaftNet>(net).expect("net exists") = RaftNet::new(
+            nodes.clone(),
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(500),
+            0.0,
+        );
+        for &n in &nodes {
+            sim.post(n, SimDuration::ZERO, StartNode);
+        }
+        (nodes, Some(net))
+    } else {
+        (Vec::new(), None)
+    };
+
+    Testbed {
+        sim,
+        backend: config.backend,
+        gateway,
+        switch,
+        kv_server,
+        workers,
+        worker_hosts,
+        raft_nodes,
+        raft_net,
+    }
+}
+
+impl Testbed {
+    /// Deploys `program` to every worker instantly (experiment setup
+    /// path; the timed pipeline lives in
+    /// [`crate::manager::WorkloadManager`]) and registers placements for
+    /// every workload, spread round-robin across workers.
+    pub fn preload(&mut self, program: &Arc<lnic_mlambda::program::Program>) {
+        self.preload_with(program, &lnic_mlambda::compile::CompileOptions::optimized());
+    }
+
+    /// Like [`Testbed::preload`], with explicit compiler options
+    /// (ablation studies compile with passes disabled).
+    pub fn preload_with(
+        &mut self,
+        program: &Arc<lnic_mlambda::program::Program>,
+        opts: &lnic_mlambda::compile::CompileOptions,
+    ) {
+        use lnic_mlambda::compile::compile;
+        let firmware = Arc::new(compile(program, opts).expect("program compiles"));
+        for worker in &self.workers {
+            match self.backend {
+                BackendKind::Nic => {
+                    self.sim
+                        .get_mut::<Nic>(worker.component)
+                        .expect("worker is a NIC")
+                        .install_now(Arc::clone(&firmware));
+                }
+                BackendKind::BareMetal | BackendKind::Container => {
+                    self.sim.post(
+                        worker.component,
+                        SimDuration::ZERO,
+                        lnic_host::DeployProgram {
+                            program: Arc::new(firmware.program.clone()),
+                        },
+                    );
+                }
+            }
+        }
+        // Placements: all workloads on all workers; the gateway targets
+        // worker (id % workers) for spread.
+        for (i, lambda) in firmware.program.lambdas.iter().enumerate() {
+            let worker = &self.workers[i % self.workers.len()];
+            let gw = self
+                .sim
+                .get_mut::<Gateway>(self.gateway)
+                .expect("gateway exists");
+            gw.place(lambda.id.0, worker.endpoint());
+        }
+    }
+
+    /// Hybrid testbeds: deploys `nic_program` to the SmartNICs and
+    /// `host_program` to the host backends behind them, placing every
+    /// workload of both programs at the workers' (shared) endpoint. NIC
+    /// workloads are served on the NPUs; host workloads are punted
+    /// across PCIe (Listing 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the testbed was not built with
+    /// [`TestbedConfig::hybrid`].
+    pub fn preload_split(
+        &mut self,
+        nic_program: &Arc<lnic_mlambda::program::Program>,
+        host_program: &Arc<lnic_mlambda::program::Program>,
+    ) {
+        use lnic_mlambda::compile::{compile, CompileOptions};
+        let firmware = Arc::new(
+            compile(nic_program, &CompileOptions::optimized()).expect("nic program compiles"),
+        );
+        for (worker, host) in self.workers.iter().zip(&self.worker_hosts) {
+            let host = host.expect("preload_split requires a hybrid testbed");
+            self.sim
+                .get_mut::<Nic>(worker.component)
+                .expect("worker is a NIC")
+                .install_now(Arc::clone(&firmware));
+            self.sim.post(
+                host,
+                SimDuration::ZERO,
+                lnic_host::DeployProgram {
+                    program: Arc::clone(host_program),
+                },
+            );
+        }
+        let gw = self
+            .sim
+            .get_mut::<Gateway>(self.gateway)
+            .expect("gateway exists");
+        for lambda in firmware
+            .program
+            .lambdas
+            .iter()
+            .chain(host_program.lambdas.iter())
+        {
+            gw.place(lambda.id.0, self.workers[0].endpoint());
+        }
+    }
+
+    /// Places a workload on a specific worker.
+    pub fn place(&mut self, workload_id: u32, worker_index: usize) {
+        let endpoint = self.workers[worker_index].endpoint();
+        self.sim
+            .get_mut::<Gateway>(self.gateway)
+            .expect("gateway exists")
+            .place(workload_id, endpoint);
+    }
+}

@@ -1,0 +1,393 @@
+//! Load generators for the experiments.
+//!
+//! [`ClosedLoopDriver`] models the paper's client (§6.3.1): `N` logical
+//! threads, each submitting one request, waiting for its completion,
+//! thinking briefly (the client-side request-preparation cost), and
+//! submitting the next — "closed-loop testing with sender generating
+//! each request one after the other" and "parallel testing with 56
+//! requests".
+
+use bytes::Bytes;
+use rand::Rng;
+
+use lnic_sim::prelude::*;
+use lnic_workloads::image::RgbaImage;
+use lnic_workloads::kv::{get_request_payload, set_request_payload};
+
+use crate::gateway::{RequestDone, SubmitRequest};
+
+/// How request payloads for a workload are generated.
+#[derive(Clone, Debug)]
+pub enum PayloadSpec {
+    /// Empty payload.
+    Empty,
+    /// A fixed 2-byte web page index.
+    Page(u16),
+    /// Uniformly random page index below `count`.
+    RandomPage {
+        /// Number of pages.
+        count: u16,
+    },
+    /// Key-value GET for a random id below `id_range`.
+    KvGet {
+        /// Id space size.
+        id_range: u32,
+    },
+    /// Key-value SET for a random id with a value of `value_len` bytes.
+    KvSet {
+        /// Id space size.
+        id_range: u32,
+        /// Value size.
+        value_len: usize,
+    },
+    /// A synthetic RGBA image.
+    Image {
+        /// Width in pixels.
+        width: usize,
+        /// Height in pixels.
+        height: usize,
+    },
+    /// A fixed payload.
+    Fixed(Bytes),
+}
+
+impl PayloadSpec {
+    /// Generates the payload for one request.
+    pub fn generate(&self, rng: &mut impl Rng) -> Bytes {
+        match self {
+            PayloadSpec::Empty => Bytes::new(),
+            PayloadSpec::Page(i) => Bytes::copy_from_slice(&i.to_be_bytes()),
+            PayloadSpec::RandomPage { count } => {
+                let i = rng.gen_range(0..(*count).max(1));
+                Bytes::copy_from_slice(&i.to_be_bytes())
+            }
+            PayloadSpec::KvGet { id_range } => {
+                get_request_payload(rng.gen_range(0..(*id_range).max(1)))
+            }
+            PayloadSpec::KvSet {
+                id_range,
+                value_len,
+            } => {
+                let id = rng.gen_range(0..(*id_range).max(1));
+                let value: Vec<u8> = (0..*value_len).map(|_| rng.gen()).collect();
+                set_request_payload(id, &value)
+            }
+            PayloadSpec::Image { width, height } => {
+                Bytes::from(RgbaImage::synthetic(*width, *height).data)
+            }
+            PayloadSpec::Fixed(b) => b.clone(),
+        }
+    }
+}
+
+/// One workload in a driver's round-robin rotation.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Target workload id.
+    pub workload_id: u32,
+    /// Payload generator.
+    pub payload: PayloadSpec,
+}
+
+/// Control message: start issuing requests.
+#[derive(Debug)]
+pub struct StartDriver;
+
+#[derive(Debug)]
+struct NextSubmit {
+    thread: usize,
+}
+
+/// A completed-request record kept by the driver.
+#[derive(Clone, Debug)]
+pub struct CompletedRequest {
+    /// Which workload.
+    pub workload_id: u32,
+    /// Wire-to-wire latency (from the gateway's measurement).
+    pub latency: SimDuration,
+    /// Completion virtual time.
+    pub at: SimTime,
+    /// Whether the request failed (transport give-up or no placement).
+    pub failed: bool,
+    /// Lambda return code.
+    pub return_code: Option<u16>,
+}
+
+/// The closed-loop load generator.
+pub struct ClosedLoopDriver {
+    gateway: ComponentId,
+    jobs: Vec<JobSpec>,
+    concurrency: usize,
+    think_time: SimDuration,
+    /// Per-thread remaining request budget (`None` = unbounded).
+    requests_per_thread: Option<u64>,
+    issued: u64,
+    completed: Vec<CompletedRequest>,
+    started_at: Option<SimTime>,
+    outstanding: usize,
+    remaining: Vec<u64>,
+}
+
+impl ClosedLoopDriver {
+    /// Creates a driver with `concurrency` threads rotating over `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty or `concurrency` is zero.
+    pub fn new(
+        gateway: ComponentId,
+        jobs: Vec<JobSpec>,
+        concurrency: usize,
+        think_time: SimDuration,
+        requests_per_thread: Option<u64>,
+    ) -> Self {
+        assert!(!jobs.is_empty(), "at least one job required");
+        assert!(concurrency > 0, "at least one thread required");
+        ClosedLoopDriver {
+            gateway,
+            jobs,
+            concurrency,
+            think_time,
+            requests_per_thread,
+            issued: 0,
+            completed: Vec::new(),
+            started_at: None,
+            outstanding: 0,
+            remaining: vec![requests_per_thread.unwrap_or(u64::MAX); concurrency],
+        }
+    }
+
+    /// Completed requests in completion order.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        &self.completed
+    }
+
+    /// Wire-to-wire latencies of successful requests, skipping the first
+    /// `warmup` completions.
+    pub fn latency_series(&self, warmup: usize) -> Series {
+        let mut s = Series::new("driver_latency");
+        for c in self.completed.iter().skip(warmup).filter(|c| !c.failed) {
+            s.record(c.latency);
+        }
+        s
+    }
+
+    /// Successful-request throughput over the driver's active window.
+    pub fn throughput_rps(&self) -> f64 {
+        let (Some(start), Some(last)) = (self.started_at, self.completed.last().map(|c| c.at))
+        else {
+            return 0.0;
+        };
+        let ok = self.completed.iter().filter(|c| !c.failed).count();
+        let window = last.saturating_duration_since(start);
+        if window.is_zero() {
+            0.0
+        } else {
+            ok as f64 / window.as_secs_f64()
+        }
+    }
+
+    /// Whether all budgeted requests completed.
+    pub fn is_done(&self) -> bool {
+        self.requests_per_thread.is_some()
+            && self.outstanding == 0
+            && self.remaining.iter().all(|&r| r == 0)
+    }
+
+    fn submit(&mut self, ctx: &mut Ctx<'_>, thread: usize) {
+        if self.remaining[thread] == 0 {
+            return;
+        }
+        self.remaining[thread] -= 1;
+        let job = &self.jobs[(self.issued % self.jobs.len() as u64) as usize];
+        let workload_id = job.workload_id;
+        let payload = job.payload.generate(ctx.rng());
+        self.issued += 1;
+        self.outstanding += 1;
+        let token = thread as u64;
+        let self_id = ctx.self_id();
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            SubmitRequest {
+                workload_id,
+                payload,
+                reply_to: self_id,
+                token,
+            },
+        );
+    }
+}
+
+/// An open-loop load generator: requests arrive as a Poisson process of
+/// the given rate regardless of completions — the right probe for
+/// tail-latency-vs-load curves, where a closed loop would self-throttle.
+pub struct OpenLoopDriver {
+    gateway: ComponentId,
+    jobs: Vec<JobSpec>,
+    /// Mean arrival rate (requests per second).
+    rate_rps: f64,
+    /// Total requests to issue.
+    budget: u64,
+    issued: u64,
+    completed: Vec<CompletedRequest>,
+    started_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct Arrival;
+
+impl OpenLoopDriver {
+    /// Creates a driver issuing `budget` requests at `rate_rps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty or `rate_rps` is not positive.
+    pub fn new(gateway: ComponentId, jobs: Vec<JobSpec>, rate_rps: f64, budget: u64) -> Self {
+        assert!(!jobs.is_empty(), "at least one job required");
+        assert!(
+            rate_rps.is_finite() && rate_rps > 0.0,
+            "rate must be positive"
+        );
+        OpenLoopDriver {
+            gateway,
+            jobs,
+            rate_rps,
+            budget,
+            issued: 0,
+            completed: Vec::new(),
+            started_at: None,
+        }
+    }
+
+    /// Completed requests in completion order.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        &self.completed
+    }
+
+    /// Latencies of successful requests, skipping `warmup` completions.
+    pub fn latency_series(&self, warmup: usize) -> Series {
+        let mut s = Series::new("open_loop_latency");
+        for c in self.completed.iter().skip(warmup).filter(|c| !c.failed) {
+            s.record(c.latency);
+        }
+        s
+    }
+
+    /// Goodput over the active window.
+    pub fn throughput_rps(&self) -> f64 {
+        let (Some(start), Some(last)) = (self.started_at, self.completed.last().map(|c| c.at))
+        else {
+            return 0.0;
+        };
+        let ok = self.completed.iter().filter(|c| !c.failed).count();
+        let window = last.saturating_duration_since(start);
+        if window.is_zero() {
+            0.0
+        } else {
+            ok as f64 / window.as_secs_f64()
+        }
+    }
+
+    fn schedule_next_arrival(&self, ctx: &mut Ctx<'_>) {
+        // Exponential inter-arrival times: -ln(U)/rate.
+        let u: f64 = ctx.rng().gen_range(f64::MIN_POSITIVE..1.0);
+        let gap_s = -u.ln() / self.rate_rps;
+        ctx.send_self(SimDuration::from_secs_f64(gap_s), Arrival);
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>) {
+        let job = &self.jobs[(self.issued % self.jobs.len() as u64) as usize];
+        let workload_id = job.workload_id;
+        let payload = job.payload.generate(ctx.rng());
+        let token = self.issued;
+        self.issued += 1;
+        let self_id = ctx.self_id();
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            SubmitRequest {
+                workload_id,
+                payload,
+                reply_to: self_id,
+                token,
+            },
+        );
+    }
+}
+
+impl Component for OpenLoopDriver {
+    fn name(&self) -> &str {
+        "open-loop-driver"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        if msg.is::<StartDriver>() {
+            self.started_at = Some(ctx.now());
+            self.schedule_next_arrival(ctx);
+            return;
+        }
+        if msg.is::<Arrival>() {
+            if self.issued < self.budget {
+                self.issue(ctx);
+                if self.issued < self.budget {
+                    self.schedule_next_arrival(ctx);
+                }
+            }
+            return;
+        }
+        match msg.downcast::<RequestDone>() {
+            Ok(done) => {
+                self.completed.push(CompletedRequest {
+                    workload_id: done.workload_id,
+                    latency: done.latency,
+                    at: ctx.now(),
+                    failed: done.failed,
+                    return_code: done.return_code,
+                });
+            }
+            Err(other) => panic!("driver received unknown message {other:?}"),
+        }
+    }
+}
+
+impl Component for ClosedLoopDriver {
+    fn name(&self) -> &str {
+        "closed-loop-driver"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<StartDriver>() {
+            Ok(_) => {
+                self.started_at = Some(ctx.now());
+                for t in 0..self.concurrency {
+                    self.submit(ctx, t);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<RequestDone>() {
+            Ok(done) => {
+                self.outstanding -= 1;
+                self.completed.push(CompletedRequest {
+                    workload_id: done.workload_id,
+                    latency: done.latency,
+                    at: ctx.now(),
+                    failed: done.failed,
+                    return_code: done.return_code,
+                });
+                let thread = done.token as usize;
+                if self.remaining[thread] > 0 {
+                    ctx.send_self(self.think_time, NextSubmit { thread });
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        match msg.downcast::<NextSubmit>() {
+            Ok(n) => self.submit(ctx, n.thread),
+            Err(other) => panic!("driver received unknown message {other:?}"),
+        }
+    }
+}

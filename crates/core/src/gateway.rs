@@ -1,0 +1,505 @@
+//! The λ-NIC gateway: proxies user requests to workers and implements
+//! the sender side of the weakly-consistent transport (§4.2-D3).
+//!
+//! The gateway "inserts the ID of the destined lambda as a new header"
+//! (§4.1) on every request, fragments large payloads into RDMA writes,
+//! tracks outstanding RPCs with timeout-based retransmission, and
+//! records the wire-to-wire latency of every completed request — the
+//! measurement Figures 6–8 report. As a host process, the gateway has
+//! finite per-request processing capacity, modeled as serialized
+//! occupancy (`proxy_cost`), which is what bounds λ-NIC's aggregate
+//! throughput in Table 2.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use lnic_net::frag::fragment;
+use lnic_net::packet::{LambdaHdr, LambdaKind, Packet};
+use lnic_net::params::MTU_PAYLOAD_BYTES;
+use lnic_net::transport::{RpcTracker, TimeoutAction};
+use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
+use lnic_sim::prelude::*;
+
+/// Where a deployed workload lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerEndpoint {
+    /// Worker MAC.
+    pub mac: MacAddr,
+    /// Worker UDP endpoint.
+    pub addr: SocketAddr,
+}
+
+/// Gateway configuration.
+#[derive(Clone, Debug)]
+pub struct GatewayParams {
+    /// The gateway's MAC.
+    pub mac: MacAddr,
+    /// The gateway's IP.
+    pub ip: Ipv4Addr,
+    /// The gateway's UDP port.
+    pub port: u16,
+    /// Per-request proxy processing time (serialized; the gateway is one
+    /// host process).
+    pub proxy_cost: SimDuration,
+    /// Per-response processing time.
+    pub response_cost: SimDuration,
+    /// Retransmission timeout.
+    pub rpc_timeout: SimDuration,
+    /// Total attempts per request.
+    pub rpc_attempts: u32,
+}
+
+impl Default for GatewayParams {
+    fn default() -> Self {
+        GatewayParams {
+            mac: MacAddr::from_index(1),
+            ip: Ipv4Addr::node(1),
+            port: 7000,
+            proxy_cost: SimDuration::from_micros(15),
+            response_cost: SimDuration::from_micros(2),
+            rpc_timeout: SimDuration::from_millis(200),
+            rpc_attempts: 3,
+        }
+    }
+}
+
+/// Ask the gateway to issue one request to a workload.
+#[derive(Debug)]
+pub struct SubmitRequest {
+    /// Target workload.
+    pub workload_id: u32,
+    /// Request payload.
+    pub payload: Bytes,
+    /// Who receives the [`RequestDone`].
+    pub reply_to: ComponentId,
+    /// Opaque token echoed back.
+    pub token: u64,
+}
+
+/// Control message: set (replace) a workload's placement.
+#[derive(Debug)]
+pub struct SetPlacement {
+    /// The workload.
+    pub workload_id: u32,
+    /// Where it is served.
+    pub endpoint: WorkerEndpoint,
+}
+
+/// Control message: add a *replica* placement; requests round-robin
+/// across all replicas (used by the autoscaler to scale out).
+#[derive(Debug)]
+pub struct AddPlacement {
+    /// The workload.
+    pub workload_id: u32,
+    /// The additional replica.
+    pub endpoint: WorkerEndpoint,
+}
+
+/// Control message: ask the gateway for per-workload statistics since
+/// the last query; it replies with a [`StatsReport`].
+#[derive(Debug)]
+pub struct QueryStats {
+    /// Where to send the report.
+    pub reply_to: ComponentId,
+}
+
+/// Per-workload statistics over the window since the previous
+/// [`QueryStats`].
+#[derive(Clone, Debug)]
+pub struct StatsReport {
+    /// `(workload id, latency summary, replica count)` per workload with
+    /// traffic in the window.
+    pub workloads: Vec<(u32, lnic_sim::metrics::Summary, usize)>,
+}
+
+/// Completion notification for a [`SubmitRequest`].
+#[derive(Clone, Debug)]
+pub struct RequestDone {
+    /// The submitter's token.
+    pub token: u64,
+    /// The workload that served it.
+    pub workload_id: u32,
+    /// Wire-to-wire latency (first transmission to response arrival).
+    pub latency: SimDuration,
+    /// The lambda's return code (`None` if the request failed outright).
+    pub return_code: Option<u16>,
+    /// The response payload (empty on failure).
+    pub response: Bytes,
+    /// Whether the transport gave up after exhausting retries.
+    pub failed: bool,
+}
+
+/// Gateway statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatewayCounters {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests that exhausted their retry budget.
+    pub failed: u64,
+    /// Retransmissions sent.
+    pub retransmitted: u64,
+    /// Requests rejected for lack of a placement.
+    pub unplaced: u64,
+}
+
+#[derive(Debug)]
+struct GwTimeout {
+    request_id: u64,
+}
+
+struct PendingMeta {
+    token: u64,
+    reply_to: ComponentId,
+}
+
+/// The gateway component.
+pub struct Gateway {
+    params: GatewayParams,
+    uplink: ComponentId,
+    placements: HashMap<u32, Vec<WorkerEndpoint>>,
+    rr: HashMap<u32, usize>,
+    /// Latency samples since the last stats query, per workload.
+    window: HashMap<u32, Series>,
+    tracker: RpcTracker,
+    meta: HashMap<u64, PendingMeta>,
+    /// Serialized proxy occupancy.
+    busy_until: SimTime,
+    counters: GatewayCounters,
+    /// Wire-to-wire latency per workload id.
+    latency: HashMap<u32, Series>,
+    next_ident: u16,
+}
+
+impl Gateway {
+    /// Creates a gateway sending through `uplink`.
+    pub fn new(params: GatewayParams, uplink: ComponentId) -> Self {
+        let (timeout, attempts) = (params.rpc_timeout, params.rpc_attempts);
+        Gateway {
+            params,
+            uplink,
+            placements: HashMap::new(),
+            rr: HashMap::new(),
+            window: HashMap::new(),
+            tracker: RpcTracker::new(timeout, attempts),
+            meta: HashMap::new(),
+            busy_until: SimTime::ZERO,
+            counters: GatewayCounters::default(),
+            latency: HashMap::new(),
+            next_ident: 0,
+        }
+    }
+
+    /// Registers (replaces) a placement during setup.
+    pub fn place(&mut self, workload_id: u32, endpoint: WorkerEndpoint) {
+        self.placements.insert(workload_id, vec![endpoint]);
+    }
+
+    /// Adds a replica placement; requests round-robin across replicas.
+    pub fn add_replica(&mut self, workload_id: u32, endpoint: WorkerEndpoint) {
+        self.placements
+            .entry(workload_id)
+            .or_default()
+            .push(endpoint);
+    }
+
+    /// Replica count for a workload.
+    pub fn replicas(&self, workload_id: u32) -> usize {
+        self.placements.get(&workload_id).map_or(0, |v| v.len())
+    }
+
+    /// Picks the next replica for a workload (round robin).
+    fn pick_endpoint(&mut self, workload_id: u32) -> Option<WorkerEndpoint> {
+        let list = self.placements.get(&workload_id)?;
+        if list.is_empty() {
+            return None;
+        }
+        let idx = self.rr.entry(workload_id).or_insert(0);
+        let ep = list[*idx % list.len()];
+        *idx = (*idx + 1) % list.len();
+        Some(ep)
+    }
+
+    /// The gateway's own endpoint.
+    pub fn addr(&self) -> SocketAddr {
+        SocketAddr::new(self.params.ip, self.params.port)
+    }
+
+    /// The gateway's MAC.
+    pub fn mac(&self) -> MacAddr {
+        self.params.mac
+    }
+
+    /// Statistics.
+    pub fn counters(&self) -> GatewayCounters {
+        self.counters
+    }
+
+    /// Wire-to-wire latencies recorded for a workload.
+    pub fn latency(&self, workload_id: u32) -> Option<&Series> {
+        self.latency.get(&workload_id)
+    }
+
+    /// All latency series.
+    pub fn latencies(&self) -> impl Iterator<Item = (u32, &Series)> {
+        self.latency.iter().map(|(k, v)| (*k, v))
+    }
+
+    fn send_attempt(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        request_id: u64,
+        workload_id: u32,
+        endpoint: WorkerEndpoint,
+        payload: &Bytes,
+        send_delay: SimDuration,
+    ) {
+        let src = SocketAddr::new(self.params.ip, self.params.port);
+        if payload.len() <= MTU_PAYLOAD_BYTES {
+            let hdr = LambdaHdr::request(workload_id, request_id);
+            let packet = Packet::builder()
+                .eth(self.params.mac, endpoint.mac)
+                .udp(src, endpoint.addr)
+                .ident(self.bump_ident())
+                .lambda(hdr)
+                .payload(payload.clone())
+                .build();
+            ctx.send(self.uplink, send_delay, packet);
+        } else {
+            // Multi-packet message: RDMA writes (§4.2-D3).
+            let frags = fragment(payload.clone(), MTU_PAYLOAD_BYTES);
+            let count = frags.len() as u16;
+            for (i, frag) in frags.into_iter().enumerate() {
+                let hdr = LambdaHdr {
+                    workload_id,
+                    request_id,
+                    frag_index: i as u16,
+                    frag_count: count,
+                    kind: LambdaKind::RdmaWrite,
+                    return_code: 0,
+                };
+                let packet = Packet::builder()
+                    .eth(self.params.mac, endpoint.mac)
+                    .udp(src, endpoint.addr)
+                    .ident(self.bump_ident())
+                    .lambda(hdr)
+                    .payload(frag)
+                    .build();
+                ctx.send(self.uplink, send_delay, packet);
+            }
+        }
+        ctx.send_self(
+            send_delay + self.tracker.timeout(),
+            GwTimeout { request_id },
+        );
+    }
+
+    fn bump_ident(&mut self) -> u16 {
+        self.next_ident = self.next_ident.wrapping_add(1);
+        self.next_ident
+    }
+
+    fn on_submit(&mut self, ctx: &mut Ctx<'_>, req: SubmitRequest) {
+        let Some(endpoint) = self.pick_endpoint(req.workload_id) else {
+            self.counters.unplaced += 1;
+            ctx.send(
+                req.reply_to,
+                SimDuration::ZERO,
+                RequestDone {
+                    token: req.token,
+                    workload_id: req.workload_id,
+                    latency: SimDuration::ZERO,
+                    return_code: None,
+                    response: Bytes::new(),
+                    failed: true,
+                },
+            );
+            return;
+        };
+        self.counters.submitted += 1;
+
+        // Serialize through the proxy.
+        let start = self.busy_until.max(ctx.now());
+        let wire_time = start + self.params.proxy_cost;
+        self.busy_until = wire_time;
+        let send_delay = wire_time - ctx.now();
+
+        // Latency is measured from the moment the request leaves the
+        // gateway (§6.3.1's measurement), so register at wire time.
+        let request_id = self.tracker.register(
+            wire_time,
+            req.workload_id,
+            endpoint.addr,
+            req.payload.clone(),
+        );
+        self.meta.insert(
+            request_id,
+            PendingMeta {
+                token: req.token,
+                reply_to: req.reply_to,
+            },
+        );
+        self.send_attempt(
+            ctx,
+            request_id,
+            req.workload_id,
+            endpoint,
+            &req.payload,
+            send_delay,
+        );
+    }
+
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        let Some(hdr) = packet.lambda else { return };
+        if hdr.kind != LambdaKind::Response {
+            return;
+        }
+        let Some(done) = self.tracker.on_response(hdr.request_id) else {
+            return; // duplicate
+        };
+        self.counters.completed += 1;
+        let latency = ctx.now() - done.first_sent_at;
+        self.latency
+            .entry(done.workload_id)
+            .or_insert_with(|| Series::new(format!("w{}", done.workload_id)))
+            .record(latency);
+        self.window
+            .entry(done.workload_id)
+            .or_insert_with(|| Series::new("window"))
+            .record(latency);
+        // Response processing occupies the proxy briefly.
+        let start = self.busy_until.max(ctx.now());
+        self.busy_until = start + self.params.response_cost;
+
+        if let Some(meta) = self.meta.remove(&hdr.request_id) {
+            ctx.send(
+                meta.reply_to,
+                self.busy_until - ctx.now(),
+                RequestDone {
+                    token: meta.token,
+                    workload_id: done.workload_id,
+                    latency,
+                    return_code: Some(hdr.return_code),
+                    response: packet.payload,
+                    failed: false,
+                },
+            );
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_>, request_id: u64) {
+        match self.tracker.on_timeout(request_id) {
+            TimeoutAction::Ignore => {}
+            TimeoutAction::Resend(rec) => {
+                if let Some(endpoint) = self.pick_endpoint(rec.workload_id) {
+                    self.counters.retransmitted += 1;
+                    let payload = rec.payload.clone();
+                    self.send_attempt(
+                        ctx,
+                        request_id,
+                        rec.workload_id,
+                        endpoint,
+                        &payload,
+                        SimDuration::ZERO,
+                    );
+                } else {
+                    // The placement vanished mid-flight: fail the request
+                    // instead of letting it dangle without a timer.
+                    let _ = self.tracker.on_response(request_id);
+                    self.counters.failed += 1;
+                    if let Some(meta) = self.meta.remove(&request_id) {
+                        ctx.send(
+                            meta.reply_to,
+                            SimDuration::ZERO,
+                            RequestDone {
+                                token: meta.token,
+                                workload_id: rec.workload_id,
+                                latency: ctx.now() - rec.first_sent_at,
+                                return_code: None,
+                                response: Bytes::new(),
+                                failed: true,
+                            },
+                        );
+                    }
+                }
+            }
+            TimeoutAction::GiveUp(rec) => {
+                self.counters.failed += 1;
+                if let Some(meta) = self.meta.remove(&request_id) {
+                    ctx.send(
+                        meta.reply_to,
+                        SimDuration::ZERO,
+                        RequestDone {
+                            token: meta.token,
+                            workload_id: rec.workload_id,
+                            latency: ctx.now() - rec.first_sent_at,
+                            return_code: None,
+                            response: Bytes::new(),
+                            failed: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Component for Gateway {
+    fn name(&self) -> &str {
+        "gateway"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<SubmitRequest>() {
+            Ok(req) => {
+                self.on_submit(ctx, *req);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<Packet>() {
+            Ok(p) => {
+                self.on_response(ctx, *p);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<GwTimeout>() {
+            Ok(t) => {
+                self.on_timeout(ctx, t.request_id);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<SetPlacement>() {
+            Ok(p) => {
+                self.placements.insert(p.workload_id, vec![p.endpoint]);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<AddPlacement>() {
+            Ok(p) => {
+                self.add_replica(p.workload_id, p.endpoint);
+                return;
+            }
+            Err(other) => other,
+        };
+        match msg.downcast::<QueryStats>() {
+            Ok(q) => {
+                let workloads = self
+                    .window
+                    .drain()
+                    .map(|(wid, series)| {
+                        let replicas = self.placements.get(&wid).map_or(0, |v| v.len());
+                        (wid, series.summary(), replicas)
+                    })
+                    .collect();
+                ctx.send(q.reply_to, SimDuration::ZERO, StatsReport { workloads });
+            }
+            Err(other) => panic!("gateway received unknown message {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # lnic: the λ-NIC serverless framework
+//!
+//! The paper's primary contribution, assembled end-to-end: a serverless
+//! compute framework whose workers run lambdas directly on ASIC
+//! SmartNICs, with container and bare-metal backends for comparison.
+//!
+//! - [`gateway`]: proxies user requests, inserts the λ-NIC header,
+//!   implements the sender side of the weakly-consistent transport, and
+//!   measures wire-to-wire latency (the quantity Figures 6–8 report);
+//! - [`manager`]: compiles Match+Lambda programs, stores artifacts,
+//!   rolls them out through the timed deployment pipeline (Table 4), and
+//!   records placements in the Raft (etcd) control plane;
+//! - [`cluster`]: assembles the Figure 5 testbed — master node M1 with
+//!   gateway, manager, and memcached; workers M2–M5 with λ-NIC,
+//!   bare-metal, or container backends; a 10 G switch between them;
+//! - [`driver`]: closed-loop load generators for the experiments;
+//! - [`deploy`]: artifact sizes and startup pipeline constants.
+//!
+//! ## Example: serve one web request through the full testbed
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lnic::prelude::*;
+//! use lnic_sim::prelude::*;
+//! use lnic_workloads::{web_program, SuiteConfig, WEB_ID};
+//!
+//! let cfg = SuiteConfig::default();
+//! let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(7));
+//! bed.preload(&Arc::new(web_program(&cfg)));
+//!
+//! let gateway = bed.gateway;
+//! let driver = bed.sim.add(ClosedLoopDriver::new(
+//!     gateway,
+//!     vec![JobSpec { workload_id: WEB_ID.0, payload: PayloadSpec::Page(0) }],
+//!     1,
+//!     SimDuration::from_micros(80),
+//!     Some(10),
+//! ));
+//! bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+//! bed.sim.run();
+//!
+//! let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+//! assert_eq!(d.completed().len(), 10);
+//! assert!(d.completed().iter().all(|c| !c.failed));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autoscaler;
+pub mod cluster;
+pub mod deploy;
+pub mod driver;
+pub mod gateway;
+pub mod manager;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleEvent, StartAutoscaler};
+pub use cluster::{build_testbed, Testbed, TestbedConfig, Worker};
+pub use deploy::{BackendKind, DeployParams};
+pub use driver::{
+    ClosedLoopDriver, CompletedRequest, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver,
+};
+pub use gateway::{Gateway, GatewayCounters, GatewayParams, RequestDone, SubmitRequest};
+pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
+
+/// Convenience re-exports for experiment authors.
+pub mod prelude {
+    pub use crate::cluster::{build_testbed, Testbed, TestbedConfig};
+    pub use crate::deploy::{BackendKind, DeployParams};
+    pub use crate::driver::{ClosedLoopDriver, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver};
+    pub use crate::gateway::{Gateway, GatewayParams, RequestDone, SubmitRequest};
+    pub use crate::manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
+}

@@ -1,0 +1,161 @@
+//! Autoscaler integration: an overloaded bare-metal worker triggers
+//! scale-out across the fleet, and latency recovers.
+
+use std::sync::Arc;
+
+use lnic::autoscaler::{Autoscaler, AutoscalerConfig, StartAutoscaler};
+use lnic::prelude::*;
+use lnic_sim::prelude::*;
+use lnic_workloads::{web_program, SuiteConfig, WEB_ID};
+
+fn overloaded_testbed() -> (Testbed, ComponentId, ComponentId) {
+    // Four bare-metal workers; all traffic initially pinned to worker 0.
+    let mut bed = build_testbed(
+        TestbedConfig::new(BackendKind::BareMetal)
+            .seed(41)
+            .workers(4)
+            .worker_threads(4),
+    );
+    bed.preload(&Arc::new(web_program(&SuiteConfig::default())));
+    bed.place(WEB_ID.0, 0);
+
+    let gateway = bed.gateway;
+    // 32 concurrent clients against one GIL-bound worker: overload.
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID.0,
+            payload: PayloadSpec::Page(0),
+        }],
+        32,
+        SimDuration::from_micros(80),
+        Some(200),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    (bed, gateway, driver)
+}
+
+#[test]
+fn scales_out_under_overload_and_latency_recovers() {
+    let (mut bed, gateway, driver) = overloaded_testbed();
+    let scaler = bed.sim.add(Autoscaler::new(
+        AutoscalerConfig {
+            interval: SimDuration::from_millis(20),
+            target_p99: SimDuration::from_millis(2),
+            max_replicas: 4,
+            min_samples: 5,
+        },
+        gateway,
+        bed.workers.clone(),
+    ));
+    bed.sim.post(scaler, SimDuration::ZERO, StartAutoscaler);
+    bed.sim.run_for(SimDuration::from_secs(5));
+
+    let events = bed.sim.get::<Autoscaler>(scaler).unwrap().events().to_vec();
+    assert!(
+        events.iter().any(|e| e.workload_id == WEB_ID.0),
+        "autoscaler must scale the hot workload: {events:?}"
+    );
+    let replicas = bed.sim.get::<Gateway>(gateway).unwrap().replicas(WEB_ID.0);
+    assert!(replicas >= 2, "scaled to {replicas} replicas");
+    assert!(replicas <= 4, "bounded by max_replicas");
+
+    // Latency in the second half must beat the first half.
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    let all = d.completed();
+    assert!(all.len() > 100, "enough traffic flowed: {}", all.len());
+    let half = all.len() / 2;
+    let mean = |slice: &[lnic::CompletedRequest]| {
+        slice.iter().map(|c| c.latency.as_nanos()).sum::<u64>() as f64 / slice.len() as f64
+    };
+    let early = mean(&all[..half]);
+    let late = mean(&all[half..]);
+    // Scale-out happens within the first few windows, so the early half
+    // already contains partially-scaled traffic; require a clear (not
+    // dramatic) improvement.
+    assert!(
+        late < early * 0.85,
+        "latency must recover after scale-out: early {early:.0} late {late:.0}"
+    );
+}
+
+#[test]
+fn does_not_scale_an_unloaded_workload() {
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(43).workers(4));
+    bed.preload(&Arc::new(web_program(&SuiteConfig::default())));
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID.0,
+            payload: PayloadSpec::Page(0),
+        }],
+        2,
+        SimDuration::from_micros(200),
+        Some(200),
+    ));
+    let scaler = bed.sim.add(Autoscaler::new(
+        AutoscalerConfig {
+            interval: SimDuration::from_millis(20),
+            target_p99: SimDuration::from_millis(2),
+            max_replicas: 4,
+            min_samples: 5,
+        },
+        gateway,
+        bed.workers.clone(),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.post(scaler, SimDuration::ZERO, StartAutoscaler);
+    bed.sim.run_for(SimDuration::from_secs(2));
+
+    // λ-NIC latencies are far below the target: no scale events.
+    assert!(bed
+        .sim
+        .get::<Autoscaler>(scaler)
+        .unwrap()
+        .events()
+        .is_empty());
+    assert_eq!(
+        bed.sim.get::<Gateway>(gateway).unwrap().replicas(WEB_ID.0),
+        1
+    );
+}
+
+#[test]
+fn replicas_round_robin_across_workers() {
+    // Manually add replicas and confirm the gateway spreads traffic.
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(44).workers(2));
+    bed.preload(&Arc::new(web_program(&SuiteConfig::default())));
+    let gateway = bed.gateway;
+    let w1 = bed.workers[1].endpoint();
+    bed.sim
+        .get_mut::<Gateway>(gateway)
+        .unwrap()
+        .add_replica(WEB_ID.0, w1);
+
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID.0,
+            payload: PayloadSpec::Page(0),
+        }],
+        1,
+        SimDuration::from_micros(50),
+        Some(20),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    assert_eq!(d.completed().len(), 20);
+    assert!(d.completed().iter().all(|c| !c.failed));
+    // Both NICs served traffic.
+    for w in &bed.workers {
+        let served = bed
+            .sim
+            .get::<lnic_nic::Nic>(w.component)
+            .unwrap()
+            .counters()
+            .responses;
+        assert_eq!(served, 10, "round robin must split evenly");
+    }
+}

@@ -1,0 +1,92 @@
+//! Testbed assembly unit tests: identity assignment, wiring, and the
+//! optional control plane.
+
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_raft::{RaftNode, Role};
+use lnic_sim::prelude::*;
+use lnic_workloads::{web_program, SuiteConfig, WEB_ID};
+
+#[test]
+fn worker_identities_are_unique() {
+    let bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(1).workers(4));
+    let macs: Vec<_> = bed.workers.iter().map(|w| w.mac).collect();
+    let ips: Vec<_> = bed.workers.iter().map(|w| w.addr.ip).collect();
+    for i in 0..macs.len() {
+        for j in i + 1..macs.len() {
+            assert_ne!(macs[i], macs[j]);
+            assert_ne!(ips[i], ips[j]);
+        }
+    }
+    assert_eq!(bed.workers.len(), 4);
+    assert!(bed.worker_hosts.iter().all(|h| h.is_none()));
+    assert!(bed.raft_nodes.is_empty());
+}
+
+#[test]
+fn control_plane_elects_within_seconds() {
+    let mut bed = build_testbed(
+        TestbedConfig::new(BackendKind::BareMetal)
+            .seed(2)
+            .with_control_plane(),
+    );
+    assert_eq!(bed.raft_nodes.len(), 3);
+    bed.sim.run_for(SimDuration::from_secs(2));
+    let leaders = bed
+        .raft_nodes
+        .iter()
+        .filter(|&&n| bed.sim.get::<RaftNode>(n).unwrap().role() == Role::Leader)
+        .count();
+    assert_eq!(leaders, 1);
+}
+
+#[test]
+fn preload_places_workloads_round_robin_across_workers() {
+    let cfg = SuiteConfig::default();
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(3).workers(2));
+    bed.preload(&Arc::new(lnic_workloads::benchmark_program(&cfg)));
+    let gw = bed.sim.get::<Gateway>(bed.gateway).unwrap();
+    // Four lambdas spread over two workers: each has exactly one replica.
+    for wid in [1u32, 2, 3, 4] {
+        assert_eq!(gw.replicas(wid), 1, "workload {wid}");
+    }
+}
+
+#[test]
+fn single_worker_testbed_serves() {
+    let cfg = SuiteConfig::default();
+    let mut bed = build_testbed(
+        TestbedConfig::new(BackendKind::Container)
+            .seed(4)
+            .workers(1),
+    );
+    bed.preload(&Arc::new(web_program(&cfg)));
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID.0,
+            payload: PayloadSpec::Page(0),
+        }],
+        1,
+        SimDuration::from_micros(10),
+        Some(2),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    assert_eq!(
+        bed.sim
+            .get::<ClosedLoopDriver>(driver)
+            .unwrap()
+            .completed()
+            .len(),
+        2
+    );
+}
+
+#[test]
+#[should_panic(expected = "at least one worker")]
+fn zero_workers_rejected() {
+    let _ = build_testbed(TestbedConfig::new(BackendKind::Nic).workers(0));
+}

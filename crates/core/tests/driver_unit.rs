@@ -1,0 +1,272 @@
+//! Unit tests for the closed-loop driver against a scripted fake
+//! gateway.
+
+use bytes::Bytes;
+
+use lnic::driver::{ClosedLoopDriver, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver};
+use lnic::gateway::{RequestDone, SubmitRequest};
+use lnic_sim::prelude::*;
+
+/// A fake gateway answering every submission after a fixed delay.
+struct FakeGateway {
+    delay: SimDuration,
+    seen: Vec<(u32, usize)>, // (workload, payload len)
+}
+
+impl Component for FakeGateway {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let req = msg.downcast::<SubmitRequest>().expect("driver submits");
+        self.seen.push((req.workload_id, req.payload.len()));
+        ctx.send(
+            req.reply_to,
+            self.delay,
+            RequestDone {
+                token: req.token,
+                workload_id: req.workload_id,
+                latency: self.delay,
+                return_code: Some(0),
+                response: Bytes::new(),
+                failed: false,
+            },
+        );
+    }
+}
+
+fn setup(
+    jobs: Vec<JobSpec>,
+    concurrency: usize,
+    per_thread: u64,
+    delay: SimDuration,
+) -> (Simulation, ComponentId, ComponentId) {
+    let mut sim = Simulation::new(5);
+    let gw = sim.add(FakeGateway {
+        delay,
+        seen: vec![],
+    });
+    let driver = sim.add(ClosedLoopDriver::new(
+        gw,
+        jobs,
+        concurrency,
+        SimDuration::from_micros(10),
+        Some(per_thread),
+    ));
+    sim.post(driver, SimDuration::ZERO, StartDriver);
+    (sim, gw, driver)
+}
+
+fn job(workload_id: u32) -> JobSpec {
+    JobSpec {
+        workload_id,
+        payload: PayloadSpec::Empty,
+    }
+}
+
+#[test]
+fn issues_requests_round_robin_across_jobs() {
+    let (mut sim, gw, driver) = setup(
+        vec![job(1), job(2), job(3)],
+        1,
+        9,
+        SimDuration::from_micros(5),
+    );
+    sim.run();
+    let seen: Vec<u32> = sim
+        .get::<FakeGateway>(gw)
+        .unwrap()
+        .seen
+        .iter()
+        .map(|(w, _)| *w)
+        .collect();
+    assert_eq!(seen, vec![1, 2, 3, 1, 2, 3, 1, 2, 3]);
+    assert!(sim.get::<ClosedLoopDriver>(driver).unwrap().is_done());
+}
+
+#[test]
+fn concurrency_bounds_outstanding_requests() {
+    let (mut sim, gw, driver) = setup(vec![job(1)], 4, 2, SimDuration::from_millis(1));
+    // After the start instant, exactly `concurrency` submissions exist.
+    sim.run_until(SimTime::from_nanos(1));
+    assert_eq!(sim.get::<FakeGateway>(gw).unwrap().seen.len(), 4);
+    sim.run();
+    assert_eq!(sim.get::<FakeGateway>(gw).unwrap().seen.len(), 8);
+    assert_eq!(
+        sim.get::<ClosedLoopDriver>(driver)
+            .unwrap()
+            .completed()
+            .len(),
+        8
+    );
+}
+
+#[test]
+fn warmup_is_excluded_from_latency_series() {
+    let (mut sim, _, driver) = setup(vec![job(1)], 1, 10, SimDuration::from_micros(7));
+    sim.run();
+    let d = sim.get::<ClosedLoopDriver>(driver).unwrap();
+    assert_eq!(d.latency_series(0).len(), 10);
+    assert_eq!(d.latency_series(4).len(), 6);
+    assert_eq!(d.latency_series(100).len(), 0);
+    // All sampled latencies equal the fake service delay.
+    assert_eq!(d.latency_series(0).summary().mean_ns, 7_000.0);
+}
+
+#[test]
+fn throughput_reflects_completion_window() {
+    let (mut sim, _, driver) = setup(vec![job(1)], 1, 11, SimDuration::from_micros(90));
+    sim.run();
+    let d = sim.get::<ClosedLoopDriver>(driver).unwrap();
+    // Steady state: one request per (90us service + 10us think); the
+    // window spans from start to last completion (10 gaps + 1 service).
+    let rps = d.throughput_rps();
+    assert!(
+        (9_000.0..11_500.0).contains(&rps),
+        "throughput {rps} out of expected band"
+    );
+}
+
+#[test]
+fn payload_specs_generate_expected_shapes() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    assert!(PayloadSpec::Empty.generate(&mut rng).is_empty());
+    assert_eq!(PayloadSpec::Page(3).generate(&mut rng).len(), 2);
+    assert_eq!(
+        PayloadSpec::RandomPage { count: 8 }
+            .generate(&mut rng)
+            .len(),
+        2
+    );
+    assert_eq!(
+        PayloadSpec::KvGet { id_range: 10 }.generate(&mut rng).len(),
+        4
+    );
+    assert_eq!(
+        PayloadSpec::KvSet {
+            id_range: 10,
+            value_len: 32
+        }
+        .generate(&mut rng)
+        .len(),
+        36
+    );
+    assert_eq!(
+        PayloadSpec::Image {
+            width: 4,
+            height: 2
+        }
+        .generate(&mut rng)
+        .len(),
+        32
+    );
+    assert_eq!(
+        PayloadSpec::Fixed(Bytes::from_static(b"abc"))
+            .generate(&mut rng)
+            .as_ref(),
+        b"abc"
+    );
+}
+
+#[test]
+fn open_loop_issues_at_the_configured_rate() {
+    let mut sim = Simulation::new(9);
+    let gw = sim.add(FakeGateway {
+        delay: SimDuration::from_micros(5),
+        seen: vec![],
+    });
+    // 10k requests per second for 500 requests ~ 50 ms of traffic.
+    let driver = sim.add(OpenLoopDriver::new(gw, vec![job(1)], 10_000.0, 500));
+    sim.post(driver, SimDuration::ZERO, StartDriver);
+    sim.run();
+    let d = sim.get::<OpenLoopDriver>(driver).unwrap();
+    assert_eq!(d.completed().len(), 500);
+    let span = sim.now().as_secs_f64();
+    let measured_rate = 500.0 / span;
+    assert!(
+        (6_000.0..16_000.0).contains(&measured_rate),
+        "poisson arrivals near the nominal rate: {measured_rate:.0}"
+    );
+    // Open loop does not self-throttle: latency equals service time.
+    assert_eq!(d.latency_series(0).summary().mean_ns, 5_000.0);
+    assert!(d.throughput_rps() > 0.0);
+}
+
+#[test]
+fn open_loop_overload_builds_queueing_delay() {
+    use lnic::prelude::*;
+    use std::sync::Arc;
+    // Offer ~3x a GIL-bound worker's capacity: latency must blow up
+    // across the run (queue growth), unlike the closed-loop case.
+    let mut bed = build_testbed(
+        TestbedConfig::new(BackendKind::BareMetal)
+            .seed(21)
+            .workers(1)
+            .worker_threads(8),
+    );
+    bed.preload(&Arc::new(lnic_workloads::web_program(
+        &lnic_workloads::SuiteConfig::default(),
+    )));
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(OpenLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: lnic_workloads::WEB_ID.0,
+            payload: PayloadSpec::Page(0),
+        }],
+        15_000.0,
+        600,
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    let d = bed.sim.get::<OpenLoopDriver>(driver).unwrap();
+    let all = d.completed();
+    assert!(all.len() >= 500, "most requests complete: {}", all.len());
+    let first = all[..50].iter().map(|c| c.latency.as_nanos()).sum::<u64>() / 50;
+    let n = all.len();
+    let last = all[n - 50..]
+        .iter()
+        .map(|c| c.latency.as_nanos())
+        .sum::<u64>()
+        / 50;
+    assert!(
+        last > 3 * first,
+        "queueing delay must grow under overload: first {first} last {last}"
+    );
+}
+
+#[test]
+fn failed_completions_are_recorded_but_excluded_from_latency() {
+    struct FailingGateway;
+    impl Component for FailingGateway {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+            let req = msg.downcast::<SubmitRequest>().unwrap();
+            ctx.send(
+                req.reply_to,
+                SimDuration::from_micros(1),
+                RequestDone {
+                    token: req.token,
+                    workload_id: req.workload_id,
+                    latency: SimDuration::from_micros(1),
+                    return_code: None,
+                    response: Bytes::new(),
+                    failed: true,
+                },
+            );
+        }
+    }
+    let mut sim = Simulation::new(1);
+    let gw = sim.add(FailingGateway);
+    let driver = sim.add(ClosedLoopDriver::new(
+        gw,
+        vec![job(1)],
+        1,
+        SimDuration::from_micros(10),
+        Some(5),
+    ));
+    sim.post(driver, SimDuration::ZERO, StartDriver);
+    sim.run();
+    let d = sim.get::<ClosedLoopDriver>(driver).unwrap();
+    assert_eq!(d.completed().len(), 5);
+    assert!(d.completed().iter().all(|c| c.failed));
+    assert_eq!(d.latency_series(0).len(), 0);
+    assert_eq!(d.throughput_rps(), 0.0);
+}

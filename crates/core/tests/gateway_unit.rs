@@ -1,0 +1,230 @@
+//! Unit tests for the gateway component in isolation: header insertion,
+//! fragmentation, proxy serialization, retransmission, and accounting.
+
+use bytes::Bytes;
+
+use lnic::gateway::{
+    Gateway, GatewayParams, RequestDone, SetPlacement, SubmitRequest, WorkerEndpoint,
+};
+use lnic_net::packet::{LambdaKind, Packet};
+use lnic_net::params::MTU_PAYLOAD_BYTES;
+use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
+use lnic_sim::prelude::*;
+
+/// Captures everything the gateway transmits.
+struct Wire {
+    sent: Vec<(SimTime, Packet)>,
+}
+
+impl Component for Wire {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        self.sent
+            .push((ctx.now(), *msg.downcast::<Packet>().unwrap()));
+    }
+}
+
+/// Captures completion callbacks.
+struct Client {
+    done: Vec<(SimTime, RequestDone)>,
+}
+
+impl Component for Client {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        self.done.push((
+            ctx.now(),
+            msg.downcast::<RequestDone>().unwrap().as_ref().clone(),
+        ));
+    }
+}
+
+fn worker_endpoint() -> WorkerEndpoint {
+    WorkerEndpoint {
+        mac: MacAddr::from_index(10),
+        addr: SocketAddr::new(Ipv4Addr::node(2), 8000),
+    }
+}
+
+fn setup(params: GatewayParams) -> (Simulation, ComponentId, ComponentId, ComponentId) {
+    let mut sim = Simulation::new(3);
+    let wire = sim.add(Wire { sent: vec![] });
+    let client = sim.add(Client { done: vec![] });
+    let mut gw = Gateway::new(params, wire);
+    gw.place(7, worker_endpoint());
+    let gw = sim.add(gw);
+    (sim, gw, wire, client)
+}
+
+fn submit(payload: &[u8], client: ComponentId, token: u64) -> SubmitRequest {
+    SubmitRequest {
+        workload_id: 7,
+        payload: Bytes::copy_from_slice(payload),
+        reply_to: client,
+        token,
+    }
+}
+
+#[test]
+fn small_payload_becomes_single_request_packet() {
+    let (mut sim, gw, wire, client) = setup(GatewayParams::default());
+    sim.post(gw, SimDuration::ZERO, submit(b"req", client, 1));
+    sim.run_for(SimDuration::from_millis(1));
+    let sent = &sim.get::<Wire>(wire).unwrap().sent;
+    assert_eq!(sent.len(), 1);
+    let hdr = sent[0].1.lambda.expect("lambda header inserted");
+    assert_eq!(hdr.workload_id, 7);
+    assert_eq!(hdr.kind, LambdaKind::Request);
+    assert_eq!(hdr.frag_count, 1);
+    assert_eq!(&sent[0].1.payload[..], b"req");
+    assert_eq!(sent[0].1.eth.dst, worker_endpoint().mac);
+}
+
+#[test]
+fn large_payload_fragments_into_rdma_writes() {
+    let (mut sim, gw, wire, client) = setup(GatewayParams::default());
+    let payload = vec![9u8; MTU_PAYLOAD_BYTES * 2 + 100];
+    sim.post(gw, SimDuration::ZERO, submit(&payload, client, 1));
+    sim.run_for(SimDuration::from_millis(1));
+    let sent = &sim.get::<Wire>(wire).unwrap().sent;
+    assert_eq!(sent.len(), 3);
+    for (i, (_, p)) in sent.iter().enumerate() {
+        let hdr = p.lambda.unwrap();
+        assert_eq!(hdr.kind, LambdaKind::RdmaWrite);
+        assert_eq!(hdr.frag_index, i as u16);
+        assert_eq!(hdr.frag_count, 3);
+    }
+    let total: usize = sent.iter().map(|(_, p)| p.payload.len()).sum();
+    assert_eq!(total, payload.len());
+}
+
+#[test]
+fn unplaced_workload_fails_immediately() {
+    let (mut sim, gw, wire, client) = setup(GatewayParams::default());
+    sim.post(
+        gw,
+        SimDuration::ZERO,
+        SubmitRequest {
+            workload_id: 99,
+            payload: Bytes::new(),
+            reply_to: client,
+            token: 5,
+        },
+    );
+    sim.run();
+    assert!(sim.get::<Wire>(wire).unwrap().sent.is_empty());
+    let done = &sim.get::<Client>(client).unwrap().done;
+    assert_eq!(done.len(), 1);
+    assert!(done[0].1.failed);
+    assert_eq!(done[0].1.token, 5);
+    assert_eq!(sim.get::<Gateway>(gw).unwrap().counters().unplaced, 1);
+}
+
+#[test]
+fn proxy_serializes_concurrent_submissions() {
+    let params = GatewayParams {
+        proxy_cost: SimDuration::from_micros(10),
+        ..Default::default()
+    };
+    let (mut sim, gw, wire, client) = setup(params);
+    for i in 0..3 {
+        sim.post(gw, SimDuration::ZERO, submit(b"x", client, i));
+    }
+    sim.run_for(SimDuration::from_millis(1));
+    let times: Vec<u64> = sim
+        .get::<Wire>(wire)
+        .unwrap()
+        .sent
+        .iter()
+        .map(|(t, _)| t.as_nanos())
+        .collect();
+    assert_eq!(times, vec![10_000, 20_000, 30_000]);
+}
+
+#[test]
+fn timeout_resends_then_gives_up() {
+    let params = GatewayParams {
+        rpc_timeout: SimDuration::from_micros(100),
+        rpc_attempts: 3,
+        ..Default::default()
+    };
+    let (mut sim, gw, wire, client) = setup(params);
+    sim.post(gw, SimDuration::ZERO, submit(b"lost", client, 9));
+    sim.run();
+    // Original + 2 retries on the wire, then a failed completion.
+    assert_eq!(sim.get::<Wire>(wire).unwrap().sent.len(), 3);
+    let done = &sim.get::<Client>(client).unwrap().done;
+    assert_eq!(done.len(), 1);
+    assert!(done[0].1.failed);
+    let c = sim.get::<Gateway>(gw).unwrap().counters();
+    assert_eq!(c.retransmitted, 2);
+    assert_eq!(c.failed, 1);
+}
+
+#[test]
+fn response_completes_and_records_latency() {
+    let (mut sim, gw, wire, client) = setup(GatewayParams::default());
+    sim.post(gw, SimDuration::ZERO, submit(b"ping", client, 2));
+    sim.run_for(SimDuration::from_micros(50));
+
+    // Craft the worker's response to the captured request.
+    let req = sim.get::<Wire>(wire).unwrap().sent[0].1.clone();
+    let resp_hdr = req.lambda.unwrap().response_to(0);
+    let resp = req
+        .reply_to()
+        .lambda(resp_hdr)
+        .payload(Bytes::from_static(b"pong"))
+        .build();
+    sim.post(gw, SimDuration::from_micros(100), resp);
+    sim.run();
+
+    let done = &sim.get::<Client>(client).unwrap().done;
+    assert_eq!(done.len(), 1);
+    assert!(!done[0].1.failed);
+    assert_eq!(&done[0].1.response[..], b"pong");
+    assert_eq!(done[0].1.return_code, Some(0));
+    // Latency measured from wire time (15us proxy) to response arrival.
+    let expected = done[0].1.latency.as_nanos();
+    assert_eq!(expected, 150_000 - 15_000);
+
+    let gw_ref = sim.get::<Gateway>(gw).unwrap();
+    assert_eq!(gw_ref.latency(7).unwrap().len(), 1);
+    assert_eq!(gw_ref.latencies().count(), 1);
+    assert_eq!(gw_ref.counters().completed, 1);
+}
+
+#[test]
+fn duplicate_response_ignored() {
+    let (mut sim, gw, wire, client) = setup(GatewayParams::default());
+    sim.post(gw, SimDuration::ZERO, submit(b"once", client, 3));
+    sim.run_for(SimDuration::from_micros(50));
+    let req = sim.get::<Wire>(wire).unwrap().sent[0].1.clone();
+    let resp_hdr = req.lambda.unwrap().response_to(0);
+    let resp = req.reply_to().lambda(resp_hdr).build();
+    sim.post(gw, SimDuration::from_micros(60), resp.clone());
+    sim.post(gw, SimDuration::from_micros(70), resp);
+    sim.run();
+    let done = &sim.get::<Client>(client).unwrap().done;
+    assert_eq!(done.len(), 1, "duplicate must not double-complete");
+    assert_eq!(sim.get::<Gateway>(gw).unwrap().counters().completed, 1);
+}
+
+#[test]
+fn set_placement_message_updates_routing() {
+    let (mut sim, gw, wire, client) = setup(GatewayParams::default());
+    let new_endpoint = WorkerEndpoint {
+        mac: MacAddr::from_index(20),
+        addr: SocketAddr::new(Ipv4Addr::node(3), 8000),
+    };
+    sim.post(
+        gw,
+        SimDuration::ZERO,
+        SetPlacement {
+            workload_id: 7,
+            endpoint: new_endpoint,
+        },
+    );
+    sim.post(gw, SimDuration::from_micros(1), submit(b"x", client, 1));
+    sim.run_for(SimDuration::from_millis(1));
+    let sent = &sim.get::<Wire>(wire).unwrap().sent;
+    assert_eq!(sent[0].1.eth.dst, new_endpoint.mac);
+    assert_eq!(sent[0].1.dst_addr(), new_endpoint.addr);
+}

@@ -1,0 +1,22 @@
+//! # lnic-host: the host server model
+//!
+//! Models the paper's baseline backends (§6.1.1) on the testbed's Xeon
+//! servers: the **bare-metal** backend (an Isolate-style standalone
+//! Python service) and the **container** backend (the same service under
+//! Docker/Kubernetes behind a calico overlay and NAT proxy).
+//!
+//! Lambdas execute on the same Match+Lambda interpreter as the SmartNIC
+//! path, so functional results are identical across backends; what
+//! differs — and what Figures 6–8 measure — are the host-side costs this
+//! crate makes explicit: kernel network stack, scheduler dispatch,
+//! interpreter (GIL) serialization, inter-lambda context switches with
+//! cache pollution, CPython per-request overhead, and the container
+//! overlay path.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod params;
+
+pub use backend::{DeployProgram, HostBackend, HostCounters, ServiceEndpoint};
+pub use params::{host_memory_spec, ContainerParams, HostParams, RuntimeKind};

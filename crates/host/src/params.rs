@@ -1,0 +1,225 @@
+//! Parameters of the host server model.
+//!
+//! The testbed servers (§6.1.2) are dual-socket Xeon Gold 5117 machines
+//! (2×14 physical cores at 2.0 GHz). The paper's bare-metal backend is a
+//! Python service (§6.1.1) and its container backend runs the same
+//! service under Docker/Kubernetes with a calico overlay network; the
+//! constants below model those software layers. All host-side costs that
+//! dominate the paper's baselines are explicit, named parameters:
+//! kernel-stack traversal, scheduler dispatch, inter-lambda context
+//! switches (with cache pollution), the CPython per-request overhead and
+//! bytecode slowdown, the GIL, and the container overlay/NAT/proxy path.
+
+use lnic_mlambda::memory::{LevelSpec, MemorySpec};
+use lnic_sim::time::SimDuration;
+
+/// Which software stack serves requests on the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RuntimeKind {
+    /// The Isolate-style bare-metal backend: a standalone process, no
+    /// container layers (§6.1.1).
+    BareMetal,
+    /// The OpenFaaS container backend: Docker + overlay network + NAT
+    /// proxy (§6.1.1).
+    Container,
+}
+
+/// Host CPU, OS, and runtime parameters.
+#[derive(Clone, Debug)]
+pub struct HostParams {
+    /// Worker threads serving lambda requests (1 or 56 in §6).
+    pub worker_threads: usize,
+    /// Physical cores (for utilization accounting).
+    pub cores: usize,
+    /// Core clock in MHz.
+    pub freq_mhz: u64,
+    /// Multiplier on lambda instruction cost for the interpreted (Python)
+    /// runtime; 1.0 would be native code.
+    pub interpreter_slowdown: f64,
+    /// Fixed CPython/HTTP-handler cost charged per request.
+    pub runtime_per_request: SimDuration,
+    /// Kernel receive-path cost per request (syscalls, softirq, copies).
+    pub rx_stack: SimDuration,
+    /// Kernel transmit-path cost per response.
+    pub tx_stack: SimDuration,
+    /// Additional kernel cost per extra packet of a multi-packet request.
+    pub per_packet_kernel: SimDuration,
+    /// Scheduler wakeup/dispatch cost per request.
+    pub dispatch_cost: SimDuration,
+    /// Cost of switching the executor between *different* lambdas
+    /// (process switch, cache/TLB pollution; §1, §6.3.2).
+    pub context_switch: SimDuration,
+    /// Whether executions serialize on a global interpreter lock (the
+    /// paper's backends are Python services).
+    pub gil: bool,
+    /// Effective memory spec for lambda objects on the host (uniform,
+    /// cache-backed DRAM).
+    pub memory: MemorySpec,
+    /// Per-invocation instruction budget.
+    pub lambda_fuel: u64,
+    /// UDP port base for outbound lambda RPCs (per worker).
+    pub rpc_port_base: u16,
+    /// Retransmission timeout for lambda-issued RPCs.
+    pub rpc_timeout: SimDuration,
+    /// Total attempts for lambda-issued RPCs.
+    pub rpc_attempts: u32,
+    /// Resident memory of one deployed runtime instance.
+    pub instance_memory_bytes: u64,
+    /// Additional memory per in-flight request.
+    pub per_request_memory_bytes: u64,
+    /// OS-noise jitter: software-path costs are scaled by a random
+    /// factor in `[1 - jitter, 1 + jitter]`, with a rare (1%)
+    /// `hiccup_factor`x outlier (scheduler preemption, page fault, GC).
+    /// NPU hardware paths have no such noise — which is the tail-latency
+    /// story of §6.3.
+    pub jitter: f64,
+    /// Multiplier applied on a rare hiccup.
+    pub hiccup_factor: f64,
+    /// Container-only costs (`None` for bare metal).
+    pub container: Option<ContainerParams>,
+}
+
+/// Container-specific costs.
+#[derive(Clone, Copy, Debug)]
+pub struct ContainerParams {
+    /// Overlay network + NAT + userland-proxy cost on the receive path.
+    pub overlay_rx: SimDuration,
+    /// Same for the transmit path.
+    pub overlay_tx: SimDuration,
+    /// Extra CPU-time factor consumed by the container engine per
+    /// request (accounting only).
+    pub engine_cpu_factor: f64,
+}
+
+impl HostParams {
+    /// The testbed's bare-metal (Python service) backend.
+    pub fn bare_metal(worker_threads: usize) -> Self {
+        HostParams {
+            worker_threads,
+            cores: 28,
+            freq_mhz: 2_000,
+            interpreter_slowdown: 25.0,
+            runtime_per_request: SimDuration::from_micros(180),
+            rx_stack: SimDuration::from_micros(15),
+            tx_stack: SimDuration::from_micros(15),
+            per_packet_kernel: SimDuration::from_micros(2),
+            dispatch_cost: SimDuration::from_micros(8),
+            context_switch: SimDuration::from_micros(600),
+            gil: true,
+            memory: host_memory_spec(),
+            lambda_fuel: 500_000_000,
+            rpc_port_base: 40_000,
+            rpc_timeout: SimDuration::from_millis(20),
+            rpc_attempts: 3,
+            instance_memory_bytes: 24 << 20,
+            per_request_memory_bytes: 700 << 10,
+            jitter: 0.25,
+            hiccup_factor: 4.0,
+            container: None,
+        }
+    }
+
+    /// The testbed's container (OpenFaaS on Docker/Kubernetes + calico)
+    /// backend.
+    pub fn container(worker_threads: usize) -> Self {
+        HostParams {
+            instance_memory_bytes: 180 << 20,
+            container: Some(ContainerParams {
+                overlay_rx: SimDuration::from_micros(1_700),
+                overlay_tx: SimDuration::from_micros(1_700),
+                engine_cpu_factor: 0.35,
+            }),
+            ..HostParams::bare_metal(worker_threads)
+        }
+    }
+
+    /// A hypothetical *native* bare-metal runtime (compiled language, no
+    /// GIL, thin request handling) — not one of the paper's backends,
+    /// but the natural "what if the host stack weren't Python" ablation
+    /// for its claims.
+    pub fn native(worker_threads: usize) -> Self {
+        HostParams {
+            interpreter_slowdown: 1.0,
+            runtime_per_request: SimDuration::from_micros(4),
+            gil: false,
+            context_switch: SimDuration::from_micros(25),
+            dispatch_cost: SimDuration::from_micros(3),
+            instance_memory_bytes: 6 << 20,
+            ..HostParams::bare_metal(worker_threads)
+        }
+    }
+
+    /// The runtime kind implied by the parameters.
+    pub fn kind(&self) -> RuntimeKind {
+        if self.container.is_some() {
+            RuntimeKind::Container
+        } else {
+            RuntimeKind::BareMetal
+        }
+    }
+
+    /// Converts lambda cycles to execution time on this host, including
+    /// the interpreter slowdown.
+    pub fn cycles_to_time(&self, cycles: u64) -> SimDuration {
+        let ns = cycles as f64 * 1_000.0 / self.freq_mhz as f64 * self.interpreter_slowdown;
+        SimDuration::from_nanos(ns.round() as u64)
+    }
+}
+
+/// A uniform memory spec for host execution: every object sits in
+/// cache-backed DRAM; placement levels do not differentiate latency.
+pub fn host_memory_spec() -> MemorySpec {
+    let level = LevelSpec {
+        capacity_bytes: 32 << 30,
+        latency_cycles: 2,
+        access_setup_words: 0,
+    };
+    MemorySpec {
+        lmem: level,
+        ctm: level,
+        imem: level,
+        emem: level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_reflect_container_params() {
+        assert_eq!(HostParams::bare_metal(1).kind(), RuntimeKind::BareMetal);
+        assert_eq!(HostParams::container(1).kind(), RuntimeKind::Container);
+    }
+
+    #[test]
+    fn cycles_to_time_includes_slowdown() {
+        let p = HostParams::bare_metal(1);
+        // 2000 cycles at 2 GHz = 1 us native; x25 interpreted = 25 us.
+        assert_eq!(p.cycles_to_time(2_000), SimDuration::from_micros(25));
+    }
+
+    #[test]
+    fn native_runtime_is_leaner_than_python() {
+        let py = HostParams::bare_metal(4);
+        let native = HostParams::native(4);
+        assert!(native.interpreter_slowdown < py.interpreter_slowdown);
+        assert!(!native.gil && py.gil);
+        assert!(native.runtime_per_request < py.runtime_per_request);
+        assert_eq!(native.kind(), RuntimeKind::BareMetal);
+    }
+
+    #[test]
+    fn container_is_strictly_heavier() {
+        let bm = HostParams::bare_metal(1);
+        let ct = HostParams::container(1);
+        assert!(ct.instance_memory_bytes > bm.instance_memory_bytes);
+        assert!(ct.container.unwrap().overlay_rx > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn host_memory_is_uniform() {
+        let m = host_memory_spec();
+        assert_eq!(m.lmem.latency_cycles, m.emem.latency_cycles);
+    }
+}

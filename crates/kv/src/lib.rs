@@ -1,0 +1,30 @@
+//! # lnic-kv: a memcached-style key-value service
+//!
+//! The key-value-client benchmark workload (§6.2b) issues GET/SET
+//! requests to "a memcached server" on the master node. This crate
+//! provides that substrate: a byte-exact text [`protocol`] (get / set /
+//! delete) and a single-threaded [`server::KvServer`] component with a
+//! per-operation + per-byte service-time model and memcached-style LRU
+//! eviction under a memory cap.
+//!
+//! ```
+//! use lnic_kv::protocol::{Request, Response};
+//! use bytes::Bytes;
+//!
+//! let wire = Request::Set {
+//!     key: "user:1".into(),
+//!     flags: 0,
+//!     value: Bytes::from_static(b"alice"),
+//! }
+//! .encode();
+//! assert_eq!(&wire[..], b"set user:1 0 0 5\r\nalice\r\n");
+//! assert_eq!(Response::decode(b"STORED\r\n"), Ok(Response::Stored));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{ParseError, Request, Response};
+pub use server::{KvCounters, KvServer, KvServerParams};

@@ -1,0 +1,314 @@
+//! A memcached-style text protocol (the subset the key-value-client
+//! workload uses: `get`, `set`, `delete`).
+//!
+//! Requests and responses have a byte-exact encoding so lambdas build
+//! and parse real protocol bytes over the simulated network.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `get <key>\r\n`
+    Get {
+        /// The key.
+        key: String,
+    },
+    /// `set <key> <flags> <exptime> <len>\r\n<data>\r\n`
+    Set {
+        /// The key.
+        key: String,
+        /// Opaque client flags.
+        flags: u32,
+        /// The value.
+        value: Bytes,
+    },
+    /// `delete <key>\r\n`
+    Delete {
+        /// The key.
+        key: String,
+    },
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// `VALUE <key> <flags> <len>\r\n<data>\r\nEND\r\n`
+    Value {
+        /// The key.
+        key: String,
+        /// The stored flags.
+        flags: u32,
+        /// The value.
+        value: Bytes,
+    },
+    /// `END\r\n` (get miss)
+    Miss,
+    /// `STORED\r\n`
+    Stored,
+    /// `DELETED\r\n`
+    Deleted,
+    /// `NOT_FOUND\r\n`
+    NotFound,
+    /// `ERROR\r\n`
+    Error,
+}
+
+/// Protocol parse failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input is not a complete, well-formed message.
+    Malformed,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed memcached message")
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Request {
+    /// Encodes the request to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Get { key } => {
+                buf.put_slice(b"get ");
+                buf.put_slice(key.as_bytes());
+                buf.put_slice(b"\r\n");
+            }
+            Request::Set { key, flags, value } => {
+                buf.put_slice(format!("set {key} {flags} 0 {}\r\n", value.len()).as_bytes());
+                buf.put_slice(value);
+                buf.put_slice(b"\r\n");
+            }
+            Request::Delete { key } => {
+                buf.put_slice(b"delete ");
+                buf.put_slice(key.as_bytes());
+                buf.put_slice(b"\r\n");
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a request from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Malformed`] when the input is incomplete or
+    /// not a recognized command.
+    pub fn decode(wire: &[u8]) -> Result<Request, ParseError> {
+        let line_end = find_crlf(wire).ok_or(ParseError::Malformed)?;
+        let line = std::str::from_utf8(&wire[..line_end]).map_err(|_| ParseError::Malformed)?;
+        let mut parts = line.split(' ');
+        match parts.next() {
+            Some("get") => {
+                let key = parts.next().ok_or(ParseError::Malformed)?;
+                if key.is_empty() || parts.next().is_some() {
+                    return Err(ParseError::Malformed);
+                }
+                Ok(Request::Get { key: key.into() })
+            }
+            Some("delete") => {
+                let key = parts.next().ok_or(ParseError::Malformed)?;
+                if key.is_empty() || parts.next().is_some() {
+                    return Err(ParseError::Malformed);
+                }
+                Ok(Request::Delete { key: key.into() })
+            }
+            Some("set") => {
+                let key = parts.next().ok_or(ParseError::Malformed)?.to_owned();
+                let flags: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::Malformed)?;
+                let _exptime = parts.next().ok_or(ParseError::Malformed)?;
+                let len: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::Malformed)?;
+                if key.is_empty() || parts.next().is_some() {
+                    return Err(ParseError::Malformed);
+                }
+                let data_start = line_end + 2;
+                let data_end = data_start + len;
+                if wire.len() < data_end + 2 || &wire[data_end..data_end + 2] != b"\r\n" {
+                    return Err(ParseError::Malformed);
+                }
+                Ok(Request::Set {
+                    key,
+                    flags,
+                    value: Bytes::copy_from_slice(&wire[data_start..data_end]),
+                })
+            }
+            _ => Err(ParseError::Malformed),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Value { key, flags, value } => {
+                buf.put_slice(format!("VALUE {key} {flags} {}\r\n", value.len()).as_bytes());
+                buf.put_slice(value);
+                buf.put_slice(b"\r\nEND\r\n");
+            }
+            Response::Miss => buf.put_slice(b"END\r\n"),
+            Response::Stored => buf.put_slice(b"STORED\r\n"),
+            Response::Deleted => buf.put_slice(b"DELETED\r\n"),
+            Response::NotFound => buf.put_slice(b"NOT_FOUND\r\n"),
+            Response::Error => buf.put_slice(b"ERROR\r\n"),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a response from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Malformed`] when the input is incomplete or
+    /// not a recognized response.
+    pub fn decode(wire: &[u8]) -> Result<Response, ParseError> {
+        let line_end = find_crlf(wire).ok_or(ParseError::Malformed)?;
+        let line = std::str::from_utf8(&wire[..line_end]).map_err(|_| ParseError::Malformed)?;
+        match line {
+            "END" => return Ok(Response::Miss),
+            "STORED" => return Ok(Response::Stored),
+            "DELETED" => return Ok(Response::Deleted),
+            "NOT_FOUND" => return Ok(Response::NotFound),
+            "ERROR" => return Ok(Response::Error),
+            _ => {}
+        }
+        let mut parts = line.split(' ');
+        if parts.next() != Some("VALUE") {
+            return Err(ParseError::Malformed);
+        }
+        let key = parts.next().ok_or(ParseError::Malformed)?.to_owned();
+        let flags: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseError::Malformed)?;
+        let len: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseError::Malformed)?;
+        let data_start = line_end + 2;
+        let data_end = data_start + len;
+        if wire.len() < data_end + 2 + 5 {
+            return Err(ParseError::Malformed);
+        }
+        if &wire[data_end..data_end + 2] != b"\r\n"
+            || &wire[data_end + 2..data_end + 7] != b"END\r\n"
+        {
+            return Err(ParseError::Malformed);
+        }
+        Ok(Response::Value {
+            key,
+            flags,
+            value: Bytes::copy_from_slice(&wire[data_start..data_end]),
+        })
+    }
+}
+
+fn find_crlf(data: &[u8]) -> Option<usize> {
+    data.windows(2).position(|w| w == b"\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let cases = vec![
+            Request::Get {
+                key: "user:1".into(),
+            },
+            Request::Delete { key: "x".into() },
+            Request::Set {
+                key: "img".into(),
+                flags: 7,
+                value: Bytes::from_static(b"binary\x00data"),
+            },
+        ];
+        for r in cases {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let cases = vec![
+            Response::Value {
+                key: "k".into(),
+                flags: 0,
+                value: Bytes::from_static(b"hello"),
+            },
+            Response::Miss,
+            Response::Stored,
+            Response::Deleted,
+            Response::NotFound,
+            Response::Error,
+        ];
+        for r in cases {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            &b""[..],
+            b"get\r\n",
+            b"get k extra\r\n",
+            b"set k 0 0 5\r\nab\r\n", // short data
+            b"frob k\r\n",
+            b"get k",                    // no crlf
+            b"set k x 0 5\r\nhello\r\n", // bad flags
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?}");
+        }
+        assert!(Response::decode(b"VALUE k 0 5\r\nhel\r\nEND\r\n").is_err());
+        assert!(Response::decode(b"???\r\n").is_err());
+    }
+
+    #[test]
+    fn set_with_empty_value() {
+        let r = Request::Set {
+            key: "e".into(),
+            flags: 0,
+            value: Bytes::new(),
+        };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    proptest! {
+        #[test]
+        fn request_roundtrip_holds(
+            key in "[a-zA-Z0-9_:]{1,32}",
+            flags in any::<u32>(),
+            value in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let set = Request::Set { key: key.clone(), flags, value: Bytes::from(value) };
+            prop_assert_eq!(Request::decode(&set.encode()).unwrap(), set);
+            let get = Request::Get { key };
+            prop_assert_eq!(Request::decode(&get.encode()).unwrap(), get);
+        }
+
+        #[test]
+        fn response_roundtrip_holds(
+            key in "[a-zA-Z0-9_:]{1,32}",
+            flags in any::<u32>(),
+            value in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let resp = Response::Value { key, flags, value: Bytes::from(value) };
+            prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Memory stratification (§5.1): choose the most efficient memory level
+//! for each object from static access analysis, object size, and user
+//! pragmas — "it can place small or hot objects to core-local memories,
+//! and large or less frequently used ones in external, shared memories"
+//! (§4.2-D2).
+
+use crate::ir::Access;
+use crate::memory::{MemLevel, MemorySpec};
+use crate::program::{Pragma, Program};
+
+/// Placement of every object of every lambda:
+/// `placements[lambda][object] = level`.
+pub type Placements = Vec<Vec<MemLevel>>;
+
+/// The naive placement an unoptimized build uses: everything in external
+/// memory (safe, capacious, slow).
+pub fn naive_placements(program: &Program) -> Placements {
+    program
+        .lambdas
+        .iter()
+        .map(|l| vec![MemLevel::Emem; l.objects.len()])
+        .collect()
+}
+
+/// Static analysis of one object's usage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObjectUsage {
+    /// Static count of instructions reading the object.
+    pub reads: u32,
+    /// Static count of instructions writing the object.
+    pub writes: u32,
+}
+
+impl ObjectUsage {
+    /// Whether the object is never written (safe to replicate into
+    /// core-local or island-local memory).
+    pub fn is_read_only(self) -> bool {
+        self.writes == 0
+    }
+
+    /// Total static references.
+    pub fn refs(self) -> u32 {
+        self.reads + self.writes
+    }
+}
+
+/// Computes per-object static usage for one lambda (including accesses
+/// from any function of the lambda).
+pub fn analyze_usage(program: &Program, lambda_idx: usize) -> Vec<ObjectUsage> {
+    let lambda = &program.lambdas[lambda_idx];
+    let mut usage = vec![ObjectUsage::default(); lambda.objects.len()];
+    let count = |instr: &crate::ir::Instr, usage: &mut Vec<ObjectUsage>| {
+        for (obj, access) in instr.objects() {
+            if let Some(u) = usage.get_mut(obj.0 as usize) {
+                match access {
+                    Access::Read => u.reads += 1,
+                    Access::Write => u.writes += 1,
+                }
+            }
+        }
+    };
+    for instr in lambda.instrs() {
+        count(instr, &mut usage);
+    }
+    // Shared functions execute in the calling lambda's object context;
+    // attribute their accesses to this lambda too.
+    for shared_idx in program.reachable_shared(lambda) {
+        for instr in &program.shared[shared_idx as usize].body {
+            count(instr, &mut usage);
+        }
+    }
+    usage
+}
+
+/// Statistics reported by stratification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StratifyReport {
+    /// Objects placed per level (LMEM, CTM, IMEM, EMEM).
+    pub per_level: [usize; 4],
+    /// Bytes placed per level.
+    pub bytes_per_level: [u64; 4],
+}
+
+/// Greedy placement: objects are ranked by heat (pragma, then static
+/// reference density) and assigned to the nearest level with both room
+/// and compatible semantics. Written objects must live in memories shared
+/// across islands (IMEM/EMEM) so that lambda state stays coherent; only
+/// read-only objects may be replicated into LMEM/CTM.
+pub fn stratify(program: &Program, spec: &MemorySpec) -> (Placements, StratifyReport) {
+    let mut placements = naive_placements(program);
+    let mut report = StratifyReport::default();
+
+    // Remaining capacity per level for lambda objects.
+    let mut remaining = [
+        spec.lmem.capacity_bytes,
+        spec.ctm.capacity_bytes,
+        spec.imem.capacity_bytes,
+        spec.emem.capacity_bytes,
+    ];
+
+    // Gather (lambda, object, score, size, read_only), hottest first.
+    struct Cand {
+        lambda: usize,
+        obj: usize,
+        score: f64,
+        size: u64,
+        read_only: bool,
+    }
+    let mut cands: Vec<Cand> = Vec::new();
+    for (li, lambda) in program.lambdas.iter().enumerate() {
+        let usage = analyze_usage(program, li);
+        for (oi, obj) in lambda.objects.iter().enumerate() {
+            let u = usage[oi];
+            let pragma_boost = match obj.pragma {
+                Pragma::Hot => 1e6,
+                Pragma::None => 0.0,
+                Pragma::Cold => f64::NEG_INFINITY,
+            };
+            let density = u.refs() as f64 / (obj.size.max(1) as f64);
+            cands.push(Cand {
+                lambda: li,
+                obj: oi,
+                score: pragma_boost + density,
+                size: obj.size as u64,
+                read_only: u.is_read_only(),
+            });
+        }
+    }
+    cands.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.lambda, a.obj).cmp(&(b.lambda, b.obj)))
+    });
+
+    for c in cands {
+        let allowed: &[MemLevel] = if c.score == f64::NEG_INFINITY {
+            // Cold pragma: straight to EMEM.
+            &[MemLevel::Emem]
+        } else if c.read_only {
+            &MemLevel::ALL
+        } else {
+            &[MemLevel::Imem, MemLevel::Emem]
+        };
+        for &level in allowed {
+            let idx = level as usize;
+            if remaining[idx] >= c.size {
+                remaining[idx] -= c.size;
+                placements[c.lambda][c.obj] = level;
+                report.per_level[idx] += 1;
+                report.bytes_per_level[idx] += c.size;
+                break;
+            }
+        }
+    }
+
+    (placements, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Function, Instr, ObjId, Width};
+    use crate::program::{Lambda, MemObject, Program, WorkloadId};
+
+    /// Builds a lambda with three objects: a small hot read-only table, a
+    /// small read-write counter, and a large buffer.
+    fn sample_program() -> Program {
+        let mut l = Lambda::new(
+            "w",
+            WorkloadId(1),
+            Function::new(
+                "entry",
+                vec![
+                    // Read the table twice (hot).
+                    Instr::Load {
+                        dst: 1,
+                        obj: ObjId(0),
+                        addr: 2,
+                        width: Width::B4,
+                    },
+                    Instr::Load {
+                        dst: 1,
+                        obj: ObjId(0),
+                        addr: 2,
+                        width: Width::B4,
+                    },
+                    // Update the counter.
+                    Instr::Store {
+                        obj: ObjId(1),
+                        addr: 2,
+                        src: 1,
+                        width: Width::B8,
+                    },
+                    // Touch the big buffer once.
+                    Instr::EmitObj {
+                        obj: ObjId(2),
+                        off: 2,
+                        len: 3,
+                    },
+                    Instr::Const { dst: 0, value: 0 },
+                    Instr::Ret,
+                ],
+            ),
+        );
+        l.add_object(MemObject::zeroed("table", 256));
+        l.add_object(MemObject::zeroed("counter", 8));
+        l.add_object(MemObject::zeroed("buffer", 512 * 1024));
+        let mut p = Program::new();
+        p.add_lambda(l, vec![]);
+        p
+    }
+
+    #[test]
+    fn usage_analysis_counts_reads_and_writes() {
+        let p = sample_program();
+        let usage = analyze_usage(&p, 0);
+        assert_eq!(
+            usage[0],
+            ObjectUsage {
+                reads: 2,
+                writes: 0
+            }
+        );
+        assert_eq!(
+            usage[1],
+            ObjectUsage {
+                reads: 0,
+                writes: 1
+            }
+        );
+        assert_eq!(
+            usage[2],
+            ObjectUsage {
+                reads: 1,
+                writes: 0
+            }
+        );
+        assert!(usage[0].is_read_only());
+        assert!(!usage[1].is_read_only());
+    }
+
+    #[test]
+    fn naive_places_everything_in_emem() {
+        let p = sample_program();
+        let n = naive_placements(&p);
+        assert!(n[0].iter().all(|&l| l == MemLevel::Emem));
+    }
+
+    #[test]
+    fn hot_readonly_goes_near_written_goes_shared() {
+        let p = sample_program();
+        let (placements, report) = stratify(&p, &MemorySpec::agilio_cx());
+        // Hot read-only table: into LMEM.
+        assert_eq!(placements[0][0], MemLevel::Lmem);
+        // Read-write counter: IMEM or EMEM only.
+        assert!(matches!(placements[0][1], MemLevel::Imem | MemLevel::Emem));
+        // Large buffer: read-only, fits CTM? 512 KiB exceeds CTM: IMEM.
+        assert!(placements[0][2] >= MemLevel::Imem || placements[0][2] == MemLevel::Ctm);
+        assert_eq!(report.per_level.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn pragma_overrides_analysis() {
+        let mut p = sample_program();
+        p.lambdas[0].objects[2].pragma = crate::program::Pragma::Cold;
+        let (placements, _) = stratify(&p, &MemorySpec::agilio_cx());
+        assert_eq!(placements[0][2], MemLevel::Emem);
+
+        let mut p2 = sample_program();
+        p2.lambdas[0].objects[2].pragma = crate::program::Pragma::Hot;
+        // Make it small enough for LMEM.
+        p2.lambdas[0].objects[2].size = 128;
+        let (pl2, _) = stratify(&p2, &MemorySpec::agilio_cx());
+        assert_eq!(pl2[0][2], MemLevel::Lmem);
+    }
+
+    #[test]
+    fn capacity_exhaustion_spills_to_next_level() {
+        let mut p = Program::new();
+        let mut l = Lambda::new(
+            "w",
+            WorkloadId(1),
+            Function::new(
+                "e",
+                vec![
+                    Instr::Load {
+                        dst: 1,
+                        obj: ObjId(0),
+                        addr: 2,
+                        width: Width::B1,
+                    },
+                    Instr::Load {
+                        dst: 1,
+                        obj: ObjId(1),
+                        addr: 2,
+                        width: Width::B1,
+                    },
+                    Instr::Ret,
+                ],
+            ),
+        );
+        // Two read-only 3 KiB objects; LMEM (4 KiB) fits only one.
+        l.add_object(MemObject::zeroed("a", 3 * 1024));
+        l.add_object(MemObject::zeroed("b", 3 * 1024));
+        p.add_lambda(l, vec![]);
+        let (placements, report) = stratify(&p, &MemorySpec::agilio_cx());
+        let lmem_count = placements[0]
+            .iter()
+            .filter(|&&l| l == MemLevel::Lmem)
+            .count();
+        assert_eq!(lmem_count, 1);
+        assert_eq!(report.per_level[0], 1);
+        assert_eq!(
+            placements[0]
+                .iter()
+                .filter(|&&l| l == MemLevel::Ctm)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! The shared cycle-cost model.
+//!
+//! Both the NIC model (NPU cores at 633 MHz) and the host model (x86 at
+//! 2 GHz) convert an execution's [`ExecStats`] into cycles with this
+//! module; only the cycle *duration* and memory latencies differ per
+//! target.
+
+use crate::interp::ExecStats;
+use crate::memory::{MemLevel, MemorySpec};
+
+/// Bytes moved per cycle during a bulk (DMA-style) copy once the access
+/// has been issued.
+pub const BULK_BYTES_PER_CYCLE: u64 = 8;
+
+/// Burst factor for scalar accesses: NPU transfer registers fetch and
+/// write-combine memory in bursts, so sequential scalar accesses
+/// amortize the level latency over this many accesses (plus one issue
+/// cycle each).
+pub const SCALAR_BURST: u64 = 8;
+
+/// Converts execution statistics into NPU cycles given each object's
+/// placement and the memory hierarchy spec.
+///
+/// The model charges one cycle per instruction; scalar accesses cost
+/// one issue cycle plus the placement level's latency amortized over
+/// [`SCALAR_BURST`] (transfer-register bursts and write combining, which
+/// NPU firmware relies on for sequential access patterns); bulk copies
+/// cost the level latency once per operation plus
+/// [`BULK_BYTES_PER_CYCLE`] streaming throughput. Packet
+/// (payload/response) bytes live in CTM, where the NIC's DMA engine
+/// deposits frames.
+///
+/// # Panics
+///
+/// Panics if `placement` is shorter than the per-object stat vectors.
+///
+/// # Examples
+///
+/// ```
+/// use lnic_mlambda::cost::exec_cycles;
+/// use lnic_mlambda::interp::ExecStats;
+/// use lnic_mlambda::memory::{MemLevel, MemorySpec};
+///
+/// let stats = ExecStats { instrs: 100, ..Default::default() };
+/// let cycles = exec_cycles(&stats, &[], &MemorySpec::agilio_cx());
+/// assert_eq!(cycles, 100);
+/// ```
+pub fn exec_cycles(stats: &ExecStats, placement: &[MemLevel], spec: &MemorySpec) -> u64 {
+    let scalar_cost = |lat: u64| 1 + lat.div_ceil(SCALAR_BURST);
+    let mut cycles = stats.instrs;
+    for (i, &scalar) in stats.obj_scalar.iter().enumerate() {
+        let level = placement[i];
+        let lat = spec.level(level).latency_cycles;
+        cycles += scalar * scalar_cost(lat);
+        cycles += stats.obj_bulk_ops[i] * lat;
+        cycles += stats.obj_bulk_bytes[i].div_ceil(BULK_BYTES_PER_CYCLE);
+    }
+    cycles += stats.payload_scalar * scalar_cost(spec.ctm.latency_cycles);
+    cycles += stats.payload_bulk_bytes.div_ceil(BULK_BYTES_PER_CYCLE);
+    cycles += stats.emitted_bytes.div_ceil(BULK_BYTES_PER_CYCLE);
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MemorySpec {
+        MemorySpec::agilio_cx()
+    }
+
+    #[test]
+    fn scalar_access_cost_depends_on_level() {
+        let stats = ExecStats {
+            instrs: 10,
+            obj_scalar: vec![4],
+            obj_bulk_bytes: vec![0],
+            obj_bulk_ops: vec![0],
+            ..Default::default()
+        };
+        let near = exec_cycles(&stats, &[MemLevel::Lmem], &spec());
+        let far = exec_cycles(&stats, &[MemLevel::Emem], &spec());
+        let cost = |lat: u64| 1 + lat.div_ceil(SCALAR_BURST);
+        assert_eq!(near, 10 + 4 * cost(spec().lmem.latency_cycles));
+        assert_eq!(far, 10 + 4 * cost(spec().emem.latency_cycles));
+        assert!(far > near);
+    }
+
+    #[test]
+    fn bulk_cost_charges_latency_once_plus_streaming() {
+        let stats = ExecStats {
+            instrs: 1,
+            obj_scalar: vec![0],
+            obj_bulk_bytes: vec![64],
+            obj_bulk_ops: vec![1],
+            ..Default::default()
+        };
+        let c = exec_cycles(&stats, &[MemLevel::Ctm], &spec());
+        assert_eq!(c, 1 + spec().ctm.latency_cycles + 64 / BULK_BYTES_PER_CYCLE);
+    }
+
+    #[test]
+    fn payload_and_emit_bytes_stream_from_ctm() {
+        let stats = ExecStats {
+            instrs: 0,
+            payload_scalar: 2,
+            payload_bulk_bytes: 16,
+            emitted_bytes: 24,
+            ..Default::default()
+        };
+        let c = exec_cycles(&stats, &[], &spec());
+        let scalar = 1 + spec().ctm.latency_cycles.div_ceil(SCALAR_BURST);
+        assert_eq!(c, 2 * scalar + 2 + 3);
+    }
+}

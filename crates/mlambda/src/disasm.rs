@@ -1,0 +1,236 @@
+//! Human-readable disassembly of Match+Lambda programs and lowered
+//! binaries — the `objdump` of the toolchain.
+
+use std::fmt::Write as _;
+
+use crate::compile::{Firmware, Word};
+use crate::ir::{FuncRef, Instr};
+use crate::program::{Lambda, Program};
+
+/// Formats one instruction as assembly-like text.
+pub fn instr_to_string(i: &Instr) -> String {
+    match i {
+        Instr::Const { dst, value } => format!("mov   r{dst}, #{value}"),
+        Instr::Mov { dst, src } => format!("mov   r{dst}, r{src}"),
+        Instr::Alu { op, dst, a, b } => {
+            format!("{:<5} r{dst}, r{a}, r{b}", format!("{op:?}").to_lowercase())
+        }
+        Instr::AluImm { op, dst, a, imm } => {
+            format!(
+                "{:<5} r{dst}, r{a}, #{imm}",
+                format!("{op:?}").to_lowercase()
+            )
+        }
+        Instr::LoadHdr { dst, field } => format!("ldhdr r{dst}, {field:?}"),
+        Instr::LoadMatchData { dst, idx } => format!("ldmd  r{dst}, md[{idx}]"),
+        Instr::Load {
+            dst,
+            obj,
+            addr,
+            width,
+        } => format!("ld.{:<2} r{dst}, {obj}[r{addr}]", width.bytes()),
+        Instr::Store {
+            obj,
+            addr,
+            src,
+            width,
+        } => format!("st.{:<2} {obj}[r{addr}], r{src}", width.bytes()),
+        Instr::LoadPayload { dst, addr, width } => {
+            format!("ldp.{} r{dst}, payload[r{addr}]", width.bytes())
+        }
+        Instr::Emit { src, width } => format!("emit.{} r{src}", width.bytes()),
+        Instr::EmitObj { obj, off, len } => format!("emitb {obj}[r{off}..+r{len}]"),
+        Instr::PayloadToObj {
+            obj,
+            src_off,
+            dst_off,
+            len,
+        } => format!("cpyin {obj}[r{dst_off}] <- payload[r{src_off}..+r{len}]"),
+        Instr::Branch { cmp, a, b, target } => {
+            format!(
+                "b{:<4} r{a}, r{b}, @{target}",
+                format!("{cmp:?}").to_lowercase()
+            )
+        }
+        Instr::Jump { target } => format!("jmp   @{target}"),
+        Instr::Call { func } => match func {
+            FuncRef::Local(i) => format!("call  local:{i}"),
+            FuncRef::Shared(i) => format!("call  shared:{i}"),
+        },
+        Instr::Ret => "ret".to_owned(),
+        Instr::NetRpc {
+            service,
+            req_obj,
+            req_off,
+            req_len,
+            resp_obj,
+            resp_off,
+            resp_cap,
+            resp_len_dst,
+        } => format!(
+            "rpc   svc:{service} req={req_obj}[r{req_off}..+r{req_len}] \
+             resp={resp_obj}[r{resp_off}..cap r{resp_cap}] -> r{resp_len_dst}"
+        ),
+    }
+}
+
+/// Disassembles one lambda (every function, with indices).
+pub fn disassemble_lambda(lambda: &Lambda) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "lambda {} ({}):", lambda.name, lambda.id);
+    for (oi, obj) in lambda.objects.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  .object obj{oi} \"{}\" {} bytes {:?}",
+            obj.name, obj.size, obj.pragma
+        );
+    }
+    for (fi, f) in lambda.functions.iter().enumerate() {
+        let _ = writeln!(out, "  fn {fi} \"{}\":", f.name);
+        for (pc, i) in f.body.iter().enumerate() {
+            let _ = writeln!(out, "    {pc:>4}: {}", instr_to_string(i));
+        }
+    }
+    out
+}
+
+/// Disassembles a whole program (lambdas + shared library + tables).
+pub fn disassemble_program(program: &Program) -> String {
+    let mut out = String::new();
+    for lambda in &program.lambdas {
+        out.push_str(&disassemble_lambda(lambda));
+    }
+    if !program.shared.is_empty() {
+        out.push_str("shared library:\n");
+        for (si, f) in program.shared.iter().enumerate() {
+            let _ = writeln!(out, "  shared {si} \"{}\":", f.name);
+            for (pc, i) in f.body.iter().enumerate() {
+                let _ = writeln!(out, "    {pc:>4}: {}", instr_to_string(i));
+            }
+        }
+    }
+    for table in &program.tables {
+        let _ = writeln!(
+            out,
+            "table \"{}\" keys={:?} entries={}",
+            table.name,
+            table.keys,
+            table.entries.len()
+        );
+    }
+    out
+}
+
+/// Disassembles a lowered per-core binary with section annotations.
+pub fn disassemble_firmware(fw: &Firmware) -> String {
+    let mut out = String::new();
+    let s = &fw.binary.sections;
+    let _ = writeln!(
+        out,
+        "; {} words (parser {}, match {}, lambdas {}, shared {})",
+        fw.binary.len(),
+        s.parser,
+        s.match_stage,
+        s.lambdas,
+        s.shared
+    );
+    for (addr, word) in fw.binary.words.iter().enumerate() {
+        let text = match word {
+            Word::Parse(class) => format!("parse.{class:?}"),
+            Word::TableSetup => "tbl.setup".to_owned(),
+            Word::TableKey => "tbl.key".to_owned(),
+            Word::TableCmp => "tbl.cmp".to_owned(),
+            Word::TableAction => "tbl.act".to_owned(),
+            Word::MemSetup(obj) => format!("mem.setup {obj}"),
+            Word::BulkSetup => "bulk.setup".to_owned(),
+            Word::RpcSetup => "rpc.setup".to_owned(),
+            Word::Ir(i) => instr_to_string(i),
+        };
+        let _ = writeln!(out, "{addr:>6}: {text}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::ir::{AluOp, Cmp, ObjId, Width};
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        let mut l = Lambda::new(
+            "demo",
+            crate::program::WorkloadId(1),
+            crate::ir::Function::new(
+                "entry",
+                vec![
+                    Instr::Const { dst: 1, value: 7 },
+                    Instr::AluImm {
+                        op: AluOp::Add,
+                        dst: 1,
+                        a: 1,
+                        imm: 1,
+                    },
+                    Instr::Branch {
+                        cmp: Cmp::Lt,
+                        a: 1,
+                        b: 2,
+                        target: 4,
+                    },
+                    Instr::Load {
+                        dst: 3,
+                        obj: ObjId(0),
+                        addr: 1,
+                        width: Width::B4,
+                    },
+                    Instr::Ret,
+                ],
+            ),
+        );
+        l.add_object(crate::program::MemObject::zeroed("buf", 64));
+        p.add_lambda(l, vec![1]);
+        p
+    }
+
+    #[test]
+    fn every_instruction_formats_distinctly() {
+        let p = sample();
+        let text = disassemble_program(&p);
+        assert!(text.contains("lambda demo (w1):"));
+        assert!(text.contains("mov   r1, #7"));
+        assert!(text.contains("add   r1, r1, #1"));
+        assert!(text.contains("blt   r1, r2, @4"));
+        assert!(text.contains("ld.4  r3, obj0[r1]"));
+        assert!(text.contains(".object obj0 \"buf\" 64 bytes"));
+        assert!(text.contains("table \"dispatch_w1\""));
+    }
+
+    #[test]
+    fn firmware_disassembly_annotates_sections() {
+        let fw = compile(&sample(), &CompileOptions::optimized()).unwrap();
+        let text = disassemble_firmware(&fw);
+        assert!(text.starts_with("; "));
+        assert!(text.contains("parse.Ethernet"));
+        assert!(text.contains("tbl."));
+        // Line count matches word count (+1 header).
+        assert_eq!(text.lines().count(), fw.binary.len() + 1);
+    }
+
+    #[test]
+    fn rpc_and_bulk_forms_format() {
+        let i = Instr::NetRpc {
+            service: 2,
+            req_obj: ObjId(0),
+            req_off: 1,
+            req_len: 2,
+            resp_obj: ObjId(1),
+            resp_off: 3,
+            resp_cap: 4,
+            resp_len_dst: 5,
+        };
+        let s = instr_to_string(&i);
+        assert!(s.contains("svc:2") && s.contains("obj1"));
+        assert_eq!(instr_to_string(&Instr::Ret), "ret");
+    }
+}

@@ -1,0 +1,149 @@
+//! The SmartNIC memory hierarchy seen by the compiler (§4.2-D2, §5).
+//!
+//! Netronome-style NICs expose four levels: per-thread local memory
+//! (LMEM), the per-island Cluster Target Memory (CTM), on-chip internal
+//! memory (IMEM), and external DRAM (EMEM). Lambdas see a flat address
+//! space; the *memory stratification* pass places each object into a
+//! level, trading capacity against access latency and address-setup
+//! instructions.
+
+use std::fmt;
+
+/// A level of the NIC memory hierarchy, ordered nearest-first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Per-thread local memory: single-cycle scratch.
+    Lmem,
+    /// Per-island cluster target memory: where packets land.
+    Ctm,
+    /// Shared on-chip internal memory.
+    Imem,
+    /// External DRAM.
+    Emem,
+}
+
+impl MemLevel {
+    /// All levels, nearest first.
+    pub const ALL: [MemLevel; 4] = [
+        MemLevel::Lmem,
+        MemLevel::Ctm,
+        MemLevel::Imem,
+        MemLevel::Emem,
+    ];
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemLevel::Lmem => "LMEM",
+            MemLevel::Ctm => "CTM",
+            MemLevel::Imem => "IMEM",
+            MemLevel::Emem => "EMEM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Capacity and latency of one memory level as the compiler models it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelSpec {
+    /// Bytes available to *lambda objects* at this level (after the
+    /// reserve for basic NIC operation, §3.1c).
+    pub capacity_bytes: u64,
+    /// Access latency in NPU cycles.
+    pub latency_cycles: u64,
+    /// Extra instruction-store words per scalar access at this level
+    /// (address formation / command queueing for far memories).
+    pub access_setup_words: u32,
+}
+
+/// The full hierarchy specification used for placement and costing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemorySpec {
+    /// Per-thread local memory.
+    pub lmem: LevelSpec,
+    /// Per-island CTM (shared by the island's threads).
+    pub ctm: LevelSpec,
+    /// On-chip IMEM.
+    pub imem: LevelSpec,
+    /// External EMEM.
+    pub emem: LevelSpec,
+}
+
+impl MemorySpec {
+    /// The spec of a given level.
+    pub fn level(&self, level: MemLevel) -> LevelSpec {
+        match level {
+            MemLevel::Lmem => self.lmem,
+            MemLevel::Ctm => self.ctm,
+            MemLevel::Imem => self.imem,
+            MemLevel::Emem => self.emem,
+        }
+    }
+
+    /// A Netronome Agilio CX-like hierarchy (§6.1.2's NICs), with
+    /// conservative reserves left for basic NIC operation.
+    pub fn agilio_cx() -> Self {
+        MemorySpec {
+            lmem: LevelSpec {
+                capacity_bytes: 4 * 1024,
+                latency_cycles: 1,
+                access_setup_words: 0,
+            },
+            ctm: LevelSpec {
+                capacity_bytes: 192 * 1024,
+                latency_cycles: 50,
+                access_setup_words: 0,
+            },
+            imem: LevelSpec {
+                capacity_bytes: 3 * 1024 * 1024,
+                latency_cycles: 150,
+                access_setup_words: 1,
+            },
+            emem: LevelSpec {
+                capacity_bytes: (2u64 << 30) - (64 << 20),
+                latency_cycles: 300,
+                access_setup_words: 2,
+            },
+        }
+    }
+}
+
+impl Default for MemorySpec {
+    fn default() -> Self {
+        MemorySpec::agilio_cx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_near_to_far() {
+        assert!(MemLevel::Lmem < MemLevel::Ctm);
+        assert!(MemLevel::Ctm < MemLevel::Imem);
+        assert!(MemLevel::Imem < MemLevel::Emem);
+    }
+
+    #[test]
+    fn agilio_latencies_increase_with_distance() {
+        let spec = MemorySpec::agilio_cx();
+        let lat: Vec<u64> = MemLevel::ALL
+            .iter()
+            .map(|&l| spec.level(l).latency_cycles)
+            .collect();
+        assert!(lat.windows(2).all(|w| w[0] < w[1]));
+        let cap: Vec<u64> = MemLevel::ALL
+            .iter()
+            .map(|&l| spec.level(l).capacity_bytes)
+            .collect();
+        assert!(cap.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MemLevel::Lmem.to_string(), "LMEM");
+        assert_eq!(MemLevel::Emem.to_string(), "EMEM");
+    }
+}

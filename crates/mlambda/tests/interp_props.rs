@@ -1,0 +1,122 @@
+//! Property tests for interpreter memory semantics: stores and loads are
+//! big-endian and width-masked, and emission truncates identically.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use lnic_mlambda::interp::{run_to_completion, ObjectMemory, RequestCtx};
+use lnic_mlambda::ir::{Function, Instr, ObjId, Width};
+use lnic_mlambda::program::{Lambda, MemObject, Program, WorkloadId};
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::B1),
+        Just(Width::B2),
+        Just(Width::B4),
+        Just(Width::B8)
+    ]
+}
+
+fn mask(width: Width) -> u64 {
+    match width.bytes() {
+        8 => u64::MAX,
+        n => (1u64 << (n * 8)) - 1,
+    }
+}
+
+proptest! {
+    /// `store w; load w` at the same offset returns `value & mask(w)`,
+    /// and the bytes land big-endian in the object.
+    #[test]
+    fn store_load_roundtrips_with_masking(
+        value in any::<u64>(),
+        offset in 0u64..56,
+        width in arb_width(),
+    ) {
+        let entry = Function::new(
+            "rt",
+            vec![
+                Instr::Const { dst: 1, value: offset },
+                Instr::Const { dst: 2, value },
+                Instr::Store { obj: ObjId(0), addr: 1, src: 2, width },
+                Instr::Load { dst: 3, obj: ObjId(0), addr: 1, width },
+                Instr::Emit { src: 3, width: Width::B8 },
+                Instr::Const { dst: 0, value: 0 },
+                Instr::Ret,
+            ],
+        );
+        let mut l = Lambda::new("rt", WorkloadId(1), entry);
+        l.add_object(MemObject::zeroed("buf", 64));
+        let mut p = Program::new();
+        p.add_lambda(l, vec![]);
+        p.validate().unwrap();
+        let p = Arc::new(p);
+        let mut mem = ObjectMemory::for_lambda(&p.lambdas[0]);
+        let done = run_to_completion(&p, 0, RequestCtx::default(), &mut mem, 1_000, |_, r| r)
+            .expect("runs");
+        let got = u64::from_be_bytes(done.response[..8].try_into().unwrap());
+        prop_assert_eq!(got, value & mask(width));
+        // Object bytes are the big-endian truncation at `offset`.
+        let expect = &value.to_be_bytes()[8 - width.bytes()..];
+        prop_assert_eq!(
+            &mem.object(0)[offset as usize..offset as usize + width.bytes()],
+            expect
+        );
+    }
+
+    /// `Emit` appends exactly the low big-endian bytes of the register.
+    #[test]
+    fn emit_truncates_big_endian(value in any::<u64>(), width in arb_width()) {
+        let entry = Function::new(
+            "e",
+            vec![
+                Instr::Const { dst: 1, value },
+                Instr::Emit { src: 1, width },
+                Instr::Const { dst: 0, value: 0 },
+                Instr::Ret,
+            ],
+        );
+        let mut p = Program::new();
+        p.add_lambda(Lambda::new("e", WorkloadId(1), entry), vec![]);
+        let p = Arc::new(p);
+        let mut mem = ObjectMemory::for_lambda(&p.lambdas[0]);
+        let done = run_to_completion(&p, 0, RequestCtx::default(), &mut mem, 100, |_, r| r)
+            .expect("runs");
+        prop_assert_eq!(&done.response[..], &value.to_be_bytes()[8 - width.bytes()..]);
+    }
+
+    /// Payload loads read the same big-endian window the packet carries.
+    #[test]
+    fn payload_load_matches_wire_bytes(
+        payload in proptest::collection::vec(any::<u8>(), 8..64),
+        width in arb_width(),
+        seed in any::<u64>(),
+    ) {
+        let offset = seed % (payload.len() - width.bytes() + 1) as u64;
+        let entry = Function::new(
+            "pl",
+            vec![
+                Instr::Const { dst: 1, value: offset },
+                Instr::LoadPayload { dst: 2, addr: 1, width },
+                Instr::Emit { src: 2, width },
+                Instr::Const { dst: 0, value: 0 },
+                Instr::Ret,
+            ],
+        );
+        let mut p = Program::new();
+        p.add_lambda(Lambda::new("pl", WorkloadId(1), entry), vec![]);
+        let p = Arc::new(p);
+        let mut mem = ObjectMemory::for_lambda(&p.lambdas[0]);
+        let ctx = RequestCtx {
+            payload: Bytes::from(payload.clone()),
+            ..Default::default()
+        };
+        let done = run_to_completion(&p, 0, ctx, &mut mem, 100, |_, r| r).expect("runs");
+        prop_assert_eq!(
+            &done.response[..],
+            &payload[offset as usize..offset as usize + width.bytes()]
+        );
+    }
+}

@@ -1,0 +1,542 @@
+//! Property-based semantics-preservation tests for the compiler.
+//!
+//! Generates random, valid, terminating Match+Lambda programs and checks
+//! that the optimization pipeline (dead-code elimination, lambda
+//! coalescing, match reduction, memory stratification) never changes
+//! observable behaviour: response bytes, return code, dispatch decisions,
+//! and final lambda memory are identical between the naive and optimized
+//! builds.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use lnic_mlambda::compile::{compile, CompileOptions};
+use lnic_mlambda::interp::{run_to_completion, HeaderValues, ObjectMemory, RequestCtx};
+use lnic_mlambda::ir::{AluOp, Cmp, Function, HeaderField, Instr, ObjId, Width};
+use lnic_mlambda::program::{DispatchCtx, DispatchResult, Lambda, MemObject, Program, WorkloadId};
+
+const OBJ_SIZE: u64 = 64;
+const PAYLOAD_LEN: usize = 64;
+
+/// Small generation templates that always materialize into valid,
+/// in-bounds, forward-branching code.
+#[derive(Clone, Debug)]
+enum Template {
+    Const {
+        dst: u8,
+        value: u8,
+    },
+    Mov {
+        dst: u8,
+        src: u8,
+    },
+    Alu {
+        op: AluOp,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    AluImm {
+        op: AluOp,
+        dst: u8,
+        a: u8,
+        imm: u8,
+    },
+    LoadHdr {
+        dst: u8,
+        field: HeaderField,
+    },
+    LoadMatch {
+        dst: u8,
+        idx: u8,
+    },
+    ObjLoad {
+        obj: u16,
+        off: u8,
+        dst: u8,
+        width: Width,
+    },
+    ObjStore {
+        obj: u16,
+        off: u8,
+        src: u8,
+        width: Width,
+    },
+    PayloadLoad {
+        off: u8,
+        dst: u8,
+        width: Width,
+    },
+    Emit {
+        src: u8,
+        width: Width,
+    },
+    EmitObj {
+        obj: u16,
+        off: u8,
+        len: u8,
+    },
+    BranchFwd {
+        cmp: Cmp,
+        a: u8,
+        b: u8,
+        skip: u8,
+    },
+    CallHelper {
+        idx: u8,
+    },
+    EarlyRet {
+        code: u8,
+    },
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::B1),
+        Just(Width::B2),
+        Just(Width::B4),
+        Just(Width::B8)
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Div),
+        Just(AluOp::Mod),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = Cmp> {
+    prop_oneof![Just(Cmp::Eq), Just(Cmp::Ne), Just(Cmp::Lt), Just(Cmp::Ge)]
+}
+
+fn arb_field() -> impl Strategy<Value = HeaderField> {
+    prop_oneof![
+        Just(HeaderField::WorkloadId),
+        Just(HeaderField::RequestId),
+        Just(HeaderField::SrcPort),
+        Just(HeaderField::DstPort),
+        Just(HeaderField::SrcIp),
+        Just(HeaderField::PayloadLen),
+    ]
+}
+
+/// Registers 1..=8 (r0 is the return-code register).
+fn reg() -> impl Strategy<Value = u8> {
+    1u8..=8
+}
+
+fn arb_template(n_helpers: u8) -> impl Strategy<Value = Template> {
+    let call = if n_helpers > 0 {
+        (1u8..=n_helpers).boxed()
+    } else {
+        Just(1u8).boxed()
+    };
+    prop_oneof![
+        (reg(), any::<u8>()).prop_map(|(dst, value)| Template::Const { dst, value }),
+        (reg(), reg()).prop_map(|(dst, src)| Template::Mov { dst, src }),
+        (arb_alu(), reg(), reg(), reg()).prop_map(|(op, dst, a, b)| Template::Alu {
+            op,
+            dst,
+            a,
+            b
+        }),
+        (arb_alu(), reg(), reg(), any::<u8>()).prop_map(|(op, dst, a, imm)| Template::AluImm {
+            op,
+            dst,
+            a,
+            imm
+        }),
+        (reg(), arb_field()).prop_map(|(dst, field)| Template::LoadHdr { dst, field }),
+        (reg(), 0u8..4).prop_map(|(dst, idx)| Template::LoadMatch { dst, idx }),
+        (0u16..2, 0u8..32, reg(), arb_width()).prop_map(|(obj, off, dst, width)| {
+            Template::ObjLoad {
+                obj,
+                off,
+                dst,
+                width,
+            }
+        }),
+        (0u16..2, 0u8..32, reg(), arb_width()).prop_map(|(obj, off, src, width)| {
+            Template::ObjStore {
+                obj,
+                off,
+                src,
+                width,
+            }
+        }),
+        (0u8..32, reg(), arb_width()).prop_map(|(off, dst, width)| Template::PayloadLoad {
+            off,
+            dst,
+            width
+        }),
+        (reg(), arb_width()).prop_map(|(src, width)| Template::Emit { src, width }),
+        (0u16..2, 0u8..24, 1u8..24).prop_map(|(obj, off, len)| Template::EmitObj { obj, off, len }),
+        (arb_cmp(), reg(), reg(), 1u8..4).prop_map(|(cmp, a, b, skip)| Template::BranchFwd {
+            cmp,
+            a,
+            b,
+            skip
+        }),
+        call.prop_map(|idx| Template::CallHelper { idx }),
+        (0u8..4).prop_map(|code| Template::EarlyRet { code }),
+    ]
+}
+
+/// Materializes templates into instruction groups with forward-only,
+/// group-aligned branch targets, then appends a terminator.
+fn materialize(templates: &[Template], n_helpers: u8) -> Vec<Instr> {
+    let mut groups: Vec<Vec<Instr>> = Vec::new();
+    let mut branches: Vec<(usize, u8)> = Vec::new(); // (group idx, skip)
+    for t in templates {
+        let group = match *t {
+            Template::Const { dst, value } => vec![Instr::Const {
+                dst,
+                value: value as u64,
+            }],
+            Template::Mov { dst, src } => vec![Instr::Mov { dst, src }],
+            Template::Alu { op, dst, a, b } => vec![Instr::Alu { op, dst, a, b }],
+            Template::AluImm { op, dst, a, imm } => vec![Instr::AluImm {
+                op,
+                dst,
+                a,
+                imm: imm as u64,
+            }],
+            Template::LoadHdr { dst, field } => vec![Instr::LoadHdr { dst, field }],
+            Template::LoadMatch { dst, idx } => vec![Instr::LoadMatchData { dst, idx }],
+            Template::ObjLoad {
+                obj,
+                off,
+                dst,
+                width,
+            } => vec![
+                Instr::Const {
+                    dst: 9,
+                    value: off.min((OBJ_SIZE - width.bytes() as u64) as u8) as u64,
+                },
+                Instr::Load {
+                    dst,
+                    obj: ObjId(obj),
+                    addr: 9,
+                    width,
+                },
+            ],
+            Template::ObjStore {
+                obj,
+                off,
+                src,
+                width,
+            } => vec![
+                Instr::Const {
+                    dst: 9,
+                    value: off.min((OBJ_SIZE - width.bytes() as u64) as u8) as u64,
+                },
+                Instr::Store {
+                    obj: ObjId(obj),
+                    addr: 9,
+                    src,
+                    width,
+                },
+            ],
+            Template::PayloadLoad { off, dst, width } => vec![
+                Instr::Const {
+                    dst: 9,
+                    value: off.min((PAYLOAD_LEN - width.bytes()) as u8) as u64,
+                },
+                Instr::LoadPayload {
+                    dst,
+                    addr: 9,
+                    width,
+                },
+            ],
+            Template::Emit { src, width } => vec![Instr::Emit { src, width }],
+            Template::EmitObj { obj, off, len } => {
+                let off = off.min(24);
+                let len = len.min((OBJ_SIZE - off as u64) as u8);
+                vec![
+                    Instr::Const {
+                        dst: 10,
+                        value: off as u64,
+                    },
+                    Instr::Const {
+                        dst: 11,
+                        value: len as u64,
+                    },
+                    Instr::EmitObj {
+                        obj: ObjId(obj),
+                        off: 10,
+                        len: 11,
+                    },
+                ]
+            }
+            Template::BranchFwd { cmp, a, b, skip } => {
+                branches.push((groups.len(), skip));
+                vec![Instr::Branch {
+                    cmp,
+                    a,
+                    b,
+                    target: u32::MAX,
+                }]
+            }
+            Template::CallHelper { idx } => {
+                if n_helpers == 0 {
+                    vec![Instr::Mov { dst: 1, src: 1 }]
+                } else {
+                    vec![Instr::Call {
+                        func: lnic_mlambda::ir::FuncRef::Local(idx.min(n_helpers) as u16),
+                    }]
+                }
+            }
+            Template::EarlyRet { code } => vec![
+                Instr::Const {
+                    dst: 0,
+                    value: code as u64,
+                },
+                Instr::Ret,
+            ],
+        };
+        groups.push(group);
+    }
+    // Tail: set return code and return.
+    groups.push(vec![Instr::Const { dst: 0, value: 0 }, Instr::Ret]);
+
+    // Compute group offsets, patch branches.
+    let mut offsets = Vec::with_capacity(groups.len());
+    let mut total = 0u32;
+    for g in &groups {
+        offsets.push(total);
+        total += g.len() as u32;
+    }
+    for (gidx, skip) in branches {
+        let target_group = (gidx + 1 + skip as usize).min(groups.len() - 1);
+        let target = offsets[target_group];
+        if let Instr::Branch { target: t, .. } = &mut groups[gidx][0] {
+            *t = target;
+        }
+    }
+    groups.into_iter().flatten().collect()
+}
+
+/// A random straight-line helper body (register-only, shareable or not).
+fn arb_helper() -> impl Strategy<Value = Vec<Instr>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (reg(), any::<u8>()).prop_map(|(dst, v)| Instr::Const {
+                dst,
+                value: v as u64
+            }),
+            (arb_alu(), reg(), reg(), reg()).prop_map(|(op, dst, a, b)| Instr::Alu {
+                op,
+                dst,
+                a,
+                b
+            }),
+            (reg(), arb_width()).prop_map(|(src, width)| Instr::Emit { src, width }),
+        ],
+        1..6,
+    )
+    .prop_map(|mut body| {
+        body.push(Instr::Ret);
+        body
+    })
+}
+
+#[derive(Debug, Clone)]
+struct ProgramSpec {
+    /// Shared helper pool; lambdas reference copies of these.
+    helper_pool: Vec<Vec<Instr>>,
+    /// Per lambda: (templates, helper indices from the pool, obj inits).
+    lambdas: Vec<(Vec<Template>, Vec<u8>, [u8; 2])>,
+}
+
+fn arb_program() -> impl Strategy<Value = ProgramSpec> {
+    let helpers = proptest::collection::vec(arb_helper(), 0..3);
+    helpers.prop_flat_map(|helper_pool| {
+        let n = helper_pool.len() as u8;
+        let lambda = (
+            proptest::collection::vec(arb_template(n.max(1)), 1..24),
+            proptest::collection::vec(0u8..n.max(1), n as usize..=n as usize),
+            any::<[u8; 2]>(),
+        );
+        proptest::collection::vec(lambda, 1..4).prop_map(move |lambdas| ProgramSpec {
+            helper_pool: helper_pool.clone(),
+            lambdas,
+        })
+    })
+}
+
+fn build_program(spec: &ProgramSpec) -> Program {
+    let mut p = Program::new();
+    for (i, (templates, helper_sel, seeds)) in spec.lambdas.iter().enumerate() {
+        let n_helpers = helper_sel.len() as u8;
+        let body = materialize(templates, n_helpers);
+        let mut lambda = Lambda::new(
+            format!("rand{i}"),
+            WorkloadId(i as u32 + 1),
+            Function::new("entry", body),
+        );
+        for (oi, seed) in seeds.iter().enumerate() {
+            lambda.add_object(MemObject::with_data(
+                format!("obj{oi}"),
+                (0..OBJ_SIZE as usize)
+                    .map(|b| seed.wrapping_add(b as u8))
+                    .collect(),
+            ));
+        }
+        for &h in helper_sel {
+            lambda.add_function(Function::new(
+                format!("helper{h}"),
+                spec.helper_pool[h as usize].clone(),
+            ));
+        }
+        p.add_lambda(lambda, vec![i as u64, 42, 7]);
+    }
+    p
+}
+
+fn request() -> RequestCtx {
+    RequestCtx {
+        headers: HeaderValues {
+            workload_id: 1,
+            request_id: 0xABCD,
+            src_port: 7000,
+            dst_port: 8000,
+            src_ip: 0x0a000001,
+            ..Default::default()
+        },
+        payload: Bytes::from((0..PAYLOAD_LEN as u8).collect::<Vec<_>>()),
+        match_data: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimized build behaves exactly like the naive build for
+    /// every lambda of every random program.
+    #[test]
+    fn optimizations_preserve_semantics(spec in arb_program()) {
+        let program = build_program(&spec);
+        prop_assume!(program.validate().is_ok());
+
+        let naive = compile(&program, &CompileOptions::naive()).expect("naive compiles");
+        let opt = compile(&program, &CompileOptions::optimized()).expect("optimized compiles");
+        prop_assert!(opt.instruction_words() <= naive.instruction_words());
+
+        let naive_prog = Arc::new(naive.program.clone());
+        let opt_prog = Arc::new(opt.program.clone());
+
+        for li in 0..program.lambdas.len() {
+            // Dispatch equivalence for this lambda's id.
+            let dctx = DispatchCtx {
+                workload_id: li as u32 + 1,
+                dst_port: 8000,
+                dst_ip: 0x0a000002,
+                has_lambda_hdr: true,
+            };
+            let nd = naive_prog.dispatch(&dctx);
+            let od = opt_prog.dispatch(&dctx);
+            prop_assert_eq!(&nd, &od, "dispatch diverged for lambda {}", li);
+            let DispatchResult::Invoke { lambda, params } = nd else {
+                prop_assert!(false, "benchmark ids always dispatch");
+                return Ok(());
+            };
+
+            let mut ctx = request();
+            ctx.match_data = params;
+
+            let mut mem_naive = ObjectMemory::for_lambda(&naive_prog.lambdas[lambda]);
+            let mut mem_opt = ObjectMemory::for_lambda(&opt_prog.lambdas[lambda]);
+            let serve = |_svc: u16, req: Bytes| -> Bytes { req };
+            let dn = run_to_completion(&naive_prog, lambda, ctx.clone(), &mut mem_naive, 200_000, serve)
+                .expect("naive run completes");
+            let serve = |_svc: u16, req: Bytes| -> Bytes { req };
+            let do_ = run_to_completion(&opt_prog, lambda, ctx, &mut mem_opt, 200_000, serve)
+                .expect("optimized run completes");
+
+            prop_assert_eq!(&dn.response, &do_.response, "response diverged");
+            prop_assert_eq!(dn.return_code, do_.return_code, "return code diverged");
+            prop_assert_eq!(
+                dn.stats.instrs, do_.stats.instrs,
+                "dynamic instruction count diverged"
+            );
+            for oi in 0..2 {
+                prop_assert_eq!(
+                    mem_naive.object(oi),
+                    mem_opt.object(oi),
+                    "object {} memory diverged",
+                    oi
+                );
+            }
+        }
+    }
+
+    /// Constant folding (the extension pass) also preserves semantics —
+    /// responses, return codes, and memory — though it may *reduce* the
+    /// dynamic instruction count.
+    #[test]
+    fn constant_folding_preserves_semantics(spec in arb_program()) {
+        let program = build_program(&spec);
+        prop_assume!(program.validate().is_ok());
+
+        let mut folded_opts = CompileOptions::optimized();
+        folded_opts.fold = true;
+        let base = compile(&program, &CompileOptions::naive()).expect("naive compiles");
+        let folded = compile(&program, &folded_opts).expect("folded compiles");
+        folded.program.validate().expect("folded program validates");
+
+        let base_prog = Arc::new(base.program.clone());
+        let folded_prog = Arc::new(folded.program.clone());
+        for li in 0..program.lambdas.len() {
+            let ctx = request();
+            let mut m1 = ObjectMemory::for_lambda(&base_prog.lambdas[li]);
+            let mut m2 = ObjectMemory::for_lambda(&folded_prog.lambdas[li]);
+            let d1 = run_to_completion(&base_prog, li, ctx.clone(), &mut m1, 200_000, |_s, r| r)
+                .expect("base run completes");
+            let d2 = run_to_completion(&folded_prog, li, ctx, &mut m2, 200_000, |_s, r| r)
+                .expect("folded run completes");
+            prop_assert_eq!(&d1.response, &d2.response, "response diverged");
+            prop_assert_eq!(d1.return_code, d2.return_code, "return code diverged");
+            prop_assert!(
+                d2.stats.instrs <= d1.stats.instrs,
+                "folding must not add dynamic instructions ({} -> {})",
+                d1.stats.instrs,
+                d2.stats.instrs
+            );
+            for oi in 0..2 {
+                prop_assert_eq!(m1.object(oi), m2.object(oi), "object {} diverged", oi);
+            }
+        }
+    }
+
+    /// Random programs never fault under the generator's invariants
+    /// (forward branches terminate, accesses are in bounds).
+    #[test]
+    fn random_programs_run_cleanly(spec in arb_program()) {
+        let program = build_program(&spec);
+        prop_assume!(program.validate().is_ok());
+        let program = Arc::new(program);
+        for li in 0..program.lambdas.len() {
+            let mut mem = ObjectMemory::for_lambda(&program.lambdas[li]);
+            let result = run_to_completion(
+                &program,
+                li,
+                request(),
+                &mut mem,
+                200_000,
+                |_s, req| req,
+            );
+            prop_assert!(result.is_ok(), "lambda {} faulted: {:?}", li, result);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Point-to-point links with serialization, propagation, and queueing.
+//!
+//! A [`Link`] is *simplex*: it carries frames from whoever sends to it
+//! toward a single destination component. A full-duplex cable is modeled as
+//! two `Link` components, one per direction. Frames serialize one at a time
+//! at the link bandwidth (transmission starts when the previous frame's last
+//! bit leaves), then propagate for a fixed delay. A bounded transmit queue
+//! drops excess frames, which the weakly-consistent transport recovers via
+//! retransmission.
+
+use lnic_sim::prelude::*;
+use rand::Rng;
+
+use crate::packet::Packet;
+use crate::params::LinkParams;
+
+/// A unidirectional network link.
+///
+/// Send it [`Packet`] messages; it delivers them to `dst` after
+/// serialization + propagation delay.
+///
+/// # Examples
+///
+/// ```
+/// use lnic_sim::prelude::*;
+/// use lnic_net::link::Link;
+/// use lnic_net::params::LinkParams;
+/// use lnic_net::packet::Packet;
+/// use lnic_net::addr::{Ipv4Addr, MacAddr, SocketAddr};
+///
+/// struct Sink(u32);
+/// impl Component for Sink {
+///     fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: AnyMessage) {
+///         msg.downcast::<Packet>().expect("packet");
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(1);
+/// let sink = sim.add(Sink(0));
+/// let link = sim.add(Link::new(sink, LinkParams::ten_gbps()));
+/// let p = Packet::builder()
+///     .eth(MacAddr::from_index(1), MacAddr::from_index(2))
+///     .udp(
+///         SocketAddr::new(Ipv4Addr::node(1), 1),
+///         SocketAddr::new(Ipv4Addr::node(2), 2),
+///     )
+///     .build();
+/// sim.post(link, SimDuration::ZERO, p);
+/// sim.run();
+/// assert_eq!(sim.get::<Sink>(sink).unwrap().0, 1);
+/// ```
+pub struct Link {
+    dst: ComponentId,
+    params: LinkParams,
+    /// Virtual time at which the transmitter becomes free.
+    tx_free_at: SimTime,
+    /// Bytes currently queued or in flight on the transmitter.
+    queued_bytes: usize,
+    delivered: Counter,
+    dropped: Counter,
+}
+
+impl Link {
+    /// Creates a link that delivers frames to `dst`.
+    pub fn new(dst: ComponentId, params: LinkParams) -> Self {
+        Link {
+            dst,
+            params,
+            tx_free_at: SimTime::ZERO,
+            queued_bytes: 0,
+            delivered: Counter::new(),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Frames delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Frames dropped at the transmit queue so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Time to clock `bytes` onto the wire at this link's bandwidth.
+    pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
+        self.params.serialization_delay(bytes)
+    }
+}
+
+/// Internal marker telling a link that a frame's last bit left the
+/// transmitter (used to decrement the queue occupancy).
+#[derive(Debug)]
+struct TxDone {
+    bytes: usize,
+}
+
+impl Component for Link {
+    fn name(&self) -> &str {
+        "link"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<TxDone>() {
+            Ok(done) => {
+                self.queued_bytes = self.queued_bytes.saturating_sub(done.bytes);
+                return;
+            }
+            Err(other) => other,
+        };
+        let packet = msg.downcast::<Packet>().expect("links carry Packet frames");
+        let bytes = packet.wire_len();
+
+        if self.params.loss_probability > 0.0 && ctx.rng().gen_bool(self.params.loss_probability) {
+            self.dropped.incr();
+            return;
+        }
+        if self.queued_bytes + bytes > self.params.queue_capacity_bytes {
+            self.dropped.incr();
+            ctx.trace(|| format!("link drop ({} queued bytes)", self.queued_bytes));
+            return;
+        }
+        self.queued_bytes += bytes;
+
+        let start = self.tx_free_at.max(ctx.now());
+        let tx_end = start + self.params.serialization_delay(bytes);
+        self.tx_free_at = tx_end;
+        let arrival = tx_end + self.params.propagation;
+
+        ctx.send_self(tx_end - ctx.now(), TxDone { bytes });
+        ctx.send_boxed(self.dst, arrival - ctx.now(), Box::new(*packet));
+        self.delivered.incr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Ipv4Addr, MacAddr, SocketAddr};
+    use bytes::Bytes;
+
+    struct Recorder {
+        arrivals: Vec<(SimTime, usize)>,
+    }
+    impl Component for Recorder {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+            let p = msg.downcast::<Packet>().unwrap();
+            self.arrivals.push((ctx.now(), p.wire_len()));
+        }
+    }
+
+    fn packet_with_payload(len: usize) -> Packet {
+        Packet::builder()
+            .eth(MacAddr::from_index(1), MacAddr::from_index(2))
+            .udp(
+                SocketAddr::new(Ipv4Addr::node(1), 1),
+                SocketAddr::new(Ipv4Addr::node(2), 2),
+            )
+            .payload(Bytes::from(vec![0u8; len]))
+            .build()
+    }
+
+    fn setup(params: LinkParams) -> (Simulation, ComponentId, ComponentId) {
+        let mut sim = Simulation::new(1);
+        let sink = sim.add(Recorder { arrivals: vec![] });
+        let link = sim.add(Link::new(sink, params));
+        (sim, link, sink)
+    }
+
+    #[test]
+    fn single_frame_sees_serialization_plus_propagation() {
+        // 1 Gbps: 8 ns per byte; propagation 100 ns.
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::from_nanos(100),
+            queue_capacity_bytes: 1 << 20,
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        let p = packet_with_payload(0); // 42-byte wire frame
+        let expect = SimDuration::from_nanos(42 * 8 + 100);
+        sim.post(link, SimDuration::ZERO, p);
+        sim.run();
+        let arr = &sim.get::<Recorder>(sink).unwrap().arrivals;
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].0, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn back_to_back_frames_serialize_sequentially() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 1 << 20,
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        for _ in 0..3 {
+            sim.post(link, SimDuration::ZERO, packet_with_payload(58)); // 100 B
+        }
+        sim.run();
+        let arr = &sim.get::<Recorder>(sink).unwrap().arrivals;
+        let times: Vec<u64> = arr.iter().map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![800, 1_600, 2_400]);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 150, // fits one 100 B frame only
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        for _ in 0..5 {
+            sim.post(link, SimDuration::ZERO, packet_with_payload(58));
+        }
+        sim.run();
+        assert_eq!(sim.get::<Recorder>(sink).unwrap().arrivals.len(), 1);
+        assert_eq!(sim.get::<Link>(link).unwrap().dropped(), 4);
+        assert_eq!(sim.get::<Link>(link).unwrap().delivered(), 1);
+    }
+
+    #[test]
+    fn queue_drains_and_accepts_later_frames() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 150,
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        sim.post(link, SimDuration::ZERO, packet_with_payload(58));
+        // Arrives after the first frame finished (800 ns): accepted.
+        sim.post(
+            link,
+            SimDuration::from_nanos(1_000),
+            packet_with_payload(58),
+        );
+        sim.run();
+        assert_eq!(sim.get::<Recorder>(sink).unwrap().arrivals.len(), 2);
+        assert_eq!(sim.get::<Link>(link).unwrap().dropped(), 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let params = LinkParams::ten_gbps().with_loss(0.3);
+        let (mut sim, link, sink) = setup(params);
+        for i in 0..1_000 {
+            sim.post(
+                link,
+                SimDuration::from_micros(i * 10),
+                packet_with_payload(10),
+            );
+        }
+        sim.run();
+        let delivered = sim.get::<Recorder>(sink).unwrap().arrivals.len();
+        let dropped = sim.get::<Link>(link).unwrap().dropped() as usize;
+        assert_eq!(delivered + dropped, 1_000);
+        assert!((200..400).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn ten_gbps_preset_rate() {
+        let params = LinkParams::ten_gbps();
+        // 10 Gbps = 0.8 ns per byte.
+        assert_eq!(
+            params.serialization_delay(1_000),
+            SimDuration::from_nanos(800)
+        );
+    }
+}

@@ -1,0 +1,619 @@
+//! Packets and wire-format codecs.
+//!
+//! The simulated data plane carries Ethernet/IPv4/UDP frames, optionally
+//! with the λ-NIC *lambda header* that the gateway inserts so the NIC's
+//! match stage can dispatch requests to lambdas by workload id (§4.1 of the
+//! paper). The headers have a real byte-level encoding so the Match+Lambda
+//! parser stage operates on genuine wire bytes.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::addr::{Ipv4Addr, MacAddr, SocketAddr};
+
+/// EtherType used for IPv4 frames.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+/// Magic tag opening a λ-NIC lambda header.
+pub const LAMBDA_MAGIC: u16 = 0x4C4E; // "LN"
+/// Byte length of an Ethernet header.
+pub const ETH_HDR_LEN: usize = 14;
+/// Byte length of the (options-free) IPv4 header.
+pub const IPV4_HDR_LEN: usize = 20;
+/// Byte length of a UDP header.
+pub const UDP_HDR_LEN: usize = 8;
+/// Byte length of a λ-NIC lambda header.
+pub const LAMBDA_HDR_LEN: usize = 22;
+
+/// Errors produced while decoding a packet from wire bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before a complete header.
+    Truncated {
+        /// Which header was being decoded.
+        header: &'static str,
+    },
+    /// A field held a value the decoder does not understand.
+    BadField {
+        /// Which field was invalid.
+        field: &'static str,
+    },
+    /// The IPv4 header checksum did not verify.
+    BadChecksum,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { header } => write!(f, "truncated {header} header"),
+            DecodeError::BadField { field } => write!(f, "invalid value in field {field}"),
+            DecodeError::BadChecksum => write!(f, "ipv4 header checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Ethernet II header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct EthernetHdr {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+}
+
+/// Options-free IPv4 header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Ipv4Hdr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol (17 = UDP).
+    pub protocol: u8,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field (used for tracing).
+    pub ident: u16,
+}
+
+/// UDP header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct UdpHdr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+/// Direction/kind of a lambda message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum LambdaKind {
+    /// A request from the gateway to a lambda.
+    Request = 1,
+    /// A response from a lambda back to the gateway.
+    Response = 2,
+    /// An RDMA data fragment committed to NIC memory (§4.2-D3).
+    RdmaWrite = 3,
+    /// An event notifying a lambda that an RDMA message is complete.
+    RdmaComplete = 4,
+}
+
+impl LambdaKind {
+    fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(LambdaKind::Request),
+            2 => Some(LambdaKind::Response),
+            3 => Some(LambdaKind::RdmaWrite),
+            4 => Some(LambdaKind::RdmaComplete),
+            _ => None,
+        }
+    }
+}
+
+/// The λ-NIC lambda header inserted by the gateway (§4.1).
+///
+/// `workload_id` selects the lambda in the NIC's match stage;
+/// `request_id` correlates responses with outstanding requests for the
+/// weakly-consistent transport; `frag_index`/`frag_count` support
+/// multi-packet messages delivered over RDMA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LambdaHdr {
+    /// Which lambda the message targets.
+    pub workload_id: u32,
+    /// Correlates a response with its request.
+    pub request_id: u64,
+    /// Zero-based fragment index for multi-packet messages.
+    pub frag_index: u16,
+    /// Total fragment count (1 for single-packet messages).
+    pub frag_count: u16,
+    /// Message kind.
+    pub kind: LambdaKind,
+    /// Lambda return code (meaningful on responses).
+    pub return_code: u16,
+}
+
+impl Default for LambdaHdr {
+    fn default() -> Self {
+        LambdaHdr {
+            workload_id: 0,
+            request_id: 0,
+            frag_index: 0,
+            frag_count: 1,
+            kind: LambdaKind::Request,
+            return_code: 0,
+        }
+    }
+}
+
+impl LambdaHdr {
+    /// Creates a single-packet request header.
+    pub fn request(workload_id: u32, request_id: u64) -> Self {
+        LambdaHdr {
+            workload_id,
+            request_id,
+            ..Default::default()
+        }
+    }
+
+    /// Creates the response header matching this request.
+    pub fn response_to(&self, return_code: u16) -> Self {
+        LambdaHdr {
+            kind: LambdaKind::Response,
+            return_code,
+            frag_index: 0,
+            frag_count: 1,
+            ..*self
+        }
+    }
+}
+
+/// A complete simulated frame: Ethernet + IPv4 + UDP (+ optional lambda
+/// header) + payload.
+///
+/// # Examples
+///
+/// ```
+/// use lnic_net::packet::{Packet, LambdaHdr};
+/// use lnic_net::addr::{Ipv4Addr, MacAddr, SocketAddr};
+/// use bytes::Bytes;
+///
+/// let p = Packet::builder()
+///     .eth(MacAddr::from_index(1), MacAddr::from_index(2))
+///     .udp(
+///         SocketAddr::new(Ipv4Addr::node(1), 7000),
+///         SocketAddr::new(Ipv4Addr::node(2), 8000),
+///     )
+///     .lambda(LambdaHdr::request(3, 99))
+///     .payload(Bytes::from_static(b"hello"))
+///     .build();
+/// let wire = p.encode();
+/// let back = Packet::decode(&wire).expect("round-trips");
+/// assert_eq!(back, p);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Link-layer header.
+    pub eth: EthernetHdr,
+    /// Network-layer header.
+    pub ipv4: Ipv4Hdr,
+    /// Transport-layer header.
+    pub udp: UdpHdr,
+    /// Optional λ-NIC header.
+    pub lambda: Option<LambdaHdr>,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Starts building a packet.
+    pub fn builder() -> PacketBuilder {
+        PacketBuilder::default()
+    }
+
+    /// Total on-wire length in bytes (headers + payload).
+    pub fn wire_len(&self) -> usize {
+        ETH_HDR_LEN
+            + IPV4_HDR_LEN
+            + UDP_HDR_LEN
+            + if self.lambda.is_some() {
+                LAMBDA_HDR_LEN
+            } else {
+                0
+            }
+            + self.payload.len()
+    }
+
+    /// The source UDP endpoint.
+    pub fn src_addr(&self) -> SocketAddr {
+        SocketAddr::new(self.ipv4.src, self.udp.src_port)
+    }
+
+    /// The destination UDP endpoint.
+    pub fn dst_addr(&self) -> SocketAddr {
+        SocketAddr::new(self.ipv4.dst, self.udp.dst_port)
+    }
+
+    /// Builds the reply skeleton: swaps L2/L3/L4 source and destination.
+    pub fn reply_to(&self) -> PacketBuilder {
+        Packet::builder()
+            .eth(self.eth.dst, self.eth.src)
+            .udp(self.dst_addr(), self.src_addr())
+    }
+
+    /// Encodes the packet to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_slice(&self.eth.dst.octets());
+        buf.put_slice(&self.eth.src.octets());
+        buf.put_u16(self.eth.ethertype);
+
+        let lambda_len = if self.lambda.is_some() {
+            LAMBDA_HDR_LEN
+        } else {
+            0
+        };
+        let ip_total = (IPV4_HDR_LEN + UDP_HDR_LEN + lambda_len + self.payload.len()) as u16;
+        let ip_start = buf.len();
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(0); // DSCP/ECN
+        buf.put_u16(ip_total);
+        buf.put_u16(self.ipv4.ident);
+        buf.put_u16(0); // flags/fragment offset
+        buf.put_u8(self.ipv4.ttl);
+        buf.put_u8(self.ipv4.protocol);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u32(self.ipv4.src.to_bits());
+        buf.put_u32(self.ipv4.dst.to_bits());
+        let csum = ipv4_checksum(&buf[ip_start..ip_start + IPV4_HDR_LEN]);
+        buf[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
+
+        buf.put_u16(self.udp.src_port);
+        buf.put_u16(self.udp.dst_port);
+        buf.put_u16((UDP_HDR_LEN + lambda_len + self.payload.len()) as u16);
+        buf.put_u16(0); // UDP checksum unused in the simulation
+
+        if let Some(l) = &self.lambda {
+            buf.put_u16(LAMBDA_MAGIC);
+            buf.put_u32(l.workload_id);
+            buf.put_u64(l.request_id);
+            buf.put_u16(l.frag_index);
+            buf.put_u16(l.frag_count);
+            buf.put_u16(l.kind as u16);
+            buf.put_u16(l.return_code);
+        }
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes a packet from wire bytes, verifying the IPv4 checksum.
+    ///
+    /// A lambda header is parsed when the UDP payload opens with
+    /// [`LAMBDA_MAGIC`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the buffer is truncated, a field is
+    /// invalid, or the IPv4 checksum does not verify.
+    pub fn decode(wire: &[u8]) -> Result<Packet, DecodeError> {
+        let mut buf = wire;
+        if buf.remaining() < ETH_HDR_LEN {
+            return Err(DecodeError::Truncated { header: "ethernet" });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        buf.copy_to_slice(&mut dst);
+        buf.copy_to_slice(&mut src);
+        let ethertype = buf.get_u16();
+        let eth = EthernetHdr {
+            dst: dst.into(),
+            src: src.into(),
+            ethertype,
+        };
+        if ethertype != ETHERTYPE_IPV4 {
+            return Err(DecodeError::BadField { field: "ethertype" });
+        }
+
+        if buf.remaining() < IPV4_HDR_LEN {
+            return Err(DecodeError::Truncated { header: "ipv4" });
+        }
+        if ipv4_checksum(&buf[..IPV4_HDR_LEN]) != 0 {
+            return Err(DecodeError::BadChecksum);
+        }
+        let vihl = buf.get_u8();
+        if vihl != 0x45 {
+            return Err(DecodeError::BadField {
+                field: "version/ihl",
+            });
+        }
+        let _tos = buf.get_u8();
+        let total_len = buf.get_u16() as usize;
+        let ident = buf.get_u16();
+        let _frag = buf.get_u16();
+        let ttl = buf.get_u8();
+        let protocol = buf.get_u8();
+        let _csum = buf.get_u16();
+        let src_ip = Ipv4Addr::from_bits(buf.get_u32());
+        let dst_ip = Ipv4Addr::from_bits(buf.get_u32());
+        if protocol != IPPROTO_UDP {
+            return Err(DecodeError::BadField { field: "protocol" });
+        }
+        if total_len < IPV4_HDR_LEN + UDP_HDR_LEN || total_len - IPV4_HDR_LEN > buf.remaining() {
+            return Err(DecodeError::BadField { field: "total_len" });
+        }
+        let ipv4 = Ipv4Hdr {
+            src: src_ip,
+            dst: dst_ip,
+            protocol,
+            ttl,
+            ident,
+        };
+
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let udp_len = buf.get_u16() as usize;
+        let _udp_csum = buf.get_u16();
+        if udp_len < UDP_HDR_LEN || udp_len - UDP_HDR_LEN > buf.remaining() {
+            return Err(DecodeError::BadField { field: "udp_len" });
+        }
+        let udp = UdpHdr { src_port, dst_port };
+        let mut rest = &buf[..udp_len - UDP_HDR_LEN];
+
+        let lambda = if rest.remaining() >= LAMBDA_HDR_LEN
+            && u16::from_be_bytes([rest[0], rest[1]]) == LAMBDA_MAGIC
+        {
+            let _magic = rest.get_u16();
+            let workload_id = rest.get_u32();
+            let request_id = rest.get_u64();
+            let frag_index = rest.get_u16();
+            let frag_count = rest.get_u16();
+            let kind = LambdaKind::from_u16(rest.get_u16()).ok_or(DecodeError::BadField {
+                field: "lambda.kind",
+            })?;
+            let return_code = rest.get_u16();
+            if frag_count == 0 || frag_index >= frag_count {
+                return Err(DecodeError::BadField {
+                    field: "lambda.frag",
+                });
+            }
+            Some(LambdaHdr {
+                workload_id,
+                request_id,
+                frag_index,
+                frag_count,
+                kind,
+                return_code,
+            })
+        } else {
+            None
+        };
+
+        Ok(Packet {
+            eth,
+            ipv4,
+            udp,
+            lambda,
+            payload: Bytes::copy_from_slice(rest),
+        })
+    }
+}
+
+/// Incremental [`Packet`] construction.
+#[derive(Clone, Debug)]
+pub struct PacketBuilder {
+    packet: Packet,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        PacketBuilder {
+            packet: Packet {
+                eth: EthernetHdr {
+                    ethertype: ETHERTYPE_IPV4,
+                    ..Default::default()
+                },
+                ipv4: Ipv4Hdr {
+                    protocol: IPPROTO_UDP,
+                    ttl: 64,
+                    ..Default::default()
+                },
+                udp: UdpHdr::default(),
+                lambda: None,
+                payload: Bytes::new(),
+            },
+        }
+    }
+}
+
+impl PacketBuilder {
+    /// Sets link-layer source and destination.
+    pub fn eth(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.packet.eth.src = src;
+        self.packet.eth.dst = dst;
+        self
+    }
+
+    /// Sets network- and transport-layer source and destination.
+    pub fn udp(mut self, src: SocketAddr, dst: SocketAddr) -> Self {
+        self.packet.ipv4.src = src.ip;
+        self.packet.ipv4.dst = dst.ip;
+        self.packet.udp.src_port = src.port;
+        self.packet.udp.dst_port = dst.port;
+        self
+    }
+
+    /// Sets the IPv4 identification field.
+    pub fn ident(mut self, ident: u16) -> Self {
+        self.packet.ipv4.ident = ident;
+        self
+    }
+
+    /// Attaches a λ-NIC lambda header.
+    pub fn lambda(mut self, hdr: LambdaHdr) -> Self {
+        self.packet.lambda = Some(hdr);
+        self
+    }
+
+    /// Sets the application payload.
+    pub fn payload(mut self, payload: Bytes) -> Self {
+        self.packet.payload = payload;
+        self
+    }
+
+    /// Finishes the packet.
+    pub fn build(self) -> Packet {
+        self.packet
+    }
+}
+
+/// Computes the RFC 1071 ones'-complement checksum over `data`.
+///
+/// Over a header with a zeroed checksum field this yields the value to
+/// store; over a header that includes a correct checksum it yields zero.
+pub fn ipv4_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet(lambda: Option<LambdaHdr>, payload: &[u8]) -> Packet {
+        let mut b = Packet::builder()
+            .eth(MacAddr::from_index(1), MacAddr::from_index(2))
+            .udp(
+                SocketAddr::new(Ipv4Addr::node(1), 7000),
+                SocketAddr::new(Ipv4Addr::node(2), 8000),
+            )
+            .ident(42)
+            .payload(Bytes::copy_from_slice(payload));
+        if let Some(l) = lambda {
+            b = b.lambda(l);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_plain() {
+        let p = sample_packet(None, b"plain udp payload");
+        assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_lambda() {
+        let hdr = LambdaHdr {
+            workload_id: 7,
+            request_id: 0xdead_beef,
+            frag_index: 2,
+            frag_count: 5,
+            kind: LambdaKind::RdmaWrite,
+            return_code: 0,
+        };
+        let p = sample_packet(Some(hdr), &[0xab; 300]);
+        let decoded = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+        assert_eq!(decoded.lambda.unwrap().kind, LambdaKind::RdmaWrite);
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        let p = sample_packet(Some(LambdaHdr::request(1, 2)), &[0; 100]);
+        assert_eq!(p.wire_len(), p.encode().len());
+        let q = sample_packet(None, &[]);
+        assert_eq!(q.wire_len(), q.encode().len());
+        assert_eq!(q.wire_len(), ETH_HDR_LEN + IPV4_HDR_LEN + UDP_HDR_LEN);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let p = sample_packet(None, b"x");
+        let mut wire = p.encode().to_vec();
+        wire[ETH_HDR_LEN + 12] ^= 0x01; // flip a bit in the IPv4 src address
+        assert_eq!(Packet::decode(&wire), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_buffers_rejected() {
+        let p = sample_packet(Some(LambdaHdr::request(1, 2)), b"payload");
+        let wire = p.encode();
+        assert_eq!(
+            Packet::decode(&wire[..10]),
+            Err(DecodeError::Truncated { header: "ethernet" })
+        );
+        assert!(Packet::decode(&wire[..ETH_HDR_LEN + 5]).is_err());
+    }
+
+    #[test]
+    fn bad_lambda_kind_rejected() {
+        let hdr = LambdaHdr::request(1, 2);
+        let p = sample_packet(Some(hdr), b"");
+        let mut wire = p.encode().to_vec();
+        // kind field sits 18 bytes into the lambda header.
+        let off = ETH_HDR_LEN + IPV4_HDR_LEN + UDP_HDR_LEN + 18;
+        wire[off] = 0xff;
+        wire[off + 1] = 0xff;
+        assert_eq!(
+            Packet::decode(&wire),
+            Err(DecodeError::BadField {
+                field: "lambda.kind"
+            })
+        );
+    }
+
+    #[test]
+    fn reply_to_swaps_endpoints() {
+        let p = sample_packet(None, b"req");
+        let r = p.reply_to().payload(Bytes::from_static(b"resp")).build();
+        assert_eq!(r.src_addr(), p.dst_addr());
+        assert_eq!(r.dst_addr(), p.src_addr());
+        assert_eq!(r.eth.src, p.eth.dst);
+        assert_eq!(r.eth.dst, p.eth.src);
+    }
+
+    #[test]
+    fn checksum_verifies_to_zero() {
+        let p = sample_packet(None, b"abc");
+        let wire = p.encode();
+        assert_eq!(
+            ipv4_checksum(&wire[ETH_HDR_LEN..ETH_HDR_LEN + IPV4_HDR_LEN]),
+            0
+        );
+    }
+
+    #[test]
+    fn response_header_mirrors_request() {
+        let req = LambdaHdr::request(9, 1234);
+        let resp = req.response_to(0);
+        assert_eq!(resp.workload_id, 9);
+        assert_eq!(resp.request_id, 1234);
+        assert_eq!(resp.kind, LambdaKind::Response);
+    }
+
+    #[test]
+    fn payload_magic_collision_requires_full_header() {
+        // A plain payload starting with the magic but shorter than a lambda
+        // header must stay a plain payload.
+        let magic = LAMBDA_MAGIC.to_be_bytes();
+        let p = sample_packet(None, &magic);
+        let d = Packet::decode(&p.encode()).unwrap();
+        assert!(d.lambda.is_none());
+        assert_eq!(&d.payload[..], &magic);
+    }
+}

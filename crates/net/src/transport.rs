@@ -1,0 +1,255 @@
+//! The weakly-consistent request-response transport (§4.2-D3).
+//!
+//! λ-NIC deliberately avoids TCP: serverless RPCs are independent,
+//! mutually-exclusive request-response pairs, so the *sender* (gateway or
+//! external service) tracks outstanding requests and retransmits on timeout
+//! or loss, and duplicate responses are ignored. [`RpcTracker`] implements
+//! that sender-side state machine as a plain library type so both the
+//! gateway component and tests can drive it deterministically.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use lnic_sim::time::{SimDuration, SimTime};
+
+use crate::addr::SocketAddr;
+
+/// Sender-side record of one in-flight RPC.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outstanding {
+    /// The targeted lambda.
+    pub workload_id: u32,
+    /// Where the request was sent.
+    pub dst: SocketAddr,
+    /// Request payload, kept for retransmission.
+    pub payload: Bytes,
+    /// When the *first* attempt was sent (latency is measured from here).
+    pub first_sent_at: SimTime,
+    /// Attempts sent so far (1 = original only).
+    pub attempts: u32,
+}
+
+/// What the caller should do when a retransmission timer fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// Resend the recorded payload and arm another timer.
+    Resend(Outstanding),
+    /// Retry budget exhausted: report failure upstream.
+    GiveUp(Outstanding),
+    /// The RPC already completed; ignore the stale timer.
+    Ignore,
+}
+
+/// Sender-side tracker for the weakly-consistent transport.
+///
+/// # Examples
+///
+/// ```
+/// use lnic_net::transport::{RpcTracker, TimeoutAction};
+/// use lnic_net::addr::{Ipv4Addr, SocketAddr};
+/// use lnic_sim::time::{SimDuration, SimTime};
+/// use bytes::Bytes;
+///
+/// let mut t = RpcTracker::new(SimDuration::from_millis(1), 3);
+/// let dst = SocketAddr::new(Ipv4Addr::node(2), 9000);
+/// let id = t.register(SimTime::ZERO, 7, dst, Bytes::from_static(b"req"));
+///
+/// // The response arrives before the timer: completion returns the record.
+/// let done = t.on_response(id).expect("first response completes the RPC");
+/// assert_eq!(done.workload_id, 7);
+/// // A duplicate response is ignored.
+/// assert!(t.on_response(id).is_none());
+/// // The stale timer is ignored too.
+/// assert_eq!(t.on_timeout(id), TimeoutAction::Ignore);
+/// ```
+#[derive(Debug)]
+pub struct RpcTracker {
+    timeout: SimDuration,
+    max_attempts: u32,
+    next_id: u64,
+    outstanding: HashMap<u64, Outstanding>,
+    completed: u64,
+    retransmitted: u64,
+    failed: u64,
+    duplicates: u64,
+}
+
+impl RpcTracker {
+    /// Creates a tracker with the given retransmission `timeout` and a
+    /// total attempt budget of `max_attempts` (>= 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn new(timeout: SimDuration, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        RpcTracker {
+            timeout,
+            max_attempts,
+            next_id: 1,
+            outstanding: HashMap::new(),
+            completed: 0,
+            retransmitted: 0,
+            failed: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// The retransmission timeout; the caller arms a timer of this length
+    /// after each send.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Registers a new RPC and returns its request id.
+    pub fn register(
+        &mut self,
+        now: SimTime,
+        workload_id: u32,
+        dst: SocketAddr,
+        payload: Bytes,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.outstanding.insert(
+            id,
+            Outstanding {
+                workload_id,
+                dst,
+                payload,
+                first_sent_at: now,
+                attempts: 1,
+            },
+        );
+        id
+    }
+
+    /// Records a response. Returns the completed record for the first
+    /// response of each request and `None` for duplicates or unknown ids.
+    pub fn on_response(&mut self, request_id: u64) -> Option<Outstanding> {
+        match self.outstanding.remove(&request_id) {
+            Some(rec) => {
+                self.completed += 1;
+                Some(rec)
+            }
+            None => {
+                self.duplicates += 1;
+                None
+            }
+        }
+    }
+
+    /// Handles a retransmission timer for `request_id`.
+    pub fn on_timeout(&mut self, request_id: u64) -> TimeoutAction {
+        let Some(rec) = self.outstanding.get_mut(&request_id) else {
+            return TimeoutAction::Ignore;
+        };
+        if rec.attempts >= self.max_attempts {
+            let rec = self.outstanding.remove(&request_id).expect("checked above");
+            self.failed += 1;
+            TimeoutAction::GiveUp(rec)
+        } else {
+            rec.attempts += 1;
+            self.retransmitted += 1;
+            TimeoutAction::Resend(rec.clone())
+        }
+    }
+
+    /// Number of RPCs currently awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Successfully completed RPCs.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Retransmissions sent.
+    pub fn retransmitted(&self) -> u64 {
+        self.retransmitted
+    }
+
+    /// RPCs that exhausted their attempt budget.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Duplicate or unsolicited responses observed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+
+    fn dst() -> SocketAddr {
+        SocketAddr::new(Ipv4Addr::node(2), 9000)
+    }
+
+    fn tracker() -> RpcTracker {
+        RpcTracker::new(SimDuration::from_millis(1), 3)
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut t = tracker();
+        let a = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        let b = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        assert!(b > a);
+        assert_eq!(t.in_flight(), 2);
+    }
+
+    #[test]
+    fn timeout_resends_until_budget_then_gives_up() {
+        let mut t = tracker();
+        let id = t.register(SimTime::ZERO, 1, dst(), Bytes::from_static(b"p"));
+
+        match t.on_timeout(id) {
+            TimeoutAction::Resend(rec) => assert_eq!(rec.attempts, 2),
+            other => panic!("expected resend, got {other:?}"),
+        }
+        match t.on_timeout(id) {
+            TimeoutAction::Resend(rec) => assert_eq!(rec.attempts, 3),
+            other => panic!("expected resend, got {other:?}"),
+        }
+        match t.on_timeout(id) {
+            TimeoutAction::GiveUp(rec) => {
+                assert_eq!(rec.attempts, 3);
+                assert_eq!(rec.payload, Bytes::from_static(b"p"));
+            }
+            other => panic!("expected give-up, got {other:?}"),
+        }
+        assert_eq!(t.failed(), 1);
+        assert_eq!(t.retransmitted(), 2);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn late_response_after_giveup_counts_as_duplicate() {
+        let mut t = RpcTracker::new(SimDuration::from_millis(1), 1);
+        let id = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        assert!(matches!(t.on_timeout(id), TimeoutAction::GiveUp(_)));
+        assert!(t.on_response(id).is_none());
+        assert_eq!(t.duplicates(), 1);
+    }
+
+    #[test]
+    fn response_then_timeout_is_ignored() {
+        let mut t = tracker();
+        let id = t.register(SimTime::from_nanos(5), 9, dst(), Bytes::new());
+        let rec = t.on_response(id).unwrap();
+        assert_eq!(rec.first_sent_at, SimTime::from_nanos(5));
+        assert_eq!(t.on_timeout(id), TimeoutAction::Ignore);
+        assert_eq!(t.completed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let _ = RpcTracker::new(SimDuration::ZERO, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # lnic-nic: the ASIC SmartNIC model
+//!
+//! A cycle-costed model of the paper's evaluation NIC (Netronome Agilio
+//! CX, §6.1.2): 56 NPU cores in 7 islands, 8 threads per core at 633 MHz,
+//! a four-level memory hierarchy, a work-conserving uniform dispatch
+//! scheduler with WFQ under contention, run-to-completion lambda
+//! execution, an RDMA path for multi-packet messages, and firmware swaps
+//! with downtime.
+//!
+//! The [`nic::Nic`] component consumes [`lnic_net::packet::Packet`]s and
+//! executes compiled [`lnic_mlambda::compile::Firmware`] images using the
+//! Match+Lambda reference interpreter; virtual time advances by the
+//! interpreter's measured cycles at the NPU clock.
+
+#![warn(missing_docs)]
+
+pub mod nic;
+pub mod params;
+pub mod profiles;
+pub mod wfq;
+
+pub use nic::{DispatchPolicy, LoadFirmware, Nic, NicCounters, ServiceEndpoint};
+pub use params::NicParams;
+pub use profiles::{NicClass, TABLE1};
+pub use wfq::WeightedFairQueue;

@@ -1,0 +1,794 @@
+//! The SmartNIC component: scheduler, NPU thread pool, RDMA engine, and
+//! firmware management.
+//!
+//! Implements §5's execution model: every core runs the same
+//! Match+Lambda image; the hardware scheduler uniformly distributes
+//! single-packet requests to threads; lambdas run to completion on their
+//! thread (§4.2-D1); multi-packet messages are committed to NIC memory
+//! over RDMA and dispatched once reassembled (§4.2-D3); packets that match
+//! no lambda are punted to the host OS across PCIe.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rand::Rng;
+
+use lnic_mlambda::compile::Firmware;
+use lnic_mlambda::cost::exec_cycles;
+use lnic_mlambda::interp::{Execution, HeaderValues, ObjectMemory, RequestCtx, StepOutcome};
+use lnic_mlambda::ir::retcode;
+use lnic_mlambda::program::{DispatchCtx, DispatchResult, Program};
+use lnic_net::frag::Reassembler;
+use lnic_net::packet::{LambdaHdr, LambdaKind, Packet};
+use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
+use lnic_sim::prelude::*;
+
+use crate::params::{ExecMode, NicParams};
+use crate::wfq::WeightedFairQueue;
+
+/// How the scheduler picks a thread for an incoming request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// The Netronome scheduler: work-conserving, uniformly random over
+    /// idle threads (§5).
+    #[default]
+    UniformRandom,
+    /// Deterministic round-robin (ablation).
+    RoundRobin,
+}
+
+/// A remote service a lambda can call with [`lnic_mlambda::ir::Instr::NetRpc`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceEndpoint {
+    /// L2 address of (the NIC in front of) the service.
+    pub mac: MacAddr,
+    /// UDP endpoint of the service.
+    pub addr: SocketAddr,
+}
+
+/// Control message: load (swap) the NIC firmware. Incurs
+/// [`NicParams::firmware_swap_time`] of downtime (§7).
+#[derive(Debug)]
+pub struct LoadFirmware {
+    /// The compiled image.
+    pub firmware: Arc<Firmware>,
+}
+
+/// Counters exposed for experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NicCounters {
+    /// Lambda requests accepted.
+    pub requests: u64,
+    /// Responses sent.
+    pub responses: u64,
+    /// Packets punted to the host OS.
+    pub punted_to_host: u64,
+    /// Packets dropped because no firmware is loaded or a swap is in
+    /// progress.
+    pub dropped_downtime: u64,
+    /// Lambda executions that faulted (bounds, fuel, RPC failure).
+    pub faults: u64,
+    /// Firmware swaps completed.
+    pub swaps: u64,
+    /// RDMA fragments committed.
+    pub rdma_fragments: u64,
+    /// Requests that waited in the WFQ (all threads busy).
+    pub queued: u64,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Emit the response and free the thread.
+    Finish { response: Bytes, code: u16 },
+    /// Send the pending lambda RPC.
+    SendRpc { service: u16, payload: Bytes },
+}
+
+struct Job {
+    lambda_idx: usize,
+    exec: Execution,
+    /// The request packet (headers only) used to construct the reply.
+    reply_template: Packet,
+    /// The request's λ-NIC header.
+    req_hdr: LambdaHdr,
+    /// Cycles already converted into virtual time.
+    charged_cycles: u64,
+    /// Fixed cycles charged before execution (parse/match, reorder).
+    overhead_cycles: u64,
+    /// Next action once the current compute delay elapses.
+    phase: Option<Phase>,
+    /// Monotonic sequence for RPC attempts (invalidates stale timeouts).
+    rpc_seq: u64,
+    /// Attempts used for the current RPC.
+    rpc_attempt: u32,
+}
+
+enum ThreadState {
+    Idle,
+    /// Computing until the scheduled `ThreadPhase` fires.
+    Computing(Job),
+    /// Suspended on a lambda RPC.
+    AwaitingRpc(Job),
+}
+
+struct Thread {
+    state: ThreadState,
+    epoch: u64,
+}
+
+/// One request ready for dispatch to a thread.
+#[derive(Debug)]
+struct PendingRequest {
+    lambda_idx: usize,
+    ctx: RequestCtx,
+    reply_template: Packet,
+    req_hdr: LambdaHdr,
+    extra_cycles: u64,
+}
+
+#[derive(Debug)]
+struct ThreadPhase {
+    thread: usize,
+    epoch: u64,
+}
+
+#[derive(Debug)]
+struct RpcTimeout {
+    thread: usize,
+    epoch: u64,
+    rpc_seq: u64,
+}
+
+#[derive(Debug)]
+struct SwapDone {
+    firmware: Arc<Firmware>,
+}
+
+/// Pipelined mode: the parse/match stage finished for this request.
+#[derive(Debug)]
+struct StageDone {
+    pending: PendingRequest,
+}
+
+/// The simulated SmartNIC.
+///
+/// Wire it to a switch via a simplex uplink [`lnic_net::link::Link`], load
+/// a [`Firmware`], and send it [`Packet`]s.
+pub struct Nic {
+    params: NicParams,
+    mac: MacAddr,
+    ip: Ipv4Addr,
+    uplink: ComponentId,
+    host: Option<ComponentId>,
+    services: HashMap<u16, ServiceEndpoint>,
+    dispatch_policy: DispatchPolicy,
+
+    firmware: Option<Arc<Firmware>>,
+    program: Option<Arc<Program>>,
+    deployed_mem: Vec<ObjectMemory>,
+    swapping: bool,
+
+    threads: Vec<Thread>,
+    idle: Vec<usize>,
+    rr_next: usize,
+    queue: WeightedFairQueue<PendingRequest>,
+    reassembler: Reassembler,
+
+    counters: NicCounters,
+    /// Per-request NIC-side service time (arrival to response emission).
+    service_time: Series,
+    arrival_times: HashMap<(usize, u64), SimTime>,
+    /// Pipelined mode: next-free times of the parse/match stage threads.
+    stage_free_at: Vec<SimTime>,
+}
+
+impl Nic {
+    /// Creates a NIC with the given identity and uplink.
+    pub fn new(params: NicParams, mac: MacAddr, ip: Ipv4Addr, uplink: ComponentId) -> Self {
+        // In pipelined mode, stage threads are carved out of the pool.
+        let (lambda_threads, stage_threads) = match params.exec_mode {
+            ExecMode::RunToCompletion => (params.threads(), 0),
+            ExecMode::Pipelined { stage_threads, .. } => {
+                assert!(
+                    stage_threads > 0 && stage_threads < params.threads(),
+                    "pipelined mode needs stage threads and lambda threads"
+                );
+                (params.threads() - stage_threads, stage_threads)
+            }
+        };
+        let threads = (0..lambda_threads)
+            .map(|_| Thread {
+                state: ThreadState::Idle,
+                epoch: 0,
+            })
+            .collect::<Vec<_>>();
+        let idle = (0..lambda_threads).rev().collect();
+        let stage_free_at = vec![SimTime::ZERO; stage_threads];
+        Nic {
+            params,
+            mac,
+            ip,
+            uplink,
+            host: None,
+            services: HashMap::new(),
+            dispatch_policy: DispatchPolicy::default(),
+            firmware: None,
+            program: None,
+            deployed_mem: Vec::new(),
+            swapping: false,
+            threads,
+            idle,
+            rr_next: 0,
+            queue: WeightedFairQueue::new(),
+            reassembler: Reassembler::new(),
+            counters: NicCounters::default(),
+            service_time: Series::new("nic_service_time"),
+            arrival_times: HashMap::new(),
+            stage_free_at,
+        }
+    }
+
+    /// Sets the host component packets are punted to.
+    pub fn with_host(mut self, host: ComponentId) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// Registers a callable service endpoint.
+    pub fn with_service(mut self, id: u16, endpoint: ServiceEndpoint) -> Self {
+        self.services.insert(id, endpoint);
+        self
+    }
+
+    /// Overrides the dispatch policy (ablation).
+    pub fn with_dispatch_policy(mut self, policy: DispatchPolicy) -> Self {
+        self.dispatch_policy = policy;
+        self
+    }
+
+    /// Changes the dispatch policy on a constructed NIC (ablation).
+    pub fn set_dispatch_policy(&mut self, policy: DispatchPolicy) {
+        self.dispatch_policy = policy;
+    }
+
+    /// Installs firmware immediately (no swap downtime); for experiment
+    /// setup where the image is in place before traffic starts.
+    pub fn preload(mut self, firmware: Arc<Firmware>) -> Self {
+        self.install(firmware);
+        self
+    }
+
+    /// Installs firmware immediately on an already-constructed NIC (no
+    /// swap downtime); the post-construction form of [`Nic::preload`].
+    pub fn install_now(&mut self, firmware: Arc<Firmware>) {
+        self.install(firmware);
+    }
+
+    /// Sets a lambda's WFQ weight.
+    pub fn set_weight(&mut self, lambda_idx: usize, weight: f64) {
+        self.queue.set_weight(lambda_idx, weight);
+    }
+
+    /// The NIC's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// The NIC's IP address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// Experiment counters.
+    pub fn counters(&self) -> NicCounters {
+        self.counters
+    }
+
+    /// NIC-side service-time samples (arrival to response emission).
+    pub fn service_time(&self) -> &Series {
+        &self.service_time
+    }
+
+    /// Bytes of NIC memory the current deployment occupies (Table 3):
+    /// the image plus the runtime's resident allocations.
+    pub fn memory_in_use_bytes(&self) -> u64 {
+        self.firmware
+            .as_ref()
+            .map_or(0, |f| f.size_bytes() + self.params.runtime_resident_bytes)
+    }
+
+    /// Number of lambda threads currently busy (excludes dedicated
+    /// parse/match stage threads in pipelined mode).
+    pub fn busy_threads(&self) -> usize {
+        self.threads.len() - self.idle.len()
+    }
+
+    /// Requests waiting for a thread.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn install(&mut self, firmware: Arc<Firmware>) {
+        let program = Arc::new(firmware.program.clone());
+        self.deployed_mem = program
+            .lambdas
+            .iter()
+            .map(ObjectMemory::for_lambda)
+            .collect();
+        self.program = Some(program);
+        self.firmware = Some(firmware);
+    }
+
+    fn alloc_thread(&mut self, rng: &mut impl Rng) -> Option<usize> {
+        if self.idle.is_empty() {
+            return None;
+        }
+        let pick = match self.dispatch_policy {
+            DispatchPolicy::UniformRandom => rng.gen_range(0..self.idle.len()),
+            DispatchPolicy::RoundRobin => {
+                self.rr_next = (self.rr_next + 1) % self.idle.len();
+                self.rr_next
+            }
+        };
+        Some(self.idle.swap_remove(pick))
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        // Lambda RPC responses come back on the per-thread port range.
+        if packet.lambda.is_none() {
+            let port = packet.udp.dst_port;
+            let base = self.params.rpc_port_base;
+            let nthreads = self.threads.len() as u16;
+            if port >= base && port < base + nthreads {
+                self.on_rpc_response(ctx, (port - base) as usize, packet.payload);
+                return;
+            }
+            self.punt_to_host(ctx, packet);
+            return;
+        }
+
+        if self.swapping || self.firmware.is_none() {
+            self.counters.dropped_downtime += 1;
+            return;
+        }
+
+        let hdr = packet.lambda.expect("checked above");
+        match hdr.kind {
+            LambdaKind::Request => {
+                if hdr.frag_count <= 1 {
+                    self.dispatch_request(ctx, packet, hdr, Bytes::new(), 0);
+                } else {
+                    // Multi-packet requests must arrive as RDMA writes.
+                    self.counters.punted_to_host += 1;
+                }
+            }
+            LambdaKind::RdmaWrite => {
+                self.counters.rdma_fragments += 1;
+                let payload = packet.payload.clone();
+                if let Some(done) = self.reassembler.accept(hdr, payload) {
+                    // Reordering cost is charged as extra NPU cycles; the
+                    // RDMA commit itself delayed the trigger event.
+                    let commit_ns = self.params.rdma_commit_ns_per_kb
+                        * (done.payload.len() as u64).div_ceil(1024);
+                    let extra = done.reorder_instrs;
+                    let assembled = done.payload;
+                    // The completion event (RdmaComplete) fires after the
+                    // commit delay; model by delaying dispatch.
+                    let pkt = packet;
+                    let hdr_full = LambdaHdr {
+                        frag_index: 0,
+                        frag_count: 1,
+                        ..hdr
+                    };
+                    ctx.send_self(
+                        SimDuration::from_nanos(commit_ns),
+                        RdmaDispatch {
+                            packet: pkt,
+                            hdr: hdr_full,
+                            payload: assembled,
+                            extra_cycles: extra,
+                        },
+                    );
+                }
+            }
+            LambdaKind::Response | LambdaKind::RdmaComplete => {
+                self.punt_to_host(ctx, packet);
+            }
+        }
+    }
+
+    fn dispatch_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        packet: Packet,
+        hdr: LambdaHdr,
+        assembled_payload: Bytes,
+        extra_cycles: u64,
+    ) {
+        let program = self.program.as_ref().expect("firmware installed").clone();
+        let dctx = DispatchCtx {
+            workload_id: hdr.workload_id,
+            dst_port: packet.udp.dst_port,
+            dst_ip: packet.ipv4.dst.to_bits(),
+            has_lambda_hdr: true,
+        };
+        match program.dispatch(&dctx) {
+            DispatchResult::ToHost => self.punt_to_host(ctx, packet),
+            DispatchResult::Invoke { lambda, params } => {
+                self.counters.requests += 1;
+                let payload = if assembled_payload.is_empty() {
+                    packet.payload.clone()
+                } else {
+                    assembled_payload
+                };
+                let req = RequestCtx {
+                    headers: HeaderValues {
+                        workload_id: hdr.workload_id,
+                        request_id: hdr.request_id,
+                        frag_index: hdr.frag_index,
+                        frag_count: hdr.frag_count,
+                        return_code: hdr.return_code,
+                        src_ip: packet.ipv4.src.to_bits(),
+                        dst_ip: packet.ipv4.dst.to_bits(),
+                        src_port: packet.udp.src_port,
+                        dst_port: packet.udp.dst_port,
+                    },
+                    payload,
+                    match_data: params,
+                };
+                let mut reply_template = packet;
+                reply_template.payload = Bytes::new();
+                let pending = PendingRequest {
+                    lambda_idx: lambda,
+                    ctx: req,
+                    reply_template,
+                    req_hdr: hdr,
+                    extra_cycles,
+                };
+                self.arrival_times
+                    .insert((lambda, hdr.request_id), ctx.now());
+                match self.params.exec_mode {
+                    ExecMode::RunToCompletion => self.admit_to_thread(ctx, pending),
+                    ExecMode::Pipelined { handoff_cycles, .. } => {
+                        // The parse/match stage serializes over its own
+                        // thread pool, then hands off across cores.
+                        let firmware = self.firmware.as_ref().expect("firmware installed");
+                        let service = self
+                            .params
+                            .cycles_to_time(firmware.parse_match_cycles() + handoff_cycles);
+                        let slot = self
+                            .stage_free_at
+                            .iter_mut()
+                            .min()
+                            .expect("stage pool is non-empty");
+                        let start = (*slot).max(ctx.now());
+                        *slot = start + service;
+                        let done_in = *slot - ctx.now();
+                        ctx.send_self(done_in, StageDone { pending });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assigns the request to an idle lambda thread or queues it.
+    fn admit_to_thread(&mut self, ctx: &mut Ctx<'_>, pending: PendingRequest) {
+        let lambda = pending.lambda_idx;
+        match self.alloc_thread(ctx.rng()) {
+            Some(t) => self.start_job(ctx, t, pending),
+            None => {
+                self.counters.queued += 1;
+                self.queue.push(lambda, pending);
+            }
+        }
+    }
+
+    fn start_job(&mut self, ctx: &mut Ctx<'_>, thread: usize, pending: PendingRequest) {
+        let program = self.program.as_ref().expect("firmware installed").clone();
+        let firmware = self.firmware.as_ref().expect("firmware installed").clone();
+        let exec = Execution::start(
+            Arc::clone(&program),
+            pending.lambda_idx,
+            pending.ctx,
+            self.params.lambda_fuel,
+        );
+        let overhead = match self.params.exec_mode {
+            // Pipelined: parse/match already ran on the stage threads.
+            ExecMode::Pipelined { .. } => pending.extra_cycles,
+            ExecMode::RunToCompletion => firmware.parse_match_cycles() + pending.extra_cycles,
+        };
+        let mut job = Job {
+            lambda_idx: pending.lambda_idx,
+            exec,
+            reply_template: pending.reply_template,
+            req_hdr: pending.req_hdr,
+            charged_cycles: 0,
+            overhead_cycles: overhead,
+            phase: None,
+            rpc_seq: 0,
+            rpc_attempt: 0,
+        };
+        self.advance_job(&mut job);
+        self.schedule_phase(ctx, thread, job);
+    }
+
+    /// Runs (or resumes) the execution until it finishes or suspends, and
+    /// records the next phase.
+    fn advance_job(&mut self, job: &mut Job) {
+        debug_assert!(!job.exec.is_awaiting(), "advance_job while awaiting rpc");
+        let mem = &mut self.deployed_mem[job.lambda_idx];
+        let outcome = job.exec.run(mem);
+        job.phase = Some(Self::phase_of(&mut self.counters, outcome));
+    }
+
+    fn phase_of(
+        counters: &mut NicCounters,
+        outcome: Result<StepOutcome, lnic_mlambda::interp::ExecError>,
+    ) -> Phase {
+        match outcome {
+            Ok(StepOutcome::Done(done)) => Phase::Finish {
+                response: done.response,
+                code: done.return_code as u16,
+            },
+            Ok(StepOutcome::NetCall { service, payload }) => Phase::SendRpc { service, payload },
+            Err(_) => {
+                counters.faults += 1;
+                Phase::Finish {
+                    response: Bytes::new(),
+                    code: retcode::ERROR as u16,
+                }
+            }
+        }
+    }
+
+    /// Charges the cycles accumulated since the last charge and schedules
+    /// the phase transition.
+    fn schedule_phase(&mut self, ctx: &mut Ctx<'_>, thread: usize, mut job: Job) {
+        let firmware = self.firmware.as_ref().expect("firmware installed");
+        let total = job.overhead_cycles
+            + exec_cycles(
+                job.exec.stats(),
+                &firmware.placements[job.lambda_idx],
+                &self.params.memory,
+            );
+        let delta = total.saturating_sub(job.charged_cycles);
+        job.charged_cycles = total;
+        let delay = self.params.cycles_to_time(delta);
+        let epoch = self.threads[thread].epoch;
+        self.threads[thread].state = ThreadState::Computing(job);
+        ctx.send_self(delay, ThreadPhase { thread, epoch });
+    }
+
+    fn on_thread_phase(&mut self, ctx: &mut Ctx<'_>, thread: usize, epoch: u64) {
+        if self.threads[thread].epoch != epoch {
+            return; // stale timer from a previous job
+        }
+        let state = std::mem::replace(&mut self.threads[thread].state, ThreadState::Idle);
+        let ThreadState::Computing(mut job) = state else {
+            // Phase timers only fire for computing threads.
+            self.threads[thread].state = state;
+            return;
+        };
+        match job.phase.take().expect("computing job has a phase") {
+            Phase::Finish { response, code } => {
+                self.emit_response(ctx, &job, response, code);
+                self.free_thread(ctx, thread);
+            }
+            Phase::SendRpc { service, payload } => {
+                job.rpc_seq += 1;
+                job.rpc_attempt = 1;
+                self.send_rpc(ctx, thread, &job, service, &payload);
+                let seq = job.rpc_seq;
+                job.phase = Some(Phase::SendRpc { service, payload });
+                self.threads[thread].state = ThreadState::AwaitingRpc(job);
+                let epoch = self.threads[thread].epoch;
+                ctx.send_self(
+                    self.params.rpc_timeout,
+                    RpcTimeout {
+                        thread,
+                        epoch,
+                        rpc_seq: seq,
+                    },
+                );
+            }
+        }
+    }
+
+    fn send_rpc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        thread: usize,
+        _job: &Job,
+        service: u16,
+        payload: &Bytes,
+    ) {
+        let Some(endpoint) = self.services.get(&service).copied() else {
+            // Unknown service: the RPC can never complete; it will time
+            // out and the job will fail.
+            return;
+        };
+        let src = SocketAddr::new(self.ip, self.params.rpc_port_base + thread as u16);
+        let packet = Packet::builder()
+            .eth(self.mac, endpoint.mac)
+            .udp(src, endpoint.addr)
+            .payload(payload.clone())
+            .build();
+        ctx.send(self.uplink, SimDuration::ZERO, packet);
+    }
+
+    fn on_rpc_response(&mut self, ctx: &mut Ctx<'_>, thread: usize, payload: Bytes) {
+        if thread >= self.threads.len() {
+            return;
+        }
+        let state = std::mem::replace(&mut self.threads[thread].state, ThreadState::Idle);
+        let ThreadState::AwaitingRpc(mut job) = state else {
+            // Duplicate or stale response: ignore.
+            self.threads[thread].state = state;
+            return;
+        };
+        job.rpc_seq += 1; // invalidate the pending timeout
+        let mem = &mut self.deployed_mem[job.lambda_idx];
+        let outcome = job.exec.resume(mem, &payload);
+        job.phase = Some(Self::phase_of(&mut self.counters, outcome));
+        self.schedule_phase(ctx, thread, job);
+    }
+
+    fn on_rpc_timeout(&mut self, ctx: &mut Ctx<'_>, thread: usize, epoch: u64, rpc_seq: u64) {
+        if self.threads[thread].epoch != epoch {
+            return;
+        }
+        let state = std::mem::replace(&mut self.threads[thread].state, ThreadState::Idle);
+        let ThreadState::AwaitingRpc(mut job) = state else {
+            self.threads[thread].state = state;
+            return;
+        };
+        if job.rpc_seq != rpc_seq {
+            // The RPC already completed; put the job back untouched.
+            self.threads[thread].state = ThreadState::AwaitingRpc(job);
+            return;
+        }
+        let Some(Phase::SendRpc { service, payload }) = job.phase.take() else {
+            unreachable!("awaiting thread always holds a SendRpc phase");
+        };
+        if job.rpc_attempt >= self.params.rpc_attempts {
+            // Give up: fail the lambda (weakly-consistent transport
+            // reports the failure to the sender, §4.2-D3).
+            self.counters.faults += 1;
+            self.emit_response(ctx, &job, Bytes::new(), retcode::ERROR as u16);
+            self.free_thread(ctx, thread);
+            return;
+        }
+        job.rpc_attempt += 1;
+        job.rpc_seq += 1;
+        self.send_rpc(ctx, thread, &job, service, &payload);
+        let seq = job.rpc_seq;
+        job.phase = Some(Phase::SendRpc { service, payload });
+        self.threads[thread].state = ThreadState::AwaitingRpc(job);
+        ctx.send_self(
+            self.params.rpc_timeout,
+            RpcTimeout {
+                thread,
+                epoch,
+                rpc_seq: seq,
+            },
+        );
+    }
+
+    fn emit_response(&mut self, ctx: &mut Ctx<'_>, job: &Job, response: Bytes, code: u16) {
+        let resp_hdr = job.req_hdr.response_to(code);
+        let packet = job
+            .reply_template
+            .reply_to()
+            .lambda(resp_hdr)
+            .payload(response)
+            .build();
+        ctx.send(self.uplink, SimDuration::ZERO, packet);
+        self.counters.responses += 1;
+        if let Some(arrived) = self
+            .arrival_times
+            .remove(&(job.lambda_idx, job.req_hdr.request_id))
+        {
+            self.service_time.record(ctx.now() - arrived);
+        }
+    }
+
+    fn free_thread(&mut self, ctx: &mut Ctx<'_>, thread: usize) {
+        self.threads[thread].epoch += 1;
+        self.threads[thread].state = ThreadState::Idle;
+        if let Some((_, pending)) = self.queue.pop() {
+            self.start_job(ctx, thread, pending);
+        } else {
+            self.idle.push(thread);
+        }
+    }
+
+    fn punt_to_host(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        self.counters.punted_to_host += 1;
+        if let Some(host) = self.host {
+            ctx.send(host, self.params.pcie_latency, packet);
+        }
+    }
+}
+
+/// Internal delayed-dispatch message for assembled RDMA requests.
+#[derive(Debug)]
+struct RdmaDispatch {
+    packet: Packet,
+    hdr: LambdaHdr,
+    payload: Bytes,
+    extra_cycles: u64,
+}
+
+impl Component for Nic {
+    fn name(&self) -> &str {
+        "nic"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<Packet>() {
+            Ok(packet) => {
+                self.on_packet(ctx, *packet);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<ThreadPhase>() {
+            Ok(tp) => {
+                self.on_thread_phase(ctx, tp.thread, tp.epoch);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<RpcTimeout>() {
+            Ok(t) => {
+                self.on_rpc_timeout(ctx, t.thread, t.epoch, t.rpc_seq);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<RdmaDispatch>() {
+            Ok(rd) => {
+                if !self.swapping && self.firmware.is_some() {
+                    self.dispatch_request(ctx, rd.packet, rd.hdr, rd.payload, rd.extra_cycles);
+                } else {
+                    self.counters.dropped_downtime += 1;
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<StageDone>() {
+            Ok(sd) => {
+                if !self.swapping && self.firmware.is_some() {
+                    self.admit_to_thread(ctx, sd.pending);
+                } else {
+                    self.counters.dropped_downtime += 1;
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<LoadFirmware>() {
+            Ok(lf) => {
+                self.swapping = true;
+                ctx.send_self(
+                    self.params.firmware_swap_time,
+                    SwapDone {
+                        firmware: lf.firmware,
+                    },
+                );
+                return;
+            }
+            Err(other) => other,
+        };
+        match msg.downcast::<SwapDone>() {
+            Ok(done) => {
+                self.install(done.firmware);
+                self.swapping = false;
+                self.counters.swaps += 1;
+            }
+            Err(other) => panic!("nic received unknown message {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Parameters of the simulated ASIC SmartNIC.
+
+use lnic_mlambda::memory::MemorySpec;
+use lnic_sim::time::SimDuration;
+
+/// How the parse/match/lambda stages map onto NPU cores (§5).
+///
+/// The paper executes all three stages on every core
+/// ([`ExecMode::RunToCompletion`]); its footnote 4 leaves pipelining the
+/// stages across cores as future work, implemented here as
+/// [`ExecMode::Pipelined`] for the ablation study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Every thread runs parse + match + lambda to completion (§4.2-D1).
+    RunToCompletion,
+    /// Dedicated threads run parse/match, then hand off to lambda
+    /// threads over shared memory.
+    Pipelined {
+        /// Threads reserved for the parse/match stage (subtracted from
+        /// the lambda pool).
+        stage_threads: usize,
+        /// Inter-core handoff cost (CTM write + wakeup + read).
+        handoff_cycles: u64,
+    },
+}
+
+/// Geometry and timing of an ASIC-based SmartNIC (§2.2, §6.1.2).
+#[derive(Clone, Debug)]
+pub struct NicParams {
+    /// Number of NPU islands.
+    pub islands: usize,
+    /// NPU cores per island.
+    pub cores_per_island: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Core clock in MHz.
+    pub freq_mhz: u64,
+    /// Memory hierarchy.
+    pub memory: MemorySpec,
+    /// Latency of punting a packet across PCIe to the host OS.
+    pub pcie_latency: SimDuration,
+    /// Downtime while swapping firmware (§7 "hot swapping workloads":
+    /// present-generation NICs reload the whole image).
+    pub firmware_swap_time: SimDuration,
+    /// Per-invocation instruction budget (the serverless compute limit).
+    pub lambda_fuel: u64,
+    /// UDP port base for per-thread outbound RPCs; thread `t` uses
+    /// `rpc_port_base + t`.
+    pub rpc_port_base: u16,
+    /// Retransmission timeout for lambda-issued RPCs.
+    pub rpc_timeout: SimDuration,
+    /// Total attempts (1 original + retries) for lambda-issued RPCs.
+    pub rpc_attempts: u32,
+    /// Nanoseconds per KiB for the RDMA engine to commit a fragment to
+    /// NIC memory.
+    pub rdma_commit_ns_per_kb: u64,
+    /// NIC memory the loaded firmware's runtime claims beyond the image
+    /// itself: per-island runtime structures and EMEM packet-buffer
+    /// pools the NFP driver allocates at load time (accounting for
+    /// Table 3's "NIC memory" column).
+    pub runtime_resident_bytes: u64,
+    /// Stage-to-core mapping.
+    pub exec_mode: ExecMode,
+}
+
+impl NicParams {
+    /// The evaluation NIC: Netronome Agilio CX 2×10 Gb with 56 RISC cores
+    /// (7 islands × 8 cores), 8 threads per core, at 633 MHz (§6.1.2).
+    pub fn agilio_cx() -> Self {
+        NicParams {
+            islands: 7,
+            cores_per_island: 8,
+            threads_per_core: 8,
+            freq_mhz: 633,
+            memory: MemorySpec::agilio_cx(),
+            pcie_latency: SimDuration::from_micros(1),
+            firmware_swap_time: SimDuration::from_secs(9),
+            lambda_fuel: 50_000_000,
+            rpc_port_base: 40_000,
+            rpc_timeout: SimDuration::from_millis(10),
+            rpc_attempts: 3,
+            rdma_commit_ns_per_kb: 250,
+            runtime_resident_bytes: 62 << 20,
+            exec_mode: ExecMode::RunToCompletion,
+        }
+    }
+
+    /// The footnote-4 variant: one island's threads parse and match;
+    /// the rest run lambdas.
+    pub fn agilio_cx_pipelined() -> Self {
+        let base = NicParams::agilio_cx();
+        let stage_threads = base.cores_per_island * base.threads_per_core;
+        NicParams {
+            exec_mode: ExecMode::Pipelined {
+                stage_threads,
+                handoff_cycles: 120,
+            },
+            ..base
+        }
+    }
+
+    /// Total NPU cores.
+    pub fn cores(&self) -> usize {
+        self.islands * self.cores_per_island
+    }
+
+    /// Total hardware threads.
+    pub fn threads(&self) -> usize {
+        self.cores() * self.threads_per_core
+    }
+
+    /// Converts NPU cycles to virtual time at the core clock.
+    pub fn cycles_to_time(&self, cycles: u64) -> SimDuration {
+        SimDuration::from_nanos((cycles * 1_000).div_ceil(self.freq_mhz))
+    }
+
+    /// The island a thread belongs to.
+    pub fn island_of_thread(&self, thread: usize) -> usize {
+        thread / (self.cores_per_island * self.threads_per_core)
+    }
+}
+
+impl Default for NicParams {
+    fn default() -> Self {
+        NicParams::agilio_cx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agilio_geometry_matches_the_paper() {
+        let p = NicParams::agilio_cx();
+        assert_eq!(p.cores(), 56);
+        assert_eq!(p.threads(), 448);
+    }
+
+    #[test]
+    fn cycles_to_time_at_633mhz() {
+        let p = NicParams::agilio_cx();
+        // 633 cycles ~= 1 us.
+        let t = p.cycles_to_time(633);
+        assert_eq!(t.as_nanos(), 1_000);
+        // One cycle rounds up to ~2 ns (1.58 ns exact).
+        assert_eq!(p.cycles_to_time(1).as_nanos(), 2);
+        assert_eq!(p.cycles_to_time(0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn pipelined_preset_reserves_one_island() {
+        let p = NicParams::agilio_cx_pipelined();
+        match p.exec_mode {
+            ExecMode::Pipelined { stage_threads, .. } => assert_eq!(stage_threads, 64),
+            other => panic!("unexpected mode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_island_mapping() {
+        let p = NicParams::agilio_cx();
+        // 64 threads per island (8 cores x 8 threads).
+        assert_eq!(p.island_of_thread(0), 0);
+        assert_eq!(p.island_of_thread(63), 0);
+        assert_eq!(p.island_of_thread(64), 1);
+        assert_eq!(p.island_of_thread(447), 6);
+    }
+}

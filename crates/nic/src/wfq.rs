@@ -1,0 +1,290 @@
+//! Weighted fair queueing across lambdas (§4.2-D1: "λ-NIC implements
+//! weighted-fair-queuing (WFQ) to route requests between these threads").
+//!
+//! When every thread is busy, pending requests wait in per-lambda queues;
+//! a credit-based weighted round-robin decides which lambda's request is
+//! served next, giving each lambda throughput proportional to its weight
+//! under contention while staying work-conserving.
+
+use std::collections::VecDeque;
+
+/// A weighted fair queue over items tagged by lambda index.
+///
+/// # Examples
+///
+/// ```
+/// use lnic_nic::wfq::WeightedFairQueue;
+///
+/// let mut q: WeightedFairQueue<&str> = WeightedFairQueue::new();
+/// q.set_weight(0, 2.0);
+/// q.set_weight(1, 1.0);
+/// for _ in 0..3 {
+///     q.push(0, "a");
+///     q.push(1, "b");
+/// }
+/// // Lambda 0 gets ~2x the service of lambda 1.
+/// let first_three: Vec<usize> = (0..3).map(|_| q.pop().unwrap().0).collect();
+/// assert_eq!(first_three.iter().filter(|&&l| l == 0).count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedFairQueue<T> {
+    queues: Vec<VecDeque<T>>,
+    weights: Vec<f64>,
+    credits: Vec<f64>,
+    len: usize,
+    /// Round-robin scan position for tie-breaking.
+    cursor: usize,
+}
+
+impl<T> Default for WeightedFairQueue<T> {
+    fn default() -> Self {
+        WeightedFairQueue {
+            queues: Vec::new(),
+            weights: Vec::new(),
+            credits: Vec::new(),
+            len: 0,
+            cursor: 0,
+        }
+    }
+}
+
+impl<T> WeightedFairQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, lambda: usize) {
+        while self.queues.len() <= lambda {
+            self.queues.push(VecDeque::new());
+            self.weights.push(1.0);
+            self.credits.push(0.0);
+        }
+    }
+
+    /// Sets a lambda's service weight (default 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    pub fn set_weight(&mut self, lambda: usize, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weights must be positive"
+        );
+        self.ensure(lambda);
+        self.weights[lambda] = weight;
+    }
+
+    /// Enqueues an item for `lambda`.
+    pub fn push(&mut self, lambda: usize, item: T) {
+        self.ensure(lambda);
+        self.queues[lambda].push_back(item);
+        self.len += 1;
+    }
+
+    /// Total queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued items for one lambda.
+    pub fn len_for(&self, lambda: usize) -> usize {
+        self.queues.get(lambda).map_or(0, |q| q.len())
+    }
+
+    /// Dequeues the next item under weighted fairness. Returns the lambda
+    /// index alongside the item.
+    pub fn pop(&mut self) -> Option<(usize, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Credit-based WRR: grant every backlogged lambda credit
+        // proportional to its weight until one can afford a send, then
+        // serve the highest-credit backlogged lambda.
+        loop {
+            let mut best: Option<usize> = None;
+            for off in 0..self.queues.len() {
+                let i = (self.cursor + off) % self.queues.len();
+                if self.queues[i].is_empty() {
+                    continue;
+                }
+                if self.credits[i] >= 1.0 {
+                    best = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = best {
+                self.credits[i] -= 1.0;
+                self.cursor = (i + 1) % self.queues.len();
+                let item = self.queues[i].pop_front().expect("non-empty checked");
+                self.len -= 1;
+                // Idle lambdas must not hoard credit.
+                for (j, q) in self.queues.iter().enumerate() {
+                    if q.is_empty() {
+                        self.credits[j] = 0.0;
+                    }
+                }
+                return Some((i, item));
+            }
+            // Nobody can afford a send: top up backlogged lambdas.
+            for (i, q) in self.queues.iter().enumerate() {
+                if !q.is_empty() {
+                    self.credits[i] += self.weights[i];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_within_a_single_lambda() {
+        let mut q = WeightedFairQueue::new();
+        for i in 0..5 {
+            q.push(0, i);
+        }
+        let order: Vec<i32> = (0..5).map(|_| q.pop().unwrap().1).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_weights_interleave() {
+        let mut q = WeightedFairQueue::new();
+        for i in 0..4 {
+            q.push(0, i);
+            q.push(1, i);
+        }
+        let lambdas: Vec<usize> = (0..8).map(|_| q.pop().unwrap().0).collect();
+        // Within any window of 4, both lambdas appear exactly twice.
+        for w in lambdas.windows(4) {
+            let zeros = w.iter().filter(|&&l| l == 0).count();
+            assert!((1..=3).contains(&zeros), "unfair window {w:?}");
+        }
+    }
+
+    #[test]
+    fn weights_shape_service_ratio() {
+        let mut q = WeightedFairQueue::new();
+        q.set_weight(0, 3.0);
+        q.set_weight(1, 1.0);
+        for i in 0..40 {
+            q.push(0, i);
+            q.push(1, i);
+        }
+        let first_20: Vec<usize> = (0..20).map(|_| q.pop().unwrap().0).collect();
+        let zeros = first_20.iter().filter(|&&l| l == 0).count();
+        // ~3:1 service ratio => about 15 of the first 20.
+        assert!((13..=17).contains(&zeros), "got {zeros} of 20");
+    }
+
+    #[test]
+    fn work_conserving_when_one_lambda_idle() {
+        let mut q = WeightedFairQueue::new();
+        q.set_weight(0, 1.0);
+        q.set_weight(1, 100.0);
+        // Only lambda 0 has work; it must be served immediately.
+        q.push(0, "only");
+        assert_eq!(q.pop(), Some((0, "only")));
+    }
+
+    #[test]
+    fn idle_lambda_does_not_hoard_credit() {
+        let mut q = WeightedFairQueue::new();
+        q.set_weight(0, 1.0);
+        q.set_weight(1, 1.0);
+        // Serve a burst from lambda 0 alone.
+        for i in 0..10 {
+            q.push(0, i);
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        // Now both arrive; lambda 1 must not get a 10-item head start.
+        for i in 0..6 {
+            q.push(0, i);
+            q.push(1, i);
+        }
+        let first_6: Vec<usize> = (0..6).map(|_| q.pop().unwrap().0).collect();
+        let ones = first_6.iter().filter(|&&l| l == 1).count();
+        assert!((2..=4).contains(&ones), "hoarded credit: {first_6:?}");
+    }
+
+    proptest! {
+        /// Under a continuous backlog, each lambda's service share
+        /// converges to its weight share (within rounding).
+        #[test]
+        fn service_shares_follow_weights(
+            weights in proptest::collection::vec(1u32..8, 2..5),
+            rounds in 100usize..400,
+        ) {
+            let mut q = WeightedFairQueue::new();
+            for (i, &w) in weights.iter().enumerate() {
+                q.set_weight(i, w as f64);
+                for _ in 0..rounds {
+                    q.push(i, ());
+                }
+            }
+            let total_weight: u32 = weights.iter().sum();
+            // Serve at most `rounds` items so even a lambda receiving
+            // 100% of service could not drain its backlog (otherwise
+            // work conservation shifts share to the others).
+            let serve = rounds;
+            let mut served = vec![0usize; weights.len()];
+            for _ in 0..serve {
+                let (l, _) = q.pop().expect("backlogged");
+                served[l] += 1;
+            }
+            for (i, &w) in weights.iter().enumerate() {
+                let expect = serve as f64 * w as f64 / total_weight as f64;
+                let got = served[i] as f64;
+                prop_assert!(
+                    (got - expect).abs() <= expect * 0.25 + 2.0,
+                    "lambda {} served {} expected ~{:.0} (weights {:?})",
+                    i, got, expect, weights
+                );
+            }
+        }
+
+        /// Pop never loses or invents items.
+        #[test]
+        fn conservation(
+            pushes in proptest::collection::vec(0usize..4, 0..200),
+        ) {
+            let mut q = WeightedFairQueue::new();
+            for (seq, &l) in pushes.iter().enumerate() {
+                q.push(l, seq);
+            }
+            let mut seen = Vec::new();
+            while let Some((_, item)) = q.pop() {
+                seen.push(item);
+            }
+            prop_assert_eq!(seen.len(), pushes.len());
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..pushes.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn len_tracking() {
+        let mut q = WeightedFairQueue::new();
+        assert!(q.is_empty());
+        q.push(2, 'x');
+        q.push(0, 'y');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.len_for(2), 1);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

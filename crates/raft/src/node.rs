@@ -1,0 +1,606 @@
+//! The Raft consensus node (leader election + log replication, following
+//! the Raft paper's Figure 2; no snapshots or membership changes).
+
+use std::collections::{HashMap, HashSet};
+
+use lnic_sim::prelude::*;
+use rand::Rng;
+
+use crate::msg::{ClientOp, ClientReply, ClientRequest, NotLeader, RaftMsg, Rpc};
+use crate::types::{Command, KvStore, LogEntry, LogIndex, NodeId, Role, Term};
+
+/// Protocol timing configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RaftConfig {
+    /// Minimum randomized election timeout.
+    pub election_timeout_min: SimDuration,
+    /// Maximum randomized election timeout.
+    pub election_timeout_max: SimDuration,
+    /// Leader heartbeat interval.
+    pub heartbeat_interval: SimDuration,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_min: SimDuration::from_millis(150),
+            election_timeout_max: SimDuration::from_millis(300),
+            heartbeat_interval: SimDuration::from_millis(50),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ElectionTimeout {
+    epoch: u64,
+}
+
+#[derive(Debug)]
+struct HeartbeatTick {
+    term: Term,
+}
+
+/// One Raft node as a simulation component.
+///
+/// Wire all nodes through a [`crate::net::RaftNet`]; drive client traffic
+/// with [`ClientRequest`] messages.
+pub struct RaftNode {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    net: ComponentId,
+    cfg: RaftConfig,
+
+    // Persistent state.
+    term: Term,
+    voted_for: Option<NodeId>,
+    log: Vec<LogEntry>,
+
+    // Volatile state.
+    role: Role,
+    commit_index: LogIndex,
+    last_applied: LogIndex,
+    leader_hint: Option<NodeId>,
+    votes: HashSet<NodeId>,
+    next_index: HashMap<NodeId, LogIndex>,
+    match_index: HashMap<NodeId, LogIndex>,
+    election_epoch: u64,
+
+    /// Whether the node is crashed (ignores traffic until restart).
+    crashed: bool,
+    kv: KvStore,
+    /// `(index, term, command)` of every applied entry, for invariant
+    /// checking in tests.
+    applied: Vec<(LogIndex, Term, Command)>,
+    /// Client waiting on each proposed index.
+    pending: HashMap<LogIndex, (u64, ComponentId)>,
+    /// History of `(term, was_leader)` observations for election-safety
+    /// checks.
+    leader_terms: Vec<Term>,
+}
+
+impl RaftNode {
+    /// Creates node `id` of a cluster of `cluster_size` nodes, routed
+    /// through the `net` fabric.
+    ///
+    /// Post a [`StartNode`] message to arm its first election timer.
+    pub fn new(id: NodeId, cluster_size: u32, net: ComponentId, cfg: RaftConfig) -> Self {
+        let peers = (0..cluster_size)
+            .filter(|&i| i != id.0)
+            .map(NodeId)
+            .collect();
+        RaftNode {
+            id,
+            peers,
+            net,
+            cfg,
+            term: 0,
+            voted_for: None,
+            log: Vec::new(),
+            role: Role::Follower,
+            commit_index: 0,
+            last_applied: 0,
+            leader_hint: None,
+            votes: HashSet::new(),
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+            election_epoch: 0,
+            crashed: false,
+            kv: KvStore::default(),
+            applied: Vec::new(),
+            pending: HashMap::new(),
+            leader_terms: Vec::new(),
+        }
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Committed index.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// The replicated log (tests/invariant checks).
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Applied `(index, term, command)` triples in apply order.
+    pub fn applied(&self) -> &[(LogIndex, Term, Command)] {
+        &self.applied
+    }
+
+    /// Terms in which this node became leader.
+    pub fn leader_terms(&self) -> &[Term] {
+        &self.leader_terms
+    }
+
+    /// Reads the node's key-value state (tests).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn last_log_index(&self) -> LogIndex {
+        self.log.len() as LogIndex
+    }
+
+    fn last_log_term(&self) -> Term {
+        self.log.last().map_or(0, |e| e.term)
+    }
+
+    fn entry_term(&self, index: LogIndex) -> Option<Term> {
+        if index == 0 {
+            Some(0)
+        } else {
+            self.log.get(index as usize - 1).map(|e| e.term)
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.peers.len().div_ceil(2) + 1
+    }
+
+    fn send(&self, ctx: &mut Ctx<'_>, to: NodeId, rpc: Rpc) {
+        ctx.send(
+            self.net,
+            SimDuration::ZERO,
+            RaftMsg {
+                from: self.id,
+                to,
+                rpc,
+            },
+        );
+    }
+
+    fn reset_election_timer(&mut self, ctx: &mut Ctx<'_>) {
+        self.election_epoch += 1;
+        let min = self.cfg.election_timeout_min.as_nanos();
+        let max = self.cfg.election_timeout_max.as_nanos();
+        let delay = SimDuration::from_nanos(ctx.rng().gen_range(min..=max));
+        ctx.send_self(
+            delay,
+            ElectionTimeout {
+                epoch: self.election_epoch,
+            },
+        );
+    }
+
+    fn become_follower(&mut self, ctx: &mut Ctx<'_>, term: Term) {
+        if term > self.term {
+            self.term = term;
+            self.voted_for = None;
+        }
+        // A deposed leader fails its un-committed proposals so clients
+        // can retry against the new leader (writes are therefore
+        // at-least-once; commands should be idempotent).
+        if self.role == Role::Leader {
+            for (_, (token, client)) in std::mem::take(&mut self.pending) {
+                ctx.send(
+                    client,
+                    SimDuration::ZERO,
+                    ClientReply {
+                        token,
+                        result: Err(NotLeader { hint: None }),
+                    },
+                );
+            }
+        }
+        self.role = Role::Follower;
+        self.votes.clear();
+        self.reset_election_timer(ctx);
+    }
+
+    fn start_election(&mut self, ctx: &mut Ctx<'_>) {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.id);
+        self.votes = [self.id].into();
+        self.leader_hint = None;
+        self.reset_election_timer(ctx);
+        let (lli, llt) = (self.last_log_index(), self.last_log_term());
+        for &peer in &self.peers.clone() {
+            self.send(
+                ctx,
+                peer,
+                Rpc::RequestVote {
+                    term: self.term,
+                    last_log_index: lli,
+                    last_log_term: llt,
+                },
+            );
+        }
+        // Single-node cluster: win immediately.
+        if self.votes.len() >= self.majority() {
+            self.become_leader(ctx);
+        }
+    }
+
+    fn become_leader(&mut self, ctx: &mut Ctx<'_>) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.leader_terms.push(self.term);
+        let next = self.last_log_index() + 1;
+        for &p in &self.peers {
+            self.next_index.insert(p, next);
+            self.match_index.insert(p, 0);
+        }
+        // Commit a no-op from the new term (Raft §8) so the leader learns
+        // the commit index promptly.
+        self.log.push(LogEntry {
+            term: self.term,
+            command: Command::Noop,
+        });
+        self.broadcast_append(ctx);
+        ctx.send_self(
+            self.cfg.heartbeat_interval,
+            HeartbeatTick { term: self.term },
+        );
+    }
+
+    fn broadcast_append(&mut self, ctx: &mut Ctx<'_>) {
+        for peer in self.peers.clone() {
+            self.send_append(ctx, peer);
+        }
+        self.try_advance_commit(ctx);
+    }
+
+    fn send_append(&mut self, ctx: &mut Ctx<'_>, peer: NodeId) {
+        let next = *self.next_index.get(&peer).unwrap_or(&1);
+        let prev_index = next - 1;
+        let prev_term = self.entry_term(prev_index).unwrap_or(0);
+        let entries: Vec<LogEntry> = self.log.get(prev_index as usize..).unwrap_or(&[]).to_vec();
+        self.send(
+            ctx,
+            peer,
+            Rpc::AppendEntries {
+                term: self.term,
+                prev_log_index: prev_index,
+                prev_log_term: prev_term,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        );
+    }
+
+    fn try_advance_commit(&mut self, ctx: &mut Ctx<'_>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        for n in (self.commit_index + 1..=self.last_log_index()).rev() {
+            if self.entry_term(n) != Some(self.term) {
+                continue;
+            }
+            let replicas = 1 + self
+                .peers
+                .iter()
+                .filter(|p| self.match_index.get(p).copied().unwrap_or(0) >= n)
+                .count();
+            if replicas >= self.majority() {
+                self.commit_index = n;
+                break;
+            }
+        }
+        self.apply_committed(ctx);
+    }
+
+    fn apply_committed(&mut self, ctx: &mut Ctx<'_>) {
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            let entry = self.log[self.last_applied as usize - 1].clone();
+            let result = self.kv.apply(&entry.command);
+            self.applied
+                .push((self.last_applied, entry.term, entry.command));
+            if let Some((token, client)) = self.pending.remove(&self.last_applied) {
+                ctx.send(
+                    client,
+                    SimDuration::ZERO,
+                    ClientReply {
+                        token,
+                        result: Ok(result),
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_rpc(&mut self, ctx: &mut Ctx<'_>, from: NodeId, rpc: Rpc) {
+        match rpc {
+            Rpc::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => {
+                if term > self.term {
+                    self.become_follower(ctx, term);
+                }
+                let log_ok = (last_log_term, last_log_index)
+                    >= (self.last_log_term(), self.last_log_index());
+                let grant = term == self.term
+                    && log_ok
+                    && (self.voted_for.is_none() || self.voted_for == Some(from));
+                if grant {
+                    self.voted_for = Some(from);
+                    self.reset_election_timer(ctx);
+                }
+                self.send(
+                    ctx,
+                    from,
+                    Rpc::RequestVoteReply {
+                        term: self.term,
+                        granted: grant,
+                    },
+                );
+            }
+            Rpc::RequestVoteReply { term, granted } => {
+                if term > self.term {
+                    self.become_follower(ctx, term);
+                    return;
+                }
+                if self.role == Role::Candidate && term == self.term && granted {
+                    self.votes.insert(from);
+                    if self.votes.len() >= self.majority() {
+                        self.become_leader(ctx);
+                    }
+                }
+            }
+            Rpc::AppendEntries {
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => {
+                if term > self.term || (term == self.term && self.role == Role::Candidate) {
+                    self.become_follower(ctx, term);
+                }
+                if term < self.term {
+                    self.send(
+                        ctx,
+                        from,
+                        Rpc::AppendEntriesReply {
+                            term: self.term,
+                            success: false,
+                            match_index: 0,
+                        },
+                    );
+                    return;
+                }
+                // Valid leader for this term.
+                self.leader_hint = Some(from);
+                self.reset_election_timer(ctx);
+                if self.entry_term(prev_log_index) != Some(prev_log_term) {
+                    self.send(
+                        ctx,
+                        from,
+                        Rpc::AppendEntriesReply {
+                            term: self.term,
+                            success: false,
+                            match_index: 0,
+                        },
+                    );
+                    return;
+                }
+                // Append, truncating conflicts.
+                let mut index = prev_log_index;
+                for entry in entries {
+                    index += 1;
+                    match self.entry_term(index) {
+                        Some(t) if t == entry.term => {}
+                        Some(_) => {
+                            self.log.truncate(index as usize - 1);
+                            self.log.push(entry);
+                        }
+                        None => self.log.push(entry),
+                    }
+                }
+                if leader_commit > self.commit_index {
+                    // Raft Fig. 2: min(leaderCommit, index of last new entry).
+                    self.commit_index = leader_commit.min(index);
+                    self.apply_committed(ctx);
+                }
+                self.send(
+                    ctx,
+                    from,
+                    Rpc::AppendEntriesReply {
+                        term: self.term,
+                        success: true,
+                        match_index: index,
+                    },
+                );
+            }
+            Rpc::AppendEntriesReply {
+                term,
+                success,
+                match_index,
+            } => {
+                if term > self.term {
+                    self.become_follower(ctx, term);
+                    return;
+                }
+                if self.role != Role::Leader || term != self.term {
+                    return;
+                }
+                if success {
+                    self.match_index.insert(from, match_index);
+                    self.next_index.insert(from, match_index + 1);
+                    self.try_advance_commit(ctx);
+                } else {
+                    // Back off and retry.
+                    let next = self.next_index.entry(from).or_insert(1);
+                    *next = next.saturating_sub(1).max(1);
+                    self.send_append(ctx, from);
+                }
+            }
+        }
+    }
+
+    fn on_client(&mut self, ctx: &mut Ctx<'_>, req: ClientRequest) {
+        if self.role != Role::Leader {
+            ctx.send(
+                req.reply_to,
+                SimDuration::ZERO,
+                ClientReply {
+                    token: req.token,
+                    result: Err(NotLeader {
+                        hint: self.leader_hint,
+                    }),
+                },
+            );
+            return;
+        }
+        match req.op {
+            ClientOp::Read { key } => {
+                let value = self.kv.get(&key).map(|v| v.to_vec());
+                ctx.send(
+                    req.reply_to,
+                    SimDuration::ZERO,
+                    ClientReply {
+                        token: req.token,
+                        result: Ok(value),
+                    },
+                );
+            }
+            ClientOp::Write(command) => {
+                self.log.push(LogEntry {
+                    term: self.term,
+                    command,
+                });
+                let index = self.last_log_index();
+                self.pending.insert(index, (req.token, req.reply_to));
+                self.broadcast_append(ctx);
+            }
+        }
+    }
+}
+
+/// Control message arming a node's first election timer.
+#[derive(Debug)]
+pub struct StartNode;
+
+/// Control message: crash the node. Volatile state is lost; persistent
+/// state (term, vote, log) survives, per Raft's durability contract. A
+/// crashed node ignores everything except [`Restart`].
+#[derive(Debug)]
+pub struct Crash;
+
+/// Control message: restart a crashed node. The state machine is rebuilt
+/// by replaying the persistent log as entries re-commit.
+#[derive(Debug)]
+pub struct Restart;
+
+impl Component for RaftNode {
+    fn name(&self) -> &str {
+        "raft-node"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        // Crash/restart control cuts across every other message.
+        if msg.is::<Crash>() {
+            self.crashed = true;
+            // Volatile state vanishes (Raft Fig. 2: commitIndex and
+            // lastApplied are volatile; the state machine is rebuilt on
+            // restart). Persistent term/vote/log survive.
+            self.role = Role::Follower;
+            self.votes.clear();
+            self.leader_hint = None;
+            self.next_index.clear();
+            self.match_index.clear();
+            self.commit_index = 0;
+            self.last_applied = 0;
+            self.kv = KvStore::default();
+            self.applied.clear();
+            self.pending.clear();
+            // Invalidate timers armed before the crash.
+            self.election_epoch += 1;
+            return;
+        }
+        if msg.is::<Restart>() {
+            if self.crashed {
+                self.crashed = false;
+                self.reset_election_timer(ctx);
+            }
+            return;
+        }
+        if self.crashed {
+            return; // a crashed node is deaf
+        }
+        let msg = match msg.downcast::<RaftMsg>() {
+            Ok(m) => {
+                debug_assert_eq!(m.to, self.id, "fabric misrouted a message");
+                self.on_rpc(ctx, m.from, m.rpc);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<ClientRequest>() {
+            Ok(r) => {
+                self.on_client(ctx, *r);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<ElectionTimeout>() {
+            Ok(t) => {
+                if t.epoch == self.election_epoch && self.role != Role::Leader {
+                    self.start_election(ctx);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<HeartbeatTick>() {
+            Ok(t) => {
+                if self.role == Role::Leader && t.term == self.term {
+                    self.broadcast_append(ctx);
+                    ctx.send_self(
+                        self.cfg.heartbeat_interval,
+                        HeartbeatTick { term: self.term },
+                    );
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        match msg.downcast::<StartNode>() {
+            Ok(_) => self.reset_election_timer(ctx),
+            Err(other) => panic!("raft node received unknown message {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a set of [`Component`]s and a time-ordered event
+//! queue. Each event delivers one [`AnyMessage`] to one component; handling
+//! an event may schedule further events. Runs are fully deterministic given
+//! the RNG seed: ties in delivery time are broken by scheduling order.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::message::{AnyMessage, Message};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a component registered with a [`Simulation`].
+///
+/// Ids are dense indices assigned in registration order, so they are stable
+/// across runs of the same setup code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// Returns the raw index of this component.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cid#{}", self.0)
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cid#{}", self.0)
+    }
+}
+
+/// An active entity in the simulation: a NIC, a host, a switch port, a load
+/// generator, and so on.
+///
+/// Components receive messages through [`Component::handle`] and interact
+/// with the world exclusively through the passed [`Ctx`].
+pub trait Component: Any {
+    /// Handles one message delivered at the current virtual time.
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage);
+
+    /// A short human-readable name used in traces.
+    fn name(&self) -> &str {
+        "component"
+    }
+}
+
+/// One scheduled delivery.
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    dst: ComponentId,
+    msg: AnyMessage,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The execution context handed to a component while it handles a message.
+///
+/// # Examples
+///
+/// ```
+/// use lnic_sim::prelude::*;
+///
+/// #[derive(Debug)]
+/// struct Tick;
+///
+/// struct Clock {
+///     ticks: u32,
+/// }
+///
+/// impl Component for Clock {
+///     fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMessage) {
+///         self.ticks += 1;
+///         if self.ticks < 3 {
+///             ctx.send_self(SimDuration::from_micros(10), Tick);
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(42);
+/// let clock = sim.add(Clock { ticks: 0 });
+/// sim.post(clock, SimDuration::ZERO, Tick);
+/// sim.run();
+/// assert_eq!(sim.get::<Clock>(clock).unwrap().ticks, 3);
+/// ```
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: ComponentId,
+    queue: &'a mut BinaryHeap<Reverse<Scheduled>>,
+    seq: &'a mut u64,
+    rng: &'a mut SmallRng,
+    stop: &'a mut bool,
+    trace: Option<&'a mut Vec<(SimTime, String)>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the id of the component currently handling the message.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedules `msg` for delivery to `dst` after `delay`.
+    pub fn send<M: Message>(&mut self, dst: ComponentId, delay: SimDuration, msg: M) {
+        self.send_boxed(dst, delay, Box::new(msg));
+    }
+
+    /// Schedules an already-boxed message for delivery to `dst` after
+    /// `delay`.
+    pub fn send_boxed(&mut self, dst: ComponentId, delay: SimDuration, msg: AnyMessage) {
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at: self.now + delay,
+            seq,
+            dst,
+            msg,
+        }));
+    }
+
+    /// Schedules `msg` back to the current component after `delay` (a timer).
+    pub fn send_self<M: Message>(&mut self, delay: SimDuration, msg: M) {
+        self.send(self.self_id, delay, msg);
+    }
+
+    /// Returns the simulation-wide deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Requests that the run loop stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+
+    /// Records a trace line when tracing is enabled; a no-op otherwise.
+    pub fn trace(&mut self, line: impl FnOnce() -> String) {
+        let now = self.now;
+        if let Some(buf) = self.trace.as_deref_mut() {
+            buf.push((now, line()));
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// See [`Ctx`] for a complete usage example.
+pub struct Simulation {
+    components: Vec<Option<Box<dyn Component>>>,
+    names: Vec<String>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    now: SimTime,
+    seq: u64,
+    rng: SmallRng,
+    processed: u64,
+    trace: Option<Vec<(SimTime, String)>>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("components", &self.components.len())
+            .field("pending_events", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            components: Vec::new(),
+            names: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            processed: 0,
+            trace: None,
+        }
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add<C: Component>(&mut self, component: C) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.names.push(component.name().to_owned());
+        self.components.push(Some(Box::new(component)));
+        id
+    }
+
+    /// Enables or disables trace capture (see [`Ctx::trace`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        if on && self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        } else if !on {
+            self.trace = None;
+        }
+    }
+
+    /// Returns the captured trace lines, if tracing is enabled.
+    pub fn trace_lines(&self) -> &[(SimTime, String)] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Returns the number of events still pending delivery.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules a message from outside any component (e.g. test or
+    /// experiment setup code).
+    pub fn post<M: Message>(&mut self, dst: ComponentId, delay: SimDuration, msg: M) {
+        self.post_boxed(dst, delay, Box::new(msg));
+    }
+
+    /// Schedules an already-boxed message from outside any component.
+    pub fn post_boxed(&mut self, dst: ComponentId, delay: SimDuration, msg: AnyMessage) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at: self.now + delay,
+            seq,
+            dst,
+            msg,
+        }));
+    }
+
+    /// Borrows a registered component, downcast to its concrete type.
+    ///
+    /// Returns `None` when `id` is out of range or the type does not match.
+    pub fn get<C: Component>(&self, id: ComponentId) -> Option<&C> {
+        let slot = self.components.get(id.0)?.as_deref()?;
+        (slot as &dyn Any).downcast_ref::<C>()
+    }
+
+    /// Mutably borrows a registered component, downcast to its concrete type.
+    pub fn get_mut<C: Component>(&mut self, id: ComponentId) -> Option<&mut C> {
+        let slot = self.components.get_mut(id.0)?.as_deref_mut()?;
+        (slot as &mut dyn Any).downcast_mut::<C>()
+    }
+
+    /// Delivers the next pending event, if any. Returns `false` when the
+    /// queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses an unknown component (a wiring bug).
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.processed += 1;
+
+        let slot = self
+            .components
+            .get_mut(ev.dst.0)
+            .unwrap_or_else(|| panic!("event addressed to unknown component {}", ev.dst));
+        let mut component = slot.take().expect("component re-entered during dispatch");
+
+        let mut stop = false;
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.dst,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                rng: &mut self.rng,
+                stop: &mut stop,
+                trace: self.trace.as_mut(),
+            };
+            component.handle(&mut ctx, ev.msg);
+        }
+        self.components[ev.dst.0] = Some(component);
+        !stop
+    }
+
+    /// Runs until the event queue drains or a component calls [`Ctx::stop`].
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are delivered), the queue drains, or a component stops the
+    /// run.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            if !self.step() {
+                return;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the queue drains, panicking after `limit` events as a
+    /// guard against livelock in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than `limit` events are processed.
+    pub fn run_with_limit(&mut self, limit: u64) {
+        let start = self.processed;
+        while self.step() {
+            assert!(
+                self.processed - start <= limit,
+                "simulation exceeded {limit} events; possible livelock"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Ping(u32);
+
+    /// Forwards each `Ping` to a peer after a fixed delay, recording arrival
+    /// times.
+    struct Relay {
+        peer: Option<ComponentId>,
+        delay: SimDuration,
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl Component for Relay {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+            let ping = msg.downcast::<Ping>().expect("relay only accepts Ping");
+            self.seen.push((ctx.now(), ping.0));
+            if let Some(peer) = self.peer {
+                if ping.0 > 0 {
+                    ctx.send(peer, self.delay, Ping(ping.0 - 1));
+                }
+            }
+        }
+    }
+
+    fn relay(delay_ns: u64) -> Relay {
+        Relay {
+            peer: None,
+            delay: SimDuration::from_nanos(delay_ns),
+            seen: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add(relay(10));
+        let b = sim.add(relay(5));
+        sim.get_mut::<Relay>(a).unwrap().peer = Some(b);
+        sim.get_mut::<Relay>(b).unwrap().peer = Some(a);
+
+        sim.post(a, SimDuration::ZERO, Ping(4));
+        sim.run();
+
+        // a sees 4 (t=0) then 2 (t=15); b sees 3 (t=10) then 1 (t=25).
+        let a_seen = &sim.get::<Relay>(a).unwrap().seen;
+        let b_seen = &sim.get::<Relay>(b).unwrap().seen;
+        assert_eq!(
+            a_seen,
+            &vec![
+                (SimTime::from_nanos(0), 4),
+                (SimTime::from_nanos(15), 2),
+                (SimTime::from_nanos(30), 0)
+            ]
+        );
+        assert_eq!(
+            b_seen,
+            &vec![(SimTime::from_nanos(10), 3), (SimTime::from_nanos(25), 1)]
+        );
+        assert_eq!(sim.now(), SimTime::from_nanos(30));
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        struct Collector {
+            order: Vec<u32>,
+        }
+        impl Component for Collector {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: AnyMessage) {
+                self.order.push(msg.downcast::<Ping>().unwrap().0);
+            }
+        }
+        let mut sim = Simulation::new(7);
+        let c = sim.add(Collector { order: Vec::new() });
+        for i in 0..10 {
+            sim.post(c, SimDuration::from_nanos(100), Ping(i));
+        }
+        sim.run();
+        assert_eq!(
+            sim.get::<Collector>(c).unwrap().order,
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add(relay(1_000));
+        let b = sim.add(relay(1_000));
+        sim.get_mut::<Relay>(a).unwrap().peer = Some(b);
+        sim.get_mut::<Relay>(b).unwrap().peer = Some(a);
+        sim.post(a, SimDuration::ZERO, Ping(100));
+
+        sim.run_until(SimTime::from_nanos(3_500));
+        assert_eq!(sim.now(), SimTime::from_nanos(3_500));
+        // Events at t=0,1000,2000,3000 delivered; rest pending.
+        assert_eq!(sim.events_processed(), 4);
+        assert!(sim.events_pending() > 0);
+
+        // Idle run_until advances the clock even with a far deadline.
+        let mut idle = Simulation::new(1);
+        idle.run_until(SimTime::from_nanos(42));
+        assert_eq!(idle.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn stop_halts_the_run() {
+        struct Stopper;
+        impl Component for Stopper {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMessage) {
+                ctx.stop();
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let s = sim.add(Stopper);
+        sim.post(s, SimDuration::ZERO, Ping(0));
+        sim.post(s, SimDuration::from_nanos(5), Ping(1));
+        sim.run();
+        assert_eq!(sim.events_processed(), 1);
+        assert_eq!(sim.events_pending(), 1);
+    }
+
+    #[test]
+    fn identical_seeds_are_deterministic() {
+        fn run_once(seed: u64) -> Vec<(SimTime, u32)> {
+            use rand::Rng;
+            struct Jitter {
+                seen: Vec<(SimTime, u32)>,
+            }
+            impl Component for Jitter {
+                fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+                    let p = msg.downcast::<Ping>().unwrap();
+                    self.seen.push((ctx.now(), p.0));
+                    if p.0 > 0 {
+                        let jitter = ctx.rng().gen_range(1..100);
+                        ctx.send_self(SimDuration::from_nanos(jitter), Ping(p.0 - 1));
+                    }
+                }
+            }
+            let mut sim = Simulation::new(seed);
+            let j = sim.add(Jitter { seen: Vec::new() });
+            sim.post(j, SimDuration::ZERO, Ping(20));
+            sim.run();
+            sim.get::<Jitter>(j).unwrap().seen.clone()
+        }
+        assert_eq!(run_once(99), run_once(99));
+        assert_ne!(run_once(99), run_once(100));
+    }
+
+    #[test]
+    fn get_rejects_wrong_type() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add(relay(1));
+        struct Other;
+        impl Component for Other {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, _msg: AnyMessage) {}
+        }
+        assert!(sim.get::<Relay>(a).is_some());
+        assert!(sim.get::<Other>(a).is_none());
+    }
+
+    #[test]
+    fn tracing_captures_lines() {
+        struct Tracer;
+        impl Component for Tracer {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMessage) {
+                ctx.trace(|| "handled".to_owned());
+            }
+        }
+        let mut sim = Simulation::new(1);
+        sim.set_tracing(true);
+        let t = sim.add(Tracer);
+        sim.post(t, SimDuration::from_nanos(3), Ping(0));
+        sim.run();
+        assert_eq!(
+            sim.trace_lines(),
+            &[(SimTime::from_nanos(3), "handled".to_owned())]
+        );
+    }
+
+    #[test]
+    fn run_with_limit_panics_on_livelock() {
+        struct Loop;
+        impl Component for Loop {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMessage) {
+                ctx.send_self(SimDuration::from_nanos(1), Ping(0));
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let l = sim.add(Loop);
+        sim.post(l, SimDuration::ZERO, Ping(0));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run_with_limit(1_000)));
+        assert!(result.is_err());
+    }
+}

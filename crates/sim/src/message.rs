@@ -1,0 +1,110 @@
+//! Dynamically-typed messages exchanged between simulation components.
+//!
+//! Components from different crates need to exchange payloads the engine
+//! knows nothing about, so the engine moves [`Box<dyn Message>`] values and
+//! receivers downcast to the concrete types they understand.
+
+use std::any::Any;
+use std::fmt;
+
+/// A payload deliverable to a [`crate::Component`].
+///
+/// Blanket-implemented for every `'static + Debug + Send` type, so any
+/// ordinary struct or enum can be sent without ceremony.
+///
+/// # Examples
+///
+/// ```
+/// use lnic_sim::message::{AnyMessage, Message};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Ping(u32);
+///
+/// let boxed: AnyMessage = Box::new(Ping(7));
+/// let ping = boxed.downcast::<Ping>().expect("type matches");
+/// assert_eq!(*ping, Ping(7));
+/// ```
+pub trait Message: Any + fmt::Debug + Send {
+    /// Borrows the message as [`Any`] for by-reference downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Converts the boxed message into [`Box<dyn Any>`] for by-value
+    /// downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + fmt::Debug + Send> Message for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// A boxed, type-erased message.
+pub type AnyMessage = Box<dyn Message>;
+
+impl dyn Message {
+    /// Returns a reference to the payload if it is a `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.as_any().downcast_ref::<T>()
+    }
+
+    /// Returns `true` when the payload is a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.as_any().is::<T>()
+    }
+
+    /// Recovers the concrete payload, or returns the box unchanged when the
+    /// type does not match.
+    pub fn downcast<T: Any>(self: Box<Self>) -> Result<Box<T>, AnyMessage> {
+        if self.is::<T>() {
+            Ok(self
+                .into_any()
+                .downcast::<T>()
+                .expect("type checked by is::<T>()"))
+        } else {
+            Err(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+    #[derive(Debug, PartialEq)]
+    struct Pong(u32);
+
+    #[test]
+    fn downcast_ref_matches_type() {
+        let m: AnyMessage = Box::new(Ping(1));
+        assert!(m.is::<Ping>());
+        assert!(!m.is::<Pong>());
+        assert_eq!(m.downcast_ref::<Ping>(), Some(&Ping(1)));
+        assert_eq!(m.downcast_ref::<Pong>(), None);
+    }
+
+    #[test]
+    fn downcast_by_value_recovers_payload() {
+        let m: AnyMessage = Box::new(Ping(9));
+        let ping = m.downcast::<Ping>().expect("is a Ping");
+        assert_eq!(*ping, Ping(9));
+    }
+
+    #[test]
+    fn downcast_by_value_returns_box_on_mismatch() {
+        let m: AnyMessage = Box::new(Ping(9));
+        let m = m.downcast::<Pong>().expect_err("not a Pong");
+        // The original payload is preserved.
+        assert_eq!(m.downcast_ref::<Ping>(), Some(&Ping(9)));
+    }
+
+    #[test]
+    fn debug_formatting_passes_through() {
+        let m: AnyMessage = Box::new(Ping(3));
+        assert_eq!(format!("{m:?}"), "Ping(3)");
+    }
+}

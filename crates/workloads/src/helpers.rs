@@ -1,0 +1,329 @@
+//! Helper functions shared (byte-identically) across the benchmark
+//! lambdas — the "duplicate logic (e.g., for modifying similar headers
+//! or generating packets)" that §5.1's lambda coalescing moves into the
+//! shared library.
+//!
+//! All benchmark lambdas follow one object convention so helper bodies
+//! are identical across lambdas:
+//!
+//! | object | role |
+//! |---|---|
+//! | 0 ([`SCRATCH`]) | writable scratch / request-building buffer |
+//! | 1 ([`DATA`])    | the lambda's primary data (pages, response buffer, result) |
+//! | 2 ([`PREAMBLE`]) | reply preamble (web server and image transformer) |
+
+use lnic_mlambda::builder::FnBuilder;
+use lnic_mlambda::ir::{AluOp, Cmp, Function, ObjId, Width};
+
+/// Writable scratch buffer (request building, counters, logs).
+pub const SCRATCH: ObjId = ObjId(0);
+/// The lambda's primary data object.
+pub const DATA: ObjId = ObjId(1);
+/// Reply preamble object (web/image lambdas).
+pub const PREAMBLE: ObjId = ObjId(2);
+
+/// The status preamble every web/image response opens with.
+pub const STATUS_PREAMBLE: &[u8] = b"HTTP/1.1 200 OK\r\n\r\n";
+
+/// Formats `r10` as ASCII decimal into [`SCRATCH`] at offset `r11`
+/// (advanced past the digits). Clobbers r5-r7.
+///
+/// Installed by all four benchmark lambdas (request building, sequence
+/// counters), so coalescing shares a single copy.
+pub fn format_decimal_helper() -> Function {
+    let mut b = FnBuilder::new("format_decimal");
+    let widen = b.label();
+    let digits = b.label();
+    b = b
+        .constant(5, 1)
+        .place(widen)
+        .alu(AluOp::Div, 6, 10, 5)
+        .constant(7, 10)
+        .branch(Cmp::Lt, 6, 7, digits)
+        .alu_imm(AluOp::Mul, 5, 5, 10)
+        .jump(widen)
+        .place(digits)
+        .alu(AluOp::Div, 6, 10, 5)
+        .alu_imm(AluOp::Mod, 6, 6, 10)
+        .alu_imm(AluOp::Add, 6, 6, b'0' as u64)
+        .store(SCRATCH, 11, 6, Width::B1)
+        .alu_imm(AluOp::Add, 11, 11, 1)
+        .alu_imm(AluOp::Div, 5, 5, 10)
+        .constant(7, 0);
+    b.branch(Cmp::Ne, 5, 7, digits).ret().build()
+}
+
+/// Emits the full reply preamble from [`PREAMBLE`]. Installed by the web
+/// server and the image transformer ("we combine their reply logic",
+/// §6.4).
+pub fn reply_preamble_helper() -> Function {
+    FnBuilder::new("emit_reply_preamble")
+        .constant(24, 0)
+        .constant(25, STATUS_PREAMBLE.len() as u64)
+        .emit_obj(PREAMBLE, 24, 25)
+        .ret()
+        .build()
+}
+
+/// Computes a 64-bit additive checksum over 64 bytes of [`DATA`]
+/// starting at `r12`, fully unrolled (NPU compilers unroll aggressively
+/// — loops cost branches). Result in r13; clobbers r14.
+///
+/// Installed by the web server (ETag-style content signature) and the
+/// image transformer (result integrity tag).
+pub fn checksum64_helper() -> Function {
+    let mut b = FnBuilder::new("checksum64").constant(13, 0).mov(14, 12);
+    for _ in 0..8 {
+        b = b
+            .load(15, DATA, 14, Width::B8)
+            .alu(AluOp::Add, 13, 13, 15)
+            .alu_imm(AluOp::Add, 14, 14, 8);
+    }
+    b.ret().build()
+}
+
+/// Classifies a memcached response held in [`DATA`] (`r16` = response
+/// length): leaves 1 in r23 for `VALUE`, 2 for `STORED`, 3 otherwise.
+/// The first-bytes comparison is unrolled (8 positions against both
+/// candidate literals). Clobbers r4-r6. Installed by both key-value
+/// clients — the response-handling twin of the packet-generation logic
+/// §6.4 coalesces.
+pub fn classify_kv_response_helper() -> Function {
+    let mut b = FnBuilder::new("classify_kv_response");
+    let not_value = b.label();
+    let not_stored = b.label();
+    let done = b.label();
+
+    // Guard: empty responses classify as "other".
+    b = b
+        .constant(4, 1)
+        .constant(23, 3)
+        .branch(Cmp::Lt, 16, 4, done);
+
+    // Unrolled compare against "VALUE " (6 bytes).
+    for (i, ch) in b"VALUE ".iter().enumerate() {
+        b = b
+            .constant(4, i as u64)
+            .load(5, DATA, 4, Width::B1)
+            .constant(6, *ch as u64)
+            .branch(Cmp::Ne, 5, 6, not_value);
+    }
+    b = b.constant(23, 1).jump(done).place(not_value);
+
+    // Unrolled compare against "STORED" (6 bytes).
+    for (i, ch) in b"STORED".iter().enumerate() {
+        b = b
+            .constant(4, i as u64)
+            .load(5, DATA, 4, Width::B1)
+            .constant(6, *ch as u64)
+            .branch(Cmp::Ne, 5, 6, not_stored);
+    }
+    b = b
+        .constant(23, 2)
+        .jump(done)
+        .place(not_stored)
+        .constant(23, 3)
+        .place(done);
+    b.ret().build()
+}
+
+/// Scans the memcached `VALUE` response in [`DATA`] for the value bytes:
+/// offset in r20, length in r21, 0 in r22 on success (3 on parse
+/// failure). Input: r16 = response length. Clobbers r4-r6.
+pub fn parse_value_helper() -> Function {
+    let mut b = FnBuilder::new("kv_parse_value");
+    let err = b.label();
+    let scan1 = b.label();
+    let found1 = b.label();
+    let scan2 = b.label();
+    let found2 = b.label();
+    b = b
+        .constant(5, 1)
+        .branch(Cmp::Lt, 16, 5, err)
+        .constant(4, 0)
+        .load(5, DATA, 4, Width::B1)
+        .constant(6, b'V' as u64)
+        .branch(Cmp::Ne, 5, 6, err)
+        .place(scan1)
+        .branch(Cmp::Ge, 4, 16, err)
+        .load(5, DATA, 4, Width::B1)
+        .constant(6, b'\r' as u64)
+        .branch(Cmp::Eq, 5, 6, found1)
+        .alu_imm(AluOp::Add, 4, 4, 1)
+        .jump(scan1)
+        .place(found1)
+        .alu_imm(AluOp::Add, 20, 4, 2)
+        .mov(4, 20)
+        .place(scan2)
+        .branch(Cmp::Ge, 4, 16, err)
+        .load(5, DATA, 4, Width::B1)
+        .branch(Cmp::Eq, 5, 6, found2)
+        .alu_imm(AluOp::Add, 4, 4, 1)
+        .jump(scan2)
+        .place(found2)
+        .alu(AluOp::Sub, 21, 4, 20)
+        .constant(22, 0)
+        .ret()
+        .place(err)
+        .constant(20, 0)
+        .constant(21, 0)
+        .constant(22, 3);
+    b.ret().build()
+}
+
+/// Records a request-sequence log entry: stores `r18` (sequence) and the
+/// checksum in r13 into [`SCRATCH`] at fixed offsets, then bumps the
+/// stored request counter. Installed by web server and image
+/// transformer. Clobbers r14-r15.
+pub fn log_entry_helper() -> Function {
+    FnBuilder::new("log_entry")
+        .constant(14, 32)
+        .store(SCRATCH, 14, 18, Width::B8)
+        .constant(14, 40)
+        .store(SCRATCH, 14, 13, Width::B8)
+        .constant(14, 48)
+        .load(15, SCRATCH, 14, Width::B8)
+        .alu_imm(AluOp::Add, 15, 15, 1)
+        .store(SCRATCH, 14, 15, Width::B8)
+        .ret()
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lnic_mlambda::interp::{run_to_completion, ObjectMemory, RequestCtx};
+    use lnic_mlambda::program::{Lambda, MemObject, Program, WorkloadId};
+    use std::sync::Arc;
+
+    /// Runs `entry` with standard-convention objects; returns (rc, out,
+    /// scratch bytes).
+    fn run(
+        entry: Function,
+        helpers: Vec<Function>,
+        data: Vec<u8>,
+        payload: &[u8],
+    ) -> (u64, Vec<u8>, Vec<u8>) {
+        let mut l = Lambda::new("t", WorkloadId(1), entry);
+        l.add_object(MemObject::zeroed("scratch", 256));
+        l.add_object(MemObject::with_data("data", data));
+        l.add_object(MemObject::with_data("preamble", STATUS_PREAMBLE.to_vec()));
+        for h in helpers {
+            l.add_function(h);
+        }
+        let mut p = Program::new();
+        p.add_lambda(l, vec![]);
+        p.validate().expect("valid");
+        let p = Arc::new(p);
+        let mut mem = ObjectMemory::for_lambda(&p.lambdas[0]);
+        let ctx = RequestCtx {
+            payload: Bytes::copy_from_slice(payload),
+            ..Default::default()
+        };
+        let done = run_to_completion(&p, 0, ctx, &mut mem, 1_000_000, |_, _| Bytes::new())
+            .expect("completes");
+        (
+            done.return_code,
+            done.response.to_vec(),
+            mem.object(0).to_vec(),
+        )
+    }
+
+    #[test]
+    fn format_decimal_writes_ascii() {
+        for (v, expect) in [(0u64, "0"), (7, "7"), (42, "42"), (98765, "98765")] {
+            let entry = FnBuilder::new("e")
+                .constant(10, v)
+                .constant(11, 3)
+                .call_local(1)
+                .constant(1, 3)
+                .alu_imm(AluOp::Sub, 2, 11, 3) // digits written
+                .emit_obj(SCRATCH, 1, 2)
+                .ret_const(0)
+                .build();
+            let (rc, out, _) = run(entry, vec![format_decimal_helper()], vec![0; 64], &[]);
+            assert_eq!(rc, 0);
+            assert_eq!(String::from_utf8(out).unwrap(), expect, "value {v}");
+        }
+    }
+
+    #[test]
+    fn checksum64_sums_data_words() {
+        let mut data = vec![0u8; 128];
+        data[0] = 1; // big-endian word 0 = 1 << 56
+        data[64] = 0; // outside the checksummed window when r12 = 0
+        let entry = FnBuilder::new("e")
+            .constant(12, 0)
+            .call_local(1)
+            .emit(13, Width::B8)
+            .ret_const(0)
+            .build();
+        let (_, out, _) = run(entry, vec![checksum64_helper()], data, &[]);
+        assert_eq!(out, (1u64 << 56).to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn classify_recognizes_value_stored_other() {
+        for (resp, class) in [
+            (&b"VALUE k 0 3\r\nabc\r\nEND\r\n"[..], 1u64),
+            (b"STORED\r\n", 2),
+            (b"END\r\n", 3),
+            (b"", 3),
+        ] {
+            let mut data = resp.to_vec();
+            data.resize(64, 0);
+            let entry = FnBuilder::new("e")
+                .constant(16, resp.len() as u64)
+                .call_local(1)
+                .emit(23, Width::B1)
+                .ret_const(0)
+                .build();
+            let (_, out, _) = run(entry, vec![classify_kv_response_helper()], data, &[]);
+            assert_eq!(out, vec![class as u8], "resp {resp:?}");
+        }
+    }
+
+    #[test]
+    fn parse_value_extracts_bytes() {
+        let resp = b"VALUE user:1 0 5\r\nhello\r\nEND\r\n";
+        let mut data = resp.to_vec();
+        data.resize(64, 0);
+        let entry = FnBuilder::new("e")
+            .constant(16, resp.len() as u64)
+            .call_local(1)
+            .emit_obj(DATA, 20, 21)
+            .ret_const(0)
+            .build();
+        let (_, out, _) = run(entry, vec![parse_value_helper()], data, &[]);
+        assert_eq!(out, b"hello".to_vec());
+    }
+
+    #[test]
+    fn log_entry_persists_counter() {
+        let entry = FnBuilder::new("e")
+            .constant(18, 5)
+            .constant(13, 0xAB)
+            .call_local(1)
+            .call_local(1)
+            .ret_const(0)
+            .build();
+        let (_, _, scratch) = run(entry, vec![log_entry_helper()], vec![0; 8], &[]);
+        // Counter at offset 48 incremented twice.
+        assert_eq!(u64::from_be_bytes(scratch[48..56].try_into().unwrap()), 2);
+        assert_eq!(u64::from_be_bytes(scratch[32..40].try_into().unwrap()), 5);
+    }
+
+    #[test]
+    fn helper_bodies_are_deterministic() {
+        // Identical builds must produce identical bodies (the property
+        // coalescing relies on).
+        assert_eq!(format_decimal_helper().body, format_decimal_helper().body);
+        assert_eq!(checksum64_helper().body, checksum64_helper().body);
+        assert_eq!(
+            classify_kv_response_helper().body,
+            classify_kv_response_helper().body
+        );
+        assert_eq!(log_entry_helper().body, log_entry_helper().body);
+    }
+}

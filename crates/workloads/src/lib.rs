@@ -1,0 +1,27 @@
+//! # lnic-workloads: the paper's benchmark lambdas
+//!
+//! The three interactive workloads of §6.2, authored in the Match+Lambda
+//! IR (the role Micro-C plays in the paper) with native Rust reference
+//! implementations used to verify functional correctness:
+//!
+//! - [`web`]: a web server returning text pages from lambda memory;
+//! - [`kv`]: key-value GET and SET clients speaking real memcached text
+//!   protocol to a remote store over the weakly-consistent transport;
+//! - [`image`]: an RGBA→grayscale transformer fed by multi-packet RDMA.
+//!
+//! [`suite`] combines them into the programs the experiments deploy,
+//! including the §6.4 four-lambda program whose compilation reproduces
+//! Figure 9.
+
+#![warn(missing_docs)]
+
+pub mod helpers;
+pub mod image;
+pub mod kv;
+pub mod suite;
+pub mod web;
+
+pub use suite::{
+    benchmark_program, default_web_content, image_program, kv_get_program, kv_set_program,
+    three_web_servers, web_program, SuiteConfig, IMAGE_ID, KV_GET_ID, KV_SET_ID, WEB_ID,
+};

@@ -1,0 +1,70 @@
+//! Autoscaler demo (§6.1.1): an overloaded workload is scaled out across
+//! the fleet while traffic flows, and its latency recovers.
+//!
+//! Run with: `cargo run -p lnic-examples --bin autoscaler_demo`
+
+use std::sync::Arc;
+
+use lnic::autoscaler::{Autoscaler, AutoscalerConfig, StartAutoscaler};
+use lnic::prelude::*;
+use lnic_sim::prelude::*;
+use lnic_workloads::{web_program, SuiteConfig, WEB_ID};
+
+fn main() {
+    // Four bare-metal workers, all traffic initially pinned to one.
+    let mut bed = build_testbed(
+        TestbedConfig::new(BackendKind::BareMetal)
+            .seed(5)
+            .workers(4)
+            .worker_threads(4),
+    );
+    bed.preload(&Arc::new(web_program(&SuiteConfig::default())));
+    bed.place(WEB_ID.0, 0);
+
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID.0,
+            payload: PayloadSpec::RandomPage { count: 64 },
+        }],
+        32,
+        SimDuration::from_micros(80),
+        Some(150),
+    ));
+    let scaler = bed.sim.add(Autoscaler::new(
+        AutoscalerConfig {
+            interval: SimDuration::from_millis(25),
+            target_p99: SimDuration::from_millis(2),
+            max_replicas: 4,
+            min_samples: 8,
+        },
+        gateway,
+        bed.workers.clone(),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.post(scaler, SimDuration::ZERO, StartAutoscaler);
+    bed.sim.run_for(SimDuration::from_secs(10));
+
+    for e in bed.sim.get::<Autoscaler>(scaler).unwrap().events() {
+        println!(
+            "t={} scaled workload {} to {} replicas",
+            e.at, e.workload_id, e.replicas
+        );
+    }
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    let all = d.completed();
+    let half = all.len() / 2;
+    let mean = |s: &[lnic::CompletedRequest]| {
+        s.iter().map(|c| c.latency.as_nanos()).sum::<u64>() as f64 / s.len() as f64 / 1e6
+    };
+    println!(
+        "latency before scale-out: {:.3} ms | after: {:.3} ms ({} requests served)",
+        mean(&all[..half]),
+        mean(&all[half..]),
+        all.len()
+    );
+    let replicas = bed.sim.get::<Gateway>(gateway).unwrap().replicas(WEB_ID.0);
+    println!("final replica count: {replicas}");
+    assert!(replicas >= 2);
+}

@@ -1,0 +1,137 @@
+//! Chained serverless functions (§7: large workloads "have shown to
+//! perform better when broken down into small serverless functions"):
+//! a two-stage pipeline where each image is transformed on the SmartNIC
+//! and its signature is then durably stored through the KV SET lambda —
+//! with the client chaining stage 2 off stage 1's completion.
+//!
+//! Run with: `cargo run -p lnic-examples --bin chained_functions`
+
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_kv::KvServer;
+use lnic_sim::prelude::*;
+use lnic_workloads::image::RgbaImage;
+use lnic_workloads::kv::set_request_payload;
+use lnic_workloads::web::STATUS_PREAMBLE;
+use lnic_workloads::{benchmark_program, SuiteConfig, IMAGE_ID, KV_SET_ID};
+
+/// Drives the two-stage chain: transform -> store signature.
+struct ChainDriver {
+    gateway: ComponentId,
+    images_left: u32,
+    next_id: u32,
+    stage1_done: u32,
+    stage2_done: u32,
+    chain_latency: Series,
+    started: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct Kick;
+
+impl ChainDriver {
+    fn submit_image(&mut self, ctx: &mut Ctx<'_>) {
+        if self.images_left == 0 {
+            return;
+        }
+        self.images_left -= 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let img = RgbaImage::synthetic(64, 64);
+        let self_id = ctx.self_id();
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            SubmitRequest {
+                workload_id: IMAGE_ID.0,
+                payload: bytes::Bytes::from(img.data),
+                reply_to: self_id,
+                // Encode the stage in the token's top bit.
+                token: id as u64,
+            },
+        );
+    }
+}
+
+impl Component for ChainDriver {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        if msg.is::<Kick>() {
+            self.started = Some(ctx.now());
+            for _ in 0..4 {
+                self.submit_image(ctx);
+            }
+            return;
+        }
+        let done = msg.downcast::<RequestDone>().expect("completions only");
+        assert!(!done.failed, "chain stage failed");
+        const STAGE2_BIT: u64 = 1 << 32;
+        if done.token & STAGE2_BIT == 0 {
+            // Stage 1 finished: hash the grayscale output and store it
+            // under the image's id via the KV SET lambda.
+            self.stage1_done += 1;
+            let gray = &done.response[STATUS_PREAMBLE.len()..];
+            let signature: u64 = gray
+                .iter()
+                .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64));
+            let self_id = ctx.self_id();
+            ctx.send(
+                self.gateway,
+                SimDuration::ZERO,
+                SubmitRequest {
+                    workload_id: KV_SET_ID.0,
+                    payload: set_request_payload(done.token as u32, &signature.to_be_bytes()),
+                    reply_to: self_id,
+                    token: done.token | STAGE2_BIT,
+                },
+            );
+        } else {
+            // Stage 2 finished: the signature is durable.
+            self.stage2_done += 1;
+            assert_eq!(&done.response[..], b"STORED\r\n");
+            if let Some(t0) = self.started {
+                self.chain_latency.record(ctx.now() - t0);
+            }
+            self.submit_image(ctx);
+        }
+    }
+}
+
+fn main() {
+    let cfg = SuiteConfig::default();
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(12));
+    bed.preload(&Arc::new(benchmark_program(&cfg)));
+
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ChainDriver {
+        gateway,
+        images_left: 20,
+        next_id: 0,
+        stage1_done: 0,
+        stage2_done: 0,
+        chain_latency: Series::new("chain"),
+        started: None,
+    });
+    bed.sim.post(driver, SimDuration::ZERO, Kick);
+    bed.sim.run();
+
+    let d = bed.sim.get::<ChainDriver>(driver).unwrap();
+    println!(
+        "chained pipeline: {} transforms -> {} signatures stored",
+        d.stage1_done, d.stage2_done
+    );
+    assert_eq!(d.stage1_done, 20);
+    assert_eq!(d.stage2_done, 20);
+
+    let kv = bed.sim.get::<KvServer>(bed.kv_server).unwrap();
+    println!(
+        "memcached now holds {} signatures ({:?})",
+        kv.len(),
+        kv.counters()
+    );
+    assert_eq!(kv.len(), 20);
+    println!(
+        "end-to-end makespan for 20 two-stage chains: {}",
+        bed.sim.now()
+    );
+}

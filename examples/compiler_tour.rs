@@ -1,0 +1,85 @@
+//! A tour of the Match+Lambda compiler (§5.1): compile the §6.4
+//! benchmark program and watch each target-specific optimization shrink
+//! the per-core image.
+//!
+//! Run with: `cargo run -p lnic-examples --bin compiler_tour`
+
+use lnic_mlambda::compile::{compile, CompileOptions};
+use lnic_mlambda::memory::MemLevel;
+use lnic_workloads::{benchmark_program, SuiteConfig};
+
+fn main() {
+    let program = benchmark_program(&SuiteConfig::default());
+    println!(
+        "program: {} lambdas, {} match tables",
+        program.lambdas.len(),
+        program.tables.len()
+    );
+    for l in &program.lambdas {
+        let instrs: usize = l.functions.iter().map(|f| f.body.len()).sum();
+        println!(
+            "  {:<20} {:>3} functions {:>5} IR instructions {:>2} objects",
+            l.name,
+            l.functions.len(),
+            instrs,
+            l.objects.len()
+        );
+    }
+
+    let fw = compile(&program, &CompileOptions::optimized()).expect("compiles");
+    let r = fw.report;
+    println!("\ninstruction-store words per optimization stage (Figure 9):");
+    let pct = |now: usize| -> f64 { 100.0 * (1.0 - now as f64 / r.unoptimized as f64) };
+    println!("  unoptimized           {:>6}", r.unoptimized);
+    println!(
+        "  + lambda coalescing   {:>6}  (-{:.2}%)",
+        r.after_coalescing,
+        pct(r.after_coalescing)
+    );
+    println!(
+        "  + match reduction     {:>6}  (-{:.2}%)",
+        r.after_match_reduction,
+        pct(r.after_match_reduction)
+    );
+    println!(
+        "  + memory stratification {:>4}  (-{:.2}%)",
+        r.after_stratification,
+        pct(r.after_stratification)
+    );
+
+    println!("\npass details:");
+    println!("  coalescing:     {:?}", fw.pass_info.coalesce);
+    println!("  match reduce:   {:?}", fw.pass_info.match_reduce);
+    println!("  stratification: {:?}", fw.pass_info.stratify);
+
+    println!("\nobject placements:");
+    for (li, lambda) in fw.program.lambdas.iter().enumerate() {
+        for (oi, obj) in lambda.objects.iter().enumerate() {
+            println!(
+                "  {:<20} {:<10} {:>8} B -> {}",
+                lambda.name,
+                obj.name,
+                obj.size,
+                fw.placement(li, oi)
+            );
+        }
+    }
+
+    println!(
+        "\nfirmware: {} words, {} bytes total",
+        fw.instruction_words(),
+        fw.size_bytes()
+    );
+    println!("\nfirst 24 words of the per-core image:");
+    for line in lnic_mlambda::disasm::disassemble_firmware(&fw)
+        .lines()
+        .take(25)
+    {
+        println!("  {line}");
+    }
+    println!(
+        "shared library holds {} coalesced helpers",
+        fw.program.shared.len()
+    );
+    assert!(fw.placements.iter().flatten().any(|&l| l != MemLevel::Emem));
+}

@@ -1,0 +1,75 @@
+//! Interactive key-value API backend (§6.2b's motivating use case): SET
+//! and GET lambdas on λ-NIC querying the master node's memcached, with
+//! the full request path — gateway, switch, NIC, lambda RPC, store —
+//! simulated.
+//!
+//! Run with: `cargo run -p lnic-examples --bin kv_backend`
+
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_kv::KvServer;
+use lnic_sim::prelude::*;
+use lnic_workloads::kv::{get_request_payload, set_request_payload};
+use lnic_workloads::{benchmark_program, SuiteConfig, KV_GET_ID, KV_SET_ID};
+
+fn main() {
+    let cfg = SuiteConfig::default();
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(7));
+    bed.preload(&Arc::new(benchmark_program(&cfg)));
+
+    // Phase 1: populate the store through SET lambdas.
+    let gateway = bed.gateway;
+    let writer = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        (0..16u32)
+            .map(|id| JobSpec {
+                workload_id: KV_SET_ID.0,
+                payload: PayloadSpec::Fixed(set_request_payload(
+                    id,
+                    format!("profile-{id}").as_bytes(),
+                )),
+            })
+            .collect(),
+        1,
+        SimDuration::from_micros(50),
+        Some(16),
+    ));
+    bed.sim.post(writer, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    let w = bed.sim.get::<ClosedLoopDriver>(writer).unwrap();
+    println!(
+        "populated {} keys (mean set latency {})",
+        w.completed().len(),
+        w.latency_series(0).summary()
+    );
+
+    // Phase 2: interactive GET traffic.
+    let reader = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        (0..16u32)
+            .map(|id| JobSpec {
+                workload_id: KV_GET_ID.0,
+                payload: PayloadSpec::Fixed(get_request_payload(id)),
+            })
+            .collect(),
+        8,
+        SimDuration::from_micros(80),
+        Some(25),
+    ));
+    bed.sim.post(reader, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+
+    let r = bed.sim.get::<ClosedLoopDriver>(reader).unwrap();
+    println!(
+        "served {} GETs: latency {} | {:.0} req/s",
+        r.completed().len(),
+        r.latency_series(20).summary(),
+        r.throughput_rps()
+    );
+    assert!(r.completed().iter().all(|c| !c.failed));
+
+    let kv = bed.sim.get::<KvServer>(bed.kv_server).unwrap();
+    println!("memcached counters: {:?}", kv.counters());
+    assert_eq!(kv.counters().misses, 0, "all keys were pre-populated");
+}

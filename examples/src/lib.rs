@@ -1,0 +1,1 @@
+//! Placeholder library for the examples package; see the `examples/` targets.

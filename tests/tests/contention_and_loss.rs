@@ -1,0 +1,186 @@
+//! Integration tests for §6.3.2's contention behaviour and the
+//! weakly-consistent transport's loss recovery.
+
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_net::params::LinkParams;
+use lnic_sim::prelude::*;
+use lnic_workloads::three_web_servers;
+
+/// Runs the Figure 8 setup (three distinct web-server lambdas served
+/// round-robin) and returns the latency series.
+fn contended_run(backend: BackendKind, concurrency: usize, requests: u64) -> Series {
+    let mut bed = build_testbed(
+        TestbedConfig::new(backend)
+            .seed(17)
+            .workers(1)
+            .worker_threads(if concurrency > 1 { 56 } else { 1 }),
+    );
+    let program = Arc::new(three_web_servers());
+    bed.preload(&program);
+    // All three lambdas on the single worker.
+    for lambda in &program.lambdas {
+        bed.place(lambda.id.0, 0);
+    }
+    let jobs: Vec<JobSpec> = program
+        .lambdas
+        .iter()
+        .map(|l| JobSpec {
+            workload_id: l.id.0,
+            payload: PayloadSpec::Page(0),
+        })
+        .collect();
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        jobs,
+        concurrency,
+        SimDuration::from_micros(80),
+        Some(requests),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    bed.sim
+        .get::<ClosedLoopDriver>(driver)
+        .unwrap()
+        .latency_series(0)
+}
+
+#[test]
+fn bare_metal_suffers_under_multi_lambda_contention_nic_does_not() {
+    // Single-lambda baseline vs three-lambda round robin, like §6.3.2.
+    let nic = contended_run(BackendKind::Nic, 56, 10);
+    let bm = contended_run(BackendKind::BareMetal, 56, 10);
+    let nic_sum = nic.summary();
+    let bm_sum = bm.summary();
+    // Bare metal is two orders of magnitude worse under contention
+    // (the paper reports 178x-330x).
+    let ratio = bm_sum.mean_ns / nic_sum.mean_ns;
+    assert!(ratio > 100.0, "contended ratio only {ratio:.0}x");
+    // And its tail reaches the tens-of-milliseconds regime of Figure 8.
+    assert!(
+        bm_sum.p99_ns > 10_000_000,
+        "bm p99 {} too low",
+        bm_sum.p99_ns
+    );
+}
+
+#[test]
+fn nic_latency_insensitive_to_lambda_interleaving() {
+    // λ-NIC "shows no significant change" when multiple lambdas run
+    // concurrently (§6.3.2).
+    let single: Series = {
+        let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(3).workers(1));
+        let program = Arc::new(three_web_servers());
+        bed.preload(&program);
+        for lambda in &program.lambdas {
+            bed.place(lambda.id.0, 0);
+        }
+        let gateway = bed.gateway;
+        let driver = bed.sim.add(ClosedLoopDriver::new(
+            gateway,
+            vec![JobSpec {
+                workload_id: program.lambdas[0].id.0,
+                payload: PayloadSpec::Page(0),
+            }],
+            8,
+            SimDuration::from_micros(80),
+            Some(30),
+        ));
+        bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+        bed.sim.run();
+        bed.sim
+            .get::<ClosedLoopDriver>(driver)
+            .unwrap()
+            .latency_series(0)
+    };
+    let mixed = contended_run(BackendKind::Nic, 8, 30);
+    let s = single.summary();
+    let m = mixed.summary();
+    let change = (m.mean_ns - s.mean_ns as f64).abs() / s.mean_ns as f64;
+    assert!(change < 0.25, "NIC mean changed {change:.2} under mixing");
+}
+
+#[test]
+fn transport_recovers_from_packet_loss() {
+    let mut config = TestbedConfig::new(BackendKind::Nic).seed(11).workers(1);
+    config.link = LinkParams::ten_gbps().with_loss(0.05);
+    config.gateway.rpc_timeout = SimDuration::from_millis(5);
+    let mut bed = build_testbed(config);
+    let program = Arc::new(lnic_workloads::web_program(
+        &lnic_workloads::SuiteConfig::default(),
+    ));
+    bed.preload(&program);
+
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: lnic_workloads::WEB_ID.0,
+            payload: PayloadSpec::Page(1),
+        }],
+        4,
+        SimDuration::from_micros(50),
+        Some(100),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    assert_eq!(d.completed().len(), 400);
+    let ok = d.completed().iter().filter(|c| !c.failed).count();
+    // With 3 attempts at 5% loss, nearly everything completes.
+    assert!(ok >= 395, "only {ok}/400 completed");
+    let gw = bed.sim.get::<Gateway>(gateway).unwrap();
+    assert!(
+        gw.counters().retransmitted > 0,
+        "losses must trigger retransmissions: {:?}",
+        gw.counters()
+    );
+}
+
+#[test]
+fn duplicate_responses_after_retransmit_are_harmless() {
+    // Force spurious retransmissions with a timeout shorter than the
+    // true service time: duplicates must not double-complete requests.
+    let mut config = TestbedConfig::new(BackendKind::BareMetal)
+        .seed(13)
+        .workers(1);
+    config.gateway.rpc_timeout = SimDuration::from_micros(150); // < service time
+    config.gateway.rpc_attempts = 5;
+    let mut bed = build_testbed(config);
+    let program = Arc::new(lnic_workloads::web_program(
+        &lnic_workloads::SuiteConfig::default(),
+    ));
+    bed.preload(&program);
+
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: lnic_workloads::WEB_ID.0,
+            payload: PayloadSpec::Page(0),
+        }],
+        1,
+        SimDuration::from_micros(50),
+        Some(10),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    // Exactly one completion per submission, despite duplicates: no
+    // request ever completes twice, and every request terminates (with
+    // success or give-up).
+    assert_eq!(d.completed().len(), 10);
+    let gw = bed.sim.get::<Gateway>(gateway).unwrap();
+    assert!(gw.counters().retransmitted > 0);
+    assert_eq!(gw.counters().completed + gw.counters().failed, 10);
+    // The backend really did process duplicate copies.
+    let host = bed
+        .sim
+        .get::<lnic_host::HostBackend>(bed.workers[0].component)
+        .unwrap();
+    assert!(host.counters().requests > 10, "{:?}", host.counters());
+}

@@ -1,0 +1,84 @@
+//! Hot-swap study (§7 "hot swapping workloads"): present-generation
+//! SmartNICs cannot hitlessly update firmware — loading a new image
+//! drops traffic for the swap window — while host backends reload
+//! instantly. This test quantifies that downtime end-to-end.
+
+use std::sync::Arc;
+
+use lnic::manager::{DeployWorkload, ManagerConfig, WorkloadManager};
+use lnic::prelude::*;
+use lnic_sim::prelude::*;
+use lnic_workloads::{web_program, SuiteConfig, WEB_ID};
+
+/// Runs continuous traffic while a v2 deployment lands mid-run; returns
+/// (completed, failed) request counts.
+fn swap_under_traffic(backend: BackendKind) -> (u64, u64) {
+    let mut config = TestbedConfig::new(backend).seed(71).workers(1);
+    // One attempt: transport retries would mask the downtime.
+    config.gateway.rpc_attempts = 1;
+    config.gateway.rpc_timeout = SimDuration::from_millis(50);
+    let mut bed = build_testbed(config);
+    let program = Arc::new(web_program(&SuiteConfig::default()));
+    bed.preload(&program);
+
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID.0,
+            payload: PayloadSpec::Page(0),
+        }],
+        4,
+        SimDuration::from_millis(100),
+        Some(400),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+
+    // A v2 rollout through the manager, landing mid-run.
+    let manager = bed.sim.add(WorkloadManager::new(
+        ManagerConfig::default(),
+        backend,
+        gateway,
+        bed.workers.clone(),
+        Vec::new(),
+    ));
+    struct Ignore;
+    impl Component for Ignore {
+        fn handle(&mut self, _ctx: &mut Ctx<'_>, _msg: AnyMessage) {}
+    }
+    let ignore = bed.sim.add(Ignore);
+    bed.sim.post(
+        manager,
+        SimDuration::from_secs(2),
+        DeployWorkload {
+            program: Arc::clone(&program),
+            reply_to: ignore,
+            token: 2,
+        },
+    );
+
+    bed.sim.run_for(SimDuration::from_secs(120));
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    let failed = d.completed().iter().filter(|c| c.failed).count() as u64;
+    let ok = d.completed().len() as u64 - failed;
+    (ok, failed)
+}
+
+#[test]
+fn nic_firmware_swap_drops_traffic_host_reload_does_not() {
+    let (nic_ok, nic_failed) = swap_under_traffic(BackendKind::Nic);
+    let (host_ok, host_failed) = swap_under_traffic(BackendKind::BareMetal);
+
+    // The NIC's ~9s swap window at ~40 req/s drops a visible chunk.
+    assert!(
+        nic_failed >= 50,
+        "NIC swap must drop in-flight traffic: ok={nic_ok} failed={nic_failed}"
+    );
+    // The host reload is hitless.
+    assert_eq!(
+        host_failed, 0,
+        "host reload must not drop traffic: ok={host_ok}"
+    );
+    // Traffic resumes after the swap (most requests still complete).
+    assert!(nic_ok > 2 * nic_failed, "service resumes after the swap");
+}

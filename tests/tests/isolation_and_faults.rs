@@ -1,0 +1,175 @@
+//! Isolation and fault handling (§3.1c): a faulty lambda must not take
+//! down the NIC, corrupt its neighbours, or wedge its thread — and the
+//! compiler must reject programs that reference memory outside their
+//! own objects.
+
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_mlambda::builder::FnBuilder;
+use lnic_mlambda::compile::{compile, CompileError, CompileOptions};
+use lnic_mlambda::ir::{retcode, ObjId, Width};
+use lnic_mlambda::program::{Lambda, MemObject, Program, ValidateError, WorkloadId};
+use lnic_sim::prelude::*;
+use lnic_workloads::web::STATUS_PREAMBLE;
+
+/// A lambda that reads far outside its only object: faults at runtime.
+fn buggy_lambda(id: u32) -> Lambda {
+    let entry = FnBuilder::new("buggy")
+        .constant(1, 1 << 20) // far beyond the 64-byte object
+        .load(2, ObjId(0), 1, Width::B8)
+        .emit(2, Width::B8)
+        .ret_const(0)
+        .build();
+    let mut l = Lambda::new("buggy", WorkloadId(id), entry);
+    l.add_object(MemObject::zeroed("tiny", 64));
+    l
+}
+
+#[test]
+fn compiler_rejects_references_to_undeclared_objects() {
+    // A lambda whose body touches object 3 while declaring only one.
+    let entry = FnBuilder::new("oob")
+        .constant(1, 0)
+        .load(2, ObjId(3), 1, Width::B1)
+        .ret_const(0)
+        .build();
+    let mut l = Lambda::new("oob", WorkloadId(1), entry);
+    l.add_object(MemObject::zeroed("only", 8));
+    let mut p = Program::new();
+    p.add_lambda(l, vec![]);
+    match compile(&p, &CompileOptions::optimized()) {
+        Err(CompileError::Invalid(ValidateError::BadObject { obj, .. })) => {
+            assert_eq!(obj, ObjId(3));
+        }
+        other => panic!("expected BadObject rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn runtime_fault_is_contained_and_neighbours_unaffected() {
+    // Deploy the buggy lambda alongside a healthy web server on the
+    // same NIC.
+    let cfg = lnic_workloads::SuiteConfig::default();
+    let content = lnic_workloads::default_web_content(&cfg);
+    let mut program = lnic_workloads::web_program(&cfg);
+    program.add_lambda(buggy_lambda(50), vec![]);
+    program
+        .validate()
+        .expect("structurally valid (bounds are runtime)");
+
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(81).workers(1));
+    bed.preload(&Arc::new(program));
+    bed.place(50, 0);
+    bed.place(lnic_workloads::WEB_ID.0, 0);
+
+    struct Probe {
+        gateway: ComponentId,
+        results: Vec<(u64, Option<u16>, bytes::Bytes)>,
+    }
+    #[derive(Debug)]
+    struct Go;
+    impl Component for Probe {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+            if msg.is::<Go>() {
+                let self_id = ctx.self_id();
+                // Interleave: buggy, healthy, buggy, healthy.
+                for (i, wid) in [50u32, 1, 50, 1].into_iter().enumerate() {
+                    ctx.send(
+                        self.gateway,
+                        SimDuration::from_micros(i as u64 * 100),
+                        SubmitRequest {
+                            workload_id: wid,
+                            payload: bytes::Bytes::copy_from_slice(&0u16.to_be_bytes()),
+                            reply_to: self_id,
+                            token: i as u64,
+                        },
+                    );
+                }
+            } else if let Some(done) = msg.downcast_ref::<RequestDone>() {
+                self.results
+                    .push((done.token, done.return_code, done.response.clone()));
+            }
+        }
+    }
+    let gateway = bed.gateway;
+    let probe = bed.sim.add(Probe {
+        gateway,
+        results: vec![],
+    });
+    bed.sim.post(probe, SimDuration::ZERO, Go);
+    bed.sim.run();
+
+    let mut results = bed.sim.get::<Probe>(probe).unwrap().results.clone();
+    results.sort_by_key(|(t, _, _)| *t);
+    assert_eq!(results.len(), 4, "every request terminates");
+
+    // Buggy invocations return the ERROR code with an empty body.
+    for &i in &[0usize, 2] {
+        assert_eq!(results[i].1, Some(retcode::ERROR as u16), "req {i}");
+        assert!(results[i].2.is_empty(), "req {i}");
+    }
+    // Healthy invocations are byte-perfect, before and after the fault.
+    let expect = content.reference_response(&0u16.to_be_bytes());
+    for &i in &[1usize, 3] {
+        assert_eq!(&results[i].2[..], &expect[..], "req {i}");
+    }
+
+    // The NIC recorded the faults and freed the threads (no leak: all
+    // four requests got responses, and counters balance).
+    let nic = bed
+        .sim
+        .get::<lnic_nic::Nic>(bed.workers[0].component)
+        .unwrap();
+    assert_eq!(nic.counters().faults, 2);
+    assert_eq!(nic.counters().requests, 4);
+    assert_eq!(nic.counters().responses, 4);
+    assert_eq!(nic.busy_threads(), 0, "faulted threads were freed");
+}
+
+#[test]
+fn fuel_exhaustion_is_a_contained_fault_too() {
+    // An infinite-loop lambda hits the instruction budget, not the sim.
+    let entry = FnBuilder::new("spin")
+        .constant(1, 0)
+        .instr(lnic_mlambda::ir::Instr::Jump { target: 0 })
+        .build();
+    let spin = Lambda::new("spin", WorkloadId(60), entry);
+    let mut program = Program::new();
+    program.add_lambda(spin, vec![]);
+
+    let mut config = TestbedConfig::new(BackendKind::Nic).seed(82).workers(1);
+    config.nic.lambda_fuel = 100_000; // tight serverless compute limit
+    let mut bed = build_testbed(config);
+    bed.preload(&Arc::new(program));
+
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: 60,
+            payload: PayloadSpec::Empty,
+        }],
+        1,
+        SimDuration::from_micros(50),
+        Some(3),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    assert_eq!(d.completed().len(), 3);
+    for c in d.completed() {
+        assert_eq!(c.return_code, Some(retcode::ERROR as u16));
+    }
+    // The NIC charged real time for the burned fuel: each response took
+    // at least fuel/freq = 100k cycles ≈ 158 us.
+    let min_latency = d
+        .completed()
+        .iter()
+        .map(|c| c.latency.as_nanos())
+        .min()
+        .unwrap();
+    assert!(min_latency > 150_000, "fuel time charged: {min_latency}");
+    let _ = STATUS_PREAMBLE;
+}

@@ -1,0 +1,64 @@
+//! Robustness of the headline result across random seeds: the Figure 6
+//! ordering (λ-NIC ≪ bare metal ≪ container) is a property of the
+//! system, not of one lucky seed, and identical seeds reproduce
+//! identical measurements bit-for-bit.
+
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_sim::prelude::*;
+use lnic_workloads::{web_program, SuiteConfig, WEB_ID};
+
+fn mean_latency(backend: BackendKind, seed: u64) -> f64 {
+    let mut bed = build_testbed(TestbedConfig::new(backend).seed(seed));
+    bed.preload(&Arc::new(web_program(&SuiteConfig::default())));
+    let gateway = bed.gateway;
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID.0,
+            payload: PayloadSpec::RandomPage { count: 64 },
+        }],
+        2,
+        SimDuration::from_micros(80),
+        Some(40),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    bed.sim
+        .get::<ClosedLoopDriver>(driver)
+        .unwrap()
+        .latency_series(10)
+        .summary()
+        .mean_ns
+}
+
+#[test]
+fn figure6_ordering_holds_across_seeds() {
+    for seed in [3, 17, 101, 2026, 987654321] {
+        let nic = mean_latency(BackendKind::Nic, seed);
+        let bm = mean_latency(BackendKind::BareMetal, seed);
+        let ct = mean_latency(BackendKind::Container, seed);
+        assert!(
+            nic * 10.0 < bm && bm * 5.0 < ct,
+            "seed {seed}: nic {nic:.0} bm {bm:.0} ct {ct:.0}"
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_measurements() {
+    for backend in [BackendKind::Nic, BackendKind::BareMetal] {
+        let a = mean_latency(backend, 55);
+        let b = mean_latency(backend, 55);
+        assert_eq!(a, b, "{backend:?} must be deterministic");
+        let c = mean_latency(backend, 56);
+        // A different seed perturbs host jitter / payload choice; for
+        // the NIC path (no jitter) the means may coincide, but the
+        // simulation must still run to completion — only assert
+        // inequality where noise exists.
+        if backend == BackendKind::BareMetal {
+            assert_ne!(a, c, "different seeds should differ under OS noise");
+        }
+    }
+}
