@@ -1,0 +1,191 @@
+//! Chaos failover experiment: availability timeline through a SmartNIC
+//! crash and recovery.
+//!
+//! Crashes one of four λ-NIC workers mid-run, lets the failover
+//! controller detect the death and re-place its lambdas, restarts the
+//! worker through the firmware-swap path, and records goodput/failure
+//! counts and the p99 in 100 ms buckets across the whole episode. The
+//! paper's §7 claim under test: client retransmission plus re-deployment
+//! keeps the service available through worker failure.
+//!
+//! Emits `results/chaos_failover.json` with the bucketed timeline, the
+//! controller's event log, and end-to-end totals.
+//!
+//! Run with: `cargo run --release -p lnic-bench --bin chaos_failover`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use lnic::failover::{FailoverConfig, FailoverController, FailoverEventKind};
+use lnic::prelude::*;
+use lnic_bench::fmt_ms;
+use lnic_sim::prelude::*;
+use lnic_workloads::three_web_servers;
+
+const WORKERS: usize = 4;
+const THREADS: usize = 8;
+const THINK: SimDuration = SimDuration::from_micros(500);
+const RUN: SimDuration = SimDuration::from_secs(10);
+const CRASH_AT: SimDuration = SimDuration::from_secs(2);
+const RESTART_AT: SimDuration = SimDuration::from_secs(4);
+const BUCKET: SimDuration = SimDuration::from_millis(100);
+
+struct Bucket {
+    ok: u64,
+    failed: u64,
+    lat: Series,
+}
+
+fn main() {
+    let mut config = TestbedConfig::new(BackendKind::Nic)
+        .seed(42)
+        .workers(WORKERS);
+    config.nic.firmware_swap_time = SimDuration::from_millis(500);
+    config.gateway.rpc_timeout = SimDuration::from_millis(50);
+    config.gateway.rpc_attempts = 5;
+    config.gateway = config.gateway.resilient();
+
+    let mut bed = build_testbed(config);
+    let program = Arc::new(three_web_servers());
+    bed.preload(&program);
+    bed.enable_failover(FailoverConfig {
+        heartbeat_interval: SimDuration::from_millis(50),
+        missed_beats: 3,
+    });
+    let plan = FaultPlan::new()
+        .nic_crash(0, SimTime::ZERO + CRASH_AT)
+        .nic_restart(0, SimTime::ZERO + RESTART_AT);
+    bed.inject_faults(&plan);
+
+    let jobs: Vec<JobSpec> = program
+        .lambdas
+        .iter()
+        .map(|l| JobSpec {
+            workload_id: l.id.0,
+            payload: PayloadSpec::Page(0),
+        })
+        .collect();
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        bed.gateway,
+        jobs,
+        THREADS,
+        THINK,
+        None,
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run_until(SimTime::ZERO + RUN);
+
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    let n_buckets = (RUN.as_nanos() / BUCKET.as_nanos()) as usize;
+    let mut buckets: Vec<Bucket> = (0..n_buckets)
+        .map(|_| Bucket {
+            ok: 0,
+            failed: 0,
+            lat: Series::new("bucket"),
+        })
+        .collect();
+    for c in d.completed() {
+        let idx =
+            (c.at.saturating_duration_since(SimTime::ZERO).as_nanos() / BUCKET.as_nanos()) as usize;
+        let Some(b) = buckets.get_mut(idx) else {
+            continue;
+        };
+        if c.failed {
+            b.failed += 1;
+        } else {
+            b.ok += 1;
+            b.lat.record(c.latency);
+        }
+    }
+
+    let ctl = bed
+        .sim
+        .get::<FailoverController>(bed.failover.unwrap())
+        .unwrap();
+
+    // Human-readable sketch: goodput per bucket around the fault.
+    println!("chaos failover: {WORKERS} workers, crash w0 @2s, restart @4s (+500ms swap)");
+    println!("bucket(ms)  ok  failed  p99");
+    for (i, b) in buckets.iter().enumerate() {
+        let t_ms = i as u64 * BUCKET.as_nanos() / 1_000_000;
+        if (1_800..=5_000).contains(&t_ms) && t_ms.is_multiple_of(200) {
+            println!(
+                "{:>9}  {:>4} {:>6}  {}",
+                t_ms,
+                b.ok,
+                b.failed,
+                fmt_ms(b.lat.summary().p99_ns as f64)
+            );
+        }
+    }
+    let ok_total: u64 = buckets.iter().map(|b| b.ok).sum();
+    let failed_total: u64 = buckets.iter().map(|b| b.failed).sum();
+    println!(
+        "totals: issued={} ok={} failed={} deaths={} recoveries={} replacements={}",
+        d.issued(),
+        ok_total,
+        failed_total,
+        ctl.counters().deaths,
+        ctl.counters().recoveries,
+        ctl.counters().replacements
+    );
+
+    // JSON timeline for plotting.
+    let mut json = String::new();
+    json.push_str("{\n  \"experiment\": \"chaos_failover\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workers\": {WORKERS}, \"threads\": {THREADS}, \"seed\": 42,"
+    );
+    let _ = writeln!(
+        json,
+        "  \"crash_at_ms\": {}, \"restart_at_ms\": {}, \"swap_ms\": 500, \"bucket_ms\": {},",
+        CRASH_AT.as_nanos() / 1_000_000,
+        RESTART_AT.as_nanos() / 1_000_000,
+        BUCKET.as_nanos() / 1_000_000
+    );
+    let _ = writeln!(
+        json,
+        "  \"issued\": {}, \"ok\": {ok_total}, \"failed\": {failed_total},",
+        d.issued()
+    );
+    json.push_str("  \"events\": [\n");
+    for (i, e) in ctl.events().iter().enumerate() {
+        let kind = match e.kind {
+            FailoverEventKind::WorkerDead { worker } => format!("\"dead\", \"worker\": {worker}"),
+            FailoverEventKind::WorkerRecovered { worker } => {
+                format!("\"recovered\", \"worker\": {worker}")
+            }
+            FailoverEventKind::Replaced {
+                workload_id,
+                from,
+                to,
+            } => {
+                format!("\"replaced\", \"workload\": {workload_id}, \"from\": {from}, \"to\": {to}")
+            }
+        };
+        let comma = if i + 1 == ctl.events().len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"t_ms\": {}, \"kind\": {kind}}}{comma}",
+            e.at.saturating_duration_since(SimTime::ZERO).as_nanos() / 1_000_000
+        );
+    }
+    json.push_str("  ],\n  \"timeline\": [\n");
+    for (i, b) in buckets.iter().enumerate() {
+        let comma = if i + 1 == buckets.len() { "" } else { "," };
+        let p99_ms = b.lat.summary().p99_ns as f64 / 1e6;
+        let _ = writeln!(
+            json,
+            "    {{\"t_ms\": {}, \"ok\": {}, \"failed\": {}, \"p99_ms\": {p99_ms:.4}}}{comma}",
+            i as u64 * BUCKET.as_nanos() / 1_000_000,
+            b.ok,
+            b.failed
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/chaos_failover.json", json).expect("write timeline json");
+    println!("wrote results/chaos_failover.json");
+}

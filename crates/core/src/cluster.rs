@@ -15,6 +15,7 @@ use lnic_raft::{NodeId, RaftConfig, RaftNet, RaftNode, StartNode};
 use lnic_sim::prelude::*;
 
 use crate::deploy::BackendKind;
+use crate::failover::{FailoverConfig, FailoverController, StartFailover};
 use crate::gateway::{Gateway, GatewayParams, WorkerEndpoint};
 
 /// The logical service id workers use to reach the memcached server.
@@ -137,6 +138,17 @@ pub struct Testbed {
     pub raft_nodes: Vec<ComponentId>,
     /// Raft fabric (when enabled).
     pub raft_net: Option<ComponentId>,
+    /// Every data-plane [`Link`] in the fabric, the fault plan's link
+    /// table: index 0 is the gateway uplink, 1 the gateway switch port,
+    /// 2 the kv-server uplink, 3 the kv-server switch port, then two
+    /// entries per worker `i` — `4 + 2i` its uplink and `5 + 2i` its
+    /// switch port. Hybrid host uplinks (if any) follow at the end.
+    pub links: Vec<ComponentId>,
+    /// Failover controller (set by [`Testbed::enable_failover`]).
+    pub failover: Option<ComponentId>,
+    /// `(workload, worker index)` placements registered at setup, the
+    /// home map handed to the failover controller.
+    placements: Vec<(u32, usize)>,
 }
 
 /// MAC/IP plan: gateway is node 1, the kv server node 9, workers node
@@ -191,6 +203,8 @@ pub fn build_testbed(config: TestbedConfig) -> Testbed {
     // Workers.
     let mut workers = Vec::with_capacity(config.workers);
     let mut worker_hosts = Vec::with_capacity(config.workers);
+    let mut links = vec![gw_uplink, gw_port, kv_uplink, kv_port];
+    let mut host_links = Vec::new();
     for i in 0..config.workers {
         let (mac, addr) = worker_identity(i);
         let uplink = sim.add(Link::new(switch, config.link));
@@ -202,6 +216,7 @@ pub fn build_testbed(config: TestbedConfig) -> Testbed {
                     // The host OS behind this NIC, with its own path to
                     // the switch for responses.
                     let host_uplink = sim.add(Link::new(switch, config.link));
+                    host_links.push(host_uplink);
                     let host = sim.add(
                         HostBackend::new(
                             HostParams::bare_metal(config.worker_threads),
@@ -247,12 +262,15 @@ pub fn build_testbed(config: TestbedConfig) -> Testbed {
         sim.get_mut::<Switch>(switch)
             .expect("switch exists")
             .connect(mac, port);
+        links.push(uplink);
+        links.push(port);
         workers.push(Worker {
             component,
             mac,
             addr,
         });
     }
+    links.extend(host_links);
 
     // Control plane: a 3-node Raft cluster (M1 plus two workers'
     // hosts), on its own management fabric.
@@ -290,6 +308,9 @@ pub fn build_testbed(config: TestbedConfig) -> Testbed {
         worker_hosts,
         raft_nodes,
         raft_net,
+        links,
+        failover: None,
+        placements: Vec::new(),
     }
 }
 
@@ -333,12 +354,15 @@ impl Testbed {
         // Placements: all workloads on all workers; the gateway targets
         // worker (id % workers) for spread.
         for (i, lambda) in firmware.program.lambdas.iter().enumerate() {
-            let worker = &self.workers[i % self.workers.len()];
+            let worker_index = i % self.workers.len();
+            let worker = &self.workers[worker_index];
+            let endpoint = worker.endpoint();
             let gw = self
                 .sim
                 .get_mut::<Gateway>(self.gateway)
                 .expect("gateway exists");
-            gw.place(lambda.id.0, worker.endpoint());
+            gw.place(lambda.id.0, endpoint);
+            self.placements.push((lambda.id.0, worker_index));
         }
     }
 
@@ -379,6 +403,7 @@ impl Testbed {
             .sim
             .get_mut::<Gateway>(self.gateway)
             .expect("gateway exists");
+        let mut placed = Vec::new();
         for lambda in firmware
             .program
             .lambdas
@@ -386,7 +411,9 @@ impl Testbed {
             .chain(host_program.lambdas.iter())
         {
             gw.place(lambda.id.0, self.workers[0].endpoint());
+            placed.push((lambda.id.0, 0));
         }
+        self.placements.extend(placed);
     }
 
     /// Places a workload on a specific worker.
@@ -396,5 +423,72 @@ impl Testbed {
             .get_mut::<Gateway>(self.gateway)
             .expect("gateway exists")
             .place(workload_id, endpoint);
+        self.placements.retain(|&(wid, _)| wid != workload_id);
+        self.placements.push((workload_id, worker_index));
+    }
+
+    /// Schedules every event of `plan` into the simulation, resolving
+    /// worker indices to worker components and link indices into
+    /// [`Testbed::links`]. Event times are absolute; call this before
+    /// running (an event already in the past fires immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker or link index is out of range.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        use lnic_sim::fault::{Crash, FaultEvent, LinkDown, Restart, StallFor};
+        for fault in plan.events() {
+            let delay = fault.at.saturating_duration_since(self.sim.now());
+            match fault.event {
+                FaultEvent::NicCrash { worker } => {
+                    self.sim.post(self.workers[worker].component, delay, Crash);
+                }
+                FaultEvent::NicRestart { worker } => {
+                    self.sim
+                        .post(self.workers[worker].component, delay, Restart);
+                }
+                FaultEvent::BackendStall { worker, duration } => {
+                    self.sim
+                        .post(self.workers[worker].component, delay, StallFor(duration));
+                }
+                FaultEvent::LinkFlap { link, duration } => {
+                    self.sim.post(self.links[link], delay, LinkDown(duration));
+                }
+                FaultEvent::LossBurst {
+                    link,
+                    duration,
+                    prob,
+                } => {
+                    self.sim.post(
+                        self.links[link],
+                        delay,
+                        lnic_sim::fault::LossBurst { duration, prob },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Adds a [`FailoverController`] over the testbed's workers, seeds
+    /// it with the placements registered so far (preload before calling
+    /// this), and starts its heartbeat loop at time zero. Returns the
+    /// controller's component id (also stored in [`Testbed::failover`]).
+    ///
+    /// The heartbeat ticks forever, so drive the simulation with
+    /// `run_for`/`run_until` rather than `run` once failover is enabled.
+    pub fn enable_failover(&mut self, cfg: FailoverConfig) -> ComponentId {
+        let worker_table = self
+            .workers
+            .iter()
+            .map(|w| (w.component, w.endpoint()))
+            .collect();
+        let mut controller = FailoverController::new(cfg, self.gateway, worker_table);
+        for &(workload_id, worker_index) in &self.placements {
+            controller.track_placement(workload_id, worker_index);
+        }
+        let id = self.sim.add(controller);
+        self.sim.post(id, SimDuration::ZERO, StartFailover);
+        self.failover = Some(id);
+        id
     }
 }

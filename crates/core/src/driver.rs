@@ -162,6 +162,12 @@ impl ClosedLoopDriver {
         &self.completed
     }
 
+    /// Requests issued so far (every one eventually lands in
+    /// [`Self::completed`], successfully or as a failure).
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
     /// Wire-to-wire latencies of successful requests, skipping the first
     /// `warmup` completions.
     pub fn latency_series(&self, warmup: usize) -> Series {
@@ -263,6 +269,11 @@ impl OpenLoopDriver {
     /// Completed requests in completion order.
     pub fn completed(&self) -> &[CompletedRequest] {
         &self.completed
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
     }
 
     /// Latencies of successful requests, skipping `warmup` completions.

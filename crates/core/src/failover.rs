@@ -1,0 +1,375 @@
+//! Worker health checking and failover (§7's fault-tolerance story).
+//!
+//! λ-NIC keeps serving through SmartNIC failures with two cooperating
+//! mechanisms: the gateway's weakly-consistent transport retransmits
+//! lost requests (§4.2-D3), and the framework re-deploys the lambdas of
+//! a failed worker onto survivors. The [`FailoverController`] implements
+//! the second half: it heartbeats every worker over the management
+//! network, declares a worker dead after `missed_beats` consecutive
+//! silent probes, withdraws the dead worker's endpoints from the
+//! gateway, re-places its home workloads onto the next live worker, and
+//! re-admits the worker when its heartbeats return.
+//!
+//! Probes are [`HealthPing`] control messages delivered directly to the
+//! worker component (the out-of-band management NIC port, not the data
+//! plane), so a congested data path never looks like a death — only a
+//! crashed or long-stalled worker does.
+
+use std::collections::HashMap;
+
+use lnic_sim::fault::{HealthPing, HealthPong};
+use lnic_sim::prelude::*;
+
+use crate::gateway::{AddPlacement, RemoveWorkerEndpoints, WorkerEndpoint};
+
+/// Health-check timing and thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverConfig {
+    /// Interval between heartbeat rounds.
+    pub heartbeat_interval: SimDuration,
+    /// Consecutive missed heartbeats before a worker is declared dead.
+    pub missed_beats: u32,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            heartbeat_interval: SimDuration::from_millis(50),
+            missed_beats: 3,
+        }
+    }
+}
+
+/// Control message: start the heartbeat loop.
+#[derive(Debug)]
+pub struct StartFailover;
+
+#[derive(Debug)]
+struct Beat;
+
+/// What happened, for post-run inspection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailoverEventKind {
+    /// A worker stopped answering heartbeats and was evicted.
+    WorkerDead {
+        /// Index of the worker in the controller's table.
+        worker: usize,
+    },
+    /// A dead worker's heartbeats returned and it was re-admitted.
+    WorkerRecovered {
+        /// Index of the worker in the controller's table.
+        worker: usize,
+    },
+    /// A workload's primary placement moved.
+    Replaced {
+        /// The workload.
+        workload_id: u32,
+        /// Previous home worker.
+        from: usize,
+        /// New home worker.
+        to: usize,
+    },
+}
+
+/// A timestamped [`FailoverEventKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// When the controller acted.
+    pub at: SimTime,
+    /// What it did.
+    pub kind: FailoverEventKind,
+}
+
+/// Failover statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailoverCounters {
+    /// Heartbeat rounds completed.
+    pub beats: u64,
+    /// Workers declared dead.
+    pub deaths: u64,
+    /// Workers re-admitted after recovery.
+    pub recoveries: u64,
+    /// Workload placements moved off dead workers.
+    pub replacements: u64,
+}
+
+struct WorkerHealth {
+    component: ComponentId,
+    endpoint: WorkerEndpoint,
+    /// Consecutive silent heartbeat rounds.
+    missed: u32,
+    /// Answered the probe of the current round.
+    ponged: bool,
+    alive: bool,
+}
+
+/// The health-check + failover controller component.
+pub struct FailoverController {
+    cfg: FailoverConfig,
+    gateway: ComponentId,
+    workers: Vec<WorkerHealth>,
+    /// Current primary home of each workload (index into `workers`).
+    home: HashMap<u32, usize>,
+    /// Where each workload was homed at setup (restored on recovery).
+    origin: HashMap<u32, usize>,
+    started: bool,
+    counters: FailoverCounters,
+    events: Vec<FailoverEvent>,
+}
+
+impl FailoverController {
+    /// Creates a controller over `workers` (component + gateway-visible
+    /// endpoint) that reconfigures `gateway` on failures.
+    pub fn new(
+        cfg: FailoverConfig,
+        gateway: ComponentId,
+        workers: Vec<(ComponentId, WorkerEndpoint)>,
+    ) -> Self {
+        FailoverController {
+            cfg,
+            gateway,
+            workers: workers
+                .into_iter()
+                .map(|(component, endpoint)| WorkerHealth {
+                    component,
+                    endpoint,
+                    missed: 0,
+                    ponged: false,
+                    alive: true,
+                })
+                .collect(),
+            home: HashMap::new(),
+            origin: HashMap::new(),
+            started: false,
+            counters: FailoverCounters::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Records that `workload_id` is served by worker `worker` (its home
+    /// for re-placement purposes). Call during setup, mirroring the
+    /// placements registered with the gateway.
+    pub fn track_placement(&mut self, workload_id: u32, worker: usize) {
+        assert!(worker < self.workers.len(), "worker index out of range");
+        self.home.insert(workload_id, worker);
+        self.origin.insert(workload_id, worker);
+    }
+
+    /// Statistics.
+    pub fn counters(&self) -> FailoverCounters {
+        self.counters
+    }
+
+    /// Timestamped log of deaths, recoveries, and re-placements.
+    pub fn events(&self) -> &[FailoverEvent] {
+        &self.events
+    }
+
+    /// Whether worker `worker` is currently considered alive.
+    pub fn is_alive(&self, worker: usize) -> bool {
+        self.workers[worker].alive
+    }
+
+    /// The current primary home of a workload, if tracked.
+    pub fn home_of(&self, workload_id: u32) -> Option<usize> {
+        self.home.get(&workload_id).copied()
+    }
+
+    fn record(&mut self, ctx: &Ctx<'_>, kind: FailoverEventKind) {
+        self.events.push(FailoverEvent {
+            at: ctx.now(),
+            kind,
+        });
+    }
+
+    /// One heartbeat round: tally the previous round's silences, act on
+    /// deaths, then probe everyone again.
+    fn on_beat(&mut self, ctx: &mut Ctx<'_>) {
+        self.counters.beats += 1;
+        for i in 0..self.workers.len() {
+            let w = &mut self.workers[i];
+            if w.ponged {
+                w.missed = 0;
+            } else {
+                w.missed = w.missed.saturating_add(1);
+            }
+            w.ponged = false;
+            if w.alive && w.missed >= self.cfg.missed_beats {
+                self.declare_dead(ctx, i);
+            }
+        }
+        let seq = self.counters.beats;
+        let reply_to = ctx.self_id();
+        for i in 0..self.workers.len() {
+            ctx.send(
+                self.workers[i].component,
+                SimDuration::ZERO,
+                HealthPing { seq, reply_to },
+            );
+        }
+        ctx.send_self(self.cfg.heartbeat_interval, Beat);
+    }
+
+    fn declare_dead(&mut self, ctx: &mut Ctx<'_>, dead: usize) {
+        self.workers[dead].alive = false;
+        self.counters.deaths += 1;
+        self.record(ctx, FailoverEventKind::WorkerDead { worker: dead });
+        // Stop routing anything (originals or retransmissions) at the
+        // blackhole.
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            RemoveWorkerEndpoints {
+                mac: self.workers[dead].endpoint.mac,
+            },
+        );
+        // Re-place the dead worker's workloads on survivors, spreading
+        // round-robin from the next index so one death does not pile
+        // every orphan onto a single node.
+        let n = self.workers.len();
+        let orphans: Vec<u32> = self
+            .home
+            .iter()
+            .filter(|&(_, &h)| h == dead)
+            .map(|(&wid, _)| wid)
+            .collect();
+        let mut sorted = orphans;
+        sorted.sort_unstable();
+        for (k, wid) in sorted.into_iter().enumerate() {
+            let Some(target) = (1..n)
+                .map(|step| (dead + k + step) % n)
+                .find(|&i| self.workers[i].alive)
+            else {
+                continue; // no survivors: leave it homed, unplaced
+            };
+            self.home.insert(wid, target);
+            self.counters.replacements += 1;
+            self.record(
+                ctx,
+                FailoverEventKind::Replaced {
+                    workload_id: wid,
+                    from: dead,
+                    to: target,
+                },
+            );
+            ctx.send(
+                self.gateway,
+                SimDuration::ZERO,
+                AddPlacement {
+                    workload_id: wid,
+                    endpoint: self.workers[target].endpoint,
+                },
+            );
+        }
+    }
+
+    fn on_pong(&mut self, ctx: &mut Ctx<'_>, from: ComponentId) {
+        let Some(idx) = self.workers.iter().position(|w| w.component == from) else {
+            return;
+        };
+        let w = &mut self.workers[idx];
+        w.ponged = true;
+        w.missed = 0;
+        if w.alive {
+            return;
+        }
+        // Recovery: re-admit and hand back the workloads that
+        // originally lived here (survivor replicas keep serving too, so
+        // the handback is hitless).
+        w.alive = true;
+        self.counters.recoveries += 1;
+        self.record(ctx, FailoverEventKind::WorkerRecovered { worker: idx });
+        let endpoint = self.workers[idx].endpoint;
+        let mut homecoming: Vec<u32> = self
+            .origin
+            .iter()
+            .filter(|&(_, &o)| o == idx)
+            .map(|(&wid, _)| wid)
+            .collect();
+        homecoming.sort_unstable();
+        for wid in homecoming {
+            let from = self.home.insert(wid, idx).unwrap_or(idx);
+            if from != idx {
+                self.counters.replacements += 1;
+                self.record(
+                    ctx,
+                    FailoverEventKind::Replaced {
+                        workload_id: wid,
+                        from,
+                        to: idx,
+                    },
+                );
+            }
+            ctx.send(
+                self.gateway,
+                SimDuration::ZERO,
+                AddPlacement {
+                    workload_id: wid,
+                    endpoint,
+                },
+            );
+        }
+    }
+}
+
+impl Component for FailoverController {
+    fn name(&self) -> &str {
+        "failover-controller"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<StartFailover>() {
+            Ok(_) => {
+                if !self.started {
+                    self.started = true;
+                    self.on_beat(ctx);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<Beat>() {
+            Ok(_) => {
+                self.on_beat(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        match msg.downcast::<HealthPong>() {
+            Ok(pong) => self.on_pong(ctx, pong.from),
+            Err(other) => panic!("failover controller received unknown message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sink;
+
+    impl Component for Sink {
+        fn handle(&mut self, _ctx: &mut Ctx<'_>, _msg: AnyMessage) {}
+    }
+
+    #[test]
+    fn track_placement_sets_home_and_origin() {
+        let mut sim = Simulation::new(1);
+        let gw = sim.add(Sink);
+        let mk = |sim: &mut Simulation, i: u32| {
+            (
+                sim.add(Sink),
+                WorkerEndpoint {
+                    mac: lnic_net::MacAddr::from_index(10 + i),
+                    addr: lnic_net::SocketAddr::new(lnic_net::Ipv4Addr::node(2 + i as u8), 8000),
+                },
+            )
+        };
+        let w0 = mk(&mut sim, 0);
+        let w1 = mk(&mut sim, 1);
+        let mut ctl = FailoverController::new(FailoverConfig::default(), gw, vec![w0, w1]);
+        ctl.track_placement(7, 1);
+        assert_eq!(ctl.home_of(7), Some(1));
+        assert!(ctl.is_alive(0) && ctl.is_alive(1));
+    }
+}

@@ -17,7 +17,7 @@ use bytes::Bytes;
 use lnic_net::frag::fragment;
 use lnic_net::packet::{LambdaHdr, LambdaKind, Packet};
 use lnic_net::params::MTU_PAYLOAD_BYTES;
-use lnic_net::transport::{RpcTracker, TimeoutAction};
+use lnic_net::transport::{RetryPolicy, RpcTracker, TimeoutAction};
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
 use lnic_sim::prelude::*;
 
@@ -48,6 +48,9 @@ pub struct GatewayParams {
     pub rpc_timeout: SimDuration,
     /// Total attempts per request.
     pub rpc_attempts: u32,
+    /// Full retransmission policy. `None` uses the legacy fixed policy
+    /// built from `rpc_timeout`/`rpc_attempts`.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for GatewayParams {
@@ -60,6 +63,23 @@ impl Default for GatewayParams {
             response_cost: SimDuration::from_micros(2),
             rpc_timeout: SimDuration::from_millis(200),
             rpc_attempts: 3,
+            retry: None,
+        }
+    }
+}
+
+impl GatewayParams {
+    /// A failure-tolerant preset: exponential backoff with seeded jitter
+    /// and a per-request deadline, sized from `rpc_timeout` and
+    /// `rpc_attempts`. Use this in chaos experiments so retries from many
+    /// clients do not re-synchronize against a recovering worker.
+    pub fn resilient(self) -> Self {
+        GatewayParams {
+            retry: Some(RetryPolicy::exponential(
+                self.rpc_timeout,
+                self.rpc_attempts,
+            )),
+            ..self
         }
     }
 }
@@ -94,6 +114,16 @@ pub struct AddPlacement {
     pub workload_id: u32,
     /// The additional replica.
     pub endpoint: WorkerEndpoint,
+}
+
+/// Control message: drop every placement pointing at a worker (by MAC).
+///
+/// Sent by the failover controller when a worker is declared dead so no
+/// new request — original or retransmission — is routed at a blackhole.
+#[derive(Debug)]
+pub struct RemoveWorkerEndpoints {
+    /// MAC of the dead worker.
+    pub mac: MacAddr,
 }
 
 /// Control message: ask the gateway for per-workload statistics since
@@ -176,14 +206,16 @@ pub struct Gateway {
 impl Gateway {
     /// Creates a gateway sending through `uplink`.
     pub fn new(params: GatewayParams, uplink: ComponentId) -> Self {
-        let (timeout, attempts) = (params.rpc_timeout, params.rpc_attempts);
+        let policy = params
+            .retry
+            .unwrap_or_else(|| RetryPolicy::fixed(params.rpc_timeout, params.rpc_attempts));
         Gateway {
             params,
             uplink,
             placements: HashMap::new(),
             rr: HashMap::new(),
             window: HashMap::new(),
-            tracker: RpcTracker::new(timeout, attempts),
+            tracker: RpcTracker::with_policy(policy),
             meta: HashMap::new(),
             busy_until: SimTime::ZERO,
             counters: GatewayCounters::default(),
@@ -208,6 +240,15 @@ impl Gateway {
     /// Replica count for a workload.
     pub fn replicas(&self, workload_id: u32) -> usize {
         self.placements.get(&workload_id).map_or(0, |v| v.len())
+    }
+
+    /// Drops every placement served by `mac` (a dead worker). Workloads
+    /// left with no replica fail fast at the next pick until the
+    /// controller re-places them.
+    pub fn remove_worker_endpoints(&mut self, mac: MacAddr) {
+        for list in self.placements.values_mut() {
+            list.retain(|ep| ep.mac != mac);
+        }
     }
 
     /// Picks the next replica for a workload (round robin).
@@ -290,10 +331,10 @@ impl Gateway {
                 ctx.send(self.uplink, send_delay, packet);
             }
         }
-        ctx.send_self(
-            send_delay + self.tracker.timeout(),
-            GwTimeout { request_id },
-        );
+        // Arm the retransmission timer for this attempt (fixed policies
+        // never draw jitter, so their event timing is unchanged).
+        let timer = self.tracker.arm_timeout(request_id, ctx.rng());
+        ctx.send_self(send_delay + timer, GwTimeout { request_id });
     }
 
     fn bump_ident(&mut self) -> u16 {
@@ -390,11 +431,16 @@ impl Gateway {
     }
 
     fn on_timeout(&mut self, ctx: &mut Ctx<'_>, request_id: u64) {
-        match self.tracker.on_timeout(request_id) {
+        match self.tracker.on_timeout(ctx.now(), request_id) {
             TimeoutAction::Ignore => {}
             TimeoutAction::Resend(rec) => {
+                // Re-resolve the placement on *every* attempt: if the
+                // controller re-placed the workload after a worker died,
+                // the retransmission must chase the new endpoint, not
+                // the one recorded at first send.
                 if let Some(endpoint) = self.pick_endpoint(rec.workload_id) {
                     self.counters.retransmitted += 1;
+                    self.tracker.redirect(request_id, endpoint.addr);
                     let payload = rec.payload.clone();
                     self.send_attempt(
                         ctx,
@@ -483,6 +529,13 @@ impl Component for Gateway {
         let msg = match msg.downcast::<AddPlacement>() {
             Ok(p) => {
                 self.add_replica(p.workload_id, p.endpoint);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<RemoveWorkerEndpoints>() {
+            Ok(r) => {
+                self.remove_worker_endpoints(r.mac);
                 return;
             }
             Err(other) => other,

@@ -50,6 +50,7 @@ pub mod autoscaler;
 pub mod cluster;
 pub mod deploy;
 pub mod driver;
+pub mod failover;
 pub mod gateway;
 pub mod manager;
 
@@ -59,6 +60,10 @@ pub use deploy::{BackendKind, DeployParams};
 pub use driver::{
     ClosedLoopDriver, CompletedRequest, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver,
 };
+pub use failover::{
+    FailoverConfig, FailoverController, FailoverCounters, FailoverEvent, FailoverEventKind,
+    StartFailover,
+};
 pub use gateway::{Gateway, GatewayCounters, GatewayParams, RequestDone, SubmitRequest};
 pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
 
@@ -67,6 +72,7 @@ pub mod prelude {
     pub use crate::cluster::{build_testbed, Testbed, TestbedConfig};
     pub use crate::deploy::{BackendKind, DeployParams};
     pub use crate::driver::{ClosedLoopDriver, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver};
+    pub use crate::failover::{FailoverConfig, FailoverController, StartFailover};
     pub use crate::gateway::{Gateway, GatewayParams, RequestDone, SubmitRequest};
     pub use crate::manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
 }

@@ -4,7 +4,8 @@
 use bytes::Bytes;
 
 use lnic::gateway::{
-    Gateway, GatewayParams, RequestDone, SetPlacement, SubmitRequest, WorkerEndpoint,
+    Gateway, GatewayParams, RemoveWorkerEndpoints, RequestDone, SetPlacement, SubmitRequest,
+    WorkerEndpoint,
 };
 use lnic_net::packet::{LambdaKind, Packet};
 use lnic_net::params::MTU_PAYLOAD_BYTES;
@@ -205,6 +206,111 @@ fn duplicate_response_ignored() {
     let done = &sim.get::<Client>(client).unwrap().done;
     assert_eq!(done.len(), 1, "duplicate must not double-complete");
     assert_eq!(sim.get::<Gateway>(gw).unwrap().counters().completed, 1);
+}
+
+#[test]
+fn resend_re_resolves_placement_after_failover() {
+    // A worker dies after the original send; the failover controller
+    // withdraws its endpoints and installs a survivor. The
+    // retransmission must chase the *new* placement, not the endpoint
+    // captured at first send.
+    let params = GatewayParams {
+        rpc_timeout: SimDuration::from_micros(100),
+        rpc_attempts: 3,
+        ..Default::default()
+    };
+    let (mut sim, gw, wire, client) = setup(params);
+    let survivor = WorkerEndpoint {
+        mac: MacAddr::from_index(11),
+        addr: SocketAddr::new(Ipv4Addr::node(3), 8000),
+    };
+    sim.post(gw, SimDuration::ZERO, submit(b"chase", client, 4));
+    // Between the original send (15us) and the first timeout (115us),
+    // the controller evicts the dead worker and re-places the workload.
+    sim.post(
+        gw,
+        SimDuration::from_micros(50),
+        RemoveWorkerEndpoints {
+            mac: worker_endpoint().mac,
+        },
+    );
+    sim.post(
+        gw,
+        SimDuration::from_micros(51),
+        SetPlacement {
+            workload_id: 7,
+            endpoint: survivor,
+        },
+    );
+    sim.run();
+    let sent = &sim.get::<Wire>(wire).unwrap().sent;
+    assert_eq!(sent.len(), 3, "original + 2 retransmissions");
+    assert_eq!(sent[0].1.eth.dst, worker_endpoint().mac);
+    assert_eq!(sent[1].1.eth.dst, survivor.mac, "resend follows failover");
+    assert_eq!(sent[1].1.dst_addr(), survivor.addr);
+    assert_eq!(sent[2].1.eth.dst, survivor.mac);
+}
+
+#[test]
+fn dead_placement_with_no_survivor_fails_fast() {
+    let params = GatewayParams {
+        rpc_timeout: SimDuration::from_micros(100),
+        rpc_attempts: 5,
+        ..Default::default()
+    };
+    let (mut sim, gw, wire, client) = setup(params);
+    sim.post(gw, SimDuration::ZERO, submit(b"orphan", client, 8));
+    sim.post(
+        gw,
+        SimDuration::from_micros(50),
+        RemoveWorkerEndpoints {
+            mac: worker_endpoint().mac,
+        },
+    );
+    sim.run();
+    // Only the original went out; the first timeout finds no endpoint
+    // and fails the request instead of burning the remaining attempts.
+    assert_eq!(sim.get::<Wire>(wire).unwrap().sent.len(), 1);
+    let done = &sim.get::<Client>(client).unwrap().done;
+    assert_eq!(done.len(), 1);
+    assert!(done[0].1.failed);
+    assert_eq!(sim.get::<Gateway>(gw).unwrap().counters().failed, 1);
+}
+
+#[test]
+fn resilient_policy_backs_off_between_retransmissions() {
+    let params = GatewayParams {
+        rpc_timeout: SimDuration::from_micros(100),
+        rpc_attempts: 3,
+        ..Default::default()
+    }
+    .resilient();
+    let (mut sim, gw, wire, client) = setup(params);
+    sim.post(gw, SimDuration::ZERO, submit(b"never-answered", client, 6));
+    sim.run();
+    let times: Vec<u64> = sim
+        .get::<Wire>(wire)
+        .unwrap()
+        .sent
+        .iter()
+        .map(|(t, _)| t.as_nanos())
+        .collect();
+    assert_eq!(times.len(), 3);
+    let gap1 = times[1] - times[0];
+    let gap2 = times[2] - times[1];
+    // Exponential policy doubles the timer (±10% jitter).
+    assert!(
+        (90_000..=110_000).contains(&gap1),
+        "first gap ~100us, got {gap1}"
+    );
+    assert!(
+        (180_000..=220_000).contains(&gap2),
+        "second gap ~200us, got {gap2}"
+    );
+    // The request still fails upstream after the budget.
+    let done = &sim.get::<Client>(client).unwrap().done;
+    assert_eq!(done.len(), 1);
+    assert!(done[0].1.failed);
 }
 
 #[test]

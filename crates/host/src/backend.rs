@@ -21,7 +21,9 @@ use lnic_mlambda::ir::retcode;
 use lnic_mlambda::program::{DispatchCtx, DispatchResult, Program};
 use lnic_net::frag::Reassembler;
 use lnic_net::packet::{LambdaHdr, LambdaKind, Packet};
+use lnic_net::transport::retries_exhausted;
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
+use lnic_sim::fault::{Crash, HealthPing, HealthPong, Restart, StallFor};
 use lnic_sim::prelude::*;
 use rand::Rng;
 
@@ -60,6 +62,12 @@ pub struct HostCounters {
     pub queued: u64,
     /// Requests dropped (no program deployed).
     pub dropped: u64,
+    /// Crashes injected into this backend.
+    pub crashes: u64,
+    /// Packets blackholed because the backend was crashed or restarting.
+    pub dropped_crashed: u64,
+    /// Accepted requests lost mid-flight to a crash.
+    pub jobs_lost: u64,
 }
 
 #[derive(Debug)]
@@ -124,6 +132,12 @@ struct RpcTimeout {
     rpc_seq: u64,
 }
 
+/// Fires when a restarting runtime finishes re-provisioning.
+#[derive(Debug)]
+struct RestartDone {
+    restart_epoch: u64,
+}
+
 /// The host backend component.
 pub struct HostBackend {
     params: HostParams,
@@ -148,6 +162,11 @@ pub struct HostBackend {
     service_time: Series,
     arrivals: HashMap<(usize, u64), SimTime>,
     in_flight: usize,
+
+    crashed: bool,
+    restart_epoch: u64,
+    stalled_until: SimTime,
+    last_program: Option<Arc<Program>>,
 }
 
 impl HostBackend {
@@ -180,6 +199,10 @@ impl HostBackend {
             service_time: Series::new("host_service_time"),
             arrivals: HashMap::new(),
             in_flight: 0,
+            crashed: false,
+            restart_epoch: 0,
+            stalled_until: SimTime::ZERO,
+            last_program: None,
         }
     }
 
@@ -208,6 +231,11 @@ impl HostBackend {
     /// Experiment counters.
     pub fn counters(&self) -> HostCounters {
         self.counters
+    }
+
+    /// Whether the backend is currently crashed (blackholing traffic).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Host-side service-time samples.
@@ -249,7 +277,68 @@ impl HostBackend {
             .iter()
             .map(ObjectMemory::for_lambda)
             .collect();
+        self.last_program = Some(Arc::clone(&program));
         self.program = Some(program);
+    }
+
+    /// Fails the runtime: every in-flight and queued request is lost and
+    /// all arrivals are blackholed until a [`Restart`] completes.
+    fn crash(&mut self) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.counters.crashes += 1;
+        let busy = self
+            .workers
+            .iter()
+            .filter(|w| !matches!(w.state, WorkerState::Idle))
+            .count() as u64;
+        self.counters.jobs_lost += busy + self.runq.len() as u64;
+        for w in &mut self.workers {
+            w.epoch += 1;
+            w.state = WorkerState::Idle;
+        }
+        self.idle = (0..self.params.worker_threads).rev().collect();
+        self.runq.clear();
+        self.gil_holder = None;
+        self.gil_waiters.clear();
+        self.executor_last_lambda = None;
+        self.reassembler = Reassembler::new();
+        self.arrivals.clear();
+        self.in_flight = 0;
+        // The process image is gone; remember what was deployed so a
+        // restart can re-provision it.
+        self.program = None;
+        self.deployed_mem.clear();
+        self.restart_epoch += 1;
+    }
+
+    /// Begins recovery: the runtime pays `restart_time` before the
+    /// remembered program serves again. Per-lambda object memory is
+    /// rebuilt from scratch (a restarted process has no warm state).
+    fn restart(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        if self.last_program.is_some() {
+            ctx.send_self(
+                self.params.restart_time,
+                RestartDone {
+                    restart_epoch: self.restart_epoch,
+                },
+            );
+        }
+    }
+
+    fn on_restart_done(&mut self, restart_epoch: u64) {
+        if restart_epoch != self.restart_epoch || self.crashed {
+            return;
+        }
+        if let Some(program) = self.last_program.clone() {
+            self.install(program);
+        }
     }
 
     fn charge_cpu(&mut self, t: SimDuration) {
@@ -287,6 +376,10 @@ impl HostBackend {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if self.crashed {
+            self.counters.dropped_crashed += 1;
+            return;
+        }
         if packet.lambda.is_none() {
             let port = packet.udp.dst_port;
             let base = self.params.rpc_port_base;
@@ -382,6 +475,13 @@ impl HostBackend {
     }
 
     fn on_request_ready(&mut self, ctx: &mut Ctx<'_>, pending: PendingRequest) {
+        // A request admitted before a crash may clear the receive path
+        // after it; the process that accepted it no longer exists.
+        if self.crashed || self.program.is_none() {
+            self.counters.jobs_lost += 1;
+            self.counters.dropped_crashed += 1;
+            return;
+        }
         if let Some(w) = self.idle.pop() {
             self.start_worker(ctx, w, pending);
         } else {
@@ -653,7 +753,7 @@ impl HostBackend {
         let Some(Phase::SendRpc { service, payload }) = job.phase.take() else {
             unreachable!("awaiting worker always holds a SendRpc phase");
         };
-        if job.rpc_attempt >= self.params.rpc_attempts {
+        if retries_exhausted(job.rpc_attempt, self.params.rpc_attempts) {
             self.counters.faults += 1;
             self.emit_response(ctx, &job, Bytes::new(), retcode::ERROR as u16);
             self.free_worker(ctx, worker);
@@ -713,6 +813,59 @@ impl Component for HostBackend {
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        // Fault controls act immediately, even mid-stall.
+        let msg = match msg.downcast::<Crash>() {
+            Ok(_) => {
+                self.crash();
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<Restart>() {
+            Ok(_) => {
+                self.restart(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<StallFor>() {
+            Ok(s) => {
+                self.stalled_until = self.stalled_until.max(ctx.now() + s.0);
+                return;
+            }
+            Err(other) => other,
+        };
+        // A stalled runtime makes no progress: defer everything (health
+        // probes included — a long stall looks dead, as it should).
+        if ctx.now() < self.stalled_until {
+            let delay = self.stalled_until.saturating_duration_since(ctx.now());
+            let dst = ctx.self_id();
+            ctx.send_boxed(dst, delay, msg);
+            return;
+        }
+        let msg = match msg.downcast::<HealthPing>() {
+            Ok(ping) => {
+                if !self.crashed {
+                    ctx.send(
+                        ping.reply_to,
+                        SimDuration::ZERO,
+                        HealthPong {
+                            seq: ping.seq,
+                            from: ctx.self_id(),
+                        },
+                    );
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<RestartDone>() {
+            Ok(done) => {
+                self.on_restart_done(done.restart_epoch);
+                return;
+            }
+            Err(other) => other,
+        };
         let msg = match msg.downcast::<Packet>() {
             Ok(p) => {
                 self.on_packet(ctx, *p);

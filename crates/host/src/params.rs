@@ -75,6 +75,9 @@ pub struct HostParams {
     pub jitter: f64,
     /// Multiplier applied on a rare hiccup.
     pub hiccup_factor: f64,
+    /// Downtime paid after a crash before the runtime serves again
+    /// (process re-exec, interpreter start, listener rebind).
+    pub restart_time: SimDuration,
     /// Container-only costs (`None` for bare metal).
     pub container: Option<ContainerParams>,
 }
@@ -115,6 +118,7 @@ impl HostParams {
             per_request_memory_bytes: 700 << 10,
             jitter: 0.25,
             hiccup_factor: 4.0,
+            restart_time: SimDuration::from_secs(2),
             container: None,
         }
     }
@@ -124,6 +128,7 @@ impl HostParams {
     pub fn container(worker_threads: usize) -> Self {
         HostParams {
             instance_memory_bytes: 180 << 20,
+            restart_time: SimDuration::from_secs(8),
             container: Some(ContainerParams {
                 overlay_rx: SimDuration::from_micros(1_700),
                 overlay_tx: SimDuration::from_micros(1_700),

@@ -57,8 +57,15 @@ pub struct Link {
     tx_free_at: SimTime,
     /// Bytes currently queued or in flight on the transmitter.
     queued_bytes: usize,
+    /// The link is dark (flapped) until this instant.
+    down_until: SimTime,
+    /// A loss burst elevates the drop probability until this instant.
+    burst_until: SimTime,
+    /// Drop probability while the burst window is active.
+    burst_prob: f64,
     delivered: Counter,
     dropped: Counter,
+    fault_drops: Counter,
 }
 
 impl Link {
@@ -69,8 +76,12 @@ impl Link {
             params,
             tx_free_at: SimTime::ZERO,
             queued_bytes: 0,
+            down_until: SimTime::ZERO,
+            burst_until: SimTime::ZERO,
+            burst_prob: 0.0,
             delivered: Counter::new(),
             dropped: Counter::new(),
+            fault_drops: Counter::new(),
         }
     }
 
@@ -79,9 +90,19 @@ impl Link {
         self.delivered.get()
     }
 
-    /// Frames dropped at the transmit queue so far.
+    /// Frames dropped (loss, queue overflow, or fault windows) so far.
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
+    }
+
+    /// Frames dropped specifically by flap or loss-burst windows.
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops.get()
+    }
+
+    /// Whether the link is inside a flap window at `now`.
+    pub fn is_down(&self, now: SimTime) -> bool {
+        now < self.down_until
     }
 
     /// Time to clock `bytes` onto the wire at this link's bandwidth.
@@ -110,9 +131,38 @@ impl Component for Link {
             }
             Err(other) => other,
         };
+        let msg = match msg.downcast::<lnic_sim::fault::LinkDown>() {
+            Ok(flap) => {
+                self.down_until = self.down_until.max(ctx.now() + flap.0);
+                ctx.trace(|| format!("link down for {:?}", flap.0));
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::LossBurst>() {
+            Ok(burst) => {
+                self.burst_until = self.burst_until.max(ctx.now() + burst.duration);
+                self.burst_prob = burst.prob;
+                return;
+            }
+            Err(other) => other,
+        };
         let packet = msg.downcast::<Packet>().expect("links carry Packet frames");
         let bytes = packet.wire_len();
 
+        if ctx.now() < self.down_until {
+            self.dropped.incr();
+            self.fault_drops.incr();
+            return;
+        }
+        if ctx.now() < self.burst_until
+            && self.burst_prob > 0.0
+            && ctx.rng().gen_bool(self.burst_prob)
+        {
+            self.dropped.incr();
+            self.fault_drops.incr();
+            return;
+        }
         if self.params.loss_probability > 0.0 && ctx.rng().gen_bool(self.params.loss_probability) {
             self.dropped.incr();
             return;
@@ -261,6 +311,63 @@ mod tests {
         let dropped = sim.get::<Link>(link).unwrap().dropped() as usize;
         assert_eq!(delivered + dropped, 1_000);
         assert!((200..400).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn flap_window_blackholes_then_recovers() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 1 << 20,
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        sim.post(
+            link,
+            SimDuration::from_micros(10),
+            lnic_sim::fault::LinkDown(SimDuration::from_micros(20)),
+        );
+        // Before, during, and after the flap window.
+        sim.post(link, SimDuration::from_micros(5), packet_with_payload(10));
+        sim.post(link, SimDuration::from_micros(15), packet_with_payload(10));
+        sim.post(link, SimDuration::from_micros(29), packet_with_payload(10));
+        sim.post(link, SimDuration::from_micros(31), packet_with_payload(10));
+        sim.run();
+        assert_eq!(sim.get::<Recorder>(sink).unwrap().arrivals.len(), 2);
+        let l = sim.get::<Link>(link).unwrap();
+        assert_eq!(l.dropped(), 2);
+        assert_eq!(l.fault_drops(), 2);
+    }
+
+    #[test]
+    fn loss_burst_elevates_drop_rate_only_within_window() {
+        let params = LinkParams {
+            bandwidth_bps: 10_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 1 << 20,
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        // Burst covering the first 500 frames (sent 1 us apart).
+        sim.post(
+            link,
+            SimDuration::ZERO,
+            lnic_sim::fault::LossBurst {
+                duration: SimDuration::from_micros(500),
+                prob: 0.9,
+            },
+        );
+        for i in 0..1_000u64 {
+            sim.post(link, SimDuration::from_micros(i), packet_with_payload(10));
+        }
+        sim.run();
+        let l = sim.get::<Link>(link).unwrap();
+        let dropped = l.fault_drops();
+        assert!((350..=500).contains(&dropped), "burst dropped {dropped}");
+        // Everything after the window sailed through.
+        let delivered = sim.get::<Recorder>(sink).unwrap().arrivals.len() as u64;
+        assert_eq!(delivered + dropped, 1_000);
+        assert!(delivered >= 500);
     }
 
     #[test]

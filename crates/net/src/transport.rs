@@ -6,20 +6,123 @@
 //! or loss, and duplicate responses are ignored. [`RpcTracker`] implements
 //! that sender-side state machine as a plain library type so both the
 //! gateway component and tests can drive it deterministically.
+//!
+//! Retransmission timing is governed by a [`RetryPolicy`]: a fixed
+//! timeout for latency-critical in-cluster RPCs, or exponential backoff
+//! with seeded jitter and a per-request deadline for paths that must
+//! survive worker failures without synchronized retry storms.
 
 use std::collections::HashMap;
 
 use bytes::Bytes;
 use lnic_sim::time::{SimDuration, SimTime};
+use rand::Rng;
 
 use crate::addr::SocketAddr;
+
+/// Returns whether a sender that has already transmitted `attempts_sent`
+/// copies of a request has exhausted a total budget of `max_attempts`.
+///
+/// The budget counts *total* attempts, so `max_attempts = 3` means one
+/// original send plus two retransmissions; the third timer fires into
+/// give-up. Every retry loop in the workspace (gateway, NIC lambda RPCs,
+/// host lambda RPCs) shares this helper so the off-by-one semantics
+/// cannot drift between backends.
+#[inline]
+pub fn retries_exhausted(attempts_sent: u32, max_attempts: u32) -> bool {
+    attempts_sent >= max_attempts
+}
+
+/// When to retransmit and when to give up.
+///
+/// `timeout_for_attempt(n)` is the timer armed after the `n`-th send
+/// (1-based): `base_timeout * multiplier^(n-1)`, capped at
+/// `max_timeout`. When `jitter_frac > 0` each armed timer is scaled by a
+/// uniform factor in `[1 - jitter_frac, 1 + jitter_frac]` drawn from the
+/// caller's seeded RNG, de-synchronizing retry storms without breaking
+/// determinism. An optional `deadline` bounds the whole request: once it
+/// has been outstanding that long, the next timer gives up regardless of
+/// remaining attempts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Timer after the first send.
+    pub base_timeout: SimDuration,
+    /// Upper bound on any single timer.
+    pub max_timeout: SimDuration,
+    /// Growth factor per retransmission (1.0 = fixed timeout).
+    pub multiplier: f64,
+    /// Uniform jitter fraction applied to each armed timer (0 = none).
+    pub jitter_frac: f64,
+    /// Total attempt budget (>= 1), original send included.
+    pub max_attempts: u32,
+    /// Give up once a request has been outstanding this long.
+    pub deadline: Option<SimDuration>,
+}
+
+impl RetryPolicy {
+    /// The legacy fixed-timeout policy: every timer is `timeout`, no
+    /// jitter, no deadline.
+    pub fn fixed(timeout: SimDuration, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        RetryPolicy {
+            base_timeout: timeout,
+            max_timeout: timeout,
+            multiplier: 1.0,
+            jitter_frac: 0.0,
+            max_attempts,
+            deadline: None,
+        }
+    }
+
+    /// Exponential backoff: timers double per retransmission from
+    /// `base_timeout` up to `16 * base_timeout`, with ±10% seeded jitter
+    /// and a deadline equal to twice the sum of the un-jittered timers.
+    pub fn exponential(base_timeout: SimDuration, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        let mut policy = RetryPolicy {
+            base_timeout,
+            max_timeout: base_timeout * 16,
+            multiplier: 2.0,
+            jitter_frac: 0.1,
+            max_attempts,
+            deadline: None,
+        };
+        let budget: SimDuration = (1..=max_attempts)
+            .map(|n| policy.timeout_for_attempt(n))
+            .sum();
+        policy.deadline = Some(budget * 2);
+        policy
+    }
+
+    /// The deterministic (pre-jitter) timer armed after the `attempt`-th
+    /// send, 1-based.
+    pub fn timeout_for_attempt(&self, attempt: u32) -> SimDuration {
+        let growth = self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        self.base_timeout.mul_f64(growth).min(self.max_timeout)
+    }
+
+    /// The timer to arm after the `attempt`-th send, with jitter drawn
+    /// from `rng` when the policy uses any.
+    ///
+    /// A policy with `jitter_frac == 0` never touches the RNG, so fixed
+    /// policies leave the caller's random stream untouched.
+    pub fn arm_timeout(&self, attempt: u32, rng: &mut impl Rng) -> SimDuration {
+        let base = self.timeout_for_attempt(attempt);
+        if self.jitter_frac <= 0.0 {
+            return base;
+        }
+        let scale = 1.0 + rng.gen_range(-self.jitter_frac..=self.jitter_frac);
+        base.mul_f64(scale.max(0.0))
+    }
+}
 
 /// Sender-side record of one in-flight RPC.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Outstanding {
     /// The targeted lambda.
     pub workload_id: u32,
-    /// Where the request was sent.
+    /// Where the request was sent (updated when a retransmission is
+    /// redirected to a re-placed worker).
     pub dst: SocketAddr,
     /// Request payload, kept for retransmission.
     pub payload: Bytes,
@@ -34,7 +137,8 @@ pub struct Outstanding {
 pub enum TimeoutAction {
     /// Resend the recorded payload and arm another timer.
     Resend(Outstanding),
-    /// Retry budget exhausted: report failure upstream.
+    /// Retry budget (attempts or deadline) exhausted: report failure
+    /// upstream.
     GiveUp(Outstanding),
     /// The RPC already completed; ignore the stale timer.
     Ignore,
@@ -60,12 +164,11 @@ pub enum TimeoutAction {
 /// // A duplicate response is ignored.
 /// assert!(t.on_response(id).is_none());
 /// // The stale timer is ignored too.
-/// assert_eq!(t.on_timeout(id), TimeoutAction::Ignore);
+/// assert_eq!(t.on_timeout(SimTime::ZERO, id), TimeoutAction::Ignore);
 /// ```
 #[derive(Debug)]
 pub struct RpcTracker {
-    timeout: SimDuration,
-    max_attempts: u32,
+    policy: RetryPolicy,
     next_id: u64,
     outstanding: HashMap<u64, Outstanding>,
     completed: u64,
@@ -75,17 +178,25 @@ pub struct RpcTracker {
 }
 
 impl RpcTracker {
-    /// Creates a tracker with the given retransmission `timeout` and a
+    /// Creates a tracker with a fixed retransmission `timeout` and a
     /// total attempt budget of `max_attempts` (>= 1).
     ///
     /// # Panics
     ///
     /// Panics if `max_attempts` is zero.
     pub fn new(timeout: SimDuration, max_attempts: u32) -> Self {
-        assert!(max_attempts >= 1, "at least one attempt is required");
+        RpcTracker::with_policy(RetryPolicy::fixed(timeout, max_attempts))
+    }
+
+    /// Creates a tracker governed by `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's `max_attempts` is zero.
+    pub fn with_policy(policy: RetryPolicy) -> Self {
+        assert!(policy.max_attempts >= 1, "at least one attempt is required");
         RpcTracker {
-            timeout,
-            max_attempts,
+            policy,
             next_id: 1,
             outstanding: HashMap::new(),
             completed: 0,
@@ -95,10 +206,27 @@ impl RpcTracker {
         }
     }
 
-    /// The retransmission timeout; the caller arms a timer of this length
-    /// after each send.
+    /// The retransmission policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The timer armed after the first send (pre-jitter). Kept for
+    /// callers that only need the fixed-policy value.
     pub fn timeout(&self) -> SimDuration {
-        self.timeout
+        self.policy.base_timeout
+    }
+
+    /// The timer to arm for `request_id`'s most recent send, honoring
+    /// backoff and jitter. Falls back to the base timeout for unknown
+    /// ids (the request may already have completed).
+    pub fn arm_timeout(&self, request_id: u64, rng: &mut impl Rng) -> SimDuration {
+        let attempt = self
+            .outstanding
+            .get(&request_id)
+            .map(|rec| rec.attempts)
+            .unwrap_or(1);
+        self.policy.arm_timeout(attempt, rng)
     }
 
     /// Registers a new RPC and returns its request id.
@@ -124,6 +252,14 @@ impl RpcTracker {
         id
     }
 
+    /// Redirects a pending RPC to a new destination, so retransmissions
+    /// (and deadline accounting) follow a re-placed worker.
+    pub fn redirect(&mut self, request_id: u64, dst: SocketAddr) {
+        if let Some(rec) = self.outstanding.get_mut(&request_id) {
+            rec.dst = dst;
+        }
+    }
+
     /// Records a response. Returns the completed record for the first
     /// response of each request and `None` for duplicates or unknown ids.
     pub fn on_response(&mut self, request_id: u64) -> Option<Outstanding> {
@@ -139,12 +275,20 @@ impl RpcTracker {
         }
     }
 
-    /// Handles a retransmission timer for `request_id`.
-    pub fn on_timeout(&mut self, request_id: u64) -> TimeoutAction {
+    /// Handles a retransmission timer for `request_id` firing at `now`.
+    ///
+    /// Gives up when the attempt budget is exhausted or the policy
+    /// deadline has passed; otherwise returns the record to resend with
+    /// its attempt count already incremented.
+    pub fn on_timeout(&mut self, now: SimTime, request_id: u64) -> TimeoutAction {
         let Some(rec) = self.outstanding.get_mut(&request_id) else {
             return TimeoutAction::Ignore;
         };
-        if rec.attempts >= self.max_attempts {
+        let over_deadline = self
+            .policy
+            .deadline
+            .is_some_and(|d| now.saturating_duration_since(rec.first_sent_at) >= d);
+        if over_deadline || retries_exhausted(rec.attempts, self.policy.max_attempts) {
             let rec = self.outstanding.remove(&request_id).expect("checked above");
             self.failed += 1;
             TimeoutAction::GiveUp(rec)
@@ -185,6 +329,8 @@ impl RpcTracker {
 mod tests {
     use super::*;
     use crate::addr::Ipv4Addr;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     fn dst() -> SocketAddr {
         SocketAddr::new(Ipv4Addr::node(2), 9000)
@@ -208,15 +354,15 @@ mod tests {
         let mut t = tracker();
         let id = t.register(SimTime::ZERO, 1, dst(), Bytes::from_static(b"p"));
 
-        match t.on_timeout(id) {
+        match t.on_timeout(SimTime::ZERO, id) {
             TimeoutAction::Resend(rec) => assert_eq!(rec.attempts, 2),
             other => panic!("expected resend, got {other:?}"),
         }
-        match t.on_timeout(id) {
+        match t.on_timeout(SimTime::ZERO, id) {
             TimeoutAction::Resend(rec) => assert_eq!(rec.attempts, 3),
             other => panic!("expected resend, got {other:?}"),
         }
-        match t.on_timeout(id) {
+        match t.on_timeout(SimTime::ZERO, id) {
             TimeoutAction::GiveUp(rec) => {
                 assert_eq!(rec.attempts, 3);
                 assert_eq!(rec.payload, Bytes::from_static(b"p"));
@@ -229,12 +375,55 @@ mod tests {
     }
 
     #[test]
+    fn attempts_budget_means_one_send_plus_n_minus_one_resends() {
+        // The shared helper pins the semantics every retry loop relies
+        // on: a budget of 3 is 1 original + 2 retransmissions.
+        assert!(!retries_exhausted(1, 3));
+        assert!(!retries_exhausted(2, 3));
+        assert!(retries_exhausted(3, 3));
+        assert!(retries_exhausted(4, 3));
+        // A budget of 1 permits no retransmission at all.
+        assert!(retries_exhausted(1, 1));
+
+        // And the tracker gives up on exactly the max_attempts-th timer.
+        let mut t = RpcTracker::new(SimDuration::from_millis(1), 3);
+        let id = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        let mut resends = 0;
+        loop {
+            match t.on_timeout(SimTime::ZERO, id) {
+                TimeoutAction::Resend(_) => resends += 1,
+                TimeoutAction::GiveUp(rec) => {
+                    assert_eq!(rec.attempts, 3, "gave up at the attempt budget");
+                    break;
+                }
+                TimeoutAction::Ignore => panic!("pending request cannot be ignored"),
+            }
+        }
+        assert_eq!(resends, 2, "attempts=3 means 1 send + 2 resends");
+    }
+
+    #[test]
     fn late_response_after_giveup_counts_as_duplicate() {
         let mut t = RpcTracker::new(SimDuration::from_millis(1), 1);
         let id = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
-        assert!(matches!(t.on_timeout(id), TimeoutAction::GiveUp(_)));
+        assert!(matches!(
+            t.on_timeout(SimTime::ZERO, id),
+            TimeoutAction::GiveUp(_)
+        ));
         assert!(t.on_response(id).is_none());
         assert_eq!(t.duplicates(), 1);
+    }
+
+    #[test]
+    fn duplicate_response_after_completion_is_counted_not_replayed() {
+        let mut t = tracker();
+        let id = t.register(SimTime::ZERO, 4, dst(), Bytes::from_static(b"q"));
+        assert!(t.on_response(id).is_some());
+        // The retransmitted copy's response lands later: ignored.
+        assert!(t.on_response(id).is_none());
+        assert!(t.on_response(id).is_none());
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.duplicates(), 2);
     }
 
     #[test]
@@ -243,8 +432,108 @@ mod tests {
         let id = t.register(SimTime::from_nanos(5), 9, dst(), Bytes::new());
         let rec = t.on_response(id).unwrap();
         assert_eq!(rec.first_sent_at, SimTime::from_nanos(5));
-        assert_eq!(t.on_timeout(id), TimeoutAction::Ignore);
+        assert_eq!(
+            t.on_timeout(SimTime::from_nanos(5), id),
+            TimeoutAction::Ignore
+        );
         assert_eq!(t.completed(), 1);
+    }
+
+    #[test]
+    fn exponential_backoff_grows_then_caps() {
+        let p = RetryPolicy::exponential(SimDuration::from_millis(1), 8);
+        let seq: Vec<u64> = (1..=8)
+            .map(|n| p.timeout_for_attempt(n).as_nanos())
+            .collect();
+        // Doubles each attempt: 1, 2, 4, 8, 16, then capped at 16 ms.
+        assert_eq!(seq[0], 1_000_000);
+        assert_eq!(seq[1], 2_000_000);
+        assert_eq!(seq[4], 16_000_000);
+        assert_eq!(seq[5], 16_000_000, "capped at max_timeout");
+        for w in seq.windows(2) {
+            assert!(w[0] <= w[1], "pre-jitter backoff is monotone");
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_stays_near_schedule_and_is_seed_deterministic() {
+        let p = RetryPolicy::exponential(SimDuration::from_millis(1), 5);
+        let mut rng_a = SmallRng::seed_from_u64(7);
+        let mut rng_b = SmallRng::seed_from_u64(7);
+        for attempt in 1..=5 {
+            let a = p.arm_timeout(attempt, &mut rng_a);
+            let b = p.arm_timeout(attempt, &mut rng_b);
+            assert_eq!(a, b, "same seed, same jitter");
+            let base = p.timeout_for_attempt(attempt).as_nanos() as f64;
+            let got = a.as_nanos() as f64;
+            assert!(
+                (got - base).abs() <= base * p.jitter_frac + 1.0,
+                "attempt {attempt}: {got} vs base {base}"
+            );
+        }
+        // Jitter never turns backoff decreasing by more than the jitter
+        // band: the *floor* of attempt n+1 clears the *ceiling* of
+        // attempt n whenever the schedule doubles below the cap.
+        let floor2 = p.timeout_for_attempt(2).mul_f64(1.0 - p.jitter_frac);
+        let ceil1 = p.timeout_for_attempt(1).mul_f64(1.0 + p.jitter_frac);
+        assert!(floor2 > ceil1);
+    }
+
+    #[test]
+    fn fixed_policy_never_draws_from_the_rng() {
+        let p = RetryPolicy::fixed(SimDuration::from_millis(2), 3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut witness = SmallRng::seed_from_u64(3);
+        for attempt in 1..=3 {
+            assert_eq!(
+                p.arm_timeout(attempt, &mut rng),
+                SimDuration::from_millis(2)
+            );
+        }
+        use rand::Rng as _;
+        assert_eq!(
+            rng.gen_range(0..u64::MAX),
+            witness.gen_range(0..u64::MAX),
+            "rng stream untouched by fixed policy"
+        );
+    }
+
+    #[test]
+    fn deadline_gives_up_even_with_attempts_remaining() {
+        let mut policy = RetryPolicy::fixed(SimDuration::from_millis(1), 100);
+        policy.deadline = Some(SimDuration::from_millis(3));
+        let mut t = RpcTracker::with_policy(policy);
+        let id = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        // Timers at 1 ms and 2 ms resend; the 3 ms timer hits the
+        // deadline with 97 attempts unspent.
+        assert!(matches!(
+            t.on_timeout(SimTime::ZERO + SimDuration::from_millis(1), id),
+            TimeoutAction::Resend(_)
+        ));
+        assert!(matches!(
+            t.on_timeout(SimTime::ZERO + SimDuration::from_millis(2), id),
+            TimeoutAction::Resend(_)
+        ));
+        match t.on_timeout(SimTime::ZERO + SimDuration::from_millis(3), id) {
+            TimeoutAction::GiveUp(rec) => assert_eq!(rec.attempts, 3),
+            other => panic!("expected deadline give-up, got {other:?}"),
+        }
+        assert_eq!(t.failed(), 1);
+    }
+
+    #[test]
+    fn redirect_retargets_future_resends() {
+        let mut t = tracker();
+        let id = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        let new_dst = SocketAddr::new(Ipv4Addr::node(9), 8000);
+        t.redirect(id, new_dst);
+        match t.on_timeout(SimTime::ZERO, id) {
+            TimeoutAction::Resend(rec) => assert_eq!(rec.dst, new_dst),
+            other => panic!("expected resend, got {other:?}"),
+        }
+        // Redirecting a completed id is a no-op.
+        assert!(t.on_response(id).is_some());
+        t.redirect(id, dst());
     }
 
     #[test]

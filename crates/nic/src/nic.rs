@@ -75,6 +75,12 @@ pub struct NicCounters {
     pub rdma_fragments: u64,
     /// Requests that waited in the WFQ (all threads busy).
     pub queued: u64,
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Packets blackholed while the NIC was crashed.
+    pub dropped_crashed: u64,
+    /// In-flight jobs (running or queued) lost to crashes.
+    pub jobs_lost: u64,
 }
 
 #[derive(Debug)]
@@ -143,6 +149,8 @@ struct RpcTimeout {
 #[derive(Debug)]
 struct SwapDone {
     firmware: Arc<Firmware>,
+    /// Guards against swaps started before a crash landing afterwards.
+    swap_epoch: u64,
 }
 
 /// Pipelined mode: the parse/match stage finished for this request.
@@ -168,6 +176,16 @@ pub struct Nic {
     program: Option<Arc<Program>>,
     deployed_mem: Vec<ObjectMemory>,
     swapping: bool,
+    /// Power/fault state: a crashed NIC blackholes everything until a
+    /// [`lnic_sim::fault::Restart`] re-enters through the swap path.
+    crashed: bool,
+    /// Last installed image, reloaded on restart (the controller's copy
+    /// of record survives the crash; the NIC's running state does not).
+    last_firmware: Option<Arc<Firmware>>,
+    /// Bumped on crash so in-flight [`SwapDone`] events become stale.
+    swap_epoch: u64,
+    /// The control processor defers all work until this instant.
+    stalled_until: SimTime,
 
     threads: Vec<Thread>,
     idle: Vec<usize>,
@@ -217,6 +235,10 @@ impl Nic {
             program: None,
             deployed_mem: Vec::new(),
             swapping: false,
+            crashed: false,
+            last_firmware: None,
+            swap_epoch: 0,
+            stalled_until: SimTime::ZERO,
             threads,
             idle,
             rr_next: 0,
@@ -309,6 +331,11 @@ impl Nic {
         self.queue.len()
     }
 
+    /// Whether the NIC is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
     fn install(&mut self, firmware: Arc<Firmware>) {
         let program = Arc::new(firmware.program.clone());
         self.deployed_mem = program
@@ -317,7 +344,60 @@ impl Nic {
             .map(ObjectMemory::for_lambda)
             .collect();
         self.program = Some(program);
+        self.last_firmware = Some(Arc::clone(&firmware));
         self.firmware = Some(firmware);
+    }
+
+    /// Fails the NIC: every in-flight job (running or queued) is lost,
+    /// per-lambda state is wiped, and arrivals blackhole until restart.
+    fn crash(&mut self, ctx: &mut Ctx<'_>) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.counters.crashes += 1;
+        let in_flight = self.busy_threads() + self.queue.len();
+        self.counters.jobs_lost += in_flight as u64;
+        ctx.trace(|| format!("nic crash, {in_flight} jobs lost"));
+        for t in &mut self.threads {
+            t.epoch += 1; // invalidate every pending phase/RPC timer
+            t.state = ThreadState::Idle;
+        }
+        self.idle = (0..self.threads.len()).rev().collect();
+        self.rr_next = 0;
+        while self.queue.pop().is_some() {}
+        self.reassembler = Reassembler::new();
+        self.arrival_times.clear();
+        for slot in &mut self.stage_free_at {
+            *slot = SimTime::ZERO;
+        }
+        // Volatile deployment state is gone; any in-progress swap dies
+        // with the NIC.
+        self.firmware = None;
+        self.program = None;
+        self.deployed_mem = Vec::new();
+        self.swapping = false;
+        self.swap_epoch += 1;
+    }
+
+    /// Recovers a crashed NIC: power back on and re-enter service by
+    /// reloading the last installed image through the firmware-swap
+    /// path, paying [`NicParams::firmware_swap_time`] of downtime.
+    fn restart(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        if let Some(firmware) = self.last_firmware.clone() {
+            self.swapping = true;
+            ctx.send_self(
+                self.params.firmware_swap_time,
+                SwapDone {
+                    firmware,
+                    swap_epoch: self.swap_epoch,
+                },
+            );
+        }
     }
 
     fn alloc_thread(&mut self, rng: &mut impl Rng) -> Option<usize> {
@@ -335,6 +415,10 @@ impl Nic {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if self.crashed {
+            self.counters.dropped_crashed += 1;
+            return;
+        }
         // Lambda RPC responses come back on the per-thread port range.
         if packet.lambda.is_none() {
             let port = packet.udp.dst_port;
@@ -651,7 +735,7 @@ impl Nic {
         let Some(Phase::SendRpc { service, payload }) = job.phase.take() else {
             unreachable!("awaiting thread always holds a SendRpc phase");
         };
-        if job.rpc_attempt >= self.params.rpc_attempts {
+        if lnic_net::transport::retries_exhausted(job.rpc_attempt, self.params.rpc_attempts) {
             // Give up: fail the lambda (weakly-consistent transport
             // reports the failure to the sender, §4.2-D3).
             self.counters.faults += 1;
@@ -726,6 +810,54 @@ impl Component for Nic {
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        // Hardware fault controls act immediately, even mid-stall.
+        let msg = match msg.downcast::<lnic_sim::fault::Crash>() {
+            Ok(_) => {
+                self.crash(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::Restart>() {
+            Ok(_) => {
+                self.restart(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::StallFor>() {
+            Ok(stall) => {
+                self.stalled_until = self.stalled_until.max(ctx.now() + stall.0);
+                return;
+            }
+            Err(other) => other,
+        };
+        // A stalled control processor defers everything else; replaying
+        // at the stall's end preserves arrival order (engine FIFO ties).
+        if ctx.now() < self.stalled_until {
+            let delay = self.stalled_until - ctx.now();
+            ctx.send_boxed(ctx.self_id(), delay, msg);
+            return;
+        }
+        let msg = match msg.downcast::<lnic_sim::fault::HealthPing>() {
+            Ok(ping) => {
+                // The management endpoint answers as long as the NIC has
+                // power — including during firmware swaps — but a
+                // crashed NIC is silent, which is the failure signal.
+                if !self.crashed {
+                    ctx.send(
+                        ping.reply_to,
+                        SimDuration::ZERO,
+                        lnic_sim::fault::HealthPong {
+                            seq: ping.seq,
+                            from: ctx.self_id(),
+                        },
+                    );
+                }
+                return;
+            }
+            Err(other) => other,
+        };
         let msg = match msg.downcast::<Packet>() {
             Ok(packet) => {
                 self.on_packet(ctx, *packet);
@@ -749,7 +881,9 @@ impl Component for Nic {
         };
         let msg = match msg.downcast::<RdmaDispatch>() {
             Ok(rd) => {
-                if !self.swapping && self.firmware.is_some() {
+                if self.crashed {
+                    self.counters.dropped_crashed += 1;
+                } else if !self.swapping && self.firmware.is_some() {
                     self.dispatch_request(ctx, rd.packet, rd.hdr, rd.payload, rd.extra_cycles);
                 } else {
                     self.counters.dropped_downtime += 1;
@@ -760,7 +894,9 @@ impl Component for Nic {
         };
         let msg = match msg.downcast::<StageDone>() {
             Ok(sd) => {
-                if !self.swapping && self.firmware.is_some() {
+                if self.crashed {
+                    self.counters.dropped_crashed += 1;
+                } else if !self.swapping && self.firmware.is_some() {
                     self.admit_to_thread(ctx, sd.pending);
                 } else {
                     self.counters.dropped_downtime += 1;
@@ -771,11 +907,18 @@ impl Component for Nic {
         };
         let msg = match msg.downcast::<LoadFirmware>() {
             Ok(lf) => {
+                if self.crashed {
+                    // A crashed NIC cannot take an image; the controller
+                    // re-deploys after restart.
+                    self.counters.dropped_crashed += 1;
+                    return;
+                }
                 self.swapping = true;
                 ctx.send_self(
                     self.params.firmware_swap_time,
                     SwapDone {
                         firmware: lf.firmware,
+                        swap_epoch: self.swap_epoch,
                     },
                 );
                 return;
@@ -784,6 +927,9 @@ impl Component for Nic {
         };
         match msg.downcast::<SwapDone>() {
             Ok(done) => {
+                if done.swap_epoch != self.swap_epoch {
+                    return; // the swap died with a crash
+                }
                 self.install(done.firmware);
                 self.swapping = false;
                 self.counters.swaps += 1;

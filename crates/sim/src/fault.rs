@@ -1,0 +1,249 @@
+//! Fault injection: timed failure events and health-check messages.
+//!
+//! The λ-NIC paper leans on two recovery mechanisms — client
+//! retransmission of lost requests (§4.2-D3) and controller-driven
+//! re-deployment of lambdas from a failed SmartNIC onto survivors (§7) —
+//! so the simulation needs a way to *make* components fail. A
+//! [`FaultPlan`] is a declarative schedule of failures against logical
+//! targets (worker and link indices); the harness that built the
+//! topology resolves those indices to [`ComponentId`]s and delivers each
+//! event through the ordinary event queue, so a faulty run is exactly as
+//! deterministic as a healthy one.
+//!
+//! This module also defines the component-level control messages
+//! ([`Crash`], [`Restart`], [`StallFor`], [`LinkDown`], [`LossBurst`],
+//! [`HealthPing`]/[`HealthPong`]) in the sim crate so every backend
+//! (NIC, host, links, controllers) can downcast them without new
+//! inter-crate dependencies.
+
+use crate::engine::ComponentId;
+use crate::time::{SimDuration, SimTime};
+
+/// Control message: the target component fails immediately.
+///
+/// Backends drop all in-flight work and blackhole arrivals until they
+/// receive a [`Restart`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crash;
+
+/// Control message: a crashed component begins recovery.
+///
+/// Workers pay their re-provisioning cost (the NIC re-enters through the
+/// firmware-swap path) before serving again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Restart;
+
+/// Control message: the target stops making progress for the given
+/// duration, then resumes with its state intact (e.g. an OS hiccup or
+/// management-plane pause on a host backend).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallFor(pub SimDuration);
+
+/// Control message: the target link drops every frame for the given
+/// duration (a flap), then recovers by itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkDown(pub SimDuration);
+
+/// Control message: the target link drops frames with probability
+/// `prob` for `duration` (a correlated loss burst), then returns to its
+/// configured baseline loss rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossBurst {
+    /// How long the burst lasts.
+    pub duration: SimDuration,
+    /// Drop probability while the burst is active.
+    pub prob: f64,
+}
+
+/// Health probe sent by a controller to a worker.
+///
+/// Live workers answer with [`HealthPong`] carrying the same sequence
+/// number; crashed workers stay silent, which is the failure signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthPing {
+    /// Sequence number echoed in the pong.
+    pub seq: u64,
+    /// Where to send the pong.
+    pub reply_to: ComponentId,
+}
+
+/// A worker's answer to a [`HealthPing`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthPong {
+    /// The probed sequence number.
+    pub seq: u64,
+    /// The responding component.
+    pub from: ComponentId,
+}
+
+/// One scheduled failure against a logical target.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Worker `worker` crashes: in-flight jobs are lost and arrivals
+    /// blackholed until a restart.
+    NicCrash {
+        /// Index of the worker in the testbed.
+        worker: usize,
+    },
+    /// Worker `worker` begins recovery, paying its firmware-swap (or
+    /// equivalent re-provisioning) downtime before serving again.
+    NicRestart {
+        /// Index of the worker in the testbed.
+        worker: usize,
+    },
+    /// Link `link` goes dark for `duration`.
+    LinkFlap {
+        /// Index of the link in the testbed's link table.
+        link: usize,
+        /// How long the link stays down.
+        duration: SimDuration,
+    },
+    /// Link `link` drops frames with probability `prob` for `duration`.
+    LossBurst {
+        /// Index of the link in the testbed's link table.
+        link: usize,
+        /// How long the burst lasts.
+        duration: SimDuration,
+        /// Drop probability during the burst.
+        prob: f64,
+    },
+    /// Worker `worker` freezes for `duration` without losing state.
+    BackendStall {
+        /// Index of the worker in the testbed.
+        worker: usize,
+        /// How long the worker stalls.
+        duration: SimDuration,
+    },
+}
+
+/// A [`FaultEvent`] with its injection time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimedFault {
+    /// Absolute virtual time at which the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub event: FaultEvent,
+}
+
+/// A declarative, time-ordered schedule of failures.
+///
+/// Build one with the fluent constructors, then hand it to the harness
+/// that owns the topology (e.g. `Testbed::inject_faults` in `lnic`),
+/// which resolves worker/link indices to components and posts each event
+/// into the simulation. Because delivery rides the ordinary event queue,
+/// two runs with the same seed and the same plan are bit-identical.
+///
+/// # Examples
+///
+/// ```
+/// use lnic_sim::fault::{FaultEvent, FaultPlan};
+/// use lnic_sim::time::{SimDuration, SimTime};
+///
+/// let plan = FaultPlan::new()
+///     .nic_crash(0, SimTime::ZERO + SimDuration::from_secs(2))
+///     .nic_restart(0, SimTime::ZERO + SimDuration::from_secs(4))
+///     .link_flap(1, SimTime::ZERO + SimDuration::from_secs(3), SimDuration::from_millis(50));
+/// assert_eq!(plan.events().len(), 3);
+/// assert!(matches!(plan.events()[0].event, FaultEvent::NicCrash { worker: 0 }));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds an arbitrary timed event.
+    pub fn push(mut self, at: SimTime, event: FaultEvent) -> FaultPlan {
+        self.events.push(TimedFault { at, event });
+        self
+    }
+
+    /// Schedules a worker crash.
+    pub fn nic_crash(self, worker: usize, at: SimTime) -> FaultPlan {
+        self.push(at, FaultEvent::NicCrash { worker })
+    }
+
+    /// Schedules a worker restart.
+    pub fn nic_restart(self, worker: usize, at: SimTime) -> FaultPlan {
+        self.push(at, FaultEvent::NicRestart { worker })
+    }
+
+    /// Schedules a link flap.
+    pub fn link_flap(self, link: usize, at: SimTime, duration: SimDuration) -> FaultPlan {
+        self.push(at, FaultEvent::LinkFlap { link, duration })
+    }
+
+    /// Schedules a loss burst on a link.
+    pub fn loss_burst(
+        self,
+        link: usize,
+        at: SimTime,
+        duration: SimDuration,
+        prob: f64,
+    ) -> FaultPlan {
+        self.push(
+            at,
+            FaultEvent::LossBurst {
+                link,
+                duration,
+                prob,
+            },
+        )
+    }
+
+    /// Schedules a backend stall.
+    pub fn backend_stall(self, worker: usize, at: SimTime, duration: SimDuration) -> FaultPlan {
+        self.push(at, FaultEvent::BackendStall { worker, duration })
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[TimedFault] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The latest event time in the plan, if any.
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.events.iter().map(|e| e.at).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_record_events_in_order() {
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        let plan = FaultPlan::new()
+            .nic_crash(2, t(1))
+            .backend_stall(1, t(2), SimDuration::from_millis(10))
+            .loss_burst(0, t(3), SimDuration::from_millis(5), 0.5)
+            .nic_restart(2, t(4));
+        assert_eq!(plan.events().len(), 4);
+        assert_eq!(plan.horizon(), Some(t(4)));
+        assert_eq!(
+            plan.events()[1].event,
+            FaultEvent::BackendStall {
+                worker: 1,
+                duration: SimDuration::from_millis(10)
+            }
+        );
+    }
+
+    #[test]
+    fn empty_plan_has_no_horizon() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.horizon(), None);
+    }
+}

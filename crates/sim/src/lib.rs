@@ -47,11 +47,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod time;
 
 pub use engine::{Component, ComponentId, Ctx, Simulation};
+pub use fault::{FaultEvent, FaultPlan, TimedFault};
 pub use message::{AnyMessage, Message};
 pub use metrics::{Counter, Ecdf, LogHistogram, Series, Summary};
 pub use time::{SimDuration, SimTime};
@@ -59,6 +61,7 @@ pub use time::{SimDuration, SimTime};
 /// Convenience re-exports for component authors.
 pub mod prelude {
     pub use crate::engine::{Component, ComponentId, Ctx, Simulation};
+    pub use crate::fault::{FaultEvent, FaultPlan, TimedFault};
     pub use crate::message::{AnyMessage, Message};
     pub use crate::metrics::{Counter, Ecdf, LogHistogram, Series, Summary};
     pub use crate::time::{SimDuration, SimTime};

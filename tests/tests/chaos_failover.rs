@@ -1,0 +1,210 @@
+//! Chaos test: crash a λ-NIC worker mid-run and keep serving.
+//!
+//! Exercises the full robustness stack end to end — fault injection
+//! ([`FaultPlan`]), NIC crash/restart semantics, heartbeat-driven death
+//! detection, gateway endpoint eviction + re-placement, and
+//! placement-chasing retransmission — and pins the properties the
+//! paper's §7 failure story implies: no request is lost *silently*
+//! (conservation), only a bounded sliver fails outright, and once the
+//! worker recovers the tail returns to its pre-fault shape.
+
+use std::sync::Arc;
+
+use lnic::failover::{FailoverConfig, FailoverEventKind};
+use lnic::prelude::*;
+use lnic_sim::prelude::*;
+use lnic_workloads::three_web_servers;
+
+const WORKERS: usize = 4;
+const THREADS: usize = 6;
+const REQUESTS_PER_THREAD: u64 = 4_500;
+const CRASH_AT: SimDuration = SimDuration::from_secs(2);
+const RESTART_AT: SimDuration = SimDuration::from_secs(3);
+
+struct ChaosOutcome {
+    issued: u64,
+    completed: usize,
+    failed: usize,
+    /// p99 (ns) of successes completing before the crash.
+    p99_pre_ns: u64,
+    /// p99 (ns) of successes completing after recovery settles.
+    p99_post_ns: u64,
+    deaths: u64,
+    recoveries: u64,
+    replacements: u64,
+    /// Sum of all success latencies, a determinism fingerprint.
+    latency_sum_ns: u64,
+}
+
+fn chaos_run(seed: u64) -> ChaosOutcome {
+    let mut config = TestbedConfig::new(BackendKind::Nic)
+        .seed(seed)
+        .workers(WORKERS);
+    // A 200 ms re-provisioning window keeps the test fast while still
+    // forcing traffic to bridge a real outage.
+    config.nic.firmware_swap_time = SimDuration::from_millis(200);
+    config.gateway.rpc_timeout = SimDuration::from_millis(50);
+    config.gateway.rpc_attempts = 5;
+    config.gateway = config.gateway.resilient();
+
+    let mut bed = build_testbed(config);
+    let program = Arc::new(three_web_servers());
+    bed.preload(&program);
+    bed.enable_failover(FailoverConfig {
+        heartbeat_interval: SimDuration::from_millis(50),
+        missed_beats: 3,
+    });
+
+    // Worker 0 homes the first web lambda; kill it mid-run, bring it
+    // back a second later.
+    let plan = FaultPlan::new()
+        .nic_crash(0, SimTime::ZERO + CRASH_AT)
+        .nic_restart(0, SimTime::ZERO + RESTART_AT);
+    bed.inject_faults(&plan);
+
+    let jobs: Vec<JobSpec> = program
+        .lambdas
+        .iter()
+        .map(|l| JobSpec {
+            workload_id: l.id.0,
+            payload: PayloadSpec::Page(0),
+        })
+        .collect();
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        bed.gateway,
+        jobs,
+        THREADS,
+        SimDuration::from_millis(1),
+        Some(REQUESTS_PER_THREAD),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    // The heartbeat ticks forever; run to a horizon far past the last
+    // possible completion instead of draining the queue.
+    bed.sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(60));
+
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    assert!(d.is_done(), "all budgeted requests must terminate");
+
+    let crash_at = SimTime::ZERO + CRASH_AT;
+    // Recovery settles once the swap finishes (200 ms) plus retry slack.
+    let settled = SimTime::ZERO + RESTART_AT + SimDuration::from_millis(500);
+    let mut pre = Series::new("pre");
+    let mut post = Series::new("post");
+    let mut latency_sum_ns = 0u64;
+    for c in d.completed().iter().filter(|c| !c.failed) {
+        latency_sum_ns += c.latency.as_nanos();
+        if c.at < crash_at {
+            pre.record(c.latency);
+        } else if c.at >= settled {
+            post.record(c.latency);
+        }
+    }
+    let failed = d.completed().iter().filter(|c| c.failed).count();
+    let ctl = bed
+        .sim
+        .get::<lnic::failover::FailoverController>(bed.failover.unwrap())
+        .unwrap();
+    ChaosOutcome {
+        issued: d.issued(),
+        completed: d.completed().len(),
+        failed,
+        p99_pre_ns: pre.summary().p99_ns,
+        p99_post_ns: post.summary().p99_ns,
+        deaths: ctl.counters().deaths,
+        recoveries: ctl.counters().recoveries,
+        replacements: ctl.counters().replacements,
+        latency_sum_ns,
+    }
+}
+
+#[test]
+fn crash_mid_run_conserves_requests_and_recovers_the_tail() {
+    let out = chaos_run(7);
+
+    // Conservation: every issued request terminated, success or failure.
+    assert_eq!(out.issued, THREADS as u64 * REQUESTS_PER_THREAD);
+    assert_eq!(out.completed as u64, out.issued);
+
+    // The controller saw exactly one death and one recovery, and moved
+    // the dead worker's lambda off (and later back).
+    assert_eq!(out.deaths, 1);
+    assert_eq!(out.recoveries, 1);
+    assert!(out.replacements >= 2, "orphan moved out and handed back");
+
+    // Failures are bounded: only requests in flight against the dead
+    // worker between the crash and the failover can exhaust their
+    // budget. Allow 2% — far below the ~33% share the dead worker
+    // carried.
+    let bound = out.issued / 50;
+    assert!(
+        (out.failed as u64) <= bound,
+        "failed {} of {} (bound {})",
+        out.failed,
+        out.issued,
+        bound
+    );
+
+    // Post-recovery tail returns to the pre-fault shape.
+    assert!(out.p99_pre_ns > 0 && out.p99_post_ns > 0);
+    assert!(
+        out.p99_post_ns <= 2 * out.p99_pre_ns,
+        "post-recovery p99 {}ns vs pre-fault p99 {}ns",
+        out.p99_post_ns,
+        out.p99_pre_ns
+    );
+}
+
+#[test]
+fn chaos_run_is_deterministic_for_a_seed() {
+    let a = chaos_run(11);
+    let b = chaos_run(11);
+    assert_eq!(a.issued, b.issued);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.failed, b.failed);
+    assert_eq!(a.latency_sum_ns, b.latency_sum_ns);
+    assert_eq!(a.deaths, b.deaths);
+    assert_eq!(a.recoveries, b.recoveries);
+    assert_eq!(a.replacements, b.replacements);
+}
+
+#[test]
+fn failover_events_follow_the_fault_timeline() {
+    let mut config = TestbedConfig::new(BackendKind::Nic)
+        .seed(3)
+        .workers(WORKERS);
+    config.nic.firmware_swap_time = SimDuration::from_millis(200);
+    let mut bed = build_testbed(config);
+    let program = Arc::new(three_web_servers());
+    bed.preload(&program);
+    let hb = SimDuration::from_millis(50);
+    bed.enable_failover(FailoverConfig {
+        heartbeat_interval: hb,
+        missed_beats: 3,
+    });
+    let plan = FaultPlan::new()
+        .nic_crash(0, SimTime::ZERO + CRASH_AT)
+        .nic_restart(0, SimTime::ZERO + RESTART_AT);
+    bed.inject_faults(&plan);
+    bed.sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+
+    let ctl = bed
+        .sim
+        .get::<lnic::failover::FailoverController>(bed.failover.unwrap())
+        .unwrap();
+    let events = ctl.events();
+    let death = events
+        .iter()
+        .find(|e| matches!(e.kind, FailoverEventKind::WorkerDead { worker: 0 }))
+        .expect("worker 0 declared dead");
+    // Death takes at least K silent beats to call, and not much longer.
+    assert!(death.at >= SimTime::ZERO + CRASH_AT + hb * 2);
+    assert!(death.at <= SimTime::ZERO + CRASH_AT + hb * 5);
+    let recovery = events
+        .iter()
+        .find(|e| matches!(e.kind, FailoverEventKind::WorkerRecovered { worker: 0 }))
+        .expect("worker 0 re-admitted");
+    assert!(recovery.at >= SimTime::ZERO + RESTART_AT);
+    assert!(recovery.at <= SimTime::ZERO + RESTART_AT + hb * 2);
+    assert!(death.at < recovery.at);
+}
