@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use lnic::prelude::*;
-use lnic_bench::{fmt_ms, THINK_TIME};
+use lnic_bench::{attach_trace, finish_trace, fmt_ms, THINK_TIME};
 use lnic_mlambda::compile::CompileOptions;
 use lnic_nic::{DispatchPolicy, Nic, NicClass, NicParams};
 use lnic_sim::prelude::*;
@@ -37,6 +37,7 @@ fn web_jobs() -> Vec<JobSpec> {
 }
 
 fn drive(bed: &mut Testbed, concurrency: usize, per_thread: u64) -> (Series, f64) {
+    attach_trace(bed, "ablation");
     let gateway = bed.gateway;
     let driver = bed.sim.add(ClosedLoopDriver::new(
         gateway,
@@ -47,6 +48,7 @@ fn drive(bed: &mut Testbed, concurrency: usize, per_thread: u64) -> (Series, f64
     ));
     bed.sim.post(driver, SimDuration::ZERO, StartDriver);
     bed.sim.run();
+    finish_trace(bed, "ablation");
     let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
     (d.latency_series(20), d.throughput_rps())
 }
@@ -67,6 +69,7 @@ fn nic_class_study() {
         let mut config = TestbedConfig::new(BackendKind::Nic).seed(51).workers(1);
         config.nic = class.params();
         let mut bed = build_testbed(config);
+        attach_trace(&mut bed, &format!("ablation-nic-class-{}", class.name()));
         bed.preload(&Arc::new(lnic_workloads::image_program(
             &SuiteConfig::default(),
         )));
@@ -83,6 +86,7 @@ fn nic_class_study() {
         ));
         bed.sim.post(driver, SimDuration::ZERO, StartDriver);
         bed.sim.run();
+        finish_trace(&mut bed, &format!("ablation-nic-class-{}", class.name()));
         let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
         let s = d.latency_series(8).summary();
         println!(
@@ -182,6 +186,7 @@ fn wfq_study() {
         ..NicParams::agilio_cx()
     };
     let mut bed = build_testbed(config);
+    attach_trace(&mut bed, "ablation-wfq");
     let program = Arc::new(lnic_workloads::three_web_servers());
     bed.preload(&program);
     for lambda in &program.lambdas {
@@ -213,6 +218,7 @@ fn wfq_study() {
     ));
     bed.sim.post(driver, SimDuration::ZERO, StartDriver);
     bed.sim.run();
+    finish_trace(&mut bed, "ablation-wfq");
     let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
     for lambda in &program.lambdas {
         let mut s = Series::new("l");

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use lnic::failover::{FailoverConfig, FailoverController, FailoverEventKind};
 use lnic::prelude::*;
-use lnic_bench::fmt_ms;
+use lnic_bench::{attach_trace, finish_trace, fmt_ms};
 use lnic_sim::prelude::*;
 use lnic_workloads::three_web_servers;
 
@@ -56,6 +56,7 @@ fn main() {
         .nic_crash(0, SimTime::ZERO + CRASH_AT)
         .nic_restart(0, SimTime::ZERO + RESTART_AT);
     bed.inject_faults(&plan);
+    attach_trace(&mut bed, "chaos-failover");
 
     let jobs: Vec<JobSpec> = program
         .lambdas
@@ -74,6 +75,7 @@ fn main() {
     ));
     bed.sim.post(driver, SimDuration::ZERO, StartDriver);
     bed.sim.run_until(SimTime::ZERO + RUN);
+    finish_trace(&mut bed, "chaos-failover");
 
     let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
     let n_buckets = (RUN.as_nanos() / BUCKET.as_nanos()) as usize;

@@ -11,7 +11,9 @@
 use std::sync::Arc;
 
 use lnic::prelude::*;
-use lnic_bench::{fmt_ms, print_comparison, print_ecdf, Comparison, THINK_TIME};
+use lnic_bench::{
+    attach_trace, finish_trace, fmt_ms, print_comparison, print_ecdf, Comparison, THINK_TIME,
+};
 use lnic_sim::prelude::*;
 use lnic_workloads::three_web_servers;
 
@@ -23,6 +25,8 @@ fn run(backend: BackendKind, worker_threads: usize, concurrency: usize) -> (Seri
             .workers(1)
             .worker_threads(worker_threads),
     );
+    let label = format!("fig8-{}-t{worker_threads}-c{concurrency}", backend.name());
+    attach_trace(&mut bed, &label);
     let program = Arc::new(three_web_servers());
     bed.preload(&program);
     for lambda in &program.lambdas {
@@ -46,6 +50,7 @@ fn run(backend: BackendKind, worker_threads: usize, concurrency: usize) -> (Seri
     ));
     bed.sim.post(driver, SimDuration::ZERO, StartDriver);
     bed.sim.run();
+    finish_trace(&mut bed, &label);
     let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
     (d.latency_series(50), d.throughput_rps())
 }

@@ -8,12 +8,14 @@
 use std::sync::Arc;
 
 use lnic::prelude::*;
-use lnic_bench::fmt_ms;
+use lnic_bench::{attach_trace, finish_trace, fmt_ms};
 use lnic_sim::prelude::*;
 use lnic_workloads::{web_program, SuiteConfig, WEB_ID};
 
 fn run(backend: BackendKind, rate_rps: f64, budget: u64) -> Summary {
     let mut bed = build_testbed(TestbedConfig::new(backend).seed(88).workers(1));
+    let label = format!("sweep-load-{}-r{rate_rps:.0}", backend.name());
+    attach_trace(&mut bed, &label);
     bed.preload(&Arc::new(web_program(&SuiteConfig::default())));
     let gateway = bed.gateway;
     let driver = bed.sim.add(OpenLoopDriver::new(
@@ -27,6 +29,7 @@ fn run(backend: BackendKind, rate_rps: f64, budget: u64) -> Summary {
     ));
     bed.sim.post(driver, SimDuration::ZERO, StartDriver);
     bed.sim.run();
+    finish_trace(&mut bed, &label);
     bed.sim
         .get::<OpenLoopDriver>(driver)
         .unwrap()

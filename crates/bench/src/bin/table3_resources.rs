@@ -8,7 +8,10 @@
 //! Run with: `cargo run --release -p lnic-bench --bin table3_resources`
 
 use lnic::prelude::*;
-use lnic_bench::{print_comparison, standard_testbed, Comparison, Workload, THINK_TIME};
+use lnic_bench::{
+    attach_trace, finish_trace, print_comparison, standard_testbed, Comparison, Workload,
+    THINK_TIME,
+};
 use lnic_host::HostBackend;
 use lnic_nic::Nic;
 use lnic_sim::prelude::*;
@@ -21,6 +24,8 @@ struct Measured {
 
 fn run(backend: BackendKind) -> Measured {
     let mut bed = standard_testbed(backend, 23, 56);
+    let label = format!("table3-{}", backend.name());
+    attach_trace(&mut bed, &label);
     let gateway = bed.gateway;
     let driver = bed.sim.add(ClosedLoopDriver::new(
         gateway,
@@ -56,6 +61,7 @@ fn run(backend: BackendKind) -> Measured {
         }
     }
     bed.sim.run();
+    finish_trace(&mut bed, &label);
     let window = bed.sim.now() - start;
 
     match backend {

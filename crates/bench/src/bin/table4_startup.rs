@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use lnic::manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
 use lnic::prelude::*;
-use lnic_bench::{print_comparison, Comparison};
+use lnic_bench::{attach_trace, finish_trace, print_comparison, Comparison};
 use lnic_sim::prelude::*;
 use lnic_workloads::{image_program, SuiteConfig, IMAGE_ID};
 
@@ -31,6 +31,8 @@ impl Component for Watcher {
 fn run(backend: BackendKind) -> (f64, f64) {
     let cfg = SuiteConfig::default();
     let mut bed = build_testbed(TestbedConfig::new(backend).seed(3));
+    let label = format!("table4-{}", backend.name());
+    attach_trace(&mut bed, &label);
     let manager = bed.sim.add(WorkloadManager::new(
         ManagerConfig::default(),
         backend,
@@ -80,6 +82,7 @@ fn run(backend: BackendKind) -> (f64, f64) {
     ));
     bed.sim.post(driver, SimDuration::ZERO, StartDriver);
     bed.sim.run();
+    finish_trace(&mut bed, &label);
     let first_response_at = bed
         .sim
         .get::<ClosedLoopDriver>(driver)

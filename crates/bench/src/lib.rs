@@ -21,7 +21,9 @@
 
 #![warn(missing_docs)]
 
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use lnic::prelude::*;
@@ -83,6 +85,83 @@ pub const IMAGE_DIM: usize = 128;
 /// the load-generating host).
 pub const THINK_TIME: SimDuration = SimDuration::from_micros(80);
 
+/// Parsed form of the shared `--trace` command-line flag.
+///
+/// Every bench binary accepts:
+///
+/// * `--trace` — attach a [`HashSink`] to each simulation and print the
+///   stable 64-bit trace hash when the run finishes;
+/// * `--trace=DIR` — additionally stream every structured event to
+///   `DIR/<n>-<label>.jsonl` through a [`JsonlSink`].
+#[derive(Debug, Default)]
+pub struct TraceOpts {
+    /// `--trace` was present on the command line.
+    pub enabled: bool,
+    /// Directory for JSONL trace files (`--trace=DIR` form).
+    pub dir: Option<PathBuf>,
+}
+
+/// The process-wide `--trace` options, parsed from `std::env::args` on
+/// first use.
+pub fn trace_opts() -> &'static TraceOpts {
+    static OPTS: OnceLock<TraceOpts> = OnceLock::new();
+    OPTS.get_or_init(|| {
+        let mut opts = TraceOpts::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--trace" {
+                opts.enabled = true;
+            } else if let Some(dir) = arg.strip_prefix("--trace=") {
+                opts.enabled = true;
+                opts.dir = Some(PathBuf::from(dir));
+            }
+        }
+        opts
+    })
+}
+
+/// Monotone run counter so JSONL files from multi-run binaries don't
+/// collide.
+static TRACE_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Attaches the `--trace` sinks to a testbed. Must be called before the
+/// simulation first runs (sinks attached later would miss events). A
+/// no-op — and zero per-event cost — when the flag is absent.
+pub fn attach_trace(bed: &mut Testbed, label: &str) {
+    let opts = trace_opts();
+    if !opts.enabled {
+        return;
+    }
+    bed.sim.add_trace_sink(Box::new(HashSink::new()));
+    if let Some(dir) = &opts.dir {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        let n = TRACE_RUNS.fetch_add(1, Ordering::Relaxed);
+        let slug: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!("{n:03}-{slug}.jsonl"));
+        bed.sim.add_trace_sink(Box::new(
+            JsonlSink::create(&path).expect("create trace file"),
+        ));
+    }
+}
+
+/// Finishes tracing on `bed` and prints the run's stable 64-bit trace
+/// hash. A no-op without `--trace`.
+pub fn finish_trace(bed: &mut Testbed, label: &str) {
+    if !trace_opts().enabled {
+        return;
+    }
+    bed.finish_tracing();
+    if let Some(h) = bed.sim.trace_sink::<HashSink>() {
+        println!(
+            "trace {label}: events={} hash={:#018x}",
+            h.count(),
+            h.hash()
+        );
+    }
+}
+
 /// Builds a testbed with the benchmark suite deployed and the KV store
 /// populated.
 pub fn standard_testbed(backend: BackendKind, seed: u64, worker_threads: usize) -> Testbed {
@@ -137,6 +216,12 @@ pub fn run_workload(
     seed: u64,
 ) -> RunResult {
     let mut bed = standard_testbed(backend, seed, 56.max(concurrency));
+    let label = format!(
+        "{}-{}-c{concurrency}-seed{seed}",
+        backend.name(),
+        workload.name()
+    );
+    attach_trace(&mut bed, &label);
     let gateway = bed.gateway;
     let driver = bed.sim.add(ClosedLoopDriver::new(
         gateway,
@@ -150,6 +235,7 @@ pub fn run_workload(
     ));
     bed.sim.post(driver, SimDuration::ZERO, StartDriver);
     bed.sim.run();
+    finish_trace(&mut bed, &label);
     let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
     RunResult {
         latency: d.latency_series(warmup),

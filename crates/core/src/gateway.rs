@@ -357,6 +357,9 @@ impl Gateway {
                     failed: true,
                 },
             );
+            ctx.emit(|| TraceEvent::RequestUnplaced {
+                workload_id: req.workload_id,
+            });
             return;
         };
         self.counters.submitted += 1;
@@ -382,6 +385,10 @@ impl Gateway {
                 reply_to: req.reply_to,
             },
         );
+        ctx.emit(|| TraceEvent::RequestSubmitted {
+            request_id,
+            workload_id: req.workload_id,
+        });
         self.send_attempt(
             ctx,
             request_id,
@@ -402,6 +409,12 @@ impl Gateway {
         };
         self.counters.completed += 1;
         let latency = ctx.now() - done.first_sent_at;
+        ctx.emit(|| TraceEvent::RequestCompleted {
+            request_id: hdr.request_id,
+            workload_id: done.workload_id,
+            latency_ns: latency.as_nanos(),
+            failed: false,
+        });
         self.latency
             .entry(done.workload_id)
             .or_insert_with(|| Series::new(format!("w{}", done.workload_id)))
@@ -440,6 +453,10 @@ impl Gateway {
                 // the one recorded at first send.
                 if let Some(endpoint) = self.pick_endpoint(rec.workload_id) {
                     self.counters.retransmitted += 1;
+                    ctx.emit(|| TraceEvent::RequestRetransmit {
+                        request_id,
+                        workload_id: rec.workload_id,
+                    });
                     self.tracker.redirect(request_id, endpoint.addr);
                     let payload = rec.payload.clone();
                     self.send_attempt(
@@ -455,6 +472,13 @@ impl Gateway {
                     // instead of letting it dangle without a timer.
                     let _ = self.tracker.on_response(request_id);
                     self.counters.failed += 1;
+                    let latency_ns = (ctx.now() - rec.first_sent_at).as_nanos();
+                    ctx.emit(|| TraceEvent::RequestCompleted {
+                        request_id,
+                        workload_id: rec.workload_id,
+                        latency_ns,
+                        failed: true,
+                    });
                     if let Some(meta) = self.meta.remove(&request_id) {
                         ctx.send(
                             meta.reply_to,
@@ -473,6 +497,13 @@ impl Gateway {
             }
             TimeoutAction::GiveUp(rec) => {
                 self.counters.failed += 1;
+                let latency_ns = (ctx.now() - rec.first_sent_at).as_nanos();
+                ctx.emit(|| TraceEvent::RequestCompleted {
+                    request_id,
+                    workload_id: rec.workload_id,
+                    latency_ns,
+                    failed: true,
+                });
                 if let Some(meta) = self.meta.remove(&request_id) {
                     ctx.send(
                         meta.reply_to,

@@ -55,7 +55,7 @@ pub mod gateway;
 pub mod manager;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleEvent, StartAutoscaler};
-pub use cluster::{build_testbed, Testbed, TestbedConfig, Worker};
+pub use cluster::{build_testbed, seed_offset, Testbed, TestbedConfig, Worker};
 pub use deploy::{BackendKind, DeployParams};
 pub use driver::{
     ClosedLoopDriver, CompletedRequest, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver,
@@ -69,7 +69,7 @@ pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
 
 /// Convenience re-exports for experiment authors.
 pub mod prelude {
-    pub use crate::cluster::{build_testbed, Testbed, TestbedConfig};
+    pub use crate::cluster::{build_testbed, seed_offset, Testbed, TestbedConfig};
     pub use crate::deploy::{BackendKind, DeployParams};
     pub use crate::driver::{ClosedLoopDriver, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver};
     pub use crate::failover::{FailoverConfig, FailoverController, StartFailover};

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use lnic_mlambda::cost::exec_cycles;
+use lnic_mlambda::cost::{exec_cycles, mem_charge_cycles};
 use lnic_mlambda::interp::{Execution, HeaderValues, ObjectMemory, RequestCtx, StepOutcome};
 use lnic_mlambda::ir::retcode;
 use lnic_mlambda::program::{DispatchCtx, DispatchResult, Program};
@@ -283,7 +283,7 @@ impl HostBackend {
 
     /// Fails the runtime: every in-flight and queued request is lost and
     /// all arrivals are blackholed until a [`Restart`] completes.
-    fn crash(&mut self) {
+    fn crash(&mut self, ctx: &mut Ctx<'_>) {
         if self.crashed {
             return;
         }
@@ -295,6 +295,11 @@ impl HostBackend {
             .filter(|w| !matches!(w.state, WorkerState::Idle))
             .count() as u64;
         self.counters.jobs_lost += busy + self.runq.len() as u64;
+        let lost = busy + self.runq.len() as u64;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "crash",
+            detail: lost,
+        });
         for w in &mut self.workers {
             w.epoch += 1;
             w.state = WorkerState::Idle;
@@ -322,6 +327,10 @@ impl HostBackend {
             return;
         }
         self.crashed = false;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "restart",
+            detail: 0,
+        });
         if self.last_program.is_some() {
             ctx.send_self(
                 self.params.restart_time,
@@ -332,12 +341,13 @@ impl HostBackend {
         }
     }
 
-    fn on_restart_done(&mut self, restart_epoch: u64) {
+    fn on_restart_done(&mut self, ctx: &mut Ctx<'_>, restart_epoch: u64) {
         if restart_epoch != self.restart_epoch || self.crashed {
             return;
         }
         if let Some(program) = self.last_program.clone() {
             self.install(program);
+            ctx.emit(|| TraceEvent::ProgramInstall {});
         }
     }
 
@@ -491,6 +501,11 @@ impl HostBackend {
     }
 
     fn start_worker(&mut self, ctx: &mut Ctx<'_>, worker: usize, pending: PendingRequest) {
+        ctx.emit(|| TraceEvent::ExecStart {
+            core: worker as u32,
+            lambda_id: pending.lambda_idx as u32,
+            request_id: pending.req_hdr.request_id,
+        });
         let program = self.program.as_ref().expect("deployed").clone();
         let exec = Execution::start(
             Arc::clone(&program),
@@ -659,6 +674,7 @@ impl HostBackend {
         match job.phase.take().expect("executing job has a phase") {
             Phase::Finish { response, code } => {
                 self.release_gil(ctx, worker);
+                self.emit_exec_finish(ctx, worker, &job);
                 self.emit_response(ctx, &job, response, code);
                 self.free_worker(ctx, worker);
             }
@@ -668,6 +684,11 @@ impl HostBackend {
                 self.release_gil(ctx, worker);
                 job.rpc_seq += 1;
                 job.rpc_attempt = 1;
+                ctx.emit(|| TraceEvent::ExecSuspend {
+                    core: worker as u32,
+                    lambda_id: job.lambda_idx as u32,
+                    request_id: job.req_hdr.request_id,
+                });
                 self.send_rpc(ctx, worker, service, &payload);
                 let seq = job.rpc_seq;
                 job.phase = Some(Phase::SendRpc { service, payload });
@@ -734,6 +755,11 @@ impl HostBackend {
         };
         job.rpc_seq += 1;
         job.phase = None;
+        ctx.emit(|| TraceEvent::ExecResume {
+            core: worker as u32,
+            lambda_id: job.lambda_idx as u32,
+            request_id: job.req_hdr.request_id,
+        });
         self.resume_segment(ctx, worker, job, payload);
     }
 
@@ -755,6 +781,12 @@ impl HostBackend {
         };
         if retries_exhausted(job.rpc_attempt, self.params.rpc_attempts) {
             self.counters.faults += 1;
+            ctx.emit(|| TraceEvent::ExecResume {
+                core: worker as u32,
+                lambda_id: job.lambda_idx as u32,
+                request_id: job.req_hdr.request_id,
+            });
+            self.emit_exec_finish(ctx, worker, &job);
             self.emit_response(ctx, &job, Bytes::new(), retcode::ERROR as u16);
             self.free_worker(ctx, worker);
             return;
@@ -805,6 +837,67 @@ impl HostBackend {
             self.idle.push(worker);
         }
     }
+
+    /// Emits per-object memory charges and the finish record; mirrors
+    /// [`exec_cycles`] with the host's all-EMEM placement so the online
+    /// checker can recompute the charged total. Host overheads (kernel
+    /// stacks, GIL waits, context switches) are charged as wall time, not
+    /// cycles, so `overhead_cycles` is zero here.
+    fn emit_exec_finish(&self, ctx: &mut Ctx<'_>, worker: usize, job: &Job) {
+        if self.program.is_none() {
+            return;
+        }
+        let stats = job.exec.stats();
+        let core = worker as u32;
+        let lambda_id = job.lambda_idx as u32;
+        let request_id = job.req_hdr.request_id;
+        let charge = |level: &'static str,
+                      latency_cycles: u64,
+                      scalar: u64,
+                      bulk_ops: u64,
+                      bulk_bytes: u64,
+                      ctx: &mut Ctx<'_>| {
+            if scalar == 0 && bulk_ops == 0 && bulk_bytes == 0 {
+                return;
+            }
+            let cycles = mem_charge_cycles(scalar, bulk_ops, bulk_bytes, latency_cycles);
+            ctx.emit(|| TraceEvent::MemCharge {
+                core,
+                lambda_id,
+                request_id,
+                level,
+                latency_cycles,
+                scalar,
+                bulk_ops,
+                bulk_bytes,
+                cycles,
+            });
+        };
+        // All host objects live in (the host spec's) EMEM level.
+        let emem_lat = self.params.memory.emem.latency_cycles;
+        for (i, &scalar) in stats.obj_scalar.iter().enumerate() {
+            charge(
+                "EMEM",
+                emem_lat,
+                scalar,
+                stats.obj_bulk_ops[i],
+                stats.obj_bulk_bytes[i],
+                ctx,
+            );
+        }
+        let ctm_lat = self.params.memory.ctm.latency_cycles;
+        charge("CTM", ctm_lat, stats.payload_scalar, 0, 0, ctx);
+        charge("CTM", ctm_lat, 0, 0, stats.payload_bulk_bytes, ctx);
+        charge("CTM", ctm_lat, 0, 0, stats.emitted_bytes, ctx);
+        ctx.emit(|| TraceEvent::ExecFinish {
+            core,
+            lambda_id,
+            request_id,
+            total_cycles: job.charged_cycles,
+            overhead_cycles: 0,
+            instr_cycles: stats.instrs,
+        });
+    }
 }
 
 impl Component for HostBackend {
@@ -816,7 +909,7 @@ impl Component for HostBackend {
         // Fault controls act immediately, even mid-stall.
         let msg = match msg.downcast::<Crash>() {
             Ok(_) => {
-                self.crash();
+                self.crash(ctx);
                 return;
             }
             Err(other) => other,
@@ -861,7 +954,7 @@ impl Component for HostBackend {
         };
         let msg = match msg.downcast::<RestartDone>() {
             Ok(done) => {
-                self.on_restart_done(done.restart_epoch);
+                self.on_restart_done(ctx, done.restart_epoch);
                 return;
             }
             Err(other) => other,
@@ -895,7 +988,10 @@ impl Component for HostBackend {
             Err(other) => other,
         };
         match msg.downcast::<DeployProgram>() {
-            Ok(d) => self.install(d.program),
+            Ok(d) => {
+                self.install(d.program);
+                ctx.emit(|| TraceEvent::ProgramInstall {});
+            }
             Err(other) => panic!("host backend received unknown message {other:?}"),
         }
     }

@@ -46,19 +46,26 @@ pub const SCALAR_BURST: u64 = 8;
 /// assert_eq!(cycles, 100);
 /// ```
 pub fn exec_cycles(stats: &ExecStats, placement: &[MemLevel], spec: &MemorySpec) -> u64 {
-    let scalar_cost = |lat: u64| 1 + lat.div_ceil(SCALAR_BURST);
     let mut cycles = stats.instrs;
     for (i, &scalar) in stats.obj_scalar.iter().enumerate() {
         let level = placement[i];
         let lat = spec.level(level).latency_cycles;
-        cycles += scalar * scalar_cost(lat);
-        cycles += stats.obj_bulk_ops[i] * lat;
-        cycles += stats.obj_bulk_bytes[i].div_ceil(BULK_BYTES_PER_CYCLE);
+        cycles += mem_charge_cycles(scalar, stats.obj_bulk_ops[i], stats.obj_bulk_bytes[i], lat);
     }
-    cycles += stats.payload_scalar * scalar_cost(spec.ctm.latency_cycles);
-    cycles += stats.payload_bulk_bytes.div_ceil(BULK_BYTES_PER_CYCLE);
-    cycles += stats.emitted_bytes.div_ceil(BULK_BYTES_PER_CYCLE);
+    cycles += mem_charge_cycles(stats.payload_scalar, 0, 0, spec.ctm.latency_cycles);
+    cycles += mem_charge_cycles(0, 0, stats.payload_bulk_bytes, spec.ctm.latency_cycles);
+    cycles += mem_charge_cycles(0, 0, stats.emitted_bytes, spec.ctm.latency_cycles);
     cycles
+}
+
+/// Cycles charged for one object's accesses at a level with latency
+/// `latency_cycles`: the single source of truth shared by
+/// [`exec_cycles`], the NIC/host trace instrumentation, and (mirrored
+/// independently) `lnic_sim::check::InvariantChecker`.
+pub fn mem_charge_cycles(scalar: u64, bulk_ops: u64, bulk_bytes: u64, latency_cycles: u64) -> u64 {
+    scalar * (1 + latency_cycles.div_ceil(SCALAR_BURST))
+        + bulk_ops * latency_cycles
+        + bulk_bytes.div_ceil(BULK_BYTES_PER_CYCLE)
 }
 
 #[cfg(test)]
@@ -111,5 +118,81 @@ mod tests {
         let c = exec_cycles(&stats, &[], &spec());
         let scalar = 1 + spec().ctm.latency_cycles.div_ceil(SCALAR_BURST);
         assert_eq!(c, 2 * scalar + 2 + 3);
+    }
+
+    /// Per-op spot checks against the calibration table in DESIGN.md
+    /// ("LMEM/CTM/IMEM/EMEM ≈ 1/50/150/300 cycles"). A drift in either
+    /// the latency parameters or the charge formula fails here.
+    #[test]
+    fn mem_charge_spot_checks_match_design_doc() {
+        let s = spec();
+        assert_eq!(
+            (
+                s.lmem.latency_cycles,
+                s.ctm.latency_cycles,
+                s.imem.latency_cycles,
+                s.emem.latency_cycles
+            ),
+            (1, 50, 150, 300)
+        );
+        // One scalar access: issue cycle + latency/8 rounded up.
+        assert_eq!(mem_charge_cycles(1, 0, 0, 1), 2); // LMEM
+        assert_eq!(mem_charge_cycles(1, 0, 0, 50), 8); // CTM
+        assert_eq!(mem_charge_cycles(1, 0, 0, 150), 20); // IMEM
+        assert_eq!(mem_charge_cycles(1, 0, 0, 300), 39); // EMEM
+                                                         // One 64-byte bulk copy: full latency once + 8 B/cycle stream.
+        assert_eq!(mem_charge_cycles(0, 1, 64, 300), 308); // EMEM
+        assert_eq!(mem_charge_cycles(0, 1, 64, 50), 58); // CTM
+                                                         // Nothing accessed, nothing charged.
+        assert_eq!(mem_charge_cycles(0, 0, 0, 300), 0);
+    }
+
+    /// `exec_cycles` must equal `instrs` plus the per-object and CTM
+    /// packet charges computed with `mem_charge_cycles` — the identity
+    /// the trace instrumentation and `InvariantChecker` rely on when
+    /// they re-derive `ExecFinish.total_cycles` from `MemCharge`
+    /// events.
+    #[test]
+    fn exec_cycles_decomposes_into_mem_charges() {
+        let s = spec();
+        let stats = ExecStats {
+            instrs: 123,
+            obj_scalar: vec![5, 0, 2],
+            obj_bulk_ops: vec![1, 0, 3],
+            obj_bulk_bytes: vec![64, 0, 17],
+            payload_scalar: 4,
+            payload_bulk_bytes: 33,
+            emitted_bytes: 9,
+            ..Default::default()
+        };
+        let placement = [MemLevel::Lmem, MemLevel::Ctm, MemLevel::Emem];
+        let total = exec_cycles(&stats, &placement, &s);
+        let mut expect = stats.instrs;
+        for (i, &level) in placement.iter().enumerate() {
+            expect += mem_charge_cycles(
+                stats.obj_scalar[i],
+                stats.obj_bulk_ops[i],
+                stats.obj_bulk_bytes[i],
+                s.level(level).latency_cycles,
+            );
+        }
+        expect += mem_charge_cycles(stats.payload_scalar, 0, 0, s.ctm.latency_cycles);
+        expect += mem_charge_cycles(0, 0, stats.payload_bulk_bytes, s.ctm.latency_cycles);
+        expect += mem_charge_cycles(0, 0, stats.emitted_bytes, s.ctm.latency_cycles);
+        assert_eq!(total, expect);
+    }
+
+    /// The three CTM byte streams are charged separately because each
+    /// rounds up to whole cycles on its own; merging them would
+    /// under-charge. This pins that rounding behaviour.
+    #[test]
+    fn byte_streams_round_up_independently() {
+        let stats = ExecStats {
+            payload_bulk_bytes: 4,
+            emitted_bytes: 4,
+            ..Default::default()
+        };
+        // 4 B + 4 B is two partial cycles, not one merged full cycle.
+        assert_eq!(exec_cycles(&stats, &[], &spec()), 2);
     }
 }

@@ -217,6 +217,128 @@ mod tests {
         assert_eq!(text.lines().count(), fw.binary.len() + 1);
     }
 
+    /// The disassembler is a pure function of the program: compiling
+    /// and disassembling the same source twice must produce
+    /// byte-identical text (no iteration-order or address
+    /// nondeterminism). This is the textual analogue of the golden
+    /// trace-hash tests.
+    #[test]
+    fn disassembly_is_stable_across_compiles() {
+        let p = sample();
+        assert_eq!(disassemble_program(&p), disassemble_program(&p));
+        for opts in [CompileOptions::optimized(), CompileOptions::naive()] {
+            let a = compile(&p, &opts).unwrap();
+            let b = compile(&p, &opts).unwrap();
+            assert_eq!(
+                disassemble_firmware(&a),
+                disassemble_firmware(&b),
+                "{opts:?}"
+            );
+        }
+    }
+
+    /// Optimization must change the lowered binary's text (dead-code
+    /// elimination and match reduction both hit `sample`), so the
+    /// stability test above cannot pass vacuously.
+    #[test]
+    fn disassembly_reflects_optimization_level() {
+        let p = sample();
+        let opt = disassemble_firmware(&compile(&p, &CompileOptions::optimized()).unwrap());
+        let raw = disassemble_firmware(&compile(&p, &CompileOptions::naive()).unwrap());
+        assert_ne!(opt, raw);
+    }
+
+    /// Every IR variant renders to a distinct, non-empty mnemonic.
+    #[test]
+    fn all_variants_render_distinctly() {
+        let instrs = vec![
+            Instr::Const { dst: 1, value: 7 },
+            Instr::Mov { dst: 1, src: 2 },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: 1,
+                a: 2,
+                b: 3,
+            },
+            Instr::AluImm {
+                op: AluOp::Mul,
+                dst: 1,
+                a: 2,
+                imm: 3,
+            },
+            Instr::LoadHdr {
+                dst: 1,
+                field: crate::ir::HeaderField::SrcPort,
+            },
+            Instr::LoadMatchData { dst: 1, idx: 0 },
+            Instr::Load {
+                dst: 1,
+                obj: ObjId(0),
+                addr: 2,
+                width: Width::B4,
+            },
+            Instr::Store {
+                obj: ObjId(0),
+                addr: 1,
+                src: 2,
+                width: Width::B8,
+            },
+            Instr::LoadPayload {
+                dst: 1,
+                addr: 2,
+                width: Width::B1,
+            },
+            Instr::Emit {
+                src: 1,
+                width: Width::B2,
+            },
+            Instr::EmitObj {
+                obj: ObjId(0),
+                off: 1,
+                len: 2,
+            },
+            Instr::PayloadToObj {
+                obj: ObjId(0),
+                src_off: 1,
+                dst_off: 2,
+                len: 3,
+            },
+            Instr::Branch {
+                cmp: Cmp::Eq,
+                a: 1,
+                b: 2,
+                target: 3,
+            },
+            Instr::Jump { target: 1 },
+            Instr::Call {
+                func: FuncRef::Local(0),
+            },
+            Instr::Call {
+                func: FuncRef::Shared(1),
+            },
+            Instr::Ret,
+            Instr::NetRpc {
+                service: 2,
+                req_obj: ObjId(0),
+                req_off: 1,
+                req_len: 2,
+                resp_obj: ObjId(1),
+                resp_off: 3,
+                resp_cap: 4,
+                resp_len_dst: 5,
+            },
+        ];
+        let rendered: Vec<String> = instrs.iter().map(instr_to_string).collect();
+        for (i, r) in rendered.iter().enumerate() {
+            assert!(!r.is_empty(), "variant {i} renders empty");
+            for (j, other) in rendered.iter().enumerate() {
+                if i != j {
+                    assert_ne!(r, other, "variants {i} and {j} collide");
+                }
+            }
+        }
+    }
+
     #[test]
     fn rpc_and_bulk_forms_format() {
         let i = Instr::NetRpc {

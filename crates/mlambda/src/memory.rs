@@ -30,17 +30,21 @@ impl MemLevel {
         MemLevel::Imem,
         MemLevel::Emem,
     ];
-}
 
-impl fmt::Display for MemLevel {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// The level's conventional name (as in trace records).
+    pub fn name(self) -> &'static str {
+        match self {
             MemLevel::Lmem => "LMEM",
             MemLevel::Ctm => "CTM",
             MemLevel::Imem => "IMEM",
             MemLevel::Emem => "EMEM",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -153,6 +153,10 @@ impl Component for Link {
         if ctx.now() < self.down_until {
             self.dropped.incr();
             self.fault_drops.incr();
+            ctx.emit(|| TraceEvent::LinkDrop {
+                bytes: bytes as u64,
+                reason: "down",
+            });
             return;
         }
         if ctx.now() < self.burst_until
@@ -161,15 +165,27 @@ impl Component for Link {
         {
             self.dropped.incr();
             self.fault_drops.incr();
+            ctx.emit(|| TraceEvent::LinkDrop {
+                bytes: bytes as u64,
+                reason: "burst",
+            });
             return;
         }
         if self.params.loss_probability > 0.0 && ctx.rng().gen_bool(self.params.loss_probability) {
             self.dropped.incr();
+            ctx.emit(|| TraceEvent::LinkDrop {
+                bytes: bytes as u64,
+                reason: "loss",
+            });
             return;
         }
         if self.queued_bytes + bytes > self.params.queue_capacity_bytes {
             self.dropped.incr();
             ctx.trace(|| format!("link drop ({} queued bytes)", self.queued_bytes));
+            ctx.emit(|| TraceEvent::LinkDrop {
+                bytes: bytes as u64,
+                reason: "overflow",
+            });
             return;
         }
         self.queued_bytes += bytes;
@@ -182,6 +198,9 @@ impl Component for Link {
         ctx.send_self(tx_end - ctx.now(), TxDone { bytes });
         ctx.send_boxed(self.dst, arrival - ctx.now(), Box::new(*packet));
         self.delivered.incr();
+        ctx.emit(|| TraceEvent::LinkTx {
+            bytes: bytes as u64,
+        });
     }
 }
 

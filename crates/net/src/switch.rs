@@ -64,14 +64,17 @@ impl Component for Switch {
         let packet = msg
             .downcast::<Packet>()
             .expect("switches forward Packet frames");
+        let bytes = packet.wire_len() as u64;
         match self.fib.get(&packet.eth.dst) {
             Some(&port) => {
                 self.forwarded.incr();
+                ctx.emit(|| TraceEvent::SwitchForward { bytes });
                 ctx.send_boxed(port, self.params.forwarding_latency, packet);
             }
             None => {
                 self.unroutable.incr();
                 ctx.trace(|| format!("switch: no route for {}", packet.eth.dst));
+                ctx.emit(|| TraceEvent::SwitchDrop { bytes });
             }
         }
     }

@@ -15,7 +15,7 @@ use bytes::Bytes;
 use rand::Rng;
 
 use lnic_mlambda::compile::Firmware;
-use lnic_mlambda::cost::exec_cycles;
+use lnic_mlambda::cost::{exec_cycles, mem_charge_cycles};
 use lnic_mlambda::interp::{Execution, HeaderValues, ObjectMemory, RequestCtx, StepOutcome};
 use lnic_mlambda::ir::retcode;
 use lnic_mlambda::program::{DispatchCtx, DispatchResult, Program};
@@ -359,6 +359,10 @@ impl Nic {
         let in_flight = self.busy_threads() + self.queue.len();
         self.counters.jobs_lost += in_flight as u64;
         ctx.trace(|| format!("nic crash, {in_flight} jobs lost"));
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "crash",
+            detail: in_flight as u64,
+        });
         for t in &mut self.threads {
             t.epoch += 1; // invalidate every pending phase/RPC timer
             t.state = ThreadState::Idle;
@@ -388,6 +392,10 @@ impl Nic {
             return;
         }
         self.crashed = false;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "restart",
+            detail: 0,
+        });
         if let Some(firmware) = self.last_firmware.clone() {
             self.swapping = true;
             ctx.send_self(
@@ -564,11 +572,23 @@ impl Nic {
             None => {
                 self.counters.queued += 1;
                 self.queue.push(lambda, pending);
+                let weight_milli = (self.queue.weight_of(lambda) * 1000.0).round() as u64;
+                let depth = self.queue.len_for(lambda) as u64;
+                ctx.emit(|| TraceEvent::WfqEnqueue {
+                    lambda_id: lambda as u32,
+                    weight_milli,
+                    depth,
+                });
             }
         }
     }
 
     fn start_job(&mut self, ctx: &mut Ctx<'_>, thread: usize, pending: PendingRequest) {
+        ctx.emit(|| TraceEvent::ExecStart {
+            core: thread as u32,
+            lambda_id: pending.lambda_idx as u32,
+            request_id: pending.req_hdr.request_id,
+        });
         let program = self.program.as_ref().expect("firmware installed").clone();
         let firmware = self.firmware.as_ref().expect("firmware installed").clone();
         let exec = Execution::start(
@@ -656,12 +676,18 @@ impl Nic {
         };
         match job.phase.take().expect("computing job has a phase") {
             Phase::Finish { response, code } => {
+                self.emit_exec_finish(ctx, thread, &job);
                 self.emit_response(ctx, &job, response, code);
                 self.free_thread(ctx, thread);
             }
             Phase::SendRpc { service, payload } => {
                 job.rpc_seq += 1;
                 job.rpc_attempt = 1;
+                ctx.emit(|| TraceEvent::ExecSuspend {
+                    core: thread as u32,
+                    lambda_id: job.lambda_idx as u32,
+                    request_id: job.req_hdr.request_id,
+                });
                 self.send_rpc(ctx, thread, &job, service, &payload);
                 let seq = job.rpc_seq;
                 job.phase = Some(Phase::SendRpc { service, payload });
@@ -712,6 +738,11 @@ impl Nic {
             return;
         };
         job.rpc_seq += 1; // invalidate the pending timeout
+        ctx.emit(|| TraceEvent::ExecResume {
+            core: thread as u32,
+            lambda_id: job.lambda_idx as u32,
+            request_id: job.req_hdr.request_id,
+        });
         let mem = &mut self.deployed_mem[job.lambda_idx];
         let outcome = job.exec.resume(mem, &payload);
         job.phase = Some(Self::phase_of(&mut self.counters, outcome));
@@ -739,6 +770,12 @@ impl Nic {
             // Give up: fail the lambda (weakly-consistent transport
             // reports the failure to the sender, §4.2-D3).
             self.counters.faults += 1;
+            ctx.emit(|| TraceEvent::ExecResume {
+                core: thread as u32,
+                lambda_id: job.lambda_idx as u32,
+                request_id: job.req_hdr.request_id,
+            });
+            self.emit_exec_finish(ctx, thread, &job);
             self.emit_response(ctx, &job, Bytes::new(), retcode::ERROR as u16);
             self.free_thread(ctx, thread);
             return;
@@ -780,11 +817,78 @@ impl Nic {
     fn free_thread(&mut self, ctx: &mut Ctx<'_>, thread: usize) {
         self.threads[thread].epoch += 1;
         self.threads[thread].state = ThreadState::Idle;
-        if let Some((_, pending)) = self.queue.pop() {
+        if let Some((lambda, pending)) = self.queue.pop() {
+            let weight_milli = (self.queue.weight_of(lambda) * 1000.0).round() as u64;
+            let depth = self.queue.len_for(lambda) as u64;
+            ctx.emit(|| TraceEvent::WfqDequeue {
+                lambda_id: lambda as u32,
+                weight_milli,
+                depth,
+            });
             self.start_job(ctx, thread, pending);
         } else {
             self.idle.push(thread);
         }
+    }
+
+    /// Emits the per-object memory charges and the finish record for a
+    /// completing job; the decomposition mirrors [`exec_cycles`] exactly so
+    /// the online checker can recompute it.
+    fn emit_exec_finish(&self, ctx: &mut Ctx<'_>, thread: usize, job: &Job) {
+        let Some(firmware) = self.firmware.as_ref() else {
+            return;
+        };
+        let stats = job.exec.stats();
+        let placements = &firmware.placements[job.lambda_idx];
+        let core = thread as u32;
+        let lambda_id = job.lambda_idx as u32;
+        let request_id = job.req_hdr.request_id;
+        let charge = |level: &'static str,
+                      latency_cycles: u64,
+                      scalar: u64,
+                      bulk_ops: u64,
+                      bulk_bytes: u64,
+                      ctx: &mut Ctx<'_>| {
+            if scalar == 0 && bulk_ops == 0 && bulk_bytes == 0 {
+                return;
+            }
+            let cycles = mem_charge_cycles(scalar, bulk_ops, bulk_bytes, latency_cycles);
+            ctx.emit(|| TraceEvent::MemCharge {
+                core,
+                lambda_id,
+                request_id,
+                level,
+                latency_cycles,
+                scalar,
+                bulk_ops,
+                bulk_bytes,
+                cycles,
+            });
+        };
+        for (i, &scalar) in stats.obj_scalar.iter().enumerate() {
+            let level = placements[i];
+            let lat = self.params.memory.level(level).latency_cycles;
+            charge(
+                level.name(),
+                lat,
+                scalar,
+                stats.obj_bulk_ops[i],
+                stats.obj_bulk_bytes[i],
+                ctx,
+            );
+        }
+        let ctm_lat = self.params.memory.ctm.latency_cycles;
+        charge("CTM", ctm_lat, stats.payload_scalar, 0, 0, ctx);
+        charge("CTM", ctm_lat, 0, 0, stats.payload_bulk_bytes, ctx);
+        charge("CTM", ctm_lat, 0, 0, stats.emitted_bytes, ctx);
+        ctx.emit(|| TraceEvent::ExecFinish {
+            core,
+            lambda_id,
+            request_id,
+            total_cycles: job.charged_cycles,
+            overhead_cycles: job.overhead_cycles,
+            instr_cycles: stats.instrs,
+        });
     }
 
     fn punt_to_host(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
@@ -933,6 +1037,7 @@ impl Component for Nic {
                 self.install(done.firmware);
                 self.swapping = false;
                 self.counters.swaps += 1;
+                ctx.emit(|| TraceEvent::ProgramInstall {});
             }
             Err(other) => panic!("nic received unknown message {other:?}"),
         }

@@ -98,6 +98,11 @@ impl<T> WeightedFairQueue<T> {
         self.queues.get(lambda).map_or(0, |q| q.len())
     }
 
+    /// A lambda's service weight (1.0 when never configured).
+    pub fn weight_of(&self, lambda: usize) -> f64 {
+        self.weights.get(lambda).copied().unwrap_or(1.0)
+    }
+
     /// Dequeues the next item under weighted fairness. Returns the lambda
     /// index alongside the item.
     pub fn pop(&mut self) -> Option<(usize, T)> {
@@ -254,6 +259,75 @@ mod tests {
                     i, got, expect, weights
                 );
             }
+        }
+
+        /// No continuously-backlogged lambda starves: the gap between two
+        /// consecutive services of lambda j is bounded by a constant factor
+        /// of total_weight / w_j dequeues.
+        #[test]
+        fn no_backlogged_lambda_starves(
+            weights in proptest::collection::vec(1u32..8, 2..5),
+            rounds in 50usize..200,
+        ) {
+            let mut q = WeightedFairQueue::new();
+            for (i, &w) in weights.iter().enumerate() {
+                q.set_weight(i, w as f64);
+                for _ in 0..rounds {
+                    q.push(i, ());
+                }
+            }
+            let total_weight: u32 = weights.iter().sum();
+            let mut waited = vec![0u32; weights.len()];
+            for _ in 0..rounds {
+                let (served, _) = q.pop().expect("backlogged");
+                waited[served] = 0;
+                for (j, &w) in weights.iter().enumerate() {
+                    if j != served && q.len_for(j) > 0 {
+                        waited[j] += 1;
+                        let bound = 4 * total_weight.div_ceil(w) + 8;
+                        prop_assert!(
+                            waited[j] <= bound,
+                            "lambda {} (weight {}) starved for {} dequeues \
+                             (bound {}, weights {:?})",
+                            j, w, waited[j], bound, weights
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Weight-normalized service stays tightly clustered across all
+        /// continuously-backlogged lambdas (the per-window bound the online
+        /// InvariantChecker enforces).
+        #[test]
+        fn normalized_service_spread_is_bounded(
+            weights in proptest::collection::vec(1u32..8, 2..5),
+            rounds in 100usize..300,
+        ) {
+            let mut q = WeightedFairQueue::new();
+            for (i, &w) in weights.iter().enumerate() {
+                q.set_weight(i, w as f64);
+                for _ in 0..rounds {
+                    q.push(i, ());
+                }
+            }
+            let mut served = vec![0usize; weights.len()];
+            for _ in 0..rounds {
+                let (l, _) = q.pop().expect("backlogged");
+                served[l] += 1;
+            }
+            let norms: Vec<f64> = weights
+                .iter()
+                .zip(&served)
+                .map(|(&w, &s)| s as f64 / w as f64)
+                .collect();
+            let max = norms.iter().cloned().fold(f64::MIN, f64::max);
+            let min = norms.iter().cloned().fold(f64::MAX, f64::min);
+            prop_assert!(
+                max - min <= 4.0,
+                "normalized service spread {:.2} (served {:?}, weights {:?})",
+                max - min, served, weights
+            );
         }
 
         /// Pop never loses or invents items.

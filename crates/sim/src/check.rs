@@ -1,0 +1,1101 @@
+//! Online invariant checking over the trace stream.
+//!
+//! [`InvariantChecker`] is a [`TraceSink`] that validates, while the
+//! simulation runs, the properties the λ-NIC model's headline numbers
+//! rest on:
+//!
+//! 1. **Clock monotonicity** — records never go backwards in sim time.
+//! 2. **Request conservation** — every completion matches exactly one
+//!    outstanding submission (no invented or double-counted requests),
+//!    and at end of run `submitted = completed + failed + in-flight`.
+//! 3. **Per-core run-to-completion** — once a job starts on an NPU
+//!    thread or host worker, no other job starts on that core until it
+//!    finishes (§4.2-D1); RPC suspensions keep the core held.
+//! 4. **WFQ weight bounds** — among continuously-backlogged lambdas,
+//!    per-lambda service normalized by weight stays within a small
+//!    additive bound of every other's (credit-based WRR guarantee), and
+//!    no backlogged lambda starves.
+//! 5. **Memory-hierarchy cost consistency** — the cycles a finishing job
+//!    was charged equal its fixed overheads plus one cycle per
+//!    instruction plus the per-object memory charges recomputed from the
+//!    documented cost model (scalar burst amortization, bulk latency +
+//!    streaming).
+//!
+//! By default a violation panics immediately with the offending record,
+//! which makes every integration test a correctness gate; use
+//! [`InvariantChecker::collecting`] to gather violations instead (e.g.
+//! to assert that a deliberately broken run *is* caught).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceRecord, TraceSink};
+
+/// Mirror of the cost model's scalar burst factor
+/// (`lnic_mlambda::cost::SCALAR_BURST`); the checker recomputes memory
+/// charges independently, so the constant is duplicated by design — if
+/// the model changes, this check is *supposed* to fail until both sides
+/// agree.
+pub const SCALAR_BURST: u64 = 8;
+
+/// Mirror of `lnic_mlambda::cost::BULK_BYTES_PER_CYCLE`.
+pub const BULK_BYTES_PER_CYCLE: u64 = 8;
+
+/// Dequeues a continuously-backlogged lambda may wait, per unit of
+/// (total weight / own weight), before the checker calls starvation.
+const STARVATION_FACTOR: u64 = 4;
+
+/// Additive slack (in dequeues) on the starvation bound.
+const STARVATION_SLACK: u64 = 64;
+
+/// Allowed spread, in weight-normalized service rounds, between any two
+/// continuously-backlogged lambdas (credit WRR serves bursts of up to
+/// `weight` items, so ~1 round of skew is inherent; 4 is generous).
+const FAIRNESS_SLACK_ROUNDS: f64 = 4.0;
+
+/// Dequeues (per backlogged lambda) before the fairness bound is
+/// enforced on a window, letting shares converge first.
+const FAIRNESS_MIN_WINDOW: u64 = 16;
+
+#[derive(Debug)]
+struct JobSpan {
+    request_id: u64,
+    lambda_id: u32,
+    suspended: bool,
+    /// A program install landed mid-job: charged cycles may mix two
+    /// images' placements, so skip the cost identity.
+    cost_exempt: bool,
+    charge_sum: u64,
+}
+
+#[derive(Debug, Default)]
+struct LambdaQueue {
+    backlog: u64,
+    weight_milli: u64,
+    served_in_window: u64,
+    dequeues_since_served: u64,
+}
+
+/// Per-component WFQ bookkeeping. A "window" is a maximal span of
+/// dequeues over which the set of backlogged lambdas did not change, so
+/// every lambda in it was continuously backlogged.
+#[derive(Debug, Default)]
+struct WfqState {
+    lambdas: HashMap<u32, LambdaQueue>,
+    window_dequeues: u64,
+}
+
+impl WfqState {
+    fn reset_window(&mut self) {
+        self.window_dequeues = 0;
+        for q in self.lambdas.values_mut() {
+            q.served_in_window = 0;
+            q.dequeues_since_served = 0;
+        }
+    }
+}
+
+/// The online checker; see the module docs for the invariant list.
+pub struct InvariantChecker {
+    panic_on_violation: bool,
+    violations: Vec<String>,
+    records: u64,
+    finished: bool,
+    last_at: SimTime,
+
+    // Request conservation (gateway events).
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    outstanding: HashSet<u64>,
+
+    // Run-to-completion + cost consistency, keyed by (component, core).
+    slots: HashMap<(usize, u32), JobSpan>,
+
+    // WFQ fairness, keyed by component.
+    wfq: HashMap<usize, WfqState>,
+}
+
+impl Default for InvariantChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InvariantChecker {
+    /// A checker that panics on the first violation (the default for
+    /// tests: the panic carries the offending record).
+    pub fn new() -> Self {
+        InvariantChecker {
+            panic_on_violation: true,
+            violations: Vec::new(),
+            records: 0,
+            finished: false,
+            last_at: SimTime::ZERO,
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            outstanding: HashSet::new(),
+            slots: HashMap::new(),
+            wfq: HashMap::new(),
+        }
+    }
+
+    /// A checker that collects violations instead of panicking.
+    pub fn collecting() -> Self {
+        InvariantChecker {
+            panic_on_violation: false,
+            ..Self::new()
+        }
+    }
+
+    /// Violations recorded so far (always empty in panicking mode).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Records observed.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Requests submitted / completed / failed so far.
+    pub fn request_counts(&self) -> (u64, u64, u64) {
+        (self.submitted, self.completed, self.failed)
+    }
+
+    /// Requests currently outstanding at the gateway.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Panics unless zero violations were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics listing the violations, if any.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "{} invariant violation(s):\n{}",
+            self.violations.len(),
+            self.violations.join("\n")
+        );
+    }
+
+    fn violation(&mut self, at: SimTime, msg: String) {
+        let full = format!("[{}ns] {msg}", at.as_nanos());
+        if self.panic_on_violation {
+            panic!("trace invariant violated: {full}");
+        }
+        self.violations.push(full);
+    }
+
+    fn on_exec_start(&mut self, rec: &TraceRecord, core: u32, lambda_id: u32, request_id: u64) {
+        let key = (rec.src.index(), core);
+        if let Some(prev) = self.slots.get(&key) {
+            let msg = format!(
+                "run-to-completion violated on {} core {core}: request {request_id} \
+                 started while request {} (lambda {}) still holds the core",
+                rec.src, prev.request_id, prev.lambda_id
+            );
+            self.violation(rec.at, msg);
+        }
+        self.slots.insert(
+            key,
+            JobSpan {
+                request_id,
+                lambda_id,
+                suspended: false,
+                cost_exempt: false,
+                charge_sum: 0,
+            },
+        );
+    }
+
+    fn on_exec_suspend(&mut self, rec: &TraceRecord, core: u32, request_id: u64, resume: bool) {
+        let key = (rec.src.index(), core);
+        let what = if resume { "resumed" } else { "suspended" };
+        let failure = match self.slots.get_mut(&key) {
+            None => Some(format!(
+                "request {request_id} {what} on idle {} core {core}",
+                rec.src
+            )),
+            Some(span) if span.request_id != request_id => Some(format!(
+                "{} core {core} holds request {} but request {request_id} \
+                 changed suspension state",
+                rec.src, span.request_id
+            )),
+            Some(span) => {
+                let double = span.suspended != resume;
+                span.suspended = !resume;
+                double.then(|| {
+                    format!(
+                        "request {request_id} on {} core {core} {what} twice",
+                        rec.src
+                    )
+                })
+            }
+        };
+        if let Some(msg) = failure {
+            self.violation(rec.at, msg);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the MemCharge event's fields
+    fn on_mem_charge(
+        &mut self,
+        rec: &TraceRecord,
+        core: u32,
+        request_id: u64,
+        level: &'static str,
+        latency_cycles: u64,
+        scalar: u64,
+        bulk_ops: u64,
+        bulk_bytes: u64,
+        cycles: u64,
+    ) {
+        // Invariant 5a: the per-object charge matches the cost model.
+        let expect = scalar * (1 + latency_cycles.div_ceil(SCALAR_BURST))
+            + bulk_ops * latency_cycles
+            + bulk_bytes.div_ceil(BULK_BYTES_PER_CYCLE);
+        if cycles != expect {
+            let msg = format!(
+                "memory cost model mismatch on {} core {core} request {request_id} \
+                 level {level}: charged {cycles} cycles, model gives {expect} \
+                 (lat={latency_cycles} scalar={scalar} bulk_ops={bulk_ops} \
+                 bulk_bytes={bulk_bytes})",
+                rec.src
+            );
+            self.violation(rec.at, msg);
+        }
+        let key = (rec.src.index(), core);
+        match self.slots.get_mut(&key) {
+            Some(span) if span.request_id == request_id => span.charge_sum += cycles,
+            _ => {
+                let msg = format!(
+                    "memory charge for request {request_id} on {} core {core} \
+                     without a matching running job",
+                    rec.src
+                );
+                self.violation(rec.at, msg);
+            }
+        }
+    }
+
+    fn on_exec_finish(
+        &mut self,
+        rec: &TraceRecord,
+        core: u32,
+        request_id: u64,
+        total_cycles: u64,
+        overhead_cycles: u64,
+        instr_cycles: u64,
+    ) {
+        let key = (rec.src.index(), core);
+        let Some(span) = self.slots.remove(&key) else {
+            let msg = format!(
+                "request {request_id} finished on idle {} core {core}",
+                rec.src
+            );
+            self.violation(rec.at, msg);
+            return;
+        };
+        if span.request_id != request_id {
+            let msg = format!(
+                "{} core {core} finished request {request_id} but was running \
+                 request {}",
+                rec.src, span.request_id
+            );
+            self.violation(rec.at, msg);
+            return;
+        }
+        // Invariant 5b: total charged cycles decompose exactly.
+        let expect = overhead_cycles + instr_cycles + span.charge_sum;
+        if !span.cost_exempt && total_cycles != expect {
+            let msg = format!(
+                "cost consistency violated on {} core {core} request {request_id}: \
+                 charged {total_cycles} cycles, but overhead {overhead_cycles} + \
+                 instrs {instr_cycles} + memory {} = {expect}",
+                rec.src, span.charge_sum
+            );
+            self.violation(rec.at, msg);
+        }
+    }
+
+    fn on_wfq(
+        &mut self,
+        rec: &TraceRecord,
+        lambda_id: u32,
+        weight_milli: u64,
+        depth: u64,
+        deq: bool,
+    ) {
+        let mut failures = Vec::new();
+        let state = self.wfq.entry(rec.src.index()).or_default();
+        let q = state.lambdas.entry(lambda_id).or_default();
+        q.weight_milli = weight_milli;
+        if weight_milli == 0 {
+            let msg = format!(
+                "WFQ weight bound violated on {}: lambda {lambda_id} has \
+                 non-positive weight",
+                rec.src
+            );
+            self.violation(rec.at, msg);
+            return;
+        }
+        if !deq {
+            let was_empty = q.backlog == 0;
+            q.backlog = depth;
+            if was_empty {
+                // The backlogged set changed: start a fresh fairness window.
+                state.reset_window();
+            }
+            return;
+        }
+        if q.backlog == 0 {
+            failures.push(format!(
+                "WFQ on {} dequeued lambda {lambda_id} with no recorded backlog",
+                rec.src
+            ));
+        }
+        q.backlog = depth;
+        q.served_in_window += 1;
+        q.dequeues_since_served = 0;
+        let emptied = depth == 0;
+        state.window_dequeues += 1;
+
+        // Gather the still-backlogged set for the bounds.
+        let backlogged: Vec<(u32, u64, u64, u64)> = state
+            .lambdas
+            .iter()
+            .filter(|(_, l)| l.backlog > 0)
+            .map(|(&id, l)| {
+                (
+                    id,
+                    l.weight_milli,
+                    l.served_in_window,
+                    l.dequeues_since_served,
+                )
+            })
+            .collect();
+        let total_milli: u64 = backlogged.iter().map(|&(_, w, _, _)| w).sum();
+
+        if backlogged.len() >= 2 {
+            // Invariant 4a: no starvation.
+            for &(id, w, _, waited) in &backlogged {
+                let bound = STARVATION_FACTOR * total_milli.div_ceil(w) + STARVATION_SLACK;
+                if waited > bound {
+                    failures.push(format!(
+                        "WFQ starvation on {}: lambda {id} (weight {}m) backlogged \
+                         through {waited} dequeues (bound {bound})",
+                        rec.src, w
+                    ));
+                }
+            }
+            // Invariant 4b: weight-proportional shares within the window.
+            if state.window_dequeues >= FAIRNESS_MIN_WINDOW * backlogged.len() as u64 {
+                let norms: Vec<f64> = backlogged
+                    .iter()
+                    .map(|&(_, w, served, _)| served as f64 * 1000.0 / w as f64)
+                    .collect();
+                let max = norms.iter().cloned().fold(f64::MIN, f64::max);
+                let min = norms.iter().cloned().fold(f64::MAX, f64::min);
+                if max - min > FAIRNESS_SLACK_ROUNDS {
+                    failures.push(format!(
+                        "WFQ weight bound violated on {}: normalized service spread \
+                         {:.2} rounds exceeds {FAIRNESS_SLACK_ROUNDS} \
+                         (window of {} dequeues, set {:?})",
+                        rec.src,
+                        max - min,
+                        state.window_dequeues,
+                        backlogged
+                            .iter()
+                            .map(|&(id, w, served, _)| (id, w, served))
+                            .collect::<Vec<_>>()
+                    ));
+                }
+            }
+        }
+        // Advance starvation clocks for everyone else still waiting.
+        for (&id, l) in state.lambdas.iter_mut() {
+            if id != lambda_id && l.backlog > 0 {
+                l.dequeues_since_served += 1;
+            }
+        }
+        if emptied {
+            // The backlogged set changed: close the window.
+            state.reset_window();
+        }
+        for msg in failures {
+            self.violation(rec.at, msg);
+        }
+    }
+
+    /// A component lost all volatile state: forget its cores and queues.
+    fn on_component_reset(&mut self, src_index: usize) {
+        self.slots.retain(|&(comp, _), _| comp != src_index);
+        self.wfq.remove(&src_index);
+    }
+}
+
+impl TraceSink for InvariantChecker {
+    fn on_record(&mut self, rec: &TraceRecord) {
+        self.records += 1;
+        // Invariant 1: clock monotonicity.
+        if rec.at < self.last_at {
+            let msg = format!(
+                "clock went backwards: record {} at {}ns after {}ns",
+                rec.seq,
+                rec.at.as_nanos(),
+                self.last_at.as_nanos()
+            );
+            self.violation(rec.at, msg);
+        }
+        self.last_at = self.last_at.max(rec.at);
+
+        match rec.event {
+            // Invariant 2: request conservation.
+            TraceEvent::RequestSubmitted { request_id, .. } => {
+                self.submitted += 1;
+                if !self.outstanding.insert(request_id) {
+                    let msg = format!("request {request_id} submitted twice");
+                    self.violation(rec.at, msg);
+                }
+            }
+            TraceEvent::RequestRetransmit { request_id, .. } => {
+                if !self.outstanding.contains(&request_id) {
+                    let msg = format!("request {request_id} retransmitted but not outstanding");
+                    self.violation(rec.at, msg);
+                }
+            }
+            TraceEvent::RequestCompleted {
+                request_id, failed, ..
+            } => {
+                if failed {
+                    self.failed += 1;
+                } else {
+                    self.completed += 1;
+                }
+                if !self.outstanding.remove(&request_id) {
+                    let msg = format!(
+                        "request {request_id} completed without an outstanding \
+                         submission (invented or double-completed)"
+                    );
+                    self.violation(rec.at, msg);
+                }
+            }
+            TraceEvent::RequestUnplaced { .. } => {}
+
+            // Invariant 3 (+5 joins).
+            TraceEvent::ExecStart {
+                core,
+                lambda_id,
+                request_id,
+            } => self.on_exec_start(rec, core, lambda_id, request_id),
+            TraceEvent::ExecSuspend {
+                core, request_id, ..
+            } => self.on_exec_suspend(rec, core, request_id, false),
+            TraceEvent::ExecResume {
+                core, request_id, ..
+            } => self.on_exec_suspend(rec, core, request_id, true),
+            TraceEvent::ExecFinish {
+                core,
+                request_id,
+                total_cycles,
+                overhead_cycles,
+                instr_cycles,
+                ..
+            } => self.on_exec_finish(
+                rec,
+                core,
+                request_id,
+                total_cycles,
+                overhead_cycles,
+                instr_cycles,
+            ),
+            TraceEvent::MemCharge {
+                core,
+                request_id,
+                level,
+                latency_cycles,
+                scalar,
+                bulk_ops,
+                bulk_bytes,
+                cycles,
+                ..
+            } => self.on_mem_charge(
+                rec,
+                core,
+                request_id,
+                level,
+                latency_cycles,
+                scalar,
+                bulk_ops,
+                bulk_bytes,
+                cycles,
+            ),
+
+            // Invariant 4.
+            TraceEvent::WfqEnqueue {
+                lambda_id,
+                weight_milli,
+                depth,
+            } => self.on_wfq(rec, lambda_id, weight_milli, depth, false),
+            TraceEvent::WfqDequeue {
+                lambda_id,
+                weight_milli,
+                depth,
+            } => self.on_wfq(rec, lambda_id, weight_milli, depth, true),
+
+            TraceEvent::ProgramInstall {} => {
+                let src = rec.src.index();
+                for ((comp, _), span) in self.slots.iter_mut() {
+                    if *comp == src {
+                        span.cost_exempt = true;
+                    }
+                }
+            }
+            TraceEvent::Fault { kind, .. } => {
+                if kind == "crash" {
+                    self.on_component_reset(rec.src.index());
+                }
+            }
+
+            TraceEvent::LinkTx { .. }
+            | TraceEvent::LinkDrop { .. }
+            | TraceEvent::SwitchForward { .. }
+            | TraceEvent::SwitchDrop { .. }
+            | TraceEvent::Mark { .. } => {}
+        }
+    }
+
+    fn on_finish(&mut self, now: SimTime) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        // Invariant 2, end-of-run form.
+        let accounted = self.completed + self.failed + self.outstanding.len() as u64;
+        if self.submitted != accounted {
+            let msg = format!(
+                "request conservation violated: {} submitted but {} completed + \
+                 {} failed + {} in flight = {accounted}",
+                self.submitted,
+                self.completed,
+                self.failed,
+                self.outstanding.len()
+            );
+            self.violation(now, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ComponentId;
+
+    fn rec(at_ns: u64, seq: u64, src: usize, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            seq,
+            src: ComponentId::from_index_for_tests(src),
+            event,
+        }
+    }
+
+    fn feed(checker: &mut InvariantChecker, events: &[(u64, usize, TraceEvent)]) {
+        for (i, (at, src, ev)) in events.iter().enumerate() {
+            checker.on_record(&rec(*at, i as u64, *src, ev.clone()));
+        }
+    }
+
+    #[test]
+    fn clean_request_lifecycle_passes() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    1,
+                    TraceEvent::RequestSubmitted {
+                        request_id: 1,
+                        workload_id: 7,
+                    },
+                ),
+                (
+                    10,
+                    2,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    20,
+                    2,
+                    TraceEvent::MemCharge {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                        level: "CTM",
+                        latency_cycles: 40,
+                        scalar: 2,
+                        bulk_ops: 1,
+                        bulk_bytes: 64,
+                        cycles: 2 * (1 + 5) + 40 + 8,
+                    },
+                ),
+                (
+                    20,
+                    2,
+                    TraceEvent::ExecFinish {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                        total_cycles: 100 + 60,
+                        overhead_cycles: 60,
+                        instr_cycles: 40,
+                    },
+                ),
+                (
+                    30,
+                    1,
+                    TraceEvent::RequestCompleted {
+                        request_id: 1,
+                        workload_id: 7,
+                        latency_ns: 30,
+                        failed: false,
+                    },
+                ),
+            ],
+        );
+        c.on_finish(SimTime::from_nanos(30));
+        c.assert_clean();
+        assert_eq!(c.request_counts(), (1, 1, 0));
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn double_completion_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        let done = TraceEvent::RequestCompleted {
+            request_id: 5,
+            workload_id: 0,
+            latency_ns: 1,
+            failed: false,
+        };
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    1,
+                    TraceEvent::RequestSubmitted {
+                        request_id: 5,
+                        workload_id: 0,
+                    },
+                ),
+                (1, 1, done.clone()),
+                (2, 1, done),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("without an outstanding"));
+    }
+
+    #[test]
+    fn clock_regression_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    100,
+                    1,
+                    TraceEvent::Mark {
+                        label: "a",
+                        a: 0,
+                        b: 0,
+                    },
+                ),
+                (
+                    90,
+                    1,
+                    TraceEvent::Mark {
+                        label: "b",
+                        a: 0,
+                        b: 0,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("clock went backwards"));
+    }
+
+    #[test]
+    fn core_interleaving_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 4,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    5,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 4,
+                        lambda_id: 1,
+                        request_id: 2,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("run-to-completion"));
+    }
+
+    #[test]
+    fn suspension_keeps_core_held_without_violation() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 1,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    1,
+                    3,
+                    TraceEvent::ExecSuspend {
+                        core: 1,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    2,
+                    3,
+                    TraceEvent::ExecResume {
+                        core: 1,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    3,
+                    3,
+                    TraceEvent::ExecFinish {
+                        core: 1,
+                        lambda_id: 0,
+                        request_id: 1,
+                        total_cycles: 0,
+                        overhead_cycles: 0,
+                        instr_cycles: 0,
+                    },
+                ),
+                // Core is free again: a new start is legal.
+                (
+                    4,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 1,
+                        lambda_id: 2,
+                        request_id: 9,
+                    },
+                ),
+            ],
+        );
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn bad_memory_charge_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    1,
+                    3,
+                    TraceEvent::MemCharge {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                        level: "EMEM",
+                        latency_cycles: 150,
+                        scalar: 1,
+                        bulk_ops: 0,
+                        bulk_bytes: 0,
+                        cycles: 7, // model says 1 + ceil(150/8) = 20
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("memory cost model mismatch"));
+    }
+
+    #[test]
+    fn cost_decomposition_mismatch_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    1,
+                    3,
+                    TraceEvent::ExecFinish {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                        total_cycles: 500,
+                        overhead_cycles: 100,
+                        instr_cycles: 100, // memory sum is 0, so expect 200
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("cost consistency"));
+    }
+
+    #[test]
+    fn program_install_exempts_in_flight_jobs() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (1, 3, TraceEvent::ProgramInstall {}),
+                (
+                    2,
+                    3,
+                    TraceEvent::ExecFinish {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                        total_cycles: 999, // inconsistent, but exempt
+                        overhead_cycles: 0,
+                        instr_cycles: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn crash_resets_component_state() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    1,
+                    3,
+                    TraceEvent::Fault {
+                        kind: "crash",
+                        detail: 1,
+                    },
+                ),
+                // After the crash the core is free; a fresh start is legal.
+                (
+                    2,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 1,
+                        request_id: 2,
+                    },
+                ),
+            ],
+        );
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn wfq_fair_interleaving_passes() {
+        let mut c = InvariantChecker::collecting();
+        let mut events = Vec::new();
+        // Two lambdas, weights 2:1, continuously backlogged.
+        for i in 0..64u64 {
+            events.push((
+                i,
+                3usize,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 0,
+                    weight_milli: 2000,
+                    depth: i + 1,
+                },
+            ));
+            events.push((
+                i,
+                3,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 1,
+                    weight_milli: 1000,
+                    depth: i + 1,
+                },
+            ));
+        }
+        // Serve in the WRR pattern 0,0,1 repeatedly; backlogs stay > 0.
+        let mut d0 = 64u64;
+        let mut d1 = 64u64;
+        for i in 0..45u64 {
+            let (l, w, depth) = if i % 3 == 2 {
+                d1 -= 1;
+                (1u32, 1000, d1)
+            } else {
+                d0 -= 1;
+                (0u32, 2000, d0)
+            };
+            events.push((
+                100 + i,
+                3,
+                TraceEvent::WfqDequeue {
+                    lambda_id: l,
+                    weight_milli: w,
+                    depth,
+                },
+            ));
+        }
+        feed(&mut c, &events);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn wfq_starvation_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        let mut events = vec![
+            (
+                0,
+                3usize,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 0,
+                    weight_milli: 1000,
+                    depth: 600,
+                },
+            ),
+            (
+                0,
+                3,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 1,
+                    weight_milli: 1000,
+                    depth: 600,
+                },
+            ),
+        ];
+        // Serve only lambda 0, hundreds of times, while lambda 1 waits.
+        for i in 0..600u64 {
+            events.push((
+                1 + i,
+                3,
+                TraceEvent::WfqDequeue {
+                    lambda_id: 0,
+                    weight_milli: 1000,
+                    depth: 600 - 1 - i,
+                },
+            ));
+        }
+        feed(&mut c, &events);
+        assert!(
+            c.violations().iter().any(|v| v.contains("starvation")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn conservation_checked_at_finish() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[(
+                0,
+                1,
+                TraceEvent::RequestSubmitted {
+                    request_id: 1,
+                    workload_id: 0,
+                },
+            )],
+        );
+        c.on_finish(SimTime::from_nanos(5));
+        // One submitted, one in flight: conserved.
+        c.assert_clean();
+        assert_eq!(c.in_flight(), 1);
+    }
+
+    #[test]
+    fn panicking_mode_panics() {
+        let mut c = InvariantChecker::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.on_record(&rec(
+                0,
+                0,
+                1,
+                TraceEvent::RequestCompleted {
+                    request_id: 3,
+                    workload_id: 0,
+                    latency_ns: 0,
+                    failed: false,
+                },
+            ));
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -15,6 +15,7 @@ use rand::SeedableRng;
 
 use crate::message::{AnyMessage, Message};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink, Tracer};
 
 /// Identifies a component registered with a [`Simulation`].
 ///
@@ -27,6 +28,14 @@ impl ComponentId {
     /// Returns the raw index of this component.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Builds an id from a raw index, for tests that fabricate trace
+    /// records without a full [`Simulation`]. Real ids come from
+    /// [`Simulation::add`].
+    #[doc(hidden)]
+    pub fn from_index_for_tests(index: usize) -> Self {
+        ComponentId(index)
     }
 }
 
@@ -119,6 +128,7 @@ pub struct Ctx<'a> {
     rng: &'a mut SmallRng,
     stop: &'a mut bool,
     trace: Option<&'a mut Vec<(SimTime, String)>>,
+    tracer: Option<&'a mut Tracer>,
 }
 
 impl<'a> Ctx<'a> {
@@ -172,6 +182,16 @@ impl<'a> Ctx<'a> {
             buf.push((now, line()));
         }
     }
+
+    /// Emits a structured [`TraceEvent`] when a tracer is attached; a no-op
+    /// otherwise. The closure runs only when at least one sink is listening,
+    /// so hot paths pay one branch when tracing is off.
+    pub fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        let (now, src) = (self.now, self.self_id);
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            tracer.record(now, src, event());
+        }
+    }
 }
 
 /// A deterministic discrete-event simulation.
@@ -186,6 +206,7 @@ pub struct Simulation {
     rng: SmallRng,
     processed: u64,
     trace: Option<Vec<(SimTime, String)>>,
+    tracer: Option<Tracer>,
 }
 
 impl fmt::Debug for Simulation {
@@ -211,6 +232,7 @@ impl Simulation {
             rng: SmallRng::seed_from_u64(seed),
             processed: 0,
             trace: None,
+            tracer: None,
         }
     }
 
@@ -234,6 +256,38 @@ impl Simulation {
     /// Returns the captured trace lines, if tracing is enabled.
     pub fn trace_lines(&self) -> &[(SimTime, String)] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Attaches a structured-trace sink; components emit to it through
+    /// [`Ctx::emit`]. Multiple sinks may be attached and each sees every
+    /// record.
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer.get_or_insert_with(Tracer::new).add_sink(sink);
+    }
+
+    /// Borrows an attached sink by concrete type, if one is present.
+    pub fn trace_sink<S: TraceSink>(&self) -> Option<&S> {
+        self.tracer.as_ref()?.sink::<S>()
+    }
+
+    /// Mutably borrows an attached sink by concrete type, if one is present.
+    pub fn trace_sink_mut<S: TraceSink>(&mut self) -> Option<&mut S> {
+        self.tracer.as_mut()?.sink_mut::<S>()
+    }
+
+    /// Signals end-of-run to every attached sink (flush files, run final
+    /// conservation checks). Idempotent per sink implementation; safe to
+    /// call when no tracer is attached.
+    pub fn finish_tracing(&mut self) {
+        let now = self.now;
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.finish(now);
+        }
+    }
+
+    /// Total structured trace records emitted so far.
+    pub fn trace_records(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, Tracer::emitted)
     }
 
     /// Returns the current virtual time.
@@ -313,6 +367,7 @@ impl Simulation {
                 rng: &mut self.rng,
                 stop: &mut stop,
                 trace: self.trace.as_mut(),
+                tracer: self.tracer.as_mut(),
             };
             component.handle(&mut ctx, ev.msg);
         }

@@ -46,23 +46,31 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod engine;
 pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod time;
+pub mod trace;
 
+pub use check::InvariantChecker;
 pub use engine::{Component, ComponentId, Ctx, Simulation};
 pub use fault::{FaultEvent, FaultPlan, TimedFault};
 pub use message::{AnyMessage, Message};
 pub use metrics::{Counter, Ecdf, LogHistogram, Series, Summary};
 pub use time::{SimDuration, SimTime};
+pub use trace::{HashSink, JsonlSink, RingSink, TraceEvent, TraceRecord, TraceSink, Tracer};
 
 /// Convenience re-exports for component authors.
 pub mod prelude {
+    pub use crate::check::InvariantChecker;
     pub use crate::engine::{Component, ComponentId, Ctx, Simulation};
     pub use crate::fault::{FaultEvent, FaultPlan, TimedFault};
     pub use crate::message::{AnyMessage, Message};
     pub use crate::metrics::{Counter, Ecdf, LogHistogram, Series, Summary};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{
+        HashSink, JsonlSink, RingSink, TraceEvent, TraceRecord, TraceSink, Tracer,
+    };
 }

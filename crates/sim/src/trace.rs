@@ -1,0 +1,750 @@
+//! Structured event tracing: a low-overhead event stream recorded in sim
+//! time, with pluggable sinks.
+//!
+//! Components emit [`TraceEvent`]s through [`crate::engine::Ctx::emit`];
+//! the engine stamps each with the virtual time, a global sequence
+//! number, and the emitting component, and fans the resulting
+//! [`TraceRecord`] out to every registered [`TraceSink`]. When no sink is
+//! registered the emit path is a single branch on an `Option`, so
+//! instrumented hot paths cost nothing in untraced runs (the event
+//! closure is never built).
+//!
+//! Three sinks ship with the engine:
+//!
+//! - [`RingSink`]: a bounded in-memory ring of the most recent records
+//!   (post-mortem debugging, test assertions).
+//! - [`JsonlSink`]: streams one JSON object per record to a writer
+//!   (capture for offline diffing; see EXPERIMENTS.md).
+//! - [`HashSink`]: folds every record into a stable 64-bit FNV-1a digest.
+//!   Two runs with the same seed must produce the same hash — the
+//!   golden-trace regression suite pins these digests.
+//!
+//! The online [`crate::check::InvariantChecker`] is a fourth sink that
+//! asserts cross-component invariants while the simulation runs.
+//!
+//! Events carry only integers, booleans, and `&'static str` tags so the
+//! digest is identical across debug/release builds and platforms (no
+//! floats, no pointers, no hash-map iteration order).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::engine::ComponentId;
+use crate::time::SimTime;
+
+/// A single value inside a [`TraceEvent`], as seen by generic sinks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer (all numeric fields widen to `u64`).
+    U64(u64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A static tag (memory level, drop reason, fault kind).
+    Str(&'static str),
+}
+
+/// One structured event emitted by an instrumented component.
+///
+/// Spans are keyed by the identifiers the paper's execution model cares
+/// about: request id, lambda (workload) id, NPU core/worker thread, and
+/// memory level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The gateway accepted a request and sent the first attempt.
+    RequestSubmitted {
+        /// Gateway-assigned request id (globally unique per run).
+        request_id: u64,
+        /// The target workload.
+        workload_id: u32,
+    },
+    /// The gateway re-sent an outstanding request after a timeout.
+    RequestRetransmit {
+        /// The outstanding request.
+        request_id: u64,
+        /// The target workload.
+        workload_id: u32,
+    },
+    /// The gateway resolved a request (response delivered or given up).
+    RequestCompleted {
+        /// The resolved request.
+        request_id: u64,
+        /// The target workload.
+        workload_id: u32,
+        /// Wire-to-wire latency in nanoseconds.
+        latency_ns: u64,
+        /// Whether the request failed (timeout exhaustion / lost placement).
+        failed: bool,
+    },
+    /// The gateway had no placement for a submitted workload.
+    RequestUnplaced {
+        /// The unroutable workload.
+        workload_id: u32,
+    },
+    /// A lambda execution started on a core (NPU thread / host worker).
+    ExecStart {
+        /// Core (thread) index within the component.
+        core: u32,
+        /// Lambda index within the deployed program.
+        lambda_id: u32,
+        /// The request being served.
+        request_id: u64,
+    },
+    /// The execution suspended awaiting a lambda RPC (core stays held:
+    /// run-to-completion).
+    ExecSuspend {
+        /// Core holding the suspended job.
+        core: u32,
+        /// Lambda index.
+        lambda_id: u32,
+        /// The request being served.
+        request_id: u64,
+    },
+    /// A suspended execution resumed (RPC response arrived).
+    ExecResume {
+        /// Core holding the job.
+        core: u32,
+        /// Lambda index.
+        lambda_id: u32,
+        /// The request being served.
+        request_id: u64,
+    },
+    /// The execution finished and the core was released.
+    ExecFinish {
+        /// Core that ran the job.
+        core: u32,
+        /// Lambda index.
+        lambda_id: u32,
+        /// The request served.
+        request_id: u64,
+        /// Total cycles charged for the job (overhead + instructions +
+        /// memory accesses).
+        total_cycles: u64,
+        /// Fixed cycles charged before execution (parse/match, reorder).
+        overhead_cycles: u64,
+        /// One cycle per interpreted instruction.
+        instr_cycles: u64,
+    },
+    /// Memory-hierarchy cycles charged for one placed object (or the
+    /// CTM-resident packet payload / response stream) of a finishing job.
+    MemCharge {
+        /// Core that ran the job.
+        core: u32,
+        /// Lambda index.
+        lambda_id: u32,
+        /// The request served.
+        request_id: u64,
+        /// Memory level tag (`"LMEM"`, `"CTM"`, `"IMEM"`, `"EMEM"`).
+        level: &'static str,
+        /// The level's access latency in cycles.
+        latency_cycles: u64,
+        /// Scalar (word) accesses.
+        scalar: u64,
+        /// Bulk (DMA-style) operations issued.
+        bulk_ops: u64,
+        /// Bytes moved by bulk operations.
+        bulk_bytes: u64,
+        /// Cycles charged for this object under the cost model.
+        cycles: u64,
+    },
+    /// A request entered the WFQ (all cores busy). `depth` is the
+    /// lambda's queue depth after the push.
+    WfqEnqueue {
+        /// Lambda index owning the per-lambda queue.
+        lambda_id: u32,
+        /// The lambda's weight in milli-units (weight × 1000, rounded).
+        weight_milli: u64,
+        /// The lambda's queue depth after the push.
+        depth: u64,
+    },
+    /// The WFQ released a request to a freed core. `depth` is the
+    /// lambda's queue depth after the pop.
+    WfqDequeue {
+        /// Lambda index that won this service slot.
+        lambda_id: u32,
+        /// The lambda's weight in milli-units.
+        weight_milli: u64,
+        /// The lambda's queue depth after the pop.
+        depth: u64,
+    },
+    /// A link accepted a frame for transmission.
+    LinkTx {
+        /// Frame wire length in bytes.
+        bytes: u64,
+    },
+    /// A link dropped a frame.
+    LinkDrop {
+        /// Frame wire length in bytes.
+        bytes: u64,
+        /// Why: `"down"`, `"burst"`, `"loss"`, or `"overflow"`.
+        reason: &'static str,
+    },
+    /// A switch forwarded a frame to an output port.
+    SwitchForward {
+        /// Frame wire length in bytes.
+        bytes: u64,
+    },
+    /// A switch dropped a frame (unknown destination or queue overflow).
+    SwitchDrop {
+        /// Frame wire length in bytes.
+        bytes: u64,
+    },
+    /// A component (re)installed a program/firmware image while running.
+    /// Jobs in flight across an install may have been costed under the
+    /// previous image's placements.
+    ProgramInstall {},
+    /// A fault-layer event took effect on this component.
+    Fault {
+        /// Fault kind (`"crash"`, `"restart"`, `"evict"`, ...).
+        kind: &'static str,
+        /// Kind-specific detail (e.g. jobs lost, worker index).
+        detail: u64,
+    },
+    /// A free-form experiment marker.
+    Mark {
+        /// Marker label.
+        label: &'static str,
+        /// First payload value.
+        a: u64,
+        /// Second payload value.
+        b: u64,
+    },
+}
+
+impl TraceEvent {
+    /// A stable tag naming the event kind (used by the JSONL and hash
+    /// sinks; never rename without regenerating goldens).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RequestSubmitted { .. } => "request_submitted",
+            TraceEvent::RequestRetransmit { .. } => "request_retransmit",
+            TraceEvent::RequestCompleted { .. } => "request_completed",
+            TraceEvent::RequestUnplaced { .. } => "request_unplaced",
+            TraceEvent::ExecStart { .. } => "exec_start",
+            TraceEvent::ExecSuspend { .. } => "exec_suspend",
+            TraceEvent::ExecResume { .. } => "exec_resume",
+            TraceEvent::ExecFinish { .. } => "exec_finish",
+            TraceEvent::MemCharge { .. } => "mem_charge",
+            TraceEvent::WfqEnqueue { .. } => "wfq_enqueue",
+            TraceEvent::WfqDequeue { .. } => "wfq_dequeue",
+            TraceEvent::LinkTx { .. } => "link_tx",
+            TraceEvent::LinkDrop { .. } => "link_drop",
+            TraceEvent::SwitchForward { .. } => "switch_forward",
+            TraceEvent::SwitchDrop { .. } => "switch_drop",
+            TraceEvent::ProgramInstall {} => "program_install",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Mark { .. } => "mark",
+        }
+    }
+
+    /// Visits every field as a `(name, value)` pair in declaration order.
+    pub fn visit_fields(&self, f: &mut dyn FnMut(&'static str, FieldValue)) {
+        use FieldValue::{Bool, Str, U64};
+        match *self {
+            TraceEvent::RequestSubmitted {
+                request_id,
+                workload_id,
+            } => {
+                f("request_id", U64(request_id));
+                f("workload_id", U64(workload_id.into()));
+            }
+            TraceEvent::RequestRetransmit {
+                request_id,
+                workload_id,
+            } => {
+                f("request_id", U64(request_id));
+                f("workload_id", U64(workload_id.into()));
+            }
+            TraceEvent::RequestCompleted {
+                request_id,
+                workload_id,
+                latency_ns,
+                failed,
+            } => {
+                f("request_id", U64(request_id));
+                f("workload_id", U64(workload_id.into()));
+                f("latency_ns", U64(latency_ns));
+                f("failed", Bool(failed));
+            }
+            TraceEvent::RequestUnplaced { workload_id } => {
+                f("workload_id", U64(workload_id.into()));
+            }
+            TraceEvent::ExecStart {
+                core,
+                lambda_id,
+                request_id,
+            }
+            | TraceEvent::ExecSuspend {
+                core,
+                lambda_id,
+                request_id,
+            }
+            | TraceEvent::ExecResume {
+                core,
+                lambda_id,
+                request_id,
+            } => {
+                f("core", U64(core.into()));
+                f("lambda_id", U64(lambda_id.into()));
+                f("request_id", U64(request_id));
+            }
+            TraceEvent::ExecFinish {
+                core,
+                lambda_id,
+                request_id,
+                total_cycles,
+                overhead_cycles,
+                instr_cycles,
+            } => {
+                f("core", U64(core.into()));
+                f("lambda_id", U64(lambda_id.into()));
+                f("request_id", U64(request_id));
+                f("total_cycles", U64(total_cycles));
+                f("overhead_cycles", U64(overhead_cycles));
+                f("instr_cycles", U64(instr_cycles));
+            }
+            TraceEvent::MemCharge {
+                core,
+                lambda_id,
+                request_id,
+                level,
+                latency_cycles,
+                scalar,
+                bulk_ops,
+                bulk_bytes,
+                cycles,
+            } => {
+                f("core", U64(core.into()));
+                f("lambda_id", U64(lambda_id.into()));
+                f("request_id", U64(request_id));
+                f("level", Str(level));
+                f("latency_cycles", U64(latency_cycles));
+                f("scalar", U64(scalar));
+                f("bulk_ops", U64(bulk_ops));
+                f("bulk_bytes", U64(bulk_bytes));
+                f("cycles", U64(cycles));
+            }
+            TraceEvent::WfqEnqueue {
+                lambda_id,
+                weight_milli,
+                depth,
+            }
+            | TraceEvent::WfqDequeue {
+                lambda_id,
+                weight_milli,
+                depth,
+            } => {
+                f("lambda_id", U64(lambda_id.into()));
+                f("weight_milli", U64(weight_milli));
+                f("depth", U64(depth));
+            }
+            TraceEvent::LinkTx { bytes } => f("bytes", U64(bytes)),
+            TraceEvent::LinkDrop { bytes, reason } => {
+                f("bytes", U64(bytes));
+                f("reason", Str(reason));
+            }
+            TraceEvent::SwitchForward { bytes } | TraceEvent::SwitchDrop { bytes } => {
+                f("bytes", U64(bytes));
+            }
+            TraceEvent::ProgramInstall {} => {}
+            TraceEvent::Fault { kind, detail } => {
+                f("kind", Str(kind));
+                f("detail", U64(detail));
+            }
+            TraceEvent::Mark { label, a, b } => {
+                f("label", Str(label));
+                f("a", U64(a));
+                f("b", U64(b));
+            }
+        }
+    }
+}
+
+/// One stamped record on the trace stream.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Virtual time of emission.
+    pub at: SimTime,
+    /// Global emission sequence number (dense, starting at 0).
+    pub seq: u64,
+    /// The component that emitted the event.
+    pub src: ComponentId,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// A consumer of the trace stream.
+///
+/// Sinks run inline on the emit path, so `on_record` should stay cheap.
+/// `on_finish` fires once when [`crate::Simulation::finish_tracing`] is
+/// called (end-of-run checks, flushing buffers).
+pub trait TraceSink: Any {
+    /// Consumes one record.
+    fn on_record(&mut self, rec: &TraceRecord);
+
+    /// Notifies the sink that the run is over.
+    fn on_finish(&mut self, _now: SimTime) {}
+}
+
+/// The per-simulation fan-out point for trace records.
+pub struct Tracer {
+    sinks: Vec<Box<dyn TraceSink>>,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("sinks", &self.sinks.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer with no sinks.
+    pub fn new() -> Self {
+        Tracer {
+            sinks: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Registers a sink.
+    pub fn add_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Stamps and fans out one event.
+    pub fn record(&mut self, at: SimTime, src: ComponentId, event: TraceEvent) {
+        let rec = TraceRecord {
+            at,
+            seq: self.next_seq,
+            src,
+            event,
+        };
+        self.next_seq += 1;
+        for sink in &mut self.sinks {
+            sink.on_record(&rec);
+        }
+    }
+
+    /// Signals end-of-run to every sink.
+    pub fn finish(&mut self, now: SimTime) {
+        for sink in &mut self.sinks {
+            sink.on_finish(now);
+        }
+    }
+
+    /// Borrows the first sink of concrete type `S`, if registered.
+    pub fn sink<S: TraceSink>(&self) -> Option<&S> {
+        self.sinks
+            .iter()
+            .find_map(|s| (s.as_ref() as &dyn Any).downcast_ref::<S>())
+    }
+
+    /// Mutably borrows the first sink of concrete type `S`, if registered.
+    pub fn sink_mut<S: TraceSink>(&mut self) -> Option<&mut S> {
+        self.sinks
+            .iter_mut()
+            .find_map(|s| (s.as_mut() as &mut dyn Any).downcast_mut::<S>())
+    }
+}
+
+/// A bounded ring of the most recent records.
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+    seen: u64,
+}
+
+impl RingSink {
+    /// Creates a ring keeping at most `cap` records.
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            seen: 0,
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Total records observed (including evicted ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl TraceSink for RingSink {
+    fn on_record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec.clone());
+        self.seen += 1;
+    }
+}
+
+/// Renders one record as a single-line JSON object.
+///
+/// The schema is flat: `at` (ns), `seq`, `src` (component index), `kind`,
+/// then the event's own fields. Static tags are emitted as JSON strings;
+/// they never contain characters needing escapes.
+pub fn json_line(rec: &TraceRecord) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "{{\"at\":{},\"seq\":{},\"src\":{},\"kind\":\"{}\"",
+        rec.at.as_nanos(),
+        rec.seq,
+        rec.src.index(),
+        rec.event.kind()
+    );
+    rec.event.visit_fields(&mut |name, value| {
+        let _ = match value {
+            FieldValue::U64(v) => write!(s, ",\"{name}\":{v}"),
+            FieldValue::Bool(v) => write!(s, ",\"{name}\":{v}"),
+            FieldValue::Str(v) => write!(s, ",\"{name}\":\"{v}\""),
+        };
+    });
+    s.push('}');
+    s
+}
+
+/// Streams records as JSON Lines to a writer.
+pub struct JsonlSink {
+    out: io::BufWriter<Box<dyn Write>>,
+    lines: u64,
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: Box<dyn Write>) -> Self {
+        JsonlSink {
+            out: io::BufWriter::new(out),
+            lines: 0,
+        }
+    }
+
+    /// Creates (truncates) `path` and streams records into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(file)))
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn on_record(&mut self, rec: &TraceRecord) {
+        // A full disk during an experiment is not worth a panic in the
+        // middle of the run; drop the line.
+        let _ = writeln!(self.out, "{}", json_line(rec));
+        self.lines += 1;
+    }
+
+    fn on_finish(&mut self, _now: SimTime) {
+        let _ = self.out.flush();
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Folds the stream into a stable 64-bit FNV-1a digest.
+///
+/// The digest covers every record's time, sequence number, source
+/// component, event kind, and every field name and value — so any change
+/// in event order, timing, or content changes the hash. It is identical
+/// across debug/release builds and platforms.
+pub struct HashSink {
+    state: u64,
+    count: u64,
+}
+
+impl Default for HashSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashSink {
+    /// Creates an empty digest.
+    pub fn new() -> Self {
+        HashSink {
+            state: FNV_OFFSET,
+            count: 0,
+        }
+    }
+
+    /// The digest over everything consumed so far.
+    pub fn hash(&self) -> u64 {
+        self.state
+    }
+
+    /// Records consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl TraceSink for HashSink {
+    fn on_record(&mut self, rec: &TraceRecord) {
+        let mut h = self.state;
+        h = fnv1a(h, &rec.at.as_nanos().to_le_bytes());
+        h = fnv1a(h, &rec.seq.to_le_bytes());
+        h = fnv1a(h, &(rec.src.index() as u64).to_le_bytes());
+        h = fnv1a(h, rec.event.kind().as_bytes());
+        rec.event.visit_fields(&mut |name, value| {
+            h = fnv1a(h, name.as_bytes());
+            h = match value {
+                FieldValue::U64(v) => fnv1a(h, &v.to_le_bytes()),
+                FieldValue::Bool(v) => fnv1a(h, &[u8::from(v)]),
+                FieldValue::Str(v) => fnv1a(h, v.as_bytes()),
+            };
+        });
+        self.state = h;
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ns: u64, seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            seq,
+            src: crate::engine::ComponentId::from_index_for_tests(3),
+            event,
+        }
+    }
+
+    #[test]
+    fn json_line_is_flat_and_complete() {
+        let line = json_line(&rec(
+            1500,
+            7,
+            TraceEvent::RequestCompleted {
+                request_id: 42,
+                workload_id: 2,
+                latency_ns: 880,
+                failed: false,
+            },
+        ));
+        assert_eq!(
+            line,
+            "{\"at\":1500,\"seq\":7,\"src\":3,\"kind\":\"request_completed\",\
+             \"request_id\":42,\"workload_id\":2,\"latency_ns\":880,\"failed\":false}"
+        );
+    }
+
+    #[test]
+    fn hash_is_order_and_content_sensitive() {
+        let a = rec(10, 0, TraceEvent::LinkTx { bytes: 64 });
+        let b = rec(20, 1, TraceEvent::LinkTx { bytes: 64 });
+
+        let mut h1 = HashSink::new();
+        h1.on_record(&a);
+        h1.on_record(&b);
+        let mut h2 = HashSink::new();
+        h2.on_record(&b);
+        h2.on_record(&a);
+        assert_ne!(h1.hash(), h2.hash(), "order must matter");
+
+        let mut h3 = HashSink::new();
+        h3.on_record(&a);
+        h3.on_record(&b);
+        assert_eq!(h1.hash(), h3.hash(), "same stream, same digest");
+
+        let mut h4 = HashSink::new();
+        h4.on_record(&a);
+        h4.on_record(&rec(20, 1, TraceEvent::LinkTx { bytes: 65 }));
+        assert_ne!(h1.hash(), h4.hash(), "content must matter");
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.on_record(&rec(
+                i,
+                i,
+                TraceEvent::Mark {
+                    label: "m",
+                    a: i,
+                    b: 0,
+                },
+            ));
+        }
+        assert_eq!(ring.seen(), 5);
+        let kept: Vec<u64> = ring.records().map(|r| r.seq).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn tracer_fans_out_and_stamps_sequence() {
+        let mut tracer = Tracer::new();
+        tracer.add_sink(Box::new(RingSink::new(16)));
+        tracer.add_sink(Box::new(HashSink::new()));
+        let src = crate::engine::ComponentId::from_index_for_tests(0);
+        tracer.record(SimTime::from_nanos(1), src, TraceEvent::LinkTx { bytes: 1 });
+        tracer.record(SimTime::from_nanos(2), src, TraceEvent::LinkTx { bytes: 2 });
+        assert_eq!(tracer.emitted(), 2);
+        let ring = tracer.sink::<RingSink>().unwrap();
+        let seqs: Vec<u64> = ring.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(tracer.sink::<HashSink>().unwrap().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join("lnic_trace_test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.on_record(&rec(5, 0, TraceEvent::SwitchDrop { bytes: 9 }));
+            sink.on_record(&rec(6, 1, TraceEvent::ProgramInstall {}));
+            sink.on_finish(SimTime::from_nanos(6));
+            assert_eq!(sink.lines(), 2);
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"switch_drop\""));
+        assert!(lines[1].ends_with("\"kind\":\"program_install\"}"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

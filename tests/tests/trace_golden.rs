@@ -1,0 +1,232 @@
+//! Golden-trace regression suite: the structured event stream of a
+//! fixed-seed run is part of the simulator's contract.
+//!
+//! Every run here hashes its full trace with the FNV-1a [`HashSink`]
+//! (integer fields only — no floats, no pointers — so the hash is
+//! identical across debug/release builds and across machines). The
+//! suite pins three properties:
+//!
+//! 1. **Replay determinism**: the same seed produces a byte-identical
+//!    event stream across repeated runs, with and without an injected
+//!    [`FaultPlan`].
+//! 2. **Golden stability**: the hash matches the value pinned under
+//!    `tests/goldens/trace_hashes.txt`, so *any* change to event
+//!    ordering, scheduling, or the cost model shows up in review. Run
+//!    with `UPDATE_GOLDENS=1` to re-pin after an intentional change.
+//! 3. **Sensitivity**: a perturbed scheduler (round-robin dispatch
+//!    instead of the hardware's uniform-random) or a different seed
+//!    must change the hash — the golden test cannot pass vacuously.
+//!
+//! The testbed's default [`InvariantChecker`] stays attached for every
+//! run, so each golden replay is also a full online-invariant pass.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_nic::{DispatchPolicy, Nic};
+use lnic_sim::prelude::*;
+use lnic_workloads::three_web_servers;
+
+const THREADS: usize = 4;
+const REQUESTS_PER_THREAD: u64 = 100;
+
+/// Runs the standard golden workload and returns the trace hash.
+///
+/// Three distinct web-server lambdas on two λ-NIC workers under a
+/// closed-loop driver: enough traffic to exercise dispatch, WFQ,
+/// memory charges, and the response path, while staying fast in debug
+/// builds.
+fn traced_run(seed: u64, policy: DispatchPolicy, plan: Option<&FaultPlan>) -> u64 {
+    let mut config = TestbedConfig::new(BackendKind::Nic).seed(seed).workers(2);
+    if plan.is_some() {
+        config.gateway.rpc_timeout = SimDuration::from_millis(50);
+        config.gateway.rpc_attempts = 5;
+        config.gateway = config.gateway.resilient();
+        config.nic.firmware_swap_time = SimDuration::from_millis(100);
+    }
+    let mut bed = build_testbed(config);
+    bed.sim.add_trace_sink(Box::new(HashSink::new()));
+    let program = Arc::new(three_web_servers());
+    bed.preload(&program);
+    for w in &bed.workers {
+        let component = w.component;
+        bed.sim
+            .get_mut::<Nic>(component)
+            .unwrap()
+            .set_dispatch_policy(policy);
+    }
+    if let Some(plan) = plan {
+        bed.inject_faults(plan);
+    }
+    let jobs: Vec<JobSpec> = program
+        .lambdas
+        .iter()
+        .map(|l| JobSpec {
+            workload_id: l.id.0,
+            payload: PayloadSpec::Page(0),
+        })
+        .collect();
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        bed.gateway,
+        jobs,
+        THREADS,
+        SimDuration::from_micros(200),
+        Some(REQUESTS_PER_THREAD),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    assert!(
+        bed.sim.get::<ClosedLoopDriver>(driver).unwrap().is_done(),
+        "all budgeted requests must terminate"
+    );
+
+    // End-of-run accounting: the invariant checker's conservation pass
+    // runs in `on_finish`, and a non-empty stream proves the
+    // instrumentation is live (a silently detached tracer would make
+    // every determinism test pass vacuously).
+    bed.finish_tracing();
+    let hash = bed.sim.trace_sink::<HashSink>().expect("hash sink");
+    assert!(hash.count() > 0, "trace stream must not be empty");
+    hash.hash()
+}
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new()
+        .nic_crash(0, SimTime::ZERO + SimDuration::from_millis(20))
+        .nic_restart(0, SimTime::ZERO + SimDuration::from_millis(60))
+}
+
+/// The pinned golden runs: name → (seed, policy, chaos?).
+fn golden_cases() -> Vec<(&'static str, u64, DispatchPolicy, bool)> {
+    vec![
+        (
+            "web3-uniform-seed42",
+            42,
+            DispatchPolicy::UniformRandom,
+            false,
+        ),
+        (
+            "web3-uniform-seed7",
+            7,
+            DispatchPolicy::UniformRandom,
+            false,
+        ),
+        (
+            "web3-roundrobin-seed42",
+            42,
+            DispatchPolicy::RoundRobin,
+            false,
+        ),
+        ("web3-chaos-seed42", 42, DispatchPolicy::UniformRandom, true),
+    ]
+}
+
+fn run_case(seed: u64, policy: DispatchPolicy, chaos: bool) -> u64 {
+    let plan = chaos.then(chaos_plan);
+    traced_run(seed, policy, plan.as_ref())
+}
+
+fn goldens_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join("trace_hashes.txt")
+}
+
+fn read_goldens() -> HashMap<String, u64> {
+    let text = std::fs::read_to_string(goldens_path())
+        .expect("tests/goldens/trace_hashes.txt exists (run with UPDATE_GOLDENS=1 to create)");
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (name, hash) = l.split_once(' ').expect("`name 0x<hash>` per line");
+            let hash = u64::from_str_radix(hash.trim().trim_start_matches("0x"), 16)
+                .expect("hash parses as hex");
+            (name.to_owned(), hash)
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_yields_identical_trace_hash_across_runs() {
+    let hashes: Vec<u64> = (0..3)
+        .map(|_| traced_run(42, DispatchPolicy::UniformRandom, None))
+        .collect();
+    assert_eq!(hashes[0], hashes[1], "run 1 vs run 2 diverged");
+    assert_eq!(hashes[0], hashes[2], "run 1 vs run 3 diverged");
+}
+
+#[test]
+fn chaos_fault_plan_is_trace_deterministic() {
+    let plan = chaos_plan();
+    let a = traced_run(42, DispatchPolicy::UniformRandom, Some(&plan));
+    let b = traced_run(42, DispatchPolicy::UniformRandom, Some(&plan));
+    let c = traced_run(42, DispatchPolicy::UniformRandom, Some(&plan));
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+    // The crash must actually leave a mark on the stream.
+    assert_ne!(
+        a,
+        traced_run(42, DispatchPolicy::UniformRandom, None),
+        "fault plan left no trace"
+    );
+}
+
+#[test]
+fn scheduler_perturbation_changes_the_hash() {
+    let uniform = traced_run(42, DispatchPolicy::UniformRandom, None);
+    let rr = traced_run(42, DispatchPolicy::RoundRobin, None);
+    assert_ne!(uniform, rr, "dispatch-policy change must perturb the trace");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = traced_run(42, DispatchPolicy::UniformRandom, None);
+    let b = traced_run(7, DispatchPolicy::UniformRandom, None);
+    assert_ne!(a, b, "seed change must perturb the trace");
+}
+
+/// The hash of each golden case must match the value pinned in
+/// `tests/goldens/trace_hashes.txt`. After an *intentional* change to
+/// scheduling, instrumentation, or the cost model, regenerate with:
+///
+/// ```text
+/// UPDATE_GOLDENS=1 cargo test -p lnic-integration --test trace_golden
+/// ```
+#[test]
+fn trace_hashes_match_pinned_goldens() {
+    // The pinned values are tied to the configured seeds; a CI seed
+    // sweep (LNIC_SEED_OFFSET != 0) legitimately lands elsewhere. The
+    // determinism and sensitivity tests above still run under every
+    // offset.
+    if lnic::prelude::seed_offset() != 0 {
+        eprintln!("skipping pinned-golden check under LNIC_SEED_OFFSET");
+        return;
+    }
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        let mut out = String::from(
+            "# Pinned FNV-1a trace hashes. Regenerate with UPDATE_GOLDENS=1\n\
+             # cargo test -p lnic-integration --test trace_golden\n",
+        );
+        for (name, seed, policy, chaos) in golden_cases() {
+            let hash = run_case(seed, policy, chaos);
+            out.push_str(&format!("{name} {hash:#018x}\n"));
+        }
+        std::fs::create_dir_all(goldens_path().parent().unwrap()).unwrap();
+        std::fs::write(goldens_path(), out).unwrap();
+        return;
+    }
+    let goldens = read_goldens();
+    for (name, seed, policy, chaos) in golden_cases() {
+        let expect = *goldens
+            .get(name)
+            .unwrap_or_else(|| panic!("golden `{name}` missing from trace_hashes.txt"));
+        let got = run_case(seed, policy, chaos);
+        assert_eq!(
+            got, expect,
+            "golden `{name}` drifted: got {got:#018x}, pinned {expect:#018x} \
+             (if intentional, re-pin with UPDATE_GOLDENS=1)"
+        );
+    }
+}
