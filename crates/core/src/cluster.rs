@@ -506,12 +506,34 @@ impl Testbed {
     /// The heartbeat ticks forever, so drive the simulation with
     /// `run_for`/`run_until` rather than `run` once failover is enabled.
     pub fn enable_failover(&mut self, cfg: FailoverConfig) -> ComponentId {
+        self.install_failover(cfg, None)
+    }
+
+    /// Like [`Testbed::enable_failover`], but delegates re-placement
+    /// decisions after deaths and recoveries to `planner` (a placement
+    /// control plane) via [`crate::failover::ReplanRequest`].
+    pub fn enable_failover_with_planner(
+        &mut self,
+        cfg: FailoverConfig,
+        planner: ComponentId,
+    ) -> ComponentId {
+        self.install_failover(cfg, Some(planner))
+    }
+
+    fn install_failover(
+        &mut self,
+        cfg: FailoverConfig,
+        planner: Option<ComponentId>,
+    ) -> ComponentId {
         let worker_table = self
             .workers
             .iter()
             .map(|w| (w.component, w.endpoint()))
             .collect();
         let mut controller = FailoverController::new(cfg, self.gateway, worker_table);
+        if let Some(planner) = planner {
+            controller = controller.with_planner(planner);
+        }
         for &(workload_id, worker_index) in &self.placements {
             controller.track_placement(workload_id, worker_index);
         }
@@ -519,6 +541,13 @@ impl Testbed {
         self.sim.post(id, SimDuration::ZERO, StartFailover);
         self.failover = Some(id);
         id
+    }
+
+    /// The `(workload, worker index)` placements registered at setup
+    /// (by `preload*` / [`Testbed::place`]) — the initial state a
+    /// placement control plane starts planning from.
+    pub fn setup_placements(&self) -> &[(u32, usize)] {
+        &self.placements
     }
 
     /// Signals end-of-run to every attached trace sink: the

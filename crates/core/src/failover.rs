@@ -44,6 +44,23 @@ impl Default for FailoverConfig {
 #[derive(Debug)]
 pub struct StartFailover;
 
+/// A re-placement request routed to a placement planner instead of being
+/// applied directly (see [`FailoverController::with_planner`]): the
+/// controller has withdrawn a dead worker's endpoints (or seen a worker
+/// recover) and asks the planner to decide where the workload should
+/// live now.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplanRequest {
+    /// The workload needing a (re-)placement decision.
+    pub workload_id: u32,
+    /// The worker the event originated on (the dead worker, or the
+    /// recovered one).
+    pub from_worker: usize,
+    /// `false`: the worker died and the workload is orphaned. `true`:
+    /// the worker recovered and its original workloads may come home.
+    pub recovered: bool,
+}
+
 #[derive(Debug)]
 struct Beat;
 
@@ -115,6 +132,9 @@ pub struct FailoverController {
     started: bool,
     counters: FailoverCounters,
     events: Vec<FailoverEvent>,
+    /// When set, death/recovery re-placement decisions are delegated to
+    /// this planner via [`ReplanRequest`] instead of applied directly.
+    planner: Option<ComponentId>,
 }
 
 impl FailoverController {
@@ -143,7 +163,18 @@ impl FailoverController {
             started: false,
             counters: FailoverCounters::default(),
             events: Vec::new(),
+            planner: None,
         }
+    }
+
+    /// Delegates post-crash and post-recovery re-placement to a
+    /// placement planner: instead of re-homing workloads itself, the
+    /// controller sends the planner one [`ReplanRequest`] per affected
+    /// workload (endpoint withdrawal for dead workers still happens
+    /// immediately — a blackhole must never stay routable).
+    pub fn with_planner(mut self, planner: ComponentId) -> Self {
+        self.planner = Some(planner);
+        self
     }
 
     /// Records that `workload_id` is served by worker `worker` (its home
@@ -235,6 +266,23 @@ impl FailoverController {
             .collect();
         let mut sorted = orphans;
         sorted.sort_unstable();
+        if let Some(planner) = self.planner {
+            // The planner owns re-placement: hand it one request per
+            // orphan. `home` is left pointing at the dead worker so the
+            // recovery handback below still knows the origin.
+            for wid in sorted {
+                ctx.send(
+                    planner,
+                    SimDuration::ZERO,
+                    ReplanRequest {
+                        workload_id: wid,
+                        from_worker: dead,
+                        recovered: false,
+                    },
+                );
+            }
+            return;
+        }
         for (k, wid) in sorted.into_iter().enumerate() {
             let Some(target) = (1..n)
                 .map(|step| (dead + k + step) % n)
@@ -287,6 +335,20 @@ impl FailoverController {
             .map(|(&wid, _)| wid)
             .collect();
         homecoming.sort_unstable();
+        if let Some(planner) = self.planner {
+            for wid in homecoming {
+                ctx.send(
+                    planner,
+                    SimDuration::ZERO,
+                    ReplanRequest {
+                        workload_id: wid,
+                        from_worker: idx,
+                        recovered: true,
+                    },
+                );
+            }
+            return;
+        }
         for wid in homecoming {
             let from = self.home.insert(wid, idx).unwrap_or(idx);
             if from != idx {

@@ -116,6 +116,17 @@ pub struct AddPlacement {
     pub endpoint: WorkerEndpoint,
 }
 
+/// Control message: remove one replica of a workload from a worker (by
+/// MAC); the inverse of [`AddPlacement`], used by the autoscaler to
+/// scale in. Removing a replica that does not exist is a no-op.
+#[derive(Debug)]
+pub struct RemovePlacement {
+    /// The workload.
+    pub workload_id: u32,
+    /// MAC of the worker losing a replica.
+    pub mac: MacAddr,
+}
+
 /// Control message: drop every placement pointing at a worker (by MAC).
 ///
 /// Sent by the failover controller when a worker is declared dead so no
@@ -235,6 +246,23 @@ impl Gateway {
             .entry(workload_id)
             .or_default()
             .push(endpoint);
+    }
+
+    /// Removes at most one replica of `workload_id` served by `mac`.
+    /// Returns whether a replica was removed; keeps the round-robin
+    /// cursor in range.
+    pub fn remove_replica(&mut self, workload_id: u32, mac: MacAddr) -> bool {
+        let Some(list) = self.placements.get_mut(&workload_id) else {
+            return false;
+        };
+        let Some(pos) = list.iter().position(|ep| ep.mac == mac) else {
+            return false;
+        };
+        list.remove(pos);
+        if let Some(rr) = self.rr.get_mut(&workload_id) {
+            *rr = if list.is_empty() { 0 } else { *rr % list.len() };
+        }
+        true
     }
 
     /// Replica count for a workload.
@@ -560,6 +588,13 @@ impl Component for Gateway {
         let msg = match msg.downcast::<AddPlacement>() {
             Ok(p) => {
                 self.add_replica(p.workload_id, p.endpoint);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<RemovePlacement>() {
+            Ok(r) => {
+                self.remove_replica(r.workload_id, r.mac);
                 return;
             }
             Err(other) => other,

@@ -54,7 +54,9 @@ pub mod failover;
 pub mod gateway;
 pub mod manager;
 
-pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleEvent, StartAutoscaler};
+pub use autoscaler::{
+    Autoscaler, AutoscalerConfig, PlacementProposal, ScaleDirection, ScaleEvent, StartAutoscaler,
+};
 pub use cluster::{build_testbed, seed_offset, Testbed, TestbedConfig, Worker};
 pub use deploy::{BackendKind, DeployParams};
 pub use driver::{
@@ -62,7 +64,7 @@ pub use driver::{
 };
 pub use failover::{
     FailoverConfig, FailoverController, FailoverCounters, FailoverEvent, FailoverEventKind,
-    StartFailover,
+    ReplanRequest, StartFailover,
 };
 pub use gateway::{Gateway, GatewayCounters, GatewayParams, RequestDone, SubmitRequest};
 pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use lnic::autoscaler::{Autoscaler, AutoscalerConfig, StartAutoscaler};
+use lnic::autoscaler::{Autoscaler, AutoscalerConfig, ScaleDirection, StartAutoscaler};
 use lnic::prelude::*;
 use lnic_sim::prelude::*;
 use lnic_workloads::{web_program, SuiteConfig, WEB_ID};
@@ -44,6 +44,7 @@ fn scales_out_under_overload_and_latency_recovers() {
             target_p99: SimDuration::from_millis(2),
             max_replicas: 4,
             min_samples: 5,
+            ..AutoscalerConfig::default()
         },
         gateway,
         bed.workers.clone(),
@@ -100,6 +101,11 @@ fn does_not_scale_an_unloaded_workload() {
             target_p99: SimDuration::from_millis(2),
             max_replicas: 4,
             min_samples: 5,
+            // λ-NIC latencies sit below any plausible scale-in floor;
+            // disable scale-in so this test isolates the "no scale-out"
+            // claim.
+            scale_in_p99: SimDuration::ZERO,
+            ..AutoscalerConfig::default()
         },
         gateway,
         bed.workers.clone(),
@@ -119,6 +125,81 @@ fn does_not_scale_an_unloaded_workload() {
         bed.sim.get::<Gateway>(gateway).unwrap().replicas(WEB_ID.0),
         1
     );
+}
+
+#[test]
+fn scales_in_after_sustained_low_load_with_hysteresis() {
+    // Three replicas of a workload that barely sees traffic: the scaler
+    // must walk it back down to min_replicas, one cooldown apart.
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(45).workers(3));
+    bed.preload(&Arc::new(web_program(&SuiteConfig::default())));
+    let gateway = bed.gateway;
+    for w in 1..3 {
+        let endpoint = bed.workers[w].endpoint();
+        bed.sim
+            .get_mut::<Gateway>(gateway)
+            .unwrap()
+            .add_replica(WEB_ID.0, endpoint);
+    }
+    assert_eq!(
+        bed.sim.get::<Gateway>(gateway).unwrap().replicas(WEB_ID.0),
+        3
+    );
+
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID.0,
+            payload: PayloadSpec::Page(0),
+        }],
+        2,
+        SimDuration::from_micros(80),
+        None,
+    ));
+    let cooldown = SimDuration::from_millis(50);
+    let scaler = bed.sim.add(Autoscaler::new(
+        AutoscalerConfig {
+            interval: SimDuration::from_millis(20),
+            target_p99: SimDuration::from_millis(10),
+            max_replicas: 3,
+            min_samples: 5,
+            scale_in_p99: SimDuration::from_millis(1),
+            min_replicas: 1,
+            scale_in_windows: 2,
+            cooldown,
+        },
+        gateway,
+        bed.workers.clone(),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.post(scaler, SimDuration::ZERO, StartAutoscaler);
+    bed.sim.run_for(SimDuration::from_secs(2));
+
+    assert_eq!(
+        bed.sim.get::<Gateway>(gateway).unwrap().replicas(WEB_ID.0),
+        1,
+        "sustained low load must scale back to min_replicas"
+    );
+    let events = bed.sim.get::<Autoscaler>(scaler).unwrap().events().to_vec();
+    let ins: Vec<_> = events
+        .iter()
+        .filter(|e| e.direction == ScaleDirection::In)
+        .collect();
+    assert_eq!(ins.len(), 2, "3 → 2 → 1, never below min: {events:?}");
+    assert!(
+        events
+            .iter()
+            .all(|e| e.direction == ScaleDirection::In && e.replicas >= 1),
+        "no scale-out and no dip below min_replicas: {events:?}"
+    );
+    // Hysteresis: consecutive actions on the same workload are at least
+    // one cooldown apart.
+    for pair in ins.windows(2) {
+        assert!(
+            pair[1].at >= pair[0].at + cooldown,
+            "scale-in actions must respect the cooldown: {events:?}"
+        );
+    }
 }
 
 #[test]

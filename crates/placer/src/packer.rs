@@ -1,0 +1,319 @@
+//! The constrained packing/scoring pass: split lambdas across NIC and
+//! host under the SmartNIC's budgets.
+//!
+//! Three resources bound what fits on a λ-NIC worker (§3.1):
+//! instruction-store words per core, bytes per memory level, and NPU
+//! thread occupancy (arrival rate × service time must leave headroom).
+//! The packer admits lambdas greedily — in declaration order for a
+//! static plan, or by *benefit density* for a profile-guided one — and
+//! spills the rest to the host cores behind the NIC.
+//!
+//! Benefit density scores a lambda by the latency it saves per
+//! instruction-store word it occupies:
+//! `max(0, host_ns − nic_ns) × rate / instr_words`. Hot, small lambdas
+//! pack first; cold giants spill — the same economics SuperNIC applies
+//! to NIC↔host task offloading.
+
+use lnic_mlambda::compile::CompileOptions;
+use lnic_nic::NicParams;
+
+use crate::profile::StaticCost;
+
+/// Instruction-store words held back from packing as a safety margin:
+/// a subset image shares one parser and match stage whose exact size
+/// the sum-of-isolated-costs model over-estimates conservatively, but
+/// the margin also absorbs runtime patching slack.
+pub const PACKER_MARGIN_WORDS: u64 = 512;
+
+/// Where a lambda is served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Target {
+    /// On the SmartNIC's NPUs.
+    Nic,
+    /// On the host cores behind the NIC (punted across PCIe).
+    Host,
+}
+
+impl Target {
+    /// The target's trace-stream name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Nic => "nic",
+            Target::Host => "host",
+        }
+    }
+}
+
+/// A NIC worker's packing budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct NicCapacity {
+    /// Instruction-store words available for lambda images.
+    pub instr_words: u64,
+    /// Bytes available per memory level (LMEM, CTM, IMEM, EMEM).
+    pub mem_bytes: [u64; 4],
+    /// NPU hardware threads.
+    pub threads: usize,
+}
+
+impl NicCapacity {
+    /// Derives the budgets from NIC parameters and the compiler options
+    /// used for subset images: instruction store minus reserved words
+    /// minus [`PACKER_MARGIN_WORDS`]; EMEM minus the firmware runtime's
+    /// resident claim.
+    pub fn from_params(nic: &NicParams, opts: &CompileOptions) -> Self {
+        let instr_words = (opts.instruction_store_words as u64)
+            .saturating_sub(opts.reserved_words as u64)
+            .saturating_sub(PACKER_MARGIN_WORDS);
+        let m = &opts.memory;
+        NicCapacity {
+            instr_words,
+            mem_bytes: [
+                m.lmem.capacity_bytes,
+                m.ctm.capacity_bytes,
+                m.imem.capacity_bytes,
+                m.emem
+                    .capacity_bytes
+                    .saturating_sub(nic.runtime_resident_bytes),
+            ],
+            threads: nic.threads(),
+        }
+    }
+
+    /// Total memory budget across levels (the single capacity figure
+    /// declared on the trace stream).
+    pub fn total_mem_bytes(&self) -> u64 {
+        self.mem_bytes.iter().sum()
+    }
+}
+
+/// Everything the packer knows about one lambda.
+#[derive(Clone, Copy, Debug)]
+pub struct LambdaProfile {
+    /// The lambda's workload id.
+    pub workload_id: u32,
+    /// Compiler-measured NIC footprint.
+    pub cost: StaticCost,
+    /// Observed arrival rate (requests per second; 0 when unobserved).
+    pub rate_rps: f64,
+    /// Estimated service time on the NIC, nanoseconds.
+    pub nic_service_ns: f64,
+    /// Estimated service time on the host, nanoseconds.
+    pub host_service_ns: f64,
+}
+
+/// Latency saved per second of wall clock per instruction-store word:
+/// the packer's profile-guided scoring function.
+pub fn benefit_density(p: &LambdaProfile) -> f64 {
+    let saved = (p.host_service_ns - p.nic_service_ns).max(0.0);
+    saved * p.rate_rps / p.cost.instr_words.max(1) as f64
+}
+
+/// Packing policy.
+#[derive(Clone, Copy, Debug)]
+pub struct PackOptions {
+    /// Order by benefit density (`true`) or declaration order (`false`,
+    /// the static first-fit baseline).
+    pub profile_guided: bool,
+    /// Lambdas whose estimated NIC service time exceeds this belong on
+    /// the host regardless of fit (long-running bodies monopolize NPU
+    /// threads, §3.1b); only enforced when a host exists.
+    pub nic_service_ceiling_ns: f64,
+    /// Fraction of NPU threads the packed set may keep busy
+    /// (rate × service time headroom).
+    pub occupancy_cap: f64,
+    /// Whether a host backend exists to spill to. Without one, lambdas
+    /// that do not fit are rejected outright.
+    pub has_host: bool,
+}
+
+impl Default for PackOptions {
+    fn default() -> Self {
+        PackOptions {
+            profile_guided: true,
+            nic_service_ceiling_ns: 200_000.0,
+            occupancy_cap: 0.75,
+            has_host: true,
+        }
+    }
+}
+
+/// The packer's output split.
+#[derive(Clone, Debug, Default)]
+pub struct PlacementPlan {
+    /// Workloads placed on the NIC, in packing order.
+    pub nic: Vec<u32>,
+    /// Workloads spilled to the host.
+    pub host: Vec<u32>,
+    /// Workloads that fit nowhere (only possible without a host), with
+    /// the binding constraint.
+    pub rejected: Vec<(u32, &'static str)>,
+    /// Instruction-store words the NIC set occupies.
+    pub nic_instr_words: u64,
+    /// Bytes per level the NIC set occupies.
+    pub nic_mem_bytes: [u64; 4],
+}
+
+impl PlacementPlan {
+    /// Where the plan puts a workload, if it was placed.
+    pub fn target_of(&self, workload_id: u32) -> Option<Target> {
+        if self.nic.contains(&workload_id) {
+            Some(Target::Nic)
+        } else if self.host.contains(&workload_id) {
+            Some(Target::Host)
+        } else {
+            None
+        }
+    }
+}
+
+/// Packs `profiles` into `cap`, spilling to the host per `opts`.
+///
+/// Deterministic: profile-guided ordering breaks density ties by
+/// workload id, and all arithmetic is pure.
+pub fn pack(profiles: &[LambdaProfile], cap: &NicCapacity, opts: &PackOptions) -> PlacementPlan {
+    let mut order: Vec<usize> = (0..profiles.len()).collect();
+    if opts.profile_guided {
+        order.sort_by(|&a, &b| {
+            benefit_density(&profiles[b])
+                .total_cmp(&benefit_density(&profiles[a]))
+                .then(profiles[a].workload_id.cmp(&profiles[b].workload_id))
+        });
+    }
+    let mut plan = PlacementPlan::default();
+    let mut occupancy = 0.0f64;
+    let thread_budget = opts.occupancy_cap * cap.threads as f64;
+    for &i in &order {
+        let p = &profiles[i];
+        if opts.has_host && p.nic_service_ns > opts.nic_service_ceiling_ns {
+            plan.host.push(p.workload_id);
+            continue;
+        }
+        let instr_ok = plan.nic_instr_words + p.cost.instr_words <= cap.instr_words;
+        let mem_ok =
+            (0..4).all(|l| plan.nic_mem_bytes[l] + p.cost.mem_bytes[l] <= cap.mem_bytes[l]);
+        let extra = p.rate_rps * p.nic_service_ns / 1e9;
+        let threads_ok = occupancy + extra <= thread_budget;
+        if instr_ok && mem_ok && threads_ok {
+            plan.nic.push(p.workload_id);
+            plan.nic_instr_words += p.cost.instr_words;
+            for l in 0..4 {
+                plan.nic_mem_bytes[l] += p.cost.mem_bytes[l];
+            }
+            occupancy += extra;
+        } else if opts.has_host {
+            plan.host.push(p.workload_id);
+        } else {
+            let reason = if !instr_ok {
+                "instr-store"
+            } else if !mem_ok {
+                "memory"
+            } else {
+                "threads"
+            };
+            plan.rejected.push((p.workload_id, reason));
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(id: u32, instr: u64, rate: f64, nic_ns: f64, host_ns: f64) -> LambdaProfile {
+        LambdaProfile {
+            workload_id: id,
+            cost: StaticCost {
+                workload_id: id,
+                instr_words: instr,
+                mem_bytes: [0, 0, 0, 0],
+            },
+            rate_rps: rate,
+            nic_service_ns: nic_ns,
+            host_service_ns: host_ns,
+        }
+    }
+
+    fn cap(instr: u64) -> NicCapacity {
+        NicCapacity {
+            instr_words: instr,
+            mem_bytes: [u64::MAX; 4],
+            threads: 448,
+        }
+    }
+
+    #[test]
+    fn static_first_fit_packs_declaration_order() {
+        let ps = vec![
+            profile(10, 600, 0.0, 0.0, 0.0),
+            profile(11, 600, 0.0, 0.0, 0.0),
+            profile(12, 600, 0.0, 0.0, 0.0),
+        ];
+        let plan = pack(
+            &ps,
+            &cap(1300),
+            &PackOptions {
+                profile_guided: false,
+                ..PackOptions::default()
+            },
+        );
+        assert_eq!(plan.nic, vec![10, 11]);
+        assert_eq!(plan.host, vec![12]);
+        assert_eq!(plan.nic_instr_words, 1200);
+    }
+
+    #[test]
+    fn guided_packing_prefers_hot_small_lambdas() {
+        // A cold giant declared first would win first-fit; guided
+        // packing puts the hot small lambda on the NIC instead.
+        let ps = vec![
+            profile(10, 1000, 1.0, 10_000.0, 20_000.0),
+            profile(11, 200, 5_000.0, 10_000.0, 100_000.0),
+        ];
+        let plan = pack(&ps, &cap(1100), &PackOptions::default());
+        assert_eq!(plan.nic, vec![11, 10][..1].to_vec());
+        assert_eq!(plan.host, vec![10]);
+    }
+
+    #[test]
+    fn service_ceiling_forces_host() {
+        let ps = vec![profile(7, 10, 100.0, 1_000_000.0, 2_000_000.0)];
+        let plan = pack(&ps, &cap(10_000), &PackOptions::default());
+        assert_eq!(plan.host, vec![7]);
+        assert!(plan.nic.is_empty());
+    }
+
+    #[test]
+    fn occupancy_cap_limits_admission() {
+        // 448 threads × 0.75 cap = 336 thread-equivalents; each lambda
+        // demands 200 (2e5 rps × 1 ms), so only one fits.
+        let ps = vec![
+            profile(1, 10, 200_000.0, 1_000_000.0 / 1000.0 * 1000.0, 0.0),
+            profile(2, 10, 200_000.0, 1_000_000.0 / 1000.0 * 1000.0, 0.0),
+        ];
+        let opts = PackOptions {
+            profile_guided: false,
+            nic_service_ceiling_ns: f64::MAX,
+            ..PackOptions::default()
+        };
+        let plan = pack(&ps, &cap(10_000), &opts);
+        assert_eq!(plan.nic.len(), 1);
+        assert_eq!(plan.host.len(), 1);
+    }
+
+    #[test]
+    fn without_host_overflow_is_rejected_with_reason() {
+        let ps = vec![
+            profile(1, 600, 0.0, 0.0, 0.0),
+            profile(2, 600, 0.0, 0.0, 0.0),
+        ];
+        let opts = PackOptions {
+            profile_guided: false,
+            has_host: false,
+            ..PackOptions::default()
+        };
+        let plan = pack(&ps, &cap(1000), &opts);
+        assert_eq!(plan.nic, vec![1]);
+        assert_eq!(plan.rejected, vec![(2, "instr-store")]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-lambda cost profiles: static footprints from the compiler,
+//! observed behaviour from the gateway's latency windows.
+//!
+//! The static side compiles each lambda *in isolation* and records what
+//! it would cost on the NIC: instruction-store words (parser + match +
+//! body) and bytes per memory level. Isolated compiles are conservative
+//! — a whole-program build shares the parser and deduplicates helpers,
+//! so the sum of isolated footprints upper-bounds any subset image —
+//! which is exactly the property the packer needs for its fit checks to
+//! be safe.
+
+use lnic_mlambda::compile::{compile, CompileError, CompileOptions};
+use lnic_mlambda::memory::MemLevel;
+use lnic_mlambda::program::{MatchAction, Program};
+use lnic_sim::metrics::Summary;
+use lnic_sim::time::SimDuration;
+
+/// EWMA weight given to the newest window when folding observations.
+const EWMA_ALPHA: f64 = 0.5;
+
+/// Index of a memory level in per-level byte arrays (nearest first,
+/// matching [`MemLevel::ALL`]).
+pub(crate) fn level_index(level: MemLevel) -> usize {
+    match level {
+        MemLevel::Lmem => 0,
+        MemLevel::Ctm => 1,
+        MemLevel::Imem => 2,
+        MemLevel::Emem => 3,
+    }
+}
+
+/// A lambda's compiler-measured NIC footprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticCost {
+    /// The lambda's workload id.
+    pub workload_id: u32,
+    /// Instruction-store words the lambda needs when compiled alone
+    /// (parser, match stage, body).
+    pub instr_words: u64,
+    /// Bytes placed per memory level (LMEM, CTM, IMEM, EMEM).
+    pub mem_bytes: [u64; 4],
+}
+
+impl StaticCost {
+    /// Total object bytes across all levels.
+    pub fn total_mem_bytes(&self) -> u64 {
+        self.mem_bytes.iter().sum()
+    }
+}
+
+/// The match-data parameters routed to `lambdas[lambda_idx]`, extracted
+/// from the program's route tables (the non-empty `Invoke` params).
+pub fn route_params_of(program: &Program, lambda_idx: usize) -> Vec<u64> {
+    for table in &program.tables {
+        for entry in &table.entries {
+            if let MatchAction::Invoke { lambda, params } = &entry.action {
+                if *lambda == lambda_idx && !params.is_empty() {
+                    return params.clone();
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Builds a program containing only `base.lambdas[indices]`, preserving
+/// each lambda's route metadata. `base` must be a *source* program (as
+/// authored, before coalescing introduced shared functions).
+///
+/// # Panics
+///
+/// Panics if `base` carries shared functions or an index is out of
+/// range.
+pub fn subset_program(base: &Program, indices: &[usize]) -> Program {
+    assert!(
+        base.shared.is_empty(),
+        "subset_program requires a source program (no shared functions)"
+    );
+    let mut p = Program::new();
+    for &i in indices {
+        let lambda = base.lambdas[i].clone();
+        let route = route_params_of(base, i);
+        p.add_lambda(lambda, route);
+    }
+    p
+}
+
+/// Compiles each lambda of `base` alone and returns its static cost, in
+/// declaration order.
+///
+/// A lambda too large for even an empty NIC still gets a cost (the word
+/// count the compiler reported, objects attributed to EMEM) so the
+/// packer can see it never fits.
+///
+/// # Panics
+///
+/// Panics if `base` is structurally invalid (isolated compiles should
+/// only ever fail on size).
+pub fn static_costs(base: &Program, opts: &CompileOptions) -> Vec<StaticCost> {
+    (0..base.lambdas.len())
+        .map(|i| {
+            let wid = base.lambdas[i].id.0;
+            let single = subset_program(base, &[i]);
+            match compile(&single, opts) {
+                Ok(fw) => {
+                    let mut mem = [0u64; 4];
+                    for (oi, obj) in fw.program.lambdas[0].objects.iter().enumerate() {
+                        mem[level_index(fw.placement(0, oi))] += obj.size as u64;
+                    }
+                    StaticCost {
+                        workload_id: wid,
+                        instr_words: fw.instruction_words() as u64,
+                        mem_bytes: mem,
+                    }
+                }
+                Err(CompileError::ProgramTooLarge { words, .. }) => {
+                    let mut mem = [0u64; 4];
+                    mem[3] = base.lambdas[i].objects.iter().map(|o| o.size as u64).sum();
+                    StaticCost {
+                        workload_id: wid,
+                        instr_words: words as u64,
+                        mem_bytes: mem,
+                    }
+                }
+                Err(e) => panic!("isolated compile of lambda {wid} failed: {e}"),
+            }
+        })
+        .collect()
+}
+
+/// A lambda's observed behaviour, folded across gateway stats windows
+/// with an exponentially weighted moving average.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObservedProfile {
+    /// Completed requests observed so far.
+    pub requests: u64,
+    /// Smoothed arrival rate (completions per second).
+    pub rate_rps: f64,
+    /// Smoothed median wire-to-wire latency.
+    pub p50_ns: f64,
+    /// Smoothed p99 wire-to-wire latency.
+    pub p99_ns: f64,
+}
+
+impl ObservedProfile {
+    /// Folds one stats window into the profile.
+    pub fn update(&mut self, summary: &Summary, window: SimDuration) {
+        let secs = window.as_nanos() as f64 / 1e9;
+        if secs <= 0.0 || summary.count == 0 {
+            return;
+        }
+        let rate = summary.count as f64 / secs;
+        if self.requests == 0 {
+            self.rate_rps = rate;
+            self.p50_ns = summary.p50_ns as f64;
+            self.p99_ns = summary.p99_ns as f64;
+        } else {
+            self.rate_rps = EWMA_ALPHA * rate + (1.0 - EWMA_ALPHA) * self.rate_rps;
+            self.p50_ns = EWMA_ALPHA * summary.p50_ns as f64 + (1.0 - EWMA_ALPHA) * self.p50_ns;
+            self.p99_ns = EWMA_ALPHA * summary.p99_ns as f64 + (1.0 - EWMA_ALPHA) * self.p99_ns;
+        }
+        self.requests += summary.count as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnic_mlambda::ir::{Function, Instr};
+    use lnic_mlambda::program::{Lambda, MemObject, Program, WorkloadId};
+
+    fn two_lambda_program() -> Program {
+        let mut p = Program::new();
+        for id in [1u32, 2] {
+            let mut l = Lambda::new(
+                format!("w{id}"),
+                WorkloadId(id),
+                Function::new("entry", vec![Instr::Const { dst: 0, value: 0 }, Instr::Ret]),
+            );
+            l.add_object(MemObject::zeroed("buf", 64 * id));
+            p.add_lambda(l, vec![id as u64, 8000 + id as u64]);
+        }
+        p
+    }
+
+    #[test]
+    fn route_params_survive_subsetting() {
+        let p = two_lambda_program();
+        assert_eq!(route_params_of(&p, 1), vec![2, 8002]);
+        let sub = subset_program(&p, &[1]);
+        assert_eq!(sub.lambdas.len(), 1);
+        assert_eq!(sub.lambdas[0].id, WorkloadId(2));
+        assert_eq!(route_params_of(&sub, 0), vec![2, 8002]);
+        sub.validate().expect("subset validates");
+    }
+
+    #[test]
+    fn static_costs_cover_every_lambda() {
+        let p = two_lambda_program();
+        let costs = static_costs(&p, &CompileOptions::optimized());
+        assert_eq!(costs.len(), 2);
+        assert_eq!(costs[0].workload_id, 1);
+        assert_eq!(costs[1].workload_id, 2);
+        assert!(costs.iter().all(|c| c.instr_words > 0));
+        assert_eq!(costs[0].total_mem_bytes(), 64);
+        assert_eq!(costs[1].total_mem_bytes(), 128);
+    }
+
+    #[test]
+    fn isolated_sum_bounds_subset_compile() {
+        // The packer's safety argument: isolated footprints summed must
+        // upper-bound the whole-set image.
+        let p = two_lambda_program();
+        let opts = CompileOptions::optimized();
+        let costs = static_costs(&p, &opts);
+        let sum: u64 = costs.iter().map(|c| c.instr_words).sum();
+        let whole = compile(&p, &opts).expect("compiles");
+        assert!(whole.instruction_words() as u64 <= sum);
+    }
+
+    #[test]
+    fn observed_profile_smooths_windows() {
+        let mut o = ObservedProfile::default();
+        let w = SimDuration::from_millis(100);
+        let s1 = Summary {
+            count: 100,
+            p50_ns: 1_000,
+            p99_ns: 2_000,
+            ..Default::default()
+        };
+        o.update(&s1, w);
+        assert_eq!(o.requests, 100);
+        assert!((o.rate_rps - 1_000.0).abs() < 1e-6);
+        assert!((o.p50_ns - 1_000.0).abs() < 1e-6);
+        let s2 = Summary {
+            count: 300,
+            p50_ns: 3_000,
+            p99_ns: 6_000,
+            ..Default::default()
+        };
+        o.update(&s2, w);
+        assert_eq!(o.requests, 400);
+        assert!((o.rate_rps - 2_000.0).abs() < 1e-6);
+        assert!((o.p50_ns - 2_000.0).abs() < 1e-6);
+        // Empty windows leave the profile untouched.
+        o.update(&Summary::default(), w);
+        assert_eq!(o.requests, 400);
+    }
+}

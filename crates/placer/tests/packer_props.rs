@@ -1,0 +1,188 @@
+//! Property-based tests for the packer and migration planner: packed
+//! sets never overflow the NIC's budgets, plans partition the input,
+//! migrations conserve placements, and hysteresis prevents flapping.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use lnic_placer::migrate::{apply, MigrationPlanner, MigrationPolicy};
+use lnic_placer::packer::{pack, LambdaProfile, NicCapacity, PackOptions, Target};
+use lnic_placer::profile::StaticCost;
+use lnic_sim::time::{SimDuration, SimTime};
+
+fn arb_profiles() -> impl Strategy<Value = Vec<LambdaProfile>> {
+    proptest::collection::vec(
+        (
+            0u64..5_000,
+            proptest::collection::vec(0u64..100_000, 4),
+            0.0f64..1e6,
+            0.0f64..1e6,
+            0.0f64..1e7,
+        ),
+        0..24,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (instr, mem, rate, nic_ns, host_ns))| LambdaProfile {
+                workload_id: i as u32,
+                cost: StaticCost {
+                    workload_id: i as u32,
+                    instr_words: instr,
+                    mem_bytes: [mem[0], mem[1], mem[2], mem[3]],
+                },
+                rate_rps: rate,
+                nic_service_ns: nic_ns,
+                host_service_ns: host_ns,
+            })
+            .collect()
+    })
+}
+
+fn arb_capacity() -> impl Strategy<Value = NicCapacity> {
+    (0u64..20_000, proptest::collection::vec(0u64..500_000, 4)).prop_map(|(instr, mem)| {
+        NicCapacity {
+            instr_words: instr,
+            mem_bytes: [mem[0], mem[1], mem[2], mem[3]],
+            threads: 448,
+        }
+    })
+}
+
+fn arb_options() -> impl Strategy<Value = PackOptions> {
+    (any::<bool>(), any::<bool>(), 0.0f64..1e6).prop_map(|(guided, has_host, ceiling)| {
+        PackOptions {
+            profile_guided: guided,
+            nic_service_ceiling_ns: ceiling,
+            occupancy_cap: 0.75,
+            has_host,
+        }
+    })
+}
+
+fn arb_split(n: u32) -> impl Strategy<Value = BTreeMap<u32, Target>> {
+    proptest::collection::vec(any::<bool>(), n as usize).prop_map(|bits| {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| (i as u32, if b { Target::Nic } else { Target::Host }))
+            .collect()
+    })
+}
+
+proptest! {
+    /// The packed NIC set never exceeds the instruction-store or any
+    /// per-level memory budget, no matter the lambda mix.
+    #[test]
+    fn pack_never_overflows_capacity(
+        profiles in arb_profiles(),
+        cap in arb_capacity(),
+        opts in arb_options(),
+    ) {
+        let plan = pack(&profiles, &cap, &opts);
+        // Recompute usage from scratch rather than trusting the plan's
+        // own accounting.
+        let mut instr = 0u64;
+        let mut mem = [0u64; 4];
+        for &wid in &plan.nic {
+            let p = profiles.iter().find(|p| p.workload_id == wid).unwrap();
+            instr += p.cost.instr_words;
+            for (l, m) in mem.iter_mut().enumerate() {
+                *m += p.cost.mem_bytes[l];
+            }
+        }
+        prop_assert_eq!(instr, plan.nic_instr_words);
+        prop_assert!(instr <= cap.instr_words);
+        for (l, m) in mem.iter().enumerate() {
+            prop_assert!(*m <= cap.mem_bytes[l]);
+        }
+    }
+
+    /// Every lambda lands in exactly one of nic / host / rejected, and
+    /// nothing is rejected while a host exists to spill to.
+    #[test]
+    fn pack_partitions_the_input(
+        profiles in arb_profiles(),
+        cap in arb_capacity(),
+        opts in arb_options(),
+    ) {
+        let plan = pack(&profiles, &cap, &opts);
+        let mut seen: Vec<u32> = plan
+            .nic
+            .iter()
+            .chain(plan.host.iter())
+            .copied()
+            .chain(plan.rejected.iter().map(|&(w, _)| w))
+            .collect();
+        seen.sort_unstable();
+        let mut expected: Vec<u32> = profiles.iter().map(|p| p.workload_id).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+        if opts.has_host {
+            prop_assert!(plan.rejected.is_empty());
+        }
+    }
+
+    /// Applying a migration plan conserves the placement set: every
+    /// workload keeps exactly one target, and each move's source
+    /// matches the current state (`apply` asserts it).
+    #[test]
+    fn migration_plans_conserve_placements(
+        splits in (1u32..16).prop_flat_map(|n| (arb_split(n), arb_split(n))),
+    ) {
+        let (current, desired) = splits;
+        let n = current.len() as u32;
+        let gains: BTreeMap<u32, f64> = (0..n).map(|w| (w, 1e18)).collect();
+        let policy = MigrationPolicy {
+            cooldown: SimDuration::from_millis(500),
+            swap_cost: SimDuration::from_millis(10),
+            amortize: SimDuration::from_secs(1),
+        };
+        let mut planner = MigrationPlanner::new();
+        let moves = planner.plan(SimTime::ZERO, &current, &desired, &gains, &policy);
+        let keys: Vec<u32> = current.keys().copied().collect();
+        let mut after = current.clone();
+        apply(&mut after, &moves);
+        let after_keys: Vec<u32> = after.keys().copied().collect();
+        prop_assert_eq!(keys, after_keys);
+        // With unbounded gains and no history, the plan reaches the
+        // desired split exactly.
+        prop_assert_eq!(after, desired);
+    }
+
+    /// Hysteresis: once a workload moves, the reverse move is
+    /// suppressed for the whole cooldown and allowed after it.
+    #[test]
+    fn hysteresis_prevents_flapping(
+        cooldown_ms in 1u64..2_000,
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let policy = MigrationPolicy {
+            cooldown: SimDuration::from_millis(cooldown_ms),
+            swap_cost: SimDuration::ZERO,
+            amortize: SimDuration::from_secs(1),
+        };
+        let mut planner = MigrationPlanner::new();
+        let mut current: BTreeMap<u32, Target> = [(1, Target::Nic)].into();
+        let to_host: BTreeMap<u32, Target> = [(1, Target::Host)].into();
+        let to_nic: BTreeMap<u32, Target> = [(1, Target::Nic)].into();
+        let gains: BTreeMap<u32, f64> = [(1, 1e18)].into();
+
+        let t0 = SimTime::ZERO;
+        let moves = planner.plan(t0, &current, &to_host, &gains, &policy);
+        prop_assert_eq!(moves.len(), 1);
+        apply(&mut current, &moves);
+
+        // Any instant strictly inside the cooldown: the A→B→A return
+        // leg is blocked.
+        let within_ns =
+            ((policy.cooldown.as_nanos().saturating_sub(1)) as f64 * flip_frac) as u64;
+        let t1 = t0 + SimDuration::from_nanos(within_ns);
+        prop_assert!(planner.plan(t1, &current, &to_nic, &gains, &policy).is_empty());
+
+        // At/after expiry the move is allowed again.
+        let t2 = t0 + policy.cooldown;
+        prop_assert_eq!(planner.plan(t2, &current, &to_nic, &gains, &policy).len(), 1);
+    }
+}

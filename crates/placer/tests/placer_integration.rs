@@ -1,0 +1,164 @@
+//! End-to-end placer test: a hybrid testbed whose NIC is too small for
+//! every lambda, driven with traffic on the lambda that first-fit left
+//! on the host. The profile-guided placer must notice, demote the cold
+//! tenant, promote the hot lambda through a live firmware swap, and
+//! keep the default invariant checker (which panics on any placement
+//! conservation or capacity violation) quiet throughout.
+
+use std::sync::Arc;
+
+use lnic::prelude::*;
+use lnic_mlambda::program::{Program, WorkloadId};
+use lnic_placer::{attach_placer, static_costs, Placer, PlacerConfig, Target};
+use lnic_sim::prelude::*;
+use lnic_workloads::web::{web_server_lambda, WebContent};
+
+/// Cold lambda, declared first so static first-fit gives it the NIC.
+const TENANT_ID: u32 = 100;
+/// Hot lambda, declared second so first-fit spills it to the host.
+const WEB_ID: u32 = 7;
+
+fn base_program() -> Program {
+    let content = WebContent::generate(4, 256);
+    let mut p = Program::new();
+    for id in [TENANT_ID, WEB_ID] {
+        p.add_lambda(
+            web_server_lambda(WorkloadId(id), &content),
+            vec![0x0a00_0002 + id as u64, 8000 + id as u64, 1],
+        );
+    }
+    p
+}
+
+#[test]
+fn hot_lambda_is_promoted_by_live_migration() {
+    let mut config = TestbedConfig::new(BackendKind::Nic)
+        .seed(42)
+        .workers(1)
+        .hybrid();
+    config.nic.firmware_swap_time = SimDuration::from_millis(10);
+    config.gateway.rpc_timeout = SimDuration::from_millis(50);
+    config.gateway.rpc_attempts = 5;
+    config.gateway = config.gateway.resilient();
+    let mut bed = build_testbed(config.clone());
+    bed.sim.add_trace_sink(Box::new(RingSink::new(500_000)));
+
+    let base = Arc::new(base_program());
+    let mut cfg = PlacerConfig::from_nic(&config.nic);
+    cfg.interval = SimDuration::from_millis(20);
+    cfg.drain = SimDuration::from_millis(5);
+    cfg.policy.cooldown = SimDuration::from_millis(100);
+
+    // Size the NIC so either lambda fits alone but not both together.
+    let costs = static_costs(&base, &cfg.compile);
+    let widest = costs.iter().map(|c| c.instr_words).max().unwrap();
+    let total: u64 = costs.iter().map(|c| c.instr_words).sum();
+    cfg.capacity.instr_words = widest + 16;
+    assert!(
+        total > cfg.capacity.instr_words,
+        "test premise: both lambdas must not fit together"
+    );
+
+    let placer = attach_placer(&mut bed, &base, cfg);
+
+    // First-fit start: the cold tenant holds the NIC, web is punted.
+    {
+        let p = bed.sim.get::<Placer>(placer).unwrap();
+        assert_eq!(p.current_split()[&TENANT_ID], Target::Nic);
+        assert_eq!(p.current_split()[&WEB_ID], Target::Host);
+    }
+
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        bed.gateway,
+        vec![JobSpec {
+            workload_id: WEB_ID,
+            payload: PayloadSpec::Page(0),
+        }],
+        4,
+        SimDuration::from_micros(80),
+        None,
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim
+        .run_until(SimTime::ZERO + SimDuration::from_millis(300));
+    bed.sim.finish_tracing();
+
+    // The placer swapped the split: hot web on the NIC, tenant demoted.
+    let p = bed.sim.get::<Placer>(placer).unwrap();
+    assert_eq!(p.current_split()[&WEB_ID], Target::Nic);
+    assert_eq!(p.current_split()[&TENANT_ID], Target::Host);
+    assert_eq!(p.migrations(), 2, "one promotion + one demotion");
+
+    // The data plane survived the swap: requests completed after the
+    // migration window, none failed.
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    let done = d.completed();
+    assert!(!done.is_empty());
+    assert!(done.iter().all(|c| !c.failed));
+    let migrated_at = p
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            lnic_placer::PlacerEvent::Migrate { at, .. } => Some(*at),
+            _ => None,
+        })
+        .max()
+        .expect("migration events recorded");
+    assert!(
+        done.iter().any(|c| c.at > migrated_at),
+        "traffic must keep completing after the swap"
+    );
+
+    // The full migration protocol hit the trace stream.
+    let ring = bed.sim.trace_sink::<RingSink>().unwrap();
+    for kind in [
+        "placement_capacity",
+        "place",
+        "unplace",
+        "migrate_start",
+        "migrate_done",
+    ] {
+        assert!(
+            ring.records().any(|r| r.event.kind() == kind),
+            "missing {kind} in trace"
+        );
+    }
+}
+
+#[test]
+fn placer_stays_idle_without_traffic_imbalance() {
+    // Traffic on the lambda already on the NIC: the desired split
+    // matches the current one and no migration should ever fire.
+    let mut config = TestbedConfig::new(BackendKind::Nic)
+        .seed(7)
+        .workers(2)
+        .hybrid();
+    config.nic.firmware_swap_time = SimDuration::from_millis(10);
+    let mut bed = build_testbed(config.clone());
+
+    let base = Arc::new(base_program());
+    let mut cfg = PlacerConfig::from_nic(&config.nic);
+    cfg.interval = SimDuration::from_millis(20);
+    let costs = static_costs(&base, &cfg.compile);
+    cfg.capacity.instr_words = costs.iter().map(|c| c.instr_words).max().unwrap() + 16;
+
+    let placer = attach_placer(&mut bed, &base, cfg);
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        bed.gateway,
+        vec![JobSpec {
+            workload_id: TENANT_ID,
+            payload: PayloadSpec::Page(0),
+        }],
+        2,
+        SimDuration::from_micros(80),
+        None,
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim
+        .run_until(SimTime::ZERO + SimDuration::from_millis(500));
+    bed.sim.finish_tracing();
+
+    let p = bed.sim.get::<Placer>(placer).unwrap();
+    assert_eq!(p.migrations(), 0);
+    assert_eq!(p.current_split()[&TENANT_ID], Target::Nic);
+}

@@ -20,6 +20,14 @@
 //!    instruction plus the per-object memory charges recomputed from the
 //!    documented cost model (scalar burst amortization, bulk latency +
 //!    streaming).
+//! 6. **Placement conservation** — once a lambda is placed by the
+//!    placement control plane, it always keeps at least one live
+//!    placement (migrations must be make-before-break); a worker's
+//!    NIC-resident placements never exceed its declared
+//!    instruction-store or memory capacity; and every `migrate_done`
+//!    pairs with a prior `migrate_start`. The checks only engage when
+//!    placement events appear on the stream, so testbeds without a
+//!    placer are unaffected.
 //!
 //! By default a violation panics immediately with the offending record,
 //! which makes every integration test a correctness gate; use
@@ -114,6 +122,15 @@ pub struct InvariantChecker {
 
     // WFQ fairness, keyed by component.
     wfq: HashMap<usize, WfqState>,
+
+    // Placement conservation (invariant 6). Capacities are keyed by
+    // worker index, live placements by (workload, worker, target) so a
+    // make-before-break migration holds both sides simultaneously.
+    placement_capacity: HashMap<u32, (u64, u64)>,
+    placements: HashMap<(u32, u32, &'static str), (u64, u64)>,
+    live_placements: HashMap<u32, u32>,
+    ever_placed: HashSet<u32>,
+    migrations_in_flight: HashMap<u32, u32>,
 }
 
 impl Default for InvariantChecker {
@@ -138,6 +155,11 @@ impl InvariantChecker {
             outstanding: HashSet::new(),
             slots: HashMap::new(),
             wfq: HashMap::new(),
+            placement_capacity: HashMap::new(),
+            placements: HashMap::new(),
+            live_placements: HashMap::new(),
+            ever_placed: HashSet::new(),
+            migrations_in_flight: HashMap::new(),
         }
     }
 
@@ -437,6 +459,104 @@ impl InvariantChecker {
         self.slots.retain(|&(comp, _), _| comp != src_index);
         self.wfq.remove(&src_index);
     }
+
+    /// Sums NIC-resident usage on one worker across live placements.
+    fn nic_usage(&self, worker: u32) -> (u64, u64) {
+        self.placements
+            .iter()
+            .filter(|(&(_, w, target), _)| w == worker && target == "nic")
+            .fold((0, 0), |(i, m), (_, &(instr, mem))| (i + instr, m + mem))
+    }
+
+    fn on_placement_capacity(&mut self, rec: &TraceRecord, worker: u32, instr: u64, mem: u64) {
+        self.placement_capacity.insert(worker, (instr, mem));
+        // Re-declared capacity must still admit what is already placed.
+        let (used_instr, used_mem) = self.nic_usage(worker);
+        if used_instr > instr || used_mem > mem {
+            let msg = format!(
+                "worker {worker} exceeds instruction-store/memory capacity after \
+                 re-declaration: {used_instr} words / {used_mem} bytes placed, \
+                 capacity {instr} words / {mem} bytes"
+            );
+            self.violation(rec.at, msg);
+        }
+    }
+
+    fn on_place(
+        &mut self,
+        rec: &TraceRecord,
+        workload_id: u32,
+        worker: u32,
+        target: &'static str,
+        instr: u64,
+        mem: u64,
+    ) {
+        let key = (workload_id, worker, target);
+        if self.placements.insert(key, (instr, mem)).is_some() {
+            let msg = format!("workload {workload_id} placed twice on worker {worker} ({target})");
+            self.violation(rec.at, msg);
+            return;
+        }
+        *self.live_placements.entry(workload_id).or_insert(0) += 1;
+        self.ever_placed.insert(workload_id);
+        if target == "nic" {
+            if let Some(&(cap_instr, cap_mem)) = self.placement_capacity.get(&worker) {
+                let (used_instr, used_mem) = self.nic_usage(worker);
+                if used_instr > cap_instr || used_mem > cap_mem {
+                    let msg = format!(
+                        "worker {worker} exceeds instruction-store/memory capacity: \
+                         placing workload {workload_id} brings usage to {used_instr} \
+                         words / {used_mem} bytes, capacity {cap_instr} words / \
+                         {cap_mem} bytes"
+                    );
+                    self.violation(rec.at, msg);
+                }
+            }
+        }
+    }
+
+    fn on_unplace(
+        &mut self,
+        rec: &TraceRecord,
+        workload_id: u32,
+        worker: u32,
+        target: &'static str,
+    ) {
+        if self
+            .placements
+            .remove(&(workload_id, worker, target))
+            .is_none()
+        {
+            let msg = format!(
+                "workload {workload_id} unplaced from worker {worker} ({target}) \
+                 but was not placed there"
+            );
+            self.violation(rec.at, msg);
+            return;
+        }
+        let live = self.live_placements.entry(workload_id).or_insert(0);
+        *live = live.saturating_sub(1);
+        if *live == 0 {
+            let msg = format!(
+                "workload {workload_id} lost its last live placement: migrations \
+                 must be make-before-break"
+            );
+            self.violation(rec.at, msg);
+        }
+    }
+
+    fn on_migrate_done(&mut self, rec: &TraceRecord, workload_id: u32) {
+        match self.migrations_in_flight.get_mut(&workload_id) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => {
+                let msg = format!(
+                    "migrate_done for workload {workload_id} without a matching \
+                     migrate_start"
+                );
+                self.violation(rec.at, msg);
+            }
+        }
+    }
 }
 
 impl TraceSink for InvariantChecker {
@@ -562,6 +682,30 @@ impl TraceSink for InvariantChecker {
                 }
             }
 
+            // Invariant 6: placement conservation.
+            TraceEvent::PlacementCapacity {
+                worker,
+                instr_words,
+                mem_bytes,
+            } => self.on_placement_capacity(rec, worker, instr_words, mem_bytes),
+            TraceEvent::Place {
+                workload_id,
+                worker,
+                target,
+                instr_words,
+                mem_bytes,
+            } => self.on_place(rec, workload_id, worker, target, instr_words, mem_bytes),
+            TraceEvent::Unplace {
+                workload_id,
+                worker,
+                target,
+            } => self.on_unplace(rec, workload_id, worker, target),
+            TraceEvent::MigrateStart { workload_id, .. } => {
+                *self.migrations_in_flight.entry(workload_id).or_insert(0) += 1;
+            }
+            TraceEvent::MigrateDone { workload_id, .. } => self.on_migrate_done(rec, workload_id),
+            TraceEvent::PlacementReject { .. } => {}
+
             TraceEvent::LinkTx { .. }
             | TraceEvent::LinkDrop { .. }
             | TraceEvent::SwitchForward { .. }
@@ -585,6 +729,25 @@ impl TraceSink for InvariantChecker {
                 self.completed,
                 self.failed,
                 self.outstanding.len()
+            );
+            self.violation(now, msg);
+        }
+        // Invariant 6, end-of-run form: every workload the control plane
+        // ever placed must still hold at least one live placement.
+        // (Migrations still in flight at a run_until cutoff are fine —
+        // the make-before-break ordering means the workload stays live
+        // throughout.)
+        let mut lost: Vec<u32> = self
+            .ever_placed
+            .iter()
+            .filter(|id| self.live_placements.get(id).copied().unwrap_or(0) == 0)
+            .copied()
+            .collect();
+        lost.sort_unstable();
+        for workload_id in lost {
+            let msg = format!(
+                "placement conservation violated at end of run: workload \
+                 {workload_id} was placed but holds no live placement"
             );
             self.violation(now, msg);
         }
@@ -1078,6 +1241,240 @@ mod tests {
         // One submitted, one in flight: conserved.
         c.assert_clean();
         assert_eq!(c.in_flight(), 1);
+    }
+
+    fn place(workload_id: u32, worker: u32, target: &'static str, instr: u64) -> TraceEvent {
+        TraceEvent::Place {
+            workload_id,
+            worker,
+            target,
+            instr_words: instr,
+            mem_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn make_before_break_migration_passes() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    1,
+                    TraceEvent::PlacementCapacity {
+                        worker: 0,
+                        instr_words: 1000,
+                        mem_bytes: 1 << 20,
+                    },
+                ),
+                (1, 1, place(7, 0, "host", 100)),
+                (
+                    10,
+                    1,
+                    TraceEvent::MigrateStart {
+                        workload_id: 7,
+                        from_worker: 0,
+                        from_target: "host",
+                        to_worker: 0,
+                        to_target: "nic",
+                    },
+                ),
+                // New placement goes live before the old one is torn down.
+                (11, 1, place(7, 0, "nic", 100)),
+                (
+                    20,
+                    1,
+                    TraceEvent::Unplace {
+                        workload_id: 7,
+                        worker: 0,
+                        target: "host",
+                    },
+                ),
+                (
+                    21,
+                    1,
+                    TraceEvent::MigrateDone {
+                        workload_id: 7,
+                        from_worker: 0,
+                        from_target: "host",
+                        to_worker: 0,
+                        to_target: "nic",
+                    },
+                ),
+            ],
+        );
+        c.on_finish(SimTime::from_nanos(30));
+        c.assert_clean();
+    }
+
+    #[test]
+    fn losing_last_placement_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (0, 1, place(3, 0, "nic", 50)),
+                (
+                    1,
+                    1,
+                    TraceEvent::Unplace {
+                        workload_id: 3,
+                        worker: 0,
+                        target: "nic",
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("lost its last live placement"));
+    }
+
+    #[test]
+    fn capacity_overflow_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    1,
+                    TraceEvent::PlacementCapacity {
+                        worker: 2,
+                        instr_words: 100,
+                        mem_bytes: 1024,
+                    },
+                ),
+                (1, 1, place(1, 2, "nic", 60)),
+                (2, 1, place(2, 2, "nic", 60)), // 120 > 100 words
+            ],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("exceeds instruction-store/memory capacity"));
+    }
+
+    #[test]
+    fn host_placements_do_not_count_against_nic_capacity() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    1,
+                    TraceEvent::PlacementCapacity {
+                        worker: 0,
+                        instr_words: 100,
+                        mem_bytes: 1024,
+                    },
+                ),
+                (1, 1, place(1, 0, "nic", 90)),
+                (2, 1, place(2, 0, "host", 5000)), // huge, but host-side
+            ],
+        );
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn duplicate_place_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (0, 1, place(4, 1, "nic", 10)),
+                (1, 1, place(4, 1, "nic", 10)),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("placed twice"));
+    }
+
+    #[test]
+    fn migrate_done_without_start_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[(
+                0,
+                1,
+                TraceEvent::MigrateDone {
+                    workload_id: 9,
+                    from_worker: 0,
+                    from_target: "nic",
+                    to_worker: 1,
+                    to_target: "host",
+                },
+            )],
+        );
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("without a matching migrate_start"));
+    }
+
+    #[test]
+    fn placement_lost_by_end_of_run_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        // Place on two targets, then tear down both (the second Unplace
+        // already violates make-before-break; on_finish adds the
+        // end-of-run conservation violation on top).
+        feed(
+            &mut c,
+            &[
+                (0, 1, place(5, 0, "nic", 10)),
+                (1, 1, place(5, 1, "nic", 10)),
+                (
+                    2,
+                    1,
+                    TraceEvent::Unplace {
+                        workload_id: 5,
+                        worker: 0,
+                        target: "nic",
+                    },
+                ),
+                (
+                    3,
+                    1,
+                    TraceEvent::Unplace {
+                        workload_id: 5,
+                        worker: 1,
+                        target: "nic",
+                    },
+                ),
+            ],
+        );
+        c.on_finish(SimTime::from_nanos(10));
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("placement conservation violated at end of run")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn in_flight_migration_at_finish_is_not_flagged() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (0, 1, place(6, 0, "host", 10)),
+                (
+                    1,
+                    1,
+                    TraceEvent::MigrateStart {
+                        workload_id: 6,
+                        from_worker: 0,
+                        from_target: "host",
+                        to_worker: 0,
+                        to_target: "nic",
+                    },
+                ),
+                (2, 1, place(6, 0, "nic", 10)),
+                // Run cut off mid-migration: no Unplace, no MigrateDone.
+            ],
+        );
+        c.on_finish(SimTime::from_nanos(10));
+        c.assert_clean();
     }
 
     #[test]

@@ -211,6 +211,76 @@ pub enum TraceEvent {
         /// Second payload value.
         b: u64,
     },
+    /// The placement planner declared a worker's NIC capacity envelope;
+    /// subsequent `Place` events on that worker are checked against it.
+    PlacementCapacity {
+        /// Worker index.
+        worker: u32,
+        /// Usable instruction-store words for lambda code.
+        instr_words: u64,
+        /// Usable bytes for lambda objects (all levels summed).
+        mem_bytes: u64,
+    },
+    /// A lambda gained a live placement on a worker target.
+    Place {
+        /// The placed workload.
+        workload_id: u32,
+        /// Worker index.
+        worker: u32,
+        /// Serving engine: `"nic"` or `"host"`.
+        target: &'static str,
+        /// Instruction-store words the placement occupies (NIC targets).
+        instr_words: u64,
+        /// Object bytes the placement occupies (NIC targets).
+        mem_bytes: u64,
+    },
+    /// A live placement was withdrawn (scale-in, or the old side of a
+    /// completed migration).
+    Unplace {
+        /// The workload.
+        workload_id: u32,
+        /// Worker index.
+        worker: u32,
+        /// Serving engine the placement is leaving.
+        target: &'static str,
+    },
+    /// A migration began: the new placement is prepared while the old
+    /// one keeps serving (make-before-break).
+    MigrateStart {
+        /// The migrating workload.
+        workload_id: u32,
+        /// Worker the placement leaves.
+        from_worker: u32,
+        /// Engine the placement leaves.
+        from_target: &'static str,
+        /// Worker the placement moves to.
+        to_worker: u32,
+        /// Engine the placement moves to.
+        to_target: &'static str,
+    },
+    /// A migration finished: traffic switched and the old placement was
+    /// withdrawn.
+    MigrateDone {
+        /// The migrated workload.
+        workload_id: u32,
+        /// Worker the placement left.
+        from_worker: u32,
+        /// Engine the placement left.
+        from_target: &'static str,
+        /// Worker the placement now lives on.
+        to_worker: u32,
+        /// Engine the placement now runs on.
+        to_target: &'static str,
+    },
+    /// The placement planner refused to place a lambda.
+    PlacementReject {
+        /// The rejected workload.
+        workload_id: u32,
+        /// Worker considered.
+        worker: u32,
+        /// Why (`"instr-store"`, `"memory"`, `"threads"`, ...).
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -236,6 +306,12 @@ impl TraceEvent {
             TraceEvent::ProgramInstall {} => "program_install",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Mark { .. } => "mark",
+            TraceEvent::PlacementCapacity { .. } => "placement_capacity",
+            TraceEvent::Place { .. } => "place",
+            TraceEvent::Unplace { .. } => "unplace",
+            TraceEvent::MigrateStart { .. } => "migrate_start",
+            TraceEvent::MigrateDone { .. } => "migrate_done",
+            TraceEvent::PlacementReject { .. } => "reject",
         }
     }
 
@@ -357,6 +433,66 @@ impl TraceEvent {
                 f("label", Str(label));
                 f("a", U64(a));
                 f("b", U64(b));
+            }
+            TraceEvent::PlacementCapacity {
+                worker,
+                instr_words,
+                mem_bytes,
+            } => {
+                f("worker", U64(worker.into()));
+                f("instr_words", U64(instr_words));
+                f("mem_bytes", U64(mem_bytes));
+            }
+            TraceEvent::Place {
+                workload_id,
+                worker,
+                target,
+                instr_words,
+                mem_bytes,
+            } => {
+                f("workload_id", U64(workload_id.into()));
+                f("worker", U64(worker.into()));
+                f("target", Str(target));
+                f("instr_words", U64(instr_words));
+                f("mem_bytes", U64(mem_bytes));
+            }
+            TraceEvent::Unplace {
+                workload_id,
+                worker,
+                target,
+            } => {
+                f("workload_id", U64(workload_id.into()));
+                f("worker", U64(worker.into()));
+                f("target", Str(target));
+            }
+            TraceEvent::MigrateStart {
+                workload_id,
+                from_worker,
+                from_target,
+                to_worker,
+                to_target,
+            }
+            | TraceEvent::MigrateDone {
+                workload_id,
+                from_worker,
+                from_target,
+                to_worker,
+                to_target,
+            } => {
+                f("workload_id", U64(workload_id.into()));
+                f("from_worker", U64(from_worker.into()));
+                f("from_target", Str(from_target));
+                f("to_worker", U64(to_worker.into()));
+                f("to_target", Str(to_target));
+            }
+            TraceEvent::PlacementReject {
+                workload_id,
+                worker,
+                reason,
+            } => {
+                f("workload_id", U64(workload_id.into()));
+                f("worker", U64(worker.into()));
+                f("reason", Str(reason));
             }
         }
     }

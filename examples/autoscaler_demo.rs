@@ -38,6 +38,7 @@ fn main() {
             target_p99: SimDuration::from_millis(2),
             max_replicas: 4,
             min_samples: 8,
+            ..AutoscalerConfig::default()
         },
         gateway,
         bed.workers.clone(),
