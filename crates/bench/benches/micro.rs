@@ -78,6 +78,7 @@ fn bench_reorder(c: &mut Criterion) {
                     frag_count: 4,
                     kind: LambdaKind::RdmaWrite,
                     return_code: 0,
+                    ..Default::default()
                 };
                 out = r.accept(hdr, f.clone());
             }
@@ -98,6 +99,7 @@ fn bench_reorder(c: &mut Criterion) {
                     frag_count: n,
                     kind: LambdaKind::RdmaWrite,
                     return_code: 0,
+                    ..Default::default()
                 };
                 out = r.accept(hdr, f.clone());
             }

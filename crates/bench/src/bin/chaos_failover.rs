@@ -51,6 +51,7 @@ fn main() {
     bed.enable_failover(FailoverConfig {
         heartbeat_interval: SimDuration::from_millis(50),
         missed_beats: 3,
+        ..FailoverConfig::default()
     });
     let plan = FaultPlan::new()
         .nic_crash(0, SimTime::ZERO + CRASH_AT)
@@ -164,6 +165,12 @@ fn main() {
                 to,
             } => {
                 format!("\"replaced\", \"workload\": {workload_id}, \"from\": {from}, \"to\": {to}")
+            }
+            FailoverEventKind::Quarantined { worker } => {
+                format!("\"quarantined\", \"worker\": {worker}")
+            }
+            FailoverEventKind::QuarantineLifted { worker } => {
+                format!("\"quarantine_lifted\", \"worker\": {worker}")
             }
         };
         let comma = if i + 1 == ctl.events().len() { "" } else { "," };

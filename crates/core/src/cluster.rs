@@ -456,6 +456,17 @@ impl Testbed {
         self.placements.push((workload_id, worker_index));
     }
 
+    /// Adds a replica of `workload_id` on `worker_index` (on top of any
+    /// existing placement); the gateway load-balances across replicas
+    /// and needs at least two to hedge.
+    pub fn place_replica(&mut self, workload_id: u32, worker_index: usize) {
+        let endpoint = self.workers[worker_index].endpoint();
+        self.sim
+            .get_mut::<Gateway>(self.gateway)
+            .expect("gateway exists")
+            .add_replica(workload_id, endpoint);
+    }
+
     /// Schedules every event of `plan` into the simulation, resolving
     /// worker indices to worker components and link indices into
     /// [`Testbed::links`]. Event times are absolute; call this before
@@ -492,6 +503,50 @@ impl Testbed {
                         self.links[link],
                         delay,
                         lnic_sim::fault::LossBurst { duration, prob },
+                    );
+                }
+                FaultEvent::Slowdown {
+                    worker,
+                    factor,
+                    duration,
+                } => {
+                    self.sim.post(
+                        self.workers[worker].component,
+                        delay,
+                        lnic_sim::fault::Slowdown { factor, duration },
+                    );
+                }
+                FaultEvent::Reorder {
+                    link,
+                    duration,
+                    spread,
+                } => {
+                    self.sim.post(
+                        self.links[link],
+                        delay,
+                        lnic_sim::fault::Reorder { duration, spread },
+                    );
+                }
+                FaultEvent::Duplicate {
+                    link,
+                    duration,
+                    prob,
+                } => {
+                    self.sim.post(
+                        self.links[link],
+                        delay,
+                        lnic_sim::fault::Duplicate { duration, prob },
+                    );
+                }
+                FaultEvent::Corrupt {
+                    link,
+                    duration,
+                    prob,
+                } => {
+                    self.sim.post(
+                        self.links[link],
+                        delay,
+                        lnic_sim::fault::Corrupt { duration, prob },
                     );
                 }
             }
@@ -538,6 +593,13 @@ impl Testbed {
             controller.track_placement(workload_id, worker_index);
         }
         let id = self.sim.add(controller);
+        // Feed the controller the gateway's per-endpoint latency stream
+        // so the fail-slow detector can see gray failures heartbeats
+        // cannot.
+        self.sim
+            .get_mut::<Gateway>(self.gateway)
+            .expect("testbed gateway")
+            .set_latency_observer(id);
         self.sim.post(id, SimDuration::ZERO, StartFailover);
         self.failover = Some(id);
         id

@@ -105,6 +105,9 @@ pub struct CompletedRequest {
     pub workload_id: u32,
     /// Wire-to-wire latency (from the gateway's measurement).
     pub latency: SimDuration,
+    /// Client-observed sojourn (submit to completion, including
+    /// gateway queueing; zero for shed requests).
+    pub sojourn: SimDuration,
     /// Completion virtual time.
     pub at: SimTime,
     /// Whether the request failed (transport give-up or no placement).
@@ -285,6 +288,18 @@ impl OpenLoopDriver {
         s
     }
 
+    /// Client-observed sojourns of successful requests, skipping
+    /// `warmup` completions. Unlike [`Self::latency_series`] this
+    /// includes time queued behind the gateway proxy — the number that
+    /// degrades under overload.
+    pub fn sojourn_series(&self, warmup: usize) -> Series {
+        let mut s = Series::new("open_loop_sojourn");
+        for c in self.completed.iter().skip(warmup).filter(|c| !c.failed) {
+            s.record(c.sojourn);
+        }
+        s
+    }
+
     /// Goodput over the active window.
     pub fn throughput_rps(&self) -> f64 {
         let (Some(start), Some(last)) = (self.started_at, self.completed.last().map(|c| c.at))
@@ -352,6 +367,7 @@ impl Component for OpenLoopDriver {
                 self.completed.push(CompletedRequest {
                     workload_id: done.workload_id,
                     latency: done.latency,
+                    sojourn: done.sojourn,
                     at: ctx.now(),
                     failed: done.failed,
                     return_code: done.return_code,
@@ -384,6 +400,7 @@ impl Component for ClosedLoopDriver {
                 self.completed.push(CompletedRequest {
                     workload_id: done.workload_id,
                     latency: done.latency,
+                    sojourn: done.sojourn,
                     at: ctx.now(),
                     failed: done.failed,
                     return_code: done.return_code,

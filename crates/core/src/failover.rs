@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use lnic_sim::fault::{HealthPing, HealthPong};
 use lnic_sim::prelude::*;
 
-use crate::gateway::{AddPlacement, RemoveWorkerEndpoints, WorkerEndpoint};
+use crate::gateway::{AddPlacement, EndpointLatencyReport, RemoveWorkerEndpoints, WorkerEndpoint};
 
 /// Health-check timing and thresholds.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +29,16 @@ pub struct FailoverConfig {
     pub heartbeat_interval: SimDuration,
     /// Consecutive missed heartbeats before a worker is declared dead.
     pub missed_beats: u32,
+    /// Fail-slow threshold: a worker whose EWMA request latency exceeds
+    /// the cluster median by this factor accrues a slow strike.
+    pub slow_factor: f64,
+    /// Consecutive outlier latency reports before quarantine.
+    pub slow_strikes: u32,
+    /// How long a quarantined worker sits out before being re-admitted
+    /// with a clean latency history.
+    pub quarantine_probation: SimDuration,
+    /// EWMA smoothing weight given to each new latency report.
+    pub ewma_alpha: f64,
 }
 
 impl Default for FailoverConfig {
@@ -36,6 +46,10 @@ impl Default for FailoverConfig {
         FailoverConfig {
             heartbeat_interval: SimDuration::from_millis(50),
             missed_beats: 3,
+            slow_factor: 4.0,
+            slow_strikes: 3,
+            quarantine_probation: SimDuration::from_millis(500),
+            ewma_alpha: 0.3,
         }
     }
 }
@@ -64,6 +78,12 @@ pub struct ReplanRequest {
 #[derive(Debug)]
 struct Beat;
 
+/// Self-timer: a quarantined worker's probation is over.
+#[derive(Debug)]
+struct ProbationEnd {
+    worker: usize,
+}
+
 /// What happened, for post-run inspection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FailoverEventKind {
@@ -85,6 +105,18 @@ pub enum FailoverEventKind {
         from: usize,
         /// New home worker.
         to: usize,
+    },
+    /// A worker still answering heartbeats was ejected for fail-slow
+    /// behaviour (gray failure): its EWMA latency was an outlier
+    /// against the cluster median.
+    Quarantined {
+        /// Index of the worker in the controller's table.
+        worker: usize,
+    },
+    /// A quarantined worker finished probation and was re-admitted.
+    QuarantineLifted {
+        /// Index of the worker in the controller's table.
+        worker: usize,
     },
 }
 
@@ -108,6 +140,10 @@ pub struct FailoverCounters {
     pub recoveries: u64,
     /// Workload placements moved off dead workers.
     pub replacements: u64,
+    /// Workers quarantined by the fail-slow detector.
+    pub quarantines: u64,
+    /// Quarantines lifted after probation.
+    pub quarantine_lifts: u64,
 }
 
 struct WorkerHealth {
@@ -118,6 +154,12 @@ struct WorkerHealth {
     /// Answered the probe of the current round.
     ponged: bool,
     alive: bool,
+    /// EWMA of reported request latency, in ns (None until first report).
+    ewma_ns: Option<f64>,
+    /// Consecutive reports in which this worker was a latency outlier.
+    slow_strikes: u32,
+    /// Ejected by the fail-slow detector (still answers heartbeats).
+    quarantined: bool,
 }
 
 /// The health-check + failover controller component.
@@ -156,6 +198,9 @@ impl FailoverController {
                     missed: 0,
                     ponged: false,
                     alive: true,
+                    ewma_ns: None,
+                    slow_strikes: 0,
+                    quarantined: false,
                 })
                 .collect(),
             home: HashMap::new(),
@@ -199,6 +244,11 @@ impl FailoverController {
     /// Whether worker `worker` is currently considered alive.
     pub fn is_alive(&self, worker: usize) -> bool {
         self.workers[worker].alive
+    }
+
+    /// Whether worker `worker` is currently quarantined as fail-slow.
+    pub fn is_quarantined(&self, worker: usize) -> bool {
+        self.workers[worker].quarantined
     }
 
     /// The current primary home of a workload, if tracked.
@@ -254,29 +304,34 @@ impl FailoverController {
                 mac: self.workers[dead].endpoint.mac,
             },
         );
-        // Re-place the dead worker's workloads on survivors, spreading
-        // round-robin from the next index so one death does not pile
-        // every orphan onto a single node.
+        self.replace_orphans(ctx, dead);
+    }
+
+    /// Re-places the workloads homed on `from` onto healthy survivors,
+    /// spreading round-robin from the next index so one eviction does
+    /// not pile every orphan onto a single node. Delegates to the
+    /// planner instead when one is installed.
+    fn replace_orphans(&mut self, ctx: &mut Ctx<'_>, from: usize) {
         let n = self.workers.len();
         let orphans: Vec<u32> = self
             .home
             .iter()
-            .filter(|&(_, &h)| h == dead)
+            .filter(|&(_, &h)| h == from)
             .map(|(&wid, _)| wid)
             .collect();
         let mut sorted = orphans;
         sorted.sort_unstable();
         if let Some(planner) = self.planner {
             // The planner owns re-placement: hand it one request per
-            // orphan. `home` is left pointing at the dead worker so the
-            // recovery handback below still knows the origin.
+            // orphan. `home` is left pointing at the evicted worker so
+            // the recovery handback below still knows the origin.
             for wid in sorted {
                 ctx.send(
                     planner,
                     SimDuration::ZERO,
                     ReplanRequest {
                         workload_id: wid,
-                        from_worker: dead,
+                        from_worker: from,
                         recovered: false,
                     },
                 );
@@ -285,8 +340,8 @@ impl FailoverController {
         }
         for (k, wid) in sorted.into_iter().enumerate() {
             let Some(target) = (1..n)
-                .map(|step| (dead + k + step) % n)
-                .find(|&i| self.workers[i].alive)
+                .map(|step| (from + k + step) % n)
+                .find(|&i| self.workers[i].alive && !self.workers[i].quarantined)
             else {
                 continue; // no survivors: leave it homed, unplaced
             };
@@ -296,7 +351,7 @@ impl FailoverController {
                 ctx,
                 FailoverEventKind::Replaced {
                     workload_id: wid,
-                    from: dead,
+                    from,
                     to: target,
                 },
             );
@@ -327,6 +382,13 @@ impl FailoverController {
         w.alive = true;
         self.counters.recoveries += 1;
         self.record(ctx, FailoverEventKind::WorkerRecovered { worker: idx });
+        self.hand_back(ctx, idx);
+    }
+
+    /// Hands the workloads that originally lived on `idx` back to it,
+    /// re-registering its endpoint with the gateway (or asking the
+    /// planner to decide, when one is installed).
+    fn hand_back(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
         let endpoint = self.workers[idx].endpoint;
         let mut homecoming: Vec<u32> = self
             .origin
@@ -372,6 +434,109 @@ impl FailoverController {
             );
         }
     }
+
+    /// Consumes a gateway latency feed report: updates per-worker
+    /// EWMAs, compares each against the cluster median, and quarantines
+    /// a worker that stays an outlier for `slow_strikes` consecutive
+    /// reports. Heartbeats cannot see this failure mode — a fail-slow
+    /// worker still answers pings promptly.
+    fn on_latency_report(&mut self, ctx: &mut Ctx<'_>, report: &EndpointLatencyReport) {
+        let alpha = self.cfg.ewma_alpha;
+        for &(mac, mean_ns, count) in &report.samples {
+            if count == 0 {
+                continue;
+            }
+            let Some(idx) = self.workers.iter().position(|w| w.endpoint.mac == mac) else {
+                continue;
+            };
+            let w = &mut self.workers[idx];
+            if !w.alive || w.quarantined {
+                continue;
+            }
+            w.ewma_ns = Some(match w.ewma_ns {
+                Some(prev) => alpha * mean_ns as f64 + (1.0 - alpha) * prev,
+                None => mean_ns as f64,
+            });
+        }
+        // Judge each candidate against the median EWMA of the healthy
+        // set; a lone outlier cannot drag the median toward itself as
+        // long as the majority is healthy.
+        let mut ewmas: Vec<f64> = self
+            .workers
+            .iter()
+            .filter(|w| w.alive && !w.quarantined)
+            .filter_map(|w| w.ewma_ns)
+            .collect();
+        if ewmas.len() < 3 {
+            return; // not enough peers for a meaningful median
+        }
+        ewmas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ewmas[ewmas.len() / 2];
+        if median <= 0.0 {
+            return;
+        }
+        for i in 0..self.workers.len() {
+            {
+                let w = &mut self.workers[i];
+                if !w.alive || w.quarantined {
+                    continue;
+                }
+                let Some(ewma) = w.ewma_ns else { continue };
+                if ewma > self.cfg.slow_factor * median {
+                    w.slow_strikes += 1;
+                } else {
+                    w.slow_strikes = 0;
+                    continue;
+                }
+            }
+            if self.workers[i].slow_strikes >= self.cfg.slow_strikes {
+                let ewma = self.workers[i].ewma_ns.unwrap_or(0.0);
+                self.quarantine(ctx, i, ewma as u64, median as u64);
+            }
+        }
+    }
+
+    /// Ejects a fail-slow worker: withdraw its endpoints, re-place its
+    /// workloads, and start the probation clock. The worker stays
+    /// `alive` — it still answers heartbeats — so death/recovery logic
+    /// is untouched.
+    fn quarantine(&mut self, ctx: &mut Ctx<'_>, idx: usize, ewma_ns: u64, median_ns: u64) {
+        self.workers[idx].quarantined = true;
+        self.workers[idx].slow_strikes = 0;
+        self.counters.quarantines += 1;
+        self.record(ctx, FailoverEventKind::Quarantined { worker: idx });
+        ctx.emit(|| TraceEvent::EndpointQuarantine {
+            worker: idx as u32,
+            ewma_ns,
+            median_ns,
+        });
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            RemoveWorkerEndpoints {
+                mac: self.workers[idx].endpoint.mac,
+            },
+        );
+        self.replace_orphans(ctx, idx);
+        ctx.send_self(self.cfg.quarantine_probation, ProbationEnd { worker: idx });
+    }
+
+    fn on_probation_end(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let w = &mut self.workers[idx];
+        if !w.quarantined {
+            return;
+        }
+        // Re-admit with a clean latency history; if it is still slow it
+        // will be caught again within `slow_strikes` reports.
+        w.quarantined = false;
+        w.ewma_ns = None;
+        w.slow_strikes = 0;
+        self.counters.quarantine_lifts += 1;
+        self.record(ctx, FailoverEventKind::QuarantineLifted { worker: idx });
+        if self.workers[idx].alive {
+            self.hand_back(ctx, idx);
+        }
+    }
 }
 
 impl Component for FailoverController {
@@ -393,6 +558,20 @@ impl Component for FailoverController {
         let msg = match msg.downcast::<Beat>() {
             Ok(_) => {
                 self.on_beat(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<EndpointLatencyReport>() {
+            Ok(report) => {
+                self.on_latency_report(ctx, &report);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<ProbationEnd>() {
+            Ok(p) => {
+                self.on_probation_end(ctx, p.worker);
                 return;
             }
             Err(other) => other,

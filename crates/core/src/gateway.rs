@@ -15,11 +15,17 @@ use std::collections::HashMap;
 use bytes::Bytes;
 
 use lnic_net::frag::fragment;
-use lnic_net::packet::{LambdaHdr, LambdaKind, Packet};
+use lnic_net::packet::{LambdaHdr, LambdaKind, Packet, RC_EXPIRED, RC_OVERLOADED};
 use lnic_net::params::MTU_PAYLOAD_BYTES;
 use lnic_net::transport::{RetryPolicy, RpcTracker, TimeoutAction};
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
 use lnic_sim::prelude::*;
+
+use crate::admission::{Admission, AdmissionParams};
+
+/// How often the gateway pushes per-endpoint latency digests to its
+/// latency observer (the fail-slow detector).
+const LAT_FLUSH_INTERVAL: SimDuration = SimDuration::from_millis(10);
 
 /// Where a deployed workload lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +57,40 @@ pub struct GatewayParams {
     /// Full retransmission policy. `None` uses the legacy fixed policy
     /// built from `rpc_timeout`/`rpc_attempts`.
     pub retry: Option<RetryPolicy>,
+    /// Admission control (token buckets + concurrency cap). `None`
+    /// admits everything.
+    pub admission: Option<AdmissionParams>,
+    /// Deadline attached to every request, relative to its submission.
+    /// Propagated as an absolute instant in the lambda header, enforced
+    /// at admission (infeasible deadlines are shed), at retry scheduling,
+    /// and at worker dequeue. `None` disables deadlines.
+    pub default_deadline: Option<SimDuration>,
+    /// Hedged requests. `None` disables hedging.
+    pub hedge: Option<HedgeParams>,
+}
+
+/// Hedged-request configuration.
+///
+/// After the per-workload adaptive delay — the observed p95 of the
+/// latency stats window, floored at `min_delay` — a still-outstanding
+/// request is re-sent to a *different* replica. The first response wins;
+/// the loser's response is suppressed as a duplicate by the tracker.
+#[derive(Clone, Copy, Debug)]
+pub struct HedgeParams {
+    /// Floor on the hedge delay (also used until the stats window has
+    /// `min_samples` observations).
+    pub min_delay: SimDuration,
+    /// Samples required before the adaptive p95 delay is trusted.
+    pub min_samples: usize,
+}
+
+impl Default for HedgeParams {
+    fn default() -> Self {
+        HedgeParams {
+            min_delay: SimDuration::from_micros(200),
+            min_samples: 20,
+        }
+    }
 }
 
 impl Default for GatewayParams {
@@ -64,6 +104,9 @@ impl Default for GatewayParams {
             rpc_timeout: SimDuration::from_millis(200),
             rpc_attempts: 3,
             retry: None,
+            admission: None,
+            default_deadline: None,
+            hedge: None,
         }
     }
 }
@@ -79,6 +122,29 @@ impl GatewayParams {
                 self.rpc_timeout,
                 self.rpc_attempts,
             )),
+            ..self
+        }
+    }
+
+    /// The tail-tolerance preset: admission control sized to
+    /// `rate_per_sec` sustained per workload, a global in-flight cap, a
+    /// `deadline` on every request, and hedging at the observed p95.
+    /// Use this in overload experiments; the protected arm of
+    /// `overload_tail` is exactly this configuration.
+    pub fn tail_tolerant(
+        self,
+        rate_per_sec: f64,
+        max_in_flight: usize,
+        deadline: SimDuration,
+    ) -> Self {
+        GatewayParams {
+            admission: Some(AdmissionParams {
+                rate_per_sec,
+                burst: (rate_per_sec / 100.0).max(16.0),
+                max_in_flight,
+            }),
+            default_deadline: Some(deadline),
+            hedge: Some(HedgeParams::default()),
             ..self
         }
     }
@@ -163,6 +229,9 @@ pub struct RequestDone {
     pub workload_id: u32,
     /// Wire-to-wire latency (first transmission to response arrival).
     pub latency: SimDuration,
+    /// Client-observed sojourn: submit to completion, including time
+    /// queued behind the gateway proxy (zero for shed requests).
+    pub sojourn: SimDuration,
     /// The lambda's return code (`None` if the request failed outright).
     pub return_code: Option<u16>,
     /// The response payload (empty on failure).
@@ -184,6 +253,15 @@ pub struct GatewayCounters {
     pub retransmitted: u64,
     /// Requests rejected for lack of a placement.
     pub unplaced: u64,
+    /// Requests shed at admission (token bucket, concurrency cap, or
+    /// infeasible deadline).
+    pub shed: u64,
+    /// Requests whose worker reported the deadline expired at dequeue.
+    pub expired: u64,
+    /// Hedge attempts sent to a second replica.
+    pub hedges_fired: u64,
+    /// Requests whose winning response came from the hedge replica.
+    pub hedges_won: u64,
 }
 
 #[derive(Debug)]
@@ -191,9 +269,36 @@ struct GwTimeout {
     request_id: u64,
 }
 
+/// Self-timer: consider hedging a still-outstanding request.
+#[derive(Debug)]
+struct GwHedge {
+    request_id: u64,
+}
+
+/// Self-timer: flush per-endpoint latency digests to the observer.
+#[derive(Debug)]
+struct GwLatFlush;
+
+/// Per-endpoint latency digest pushed by the gateway to its latency
+/// observer (the failover controller's fail-slow detector), sorted by
+/// MAC for determinism.
+#[derive(Clone, Debug)]
+pub struct EndpointLatencyReport {
+    /// `(worker MAC, mean latency over the window in ns, sample count)`.
+    pub samples: Vec<(MacAddr, u64, u64)>,
+}
+
 struct PendingMeta {
     token: u64,
     reply_to: ComponentId,
+    /// When the client's submit arrived (sojourn measurement origin).
+    submitted_at: SimTime,
+    /// Absolute deadline carried in the lambda header (0 = none).
+    deadline_ns: u64,
+    /// The replica the original attempt targeted.
+    primary_mac: MacAddr,
+    /// Whether a hedge has been sent for this request.
+    hedged: bool,
 }
 
 /// The gateway component.
@@ -212,14 +317,35 @@ pub struct Gateway {
     /// Wire-to-wire latency per workload id.
     latency: HashMap<u32, Series>,
     next_ident: u16,
+    /// Admission gate (None admits everything).
+    admission: Option<Admission>,
+    /// Last queue depth each worker advertised in a response header;
+    /// used for join-shortest-advertised-queue replica selection.
+    endpoint_depth: HashMap<MacAddr, u16>,
+    /// Per-endpoint latency accumulator `(sum_ns, count)` since the
+    /// last flush to the latency observer.
+    pending_lat: HashMap<MacAddr, (u64, u64)>,
+    /// Who receives [`EndpointLatencyReport`]s (the fail-slow detector).
+    latency_observer: Option<ComponentId>,
+    /// Whether a `GwLatFlush` timer is currently armed.
+    lat_timer_armed: bool,
 }
 
 impl Gateway {
     /// Creates a gateway sending through `uplink`.
     pub fn new(params: GatewayParams, uplink: ComponentId) -> Self {
-        let policy = params
+        let mut policy = params
             .retry
             .unwrap_or_else(|| RetryPolicy::fixed(params.rpc_timeout, params.rpc_attempts));
+        // The propagated deadline also bounds the retry schedule: no
+        // retransmission is armed past it.
+        if let Some(d) = params.default_deadline {
+            policy.deadline = Some(match policy.deadline {
+                Some(p) => p.min(d),
+                None => d,
+            });
+        }
+        let admission = params.admission.map(Admission::new);
         Gateway {
             params,
             uplink,
@@ -232,7 +358,18 @@ impl Gateway {
             counters: GatewayCounters::default(),
             latency: HashMap::new(),
             next_ident: 0,
+            admission,
+            endpoint_depth: HashMap::new(),
+            pending_lat: HashMap::new(),
+            latency_observer: None,
+            lat_timer_armed: false,
         }
+    }
+
+    /// Registers the component receiving [`EndpointLatencyReport`]s
+    /// (typically the failover controller's fail-slow detector).
+    pub fn set_latency_observer(&mut self, observer: ComponentId) {
+        self.latency_observer = Some(observer);
     }
 
     /// Registers (replaces) a placement during setup.
@@ -279,16 +416,30 @@ impl Gateway {
         }
     }
 
-    /// Picks the next replica for a workload (round robin).
+    /// Picks the next replica for a workload: join-shortest-advertised-
+    /// queue over the depths workers report in response headers, with
+    /// round-robin breaking ties (and carrying the choice when no depth
+    /// has been observed yet, where all depths read as zero).
     fn pick_endpoint(&mut self, workload_id: u32) -> Option<WorkerEndpoint> {
         let list = self.placements.get(&workload_id)?;
         if list.is_empty() {
             return None;
         }
         let idx = self.rr.entry(workload_id).or_insert(0);
-        let ep = list[*idx % list.len()];
+        let start = *idx % list.len();
         *idx = (*idx + 1) % list.len();
-        Some(ep)
+        let depth_of = |ep: &WorkerEndpoint| self.endpoint_depth.get(&ep.mac).copied().unwrap_or(0);
+        let mut best = list[start];
+        let mut best_depth = depth_of(&best);
+        for off in 1..list.len() {
+            let ep = list[(start + off) % list.len()];
+            let d = depth_of(&ep);
+            if d < best_depth {
+                best = ep;
+                best_depth = d;
+            }
+        }
+        Some(best)
     }
 
     /// The gateway's own endpoint.
@@ -306,6 +457,12 @@ impl Gateway {
         self.counters
     }
 
+    /// Responses discarded because the request was already resolved
+    /// (network duplicates, or both arms of a hedge answering).
+    pub fn duplicate_replies(&self) -> u64 {
+        self.tracker.duplicates()
+    }
+
     /// Wire-to-wire latencies recorded for a workload.
     pub fn latency(&self, workload_id: u32) -> Option<&Series> {
         self.latency.get(&workload_id)
@@ -316,6 +473,7 @@ impl Gateway {
         self.latency.iter().map(|(k, v)| (*k, v))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_attempt(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -324,10 +482,12 @@ impl Gateway {
         endpoint: WorkerEndpoint,
         payload: &Bytes,
         send_delay: SimDuration,
+        deadline_ns: u64,
+        arm_timer: bool,
     ) {
         let src = SocketAddr::new(self.params.ip, self.params.port);
         if payload.len() <= MTU_PAYLOAD_BYTES {
-            let hdr = LambdaHdr::request(workload_id, request_id);
+            let hdr = LambdaHdr::request(workload_id, request_id).with_deadline_ns(deadline_ns);
             let packet = Packet::builder()
                 .eth(self.params.mac, endpoint.mac)
                 .udp(src, endpoint.addr)
@@ -348,6 +508,8 @@ impl Gateway {
                     frag_count: count,
                     kind: LambdaKind::RdmaWrite,
                     return_code: 0,
+                    deadline_ns,
+                    queue_depth: 0,
                 };
                 let packet = Packet::builder()
                     .eth(self.params.mac, endpoint.mac)
@@ -360,9 +522,13 @@ impl Gateway {
             }
         }
         // Arm the retransmission timer for this attempt (fixed policies
-        // never draw jitter, so their event timing is unchanged).
-        let timer = self.tracker.arm_timeout(request_id, ctx.rng());
-        ctx.send_self(send_delay + timer, GwTimeout { request_id });
+        // never draw jitter, so their event timing is unchanged). Hedge
+        // attempts piggyback on the primary attempt's timer instead of
+        // arming their own.
+        if arm_timer {
+            let timer = self.tracker.arm_timeout(ctx.now(), request_id, ctx.rng());
+            ctx.send_self(send_delay + timer, GwTimeout { request_id });
+        }
     }
 
     fn bump_ident(&mut self) -> u16 {
@@ -370,7 +536,54 @@ impl Gateway {
         self.next_ident
     }
 
+    /// Rejects a submit with a typed `Overloaded` reply. Shed requests
+    /// never emit `RequestSubmitted`, so conservation is untouched.
+    fn shed(&mut self, ctx: &mut Ctx<'_>, req: &SubmitRequest, reason: &'static str) {
+        self.counters.shed += 1;
+        let workload_id = req.workload_id;
+        ctx.emit(|| TraceEvent::AdmissionReject {
+            workload_id,
+            reason,
+        });
+        ctx.send(
+            req.reply_to,
+            SimDuration::ZERO,
+            RequestDone {
+                token: req.token,
+                workload_id: req.workload_id,
+                latency: SimDuration::ZERO,
+                sojourn: SimDuration::ZERO,
+                return_code: Some(RC_OVERLOADED),
+                response: Bytes::new(),
+                failed: true,
+            },
+        );
+    }
+
     fn on_submit(&mut self, ctx: &mut Ctx<'_>, req: SubmitRequest) {
+        // Admission gate first: shed before occupying the proxy, the
+        // wire, or a worker queue.
+        if let Some(adm) = self.admission.as_mut() {
+            let in_flight = self.meta.len();
+            if let Err(reason) = adm.check(ctx.now(), req.workload_id, in_flight) {
+                self.shed(ctx, &req, reason);
+                return;
+            }
+        }
+        // Deadline-aware shedding: if the proxy backlog alone would eat
+        // the whole deadline, the request is already dead — reject it
+        // now instead of shipping doomed work.
+        let deadline_ns = match self.params.default_deadline {
+            Some(d) => (ctx.now() + d).as_nanos(),
+            None => 0,
+        };
+        let start = self.busy_until.max(ctx.now());
+        let wire_time = start + self.params.proxy_cost;
+        if deadline_ns != 0 && wire_time.as_nanos() >= deadline_ns {
+            self.shed(ctx, &req, "deadline");
+            return;
+        }
+
         let Some(endpoint) = self.pick_endpoint(req.workload_id) else {
             self.counters.unplaced += 1;
             ctx.send(
@@ -380,6 +593,7 @@ impl Gateway {
                     token: req.token,
                     workload_id: req.workload_id,
                     latency: SimDuration::ZERO,
+                    sojourn: SimDuration::ZERO,
                     return_code: None,
                     response: Bytes::new(),
                     failed: true,
@@ -393,8 +607,6 @@ impl Gateway {
         self.counters.submitted += 1;
 
         // Serialize through the proxy.
-        let start = self.busy_until.max(ctx.now());
-        let wire_time = start + self.params.proxy_cost;
         self.busy_until = wire_time;
         let send_delay = wire_time - ctx.now();
 
@@ -411,6 +623,10 @@ impl Gateway {
             PendingMeta {
                 token: req.token,
                 reply_to: req.reply_to,
+                submitted_at: ctx.now(),
+                deadline_ns,
+                primary_mac: endpoint.mac,
+                hedged: false,
             },
         );
         ctx.emit(|| TraceEvent::RequestSubmitted {
@@ -424,6 +640,86 @@ impl Gateway {
             endpoint,
             &req.payload,
             send_delay,
+            deadline_ns,
+            true,
+        );
+        // Hedging: once the adaptive delay passes with the request still
+        // outstanding, re-send it to a second replica.
+        if self.params.hedge.is_some() && self.replicas(req.workload_id) >= 2 {
+            let delay = self.hedge_delay(req.workload_id);
+            ctx.send_self(send_delay + delay, GwHedge { request_id });
+        }
+    }
+
+    /// The adaptive hedge delay for a workload: the p95 of its stats
+    /// window once enough samples exist, floored at `min_delay`.
+    fn hedge_delay(&self, workload_id: u32) -> SimDuration {
+        let hedge = self.params.hedge.expect("hedging enabled");
+        let adaptive = self
+            .window
+            .get(&workload_id)
+            .filter(|s| s.len() >= hedge.min_samples)
+            .and_then(|s| s.quantile_ns(0.95))
+            .map(SimDuration::from_nanos)
+            .unwrap_or(hedge.min_delay);
+        adaptive.max(hedge.min_delay)
+    }
+
+    fn on_hedge(&mut self, ctx: &mut Ctx<'_>, request_id: u64) {
+        // Still outstanding, and not hedged already?
+        let Some(rec) = self.tracker.get(request_id) else {
+            return;
+        };
+        let (workload_id, payload) = (rec.workload_id, rec.payload.clone());
+        let Some(meta) = self.meta.get(&request_id) else {
+            return;
+        };
+        if meta.hedged {
+            return;
+        }
+        let (deadline_ns, primary_mac) = (meta.deadline_ns, meta.primary_mac);
+        // The hedge is pointless if the deadline would expire before the
+        // proxy can get it on the wire.
+        let start = self.busy_until.max(ctx.now());
+        let wire_time = start + self.params.proxy_cost;
+        if deadline_ns != 0 && wire_time.as_nanos() >= deadline_ns {
+            return;
+        }
+        // Find the least-loaded replica other than the one already
+        // serving the request.
+        let hedge_ep = self.placements.get(&workload_id).and_then(|list| {
+            list.iter()
+                .filter(|ep| ep.mac != primary_mac)
+                .min_by_key(|ep| {
+                    (
+                        self.endpoint_depth.get(&ep.mac).copied().unwrap_or(0),
+                        ep.mac,
+                    )
+                })
+                .copied()
+        });
+        let Some(endpoint) = hedge_ep else { return };
+        self.meta
+            .get_mut(&request_id)
+            .expect("checked above")
+            .hedged = true;
+        self.counters.hedges_fired += 1;
+        ctx.emit(|| TraceEvent::HedgeFired {
+            request_id,
+            workload_id,
+        });
+        // The hedge occupies the proxy like any other send.
+        self.busy_until = wire_time;
+        let send_delay = wire_time - ctx.now();
+        self.send_attempt(
+            ctx,
+            request_id,
+            workload_id,
+            endpoint,
+            &payload,
+            send_delay,
+            deadline_ns,
+            false,
         );
     }
 
@@ -432,11 +728,55 @@ impl Gateway {
         if hdr.kind != LambdaKind::Response {
             return;
         }
+        // Backpressure signal: workers advertise their queue depth on
+        // every response, even ones losing a hedge race.
+        self.endpoint_depth.insert(packet.eth.src, hdr.queue_depth);
         let Some(done) = self.tracker.on_response(hdr.request_id) else {
-            return; // duplicate
+            return; // duplicate (e.g. the losing side of a hedge race)
         };
-        self.counters.completed += 1;
         let latency = ctx.now() - done.first_sent_at;
+        let meta = self.meta.remove(&hdr.request_id);
+
+        // The worker refused the request because its deadline had
+        // already expired at dequeue: a failed completion. No latency
+        // sample is recorded — the request did no useful work.
+        if hdr.return_code == RC_EXPIRED {
+            self.counters.failed += 1;
+            self.counters.expired += 1;
+            ctx.emit(|| TraceEvent::RequestCompleted {
+                request_id: hdr.request_id,
+                workload_id: done.workload_id,
+                latency_ns: latency.as_nanos(),
+                failed: true,
+            });
+            if let Some(meta) = meta {
+                ctx.send(
+                    meta.reply_to,
+                    SimDuration::ZERO,
+                    RequestDone {
+                        token: meta.token,
+                        workload_id: done.workload_id,
+                        latency,
+                        sojourn: ctx.now() - meta.submitted_at,
+                        return_code: Some(RC_EXPIRED),
+                        response: Bytes::new(),
+                        failed: true,
+                    },
+                );
+            }
+            return;
+        }
+
+        self.counters.completed += 1;
+        if let Some(m) = meta.as_ref() {
+            if m.hedged && packet.eth.src != m.primary_mac {
+                self.counters.hedges_won += 1;
+                ctx.emit(|| TraceEvent::HedgeWon {
+                    request_id: hdr.request_id,
+                    workload_id: done.workload_id,
+                });
+            }
+        }
         ctx.emit(|| TraceEvent::RequestCompleted {
             request_id: hdr.request_id,
             workload_id: done.workload_id,
@@ -451,11 +791,22 @@ impl Gateway {
             .entry(done.workload_id)
             .or_insert_with(|| Series::new("window"))
             .record(latency);
+        // Feed the fail-slow detector: attribute the latency to the
+        // worker that actually answered.
+        if self.latency_observer.is_some() {
+            let slot = self.pending_lat.entry(packet.eth.src).or_insert((0, 0));
+            slot.0 += latency.as_nanos();
+            slot.1 += 1;
+            if !self.lat_timer_armed {
+                self.lat_timer_armed = true;
+                ctx.send_self(LAT_FLUSH_INTERVAL, GwLatFlush);
+            }
+        }
         // Response processing occupies the proxy briefly.
         let start = self.busy_until.max(ctx.now());
         self.busy_until = start + self.params.response_cost;
 
-        if let Some(meta) = self.meta.remove(&hdr.request_id) {
+        if let Some(meta) = meta {
             ctx.send(
                 meta.reply_to,
                 self.busy_until - ctx.now(),
@@ -463,12 +814,36 @@ impl Gateway {
                     token: meta.token,
                     workload_id: done.workload_id,
                     latency,
+                    sojourn: self.busy_until - meta.submitted_at,
                     return_code: Some(hdr.return_code),
                     response: packet.payload,
                     failed: false,
                 },
             );
         }
+    }
+
+    fn on_lat_flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pending_lat.is_empty() {
+            // Idle: let the timer lapse so drained simulations terminate;
+            // the next response re-arms it.
+            self.lat_timer_armed = false;
+            return;
+        }
+        let mut samples: Vec<(MacAddr, u64, u64)> = self
+            .pending_lat
+            .drain()
+            .map(|(mac, (sum, count))| (mac, sum / count.max(1), count))
+            .collect();
+        samples.sort_by_key(|(mac, _, _)| *mac);
+        if let Some(observer) = self.latency_observer {
+            ctx.send(
+                observer,
+                SimDuration::ZERO,
+                EndpointLatencyReport { samples },
+            );
+        }
+        ctx.send_self(LAT_FLUSH_INTERVAL, GwLatFlush);
     }
 
     fn on_timeout(&mut self, ctx: &mut Ctx<'_>, request_id: u64) {
@@ -487,6 +862,7 @@ impl Gateway {
                     });
                     self.tracker.redirect(request_id, endpoint.addr);
                     let payload = rec.payload.clone();
+                    let deadline_ns = self.meta.get(&request_id).map_or(0, |m| m.deadline_ns);
                     self.send_attempt(
                         ctx,
                         request_id,
@@ -494,6 +870,8 @@ impl Gateway {
                         endpoint,
                         &payload,
                         SimDuration::ZERO,
+                        deadline_ns,
+                        true,
                     );
                 } else {
                     // The placement vanished mid-flight: fail the request
@@ -515,6 +893,7 @@ impl Gateway {
                                 token: meta.token,
                                 workload_id: rec.workload_id,
                                 latency: ctx.now() - rec.first_sent_at,
+                                sojourn: ctx.now() - meta.submitted_at,
                                 return_code: None,
                                 response: Bytes::new(),
                                 failed: true,
@@ -540,6 +919,7 @@ impl Gateway {
                             token: meta.token,
                             workload_id: rec.workload_id,
                             latency: ctx.now() - rec.first_sent_at,
+                            sojourn: ctx.now() - meta.submitted_at,
                             return_code: None,
                             response: Bytes::new(),
                             failed: true,
@@ -574,6 +954,20 @@ impl Component for Gateway {
         let msg = match msg.downcast::<GwTimeout>() {
             Ok(t) => {
                 self.on_timeout(ctx, t.request_id);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<GwHedge>() {
+            Ok(h) => {
+                self.on_hedge(ctx, h.request_id);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<GwLatFlush>() {
+            Ok(_) => {
+                self.on_lat_flush(ctx);
                 return;
             }
             Err(other) => other,

@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod autoscaler;
 pub mod cluster;
 pub mod deploy;
@@ -54,6 +55,7 @@ pub mod failover;
 pub mod gateway;
 pub mod manager;
 
+pub use admission::{Admission, AdmissionParams, TokenBucket};
 pub use autoscaler::{
     Autoscaler, AutoscalerConfig, PlacementProposal, ScaleDirection, ScaleEvent, StartAutoscaler,
 };
@@ -66,15 +68,19 @@ pub use failover::{
     FailoverConfig, FailoverController, FailoverCounters, FailoverEvent, FailoverEventKind,
     ReplanRequest, StartFailover,
 };
-pub use gateway::{Gateway, GatewayCounters, GatewayParams, RequestDone, SubmitRequest};
+pub use gateway::{
+    EndpointLatencyReport, Gateway, GatewayCounters, GatewayParams, HedgeParams, RequestDone,
+    SubmitRequest,
+};
 pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
 
 /// Convenience re-exports for experiment authors.
 pub mod prelude {
+    pub use crate::admission::AdmissionParams;
     pub use crate::cluster::{build_testbed, seed_offset, Testbed, TestbedConfig};
     pub use crate::deploy::{BackendKind, DeployParams};
     pub use crate::driver::{ClosedLoopDriver, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver};
     pub use crate::failover::{FailoverConfig, FailoverController, StartFailover};
-    pub use crate::gateway::{Gateway, GatewayParams, RequestDone, SubmitRequest};
+    pub use crate::gateway::{Gateway, GatewayParams, HedgeParams, RequestDone, SubmitRequest};
     pub use crate::manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
 }

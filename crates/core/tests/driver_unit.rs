@@ -24,6 +24,7 @@ impl Component for FakeGateway {
                 token: req.token,
                 workload_id: req.workload_id,
                 latency: self.delay,
+                sojourn: self.delay,
                 return_code: Some(0),
                 response: Bytes::new(),
                 failed: false,
@@ -246,6 +247,7 @@ fn failed_completions_are_recorded_but_excluded_from_latency() {
                     token: req.token,
                     workload_id: req.workload_id,
                     latency: SimDuration::from_micros(1),
+                    sojourn: SimDuration::from_micros(1),
                     return_code: None,
                     response: Bytes::new(),
                     failed: true,

@@ -20,7 +20,7 @@ use lnic_mlambda::interp::{Execution, HeaderValues, ObjectMemory, RequestCtx, St
 use lnic_mlambda::ir::retcode;
 use lnic_mlambda::program::{DispatchCtx, DispatchResult, Program};
 use lnic_net::frag::Reassembler;
-use lnic_net::packet::{LambdaHdr, LambdaKind, Packet};
+use lnic_net::packet::{LambdaHdr, LambdaKind, Packet, RC_EXPIRED};
 use lnic_net::transport::retries_exhausted;
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
 use lnic_sim::fault::{Crash, HealthPing, HealthPong, Restart, StallFor};
@@ -68,6 +68,9 @@ pub struct HostCounters {
     pub dropped_crashed: u64,
     /// Accepted requests lost mid-flight to a crash.
     pub jobs_lost: u64,
+    /// Requests refused at dequeue because their propagated deadline had
+    /// already expired (answered with `RC_EXPIRED`, not executed).
+    pub deadline_drops: u64,
 }
 
 #[derive(Debug)]
@@ -167,6 +170,10 @@ pub struct HostBackend {
     restart_epoch: u64,
     stalled_until: SimTime,
     last_program: Option<Arc<Program>>,
+    /// Gray failure: compute runs `slow_factor`× slower until
+    /// `slow_until` while health pings are still answered.
+    slow_until: SimTime,
+    slow_factor: f64,
 }
 
 impl HostBackend {
@@ -203,6 +210,8 @@ impl HostBackend {
             restart_epoch: 0,
             stalled_until: SimTime::ZERO,
             last_program: None,
+            slow_until: SimTime::ZERO,
+            slow_factor: 1.0,
         }
     }
 
@@ -356,6 +365,16 @@ impl HostBackend {
         self.cpu_busy += t.mul_f64(factor);
     }
 
+    /// Gray-failure multiplier applied to compute segments while a
+    /// slowdown window is active.
+    fn slow_scale(&self, now: SimTime) -> f64 {
+        if now < self.slow_until {
+            self.slow_factor
+        } else {
+            1.0
+        }
+    }
+
     /// Samples the OS-noise multiplier for one software-path cost.
     fn noise(&self, ctx: &mut Ctx<'_>) -> f64 {
         if self.params.jitter <= 0.0 {
@@ -484,12 +503,41 @@ impl HostBackend {
         ctx.send_self(rx_delay, RequestReady { pending });
     }
 
+    /// Refuses an expired request at dequeue: answer `RC_EXPIRED` so the
+    /// sender resolves it promptly, and spend no executor time on it.
+    fn reject_expired(&mut self, ctx: &mut Ctx<'_>, pending: &PendingRequest) {
+        self.counters.deadline_drops += 1;
+        let hdr = pending.req_hdr;
+        let overdue_ns = ctx.now().as_nanos().saturating_sub(hdr.deadline_ns);
+        ctx.emit(|| TraceEvent::DeadlineDrop {
+            request_id: hdr.request_id,
+            workload_id: hdr.workload_id,
+            overdue_ns,
+        });
+        let mut resp_hdr = hdr.response_to(RC_EXPIRED);
+        resp_hdr.queue_depth = self.runq.len().min(u16::MAX as usize) as u16;
+        let packet = pending
+            .reply_template
+            .reply_to()
+            .lambda(resp_hdr)
+            .payload(Bytes::new())
+            .build();
+        let tx = self.tx_latency(ctx);
+        ctx.send(self.uplink, tx, packet);
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.arrivals.remove(&(pending.lambda_idx, hdr.request_id));
+    }
+
     fn on_request_ready(&mut self, ctx: &mut Ctx<'_>, pending: PendingRequest) {
         // A request admitted before a crash may clear the receive path
         // after it; the process that accepted it no longer exists.
         if self.crashed || self.program.is_none() {
             self.counters.jobs_lost += 1;
             self.counters.dropped_crashed += 1;
+            return;
+        }
+        if pending.req_hdr.expired_at(ctx.now().as_nanos()) {
+            self.reject_expired(ctx, &pending);
             return;
         }
         if let Some(w) = self.idle.pop() {
@@ -588,8 +636,8 @@ impl HostBackend {
         let total = exec_cycles(job.exec.stats(), &placements, &self.params.memory);
         let delta_cycles = total.saturating_sub(job.charged_cycles);
         job.charged_cycles = total;
-        let segment =
-            (self.params.cycles_to_time(delta_cycles) + overhead).mul_f64(self.noise(ctx));
+        let scale = self.noise(ctx) * self.slow_scale(ctx.now());
+        let segment = (self.params.cycles_to_time(delta_cycles) + overhead).mul_f64(scale);
         self.charge_cpu(segment);
 
         let epoch = self.workers[worker].epoch;
@@ -655,7 +703,8 @@ impl HostBackend {
         let total = exec_cycles(job.exec.stats(), &placements, &self.params.memory);
         let delta = total.saturating_sub(job.charged_cycles);
         job.charged_cycles = total;
-        let segment = (self.params.cycles_to_time(delta) + overhead).mul_f64(self.noise(ctx));
+        let scale = self.noise(ctx) * self.slow_scale(ctx.now());
+        let segment = (self.params.cycles_to_time(delta) + overhead).mul_f64(scale);
         self.charge_cpu(segment);
         let epoch = self.workers[worker].epoch;
         self.workers[worker].state = WorkerState::Executing(job);
@@ -809,7 +858,10 @@ impl HostBackend {
 
     fn emit_response(&mut self, ctx: &mut Ctx<'_>, job: &Job, response: Bytes, code: u16) {
         self.charge_cpu(self.params.tx_stack);
-        let resp_hdr = job.req_hdr.response_to(code);
+        let mut resp_hdr = job.req_hdr.response_to(code);
+        // Advertise the run-queue depth so the gateway can route and
+        // shed against backpressure.
+        resp_hdr.queue_depth = self.runq.len().min(u16::MAX as usize) as u16;
         let packet = job
             .reply_template
             .reply_to()
@@ -831,11 +883,16 @@ impl HostBackend {
     fn free_worker(&mut self, ctx: &mut Ctx<'_>, worker: usize) {
         self.workers[worker].epoch += 1;
         self.workers[worker].state = WorkerState::Idle;
-        if let Some(pending) = self.runq.pop_front() {
+        // Skip requests whose deadline expired while they waited.
+        while let Some(pending) = self.runq.pop_front() {
+            if pending.req_hdr.expired_at(ctx.now().as_nanos()) {
+                self.reject_expired(ctx, &pending);
+                continue;
+            }
             self.start_worker(ctx, worker, pending);
-        } else {
-            self.idle.push(worker);
+            return;
         }
+        self.idle.push(worker);
     }
 
     /// Emits per-object memory charges and the finish record; mirrors
@@ -924,6 +981,19 @@ impl Component for HostBackend {
         let msg = match msg.downcast::<StallFor>() {
             Ok(s) => {
                 self.stalled_until = self.stalled_until.max(ctx.now() + s.0);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::Slowdown>() {
+            Ok(slow) => {
+                self.slow_until = self.slow_until.max(ctx.now() + slow.duration);
+                self.slow_factor = slow.factor.max(1.0);
+                ctx.trace(|| format!("host slowdown x{} for {:?}", slow.factor, slow.duration));
+                ctx.emit(|| TraceEvent::Fault {
+                    kind: "slowdown",
+                    detail: (slow.factor * 1000.0) as u64,
+                });
                 return;
             }
             Err(other) => other,

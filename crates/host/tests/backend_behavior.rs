@@ -230,6 +230,7 @@ fn fragmented_requests_reassemble() {
                 frag_count: n,
                 kind: LambdaKind::RdmaWrite,
                 return_code: 0,
+                ..Default::default()
             })
             .payload(f)
             .build();
@@ -445,6 +446,7 @@ fn fragmented_requests_cost_per_packet_kernel_time() {
                     frag_count: frags as u16,
                     kind: LambdaKind::RdmaWrite,
                     return_code: 0,
+                    ..Default::default()
                 })
                 .payload(Bytes::from(payload[i * chunk..(i + 1) * chunk].to_vec()))
                 .build();

@@ -99,6 +99,7 @@ struct Partial {
 ///         frag_count: frags.len() as u16,
 ///         kind: LambdaKind::RdmaWrite,
 ///         return_code: 0,
+///         ..Default::default()
 ///     };
 ///     if let Some(msg) = r.accept(hdr, f.clone()) {
 ///         done = Some(msg);
@@ -219,6 +220,7 @@ mod tests {
             frag_count: count,
             kind: LambdaKind::RdmaWrite,
             return_code: 0,
+            ..Default::default()
         }
     }
 

@@ -11,7 +11,7 @@
 use lnic_sim::prelude::*;
 use rand::Rng;
 
-use crate::packet::Packet;
+use crate::packet::{Packet, ETH_HDR_LEN};
 use crate::params::LinkParams;
 
 /// A unidirectional network link.
@@ -63,9 +63,23 @@ pub struct Link {
     burst_until: SimTime,
     /// Drop probability while the burst window is active.
     burst_prob: f64,
+    /// Frames get extra uniform delay (reordering) until this instant.
+    reorder_until: SimTime,
+    /// Maximum extra delay while the reorder window is active.
+    reorder_spread: SimDuration,
+    /// Frames are duplicated with `dup_prob` until this instant.
+    dup_until: SimTime,
+    /// Duplication probability while the window is active.
+    dup_prob: f64,
+    /// Frames get one bit flipped with `corrupt_prob` until this instant.
+    corrupt_until: SimTime,
+    /// Corruption probability while the window is active.
+    corrupt_prob: f64,
     delivered: Counter,
     dropped: Counter,
     fault_drops: Counter,
+    duplicated: Counter,
+    corrupt_detected: Counter,
 }
 
 impl Link {
@@ -79,9 +93,17 @@ impl Link {
             down_until: SimTime::ZERO,
             burst_until: SimTime::ZERO,
             burst_prob: 0.0,
+            reorder_until: SimTime::ZERO,
+            reorder_spread: SimDuration::ZERO,
+            dup_until: SimTime::ZERO,
+            dup_prob: 0.0,
+            corrupt_until: SimTime::ZERO,
+            corrupt_prob: 0.0,
             delivered: Counter::new(),
             dropped: Counter::new(),
             fault_drops: Counter::new(),
+            duplicated: Counter::new(),
+            corrupt_detected: Counter::new(),
         }
     }
 
@@ -98,6 +120,17 @@ impl Link {
     /// Frames dropped specifically by flap or loss-burst windows.
     pub fn fault_drops(&self) -> u64 {
         self.fault_drops.get()
+    }
+
+    /// Extra copies delivered by duplication windows.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.get()
+    }
+
+    /// Frames mangled by corruption windows and caught by the receiving
+    /// NIC's checksum verification (dropped, not executed).
+    pub fn corrupt_detected(&self) -> u64 {
+        self.corrupt_detected.get()
     }
 
     /// Whether the link is inside a flap window at `now`.
@@ -143,6 +176,38 @@ impl Component for Link {
             Ok(burst) => {
                 self.burst_until = self.burst_until.max(ctx.now() + burst.duration);
                 self.burst_prob = burst.prob;
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::Reorder>() {
+            Ok(r) => {
+                self.reorder_until = self.reorder_until.max(ctx.now() + r.duration);
+                self.reorder_spread = r.spread;
+                ctx.trace(|| {
+                    format!(
+                        "link reordering for {:?} (spread {:?})",
+                        r.duration, r.spread
+                    )
+                });
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::Duplicate>() {
+            Ok(d) => {
+                self.dup_until = self.dup_until.max(ctx.now() + d.duration);
+                self.dup_prob = d.prob;
+                ctx.trace(|| format!("link duplicating for {:?} (p={})", d.duration, d.prob));
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::Corrupt>() {
+            Ok(c) => {
+                self.corrupt_until = self.corrupt_until.max(ctx.now() + c.duration);
+                self.corrupt_prob = c.prob;
+                ctx.trace(|| format!("link corrupting for {:?} (p={})", c.duration, c.prob));
                 return;
             }
             Err(other) => other,
@@ -193,14 +258,54 @@ impl Component for Link {
         let start = self.tx_free_at.max(ctx.now());
         let tx_end = start + self.params.serialization_delay(bytes);
         self.tx_free_at = tx_end;
-        let arrival = tx_end + self.params.propagation;
+        let mut arrival = tx_end + self.params.propagation;
 
         ctx.send_self(tx_end - ctx.now(), TxDone { bytes });
-        ctx.send_boxed(self.dst, arrival - ctx.now(), Box::new(*packet));
+
+        // Corruption window: the frame still occupies the wire, but one bit
+        // arrives flipped. The receiver's checksum verification catches the
+        // mangled frame, so it dies on arrival instead of being executed.
+        if ctx.now() < self.corrupt_until
+            && self.corrupt_prob > 0.0
+            && ctx.rng().gen_bool(self.corrupt_prob)
+        {
+            let mut wire = packet.encode().to_vec();
+            let bit = ctx.rng().gen_range(ETH_HDR_LEN * 8..wire.len() * 8);
+            wire[bit / 8] ^= 1 << (bit % 8);
+            if Packet::decode(&wire).is_err() {
+                self.dropped.incr();
+                self.fault_drops.incr();
+                self.corrupt_detected.incr();
+                ctx.emit(|| TraceEvent::LinkDrop {
+                    bytes: bytes as u64,
+                    reason: "corrupt",
+                });
+                return;
+            }
+            // A flip the checksums cannot see (only possible inside the
+            // Ethernet header, which is excluded above); deliver as-is.
+        }
+
+        // Reorder window: add a uniform extra delay so later frames can
+        // overtake this one in flight.
+        if ctx.now() < self.reorder_until && !self.reorder_spread.is_zero() {
+            let jitter = ctx.rng().gen_range(0..=self.reorder_spread.as_nanos());
+            arrival += SimDuration::from_nanos(jitter);
+        }
+
+        ctx.send_boxed(self.dst, arrival - ctx.now(), Box::new((*packet).clone()));
         self.delivered.incr();
         ctx.emit(|| TraceEvent::LinkTx {
             bytes: bytes as u64,
         });
+
+        // Duplication window: deliver a second copy back-to-back behind the
+        // first, as a misbehaving switch would.
+        if ctx.now() < self.dup_until && self.dup_prob > 0.0 && ctx.rng().gen_bool(self.dup_prob) {
+            let dup_arrival = arrival + self.params.serialization_delay(bytes);
+            ctx.send_boxed(self.dst, dup_arrival - ctx.now(), Box::new(*packet));
+            self.duplicated.incr();
+        }
     }
 }
 
@@ -387,6 +492,107 @@ mod tests {
         let delivered = sim.get::<Recorder>(sink).unwrap().arrivals.len() as u64;
         assert_eq!(delivered + dropped, 1_000);
         assert!(delivered >= 500);
+    }
+
+    #[test]
+    fn reorder_window_lets_frames_overtake() {
+        let params = LinkParams {
+            bandwidth_bps: 100_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 1 << 20,
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        sim.post(
+            link,
+            SimDuration::ZERO,
+            lnic_sim::fault::Reorder {
+                duration: SimDuration::from_millis(1),
+                spread: SimDuration::from_micros(50),
+            },
+        );
+        // Distinct payload sizes identify each frame at the receiver.
+        for i in 0..20usize {
+            sim.post(
+                link,
+                SimDuration::from_micros(i as u64),
+                packet_with_payload(i),
+            );
+        }
+        sim.run();
+        let arr = &sim.get::<Recorder>(sink).unwrap().arrivals;
+        assert_eq!(arr.len(), 20, "reordering must not lose frames");
+        let sizes: Vec<usize> = arr.iter().map(|(_, len)| *len).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_ne!(sizes, sorted, "expected at least one overtake");
+    }
+
+    #[test]
+    fn duplicate_window_delivers_each_frame_twice() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 1 << 20,
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        sim.post(
+            link,
+            SimDuration::ZERO,
+            lnic_sim::fault::Duplicate {
+                duration: SimDuration::from_millis(1),
+                prob: 1.0,
+            },
+        );
+        for i in 0..5u64 {
+            sim.post(
+                link,
+                SimDuration::from_micros(i * 10),
+                packet_with_payload(10),
+            );
+        }
+        sim.run();
+        assert_eq!(sim.get::<Recorder>(sink).unwrap().arrivals.len(), 10);
+        let l = sim.get::<Link>(link).unwrap();
+        assert_eq!(l.delivered(), 5);
+        assert_eq!(l.duplicated(), 5);
+        assert_eq!(l.dropped(), 0);
+    }
+
+    #[test]
+    fn corrupt_window_frames_are_detected_and_dropped() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 1 << 20,
+            loss_probability: 0.0,
+        };
+        let (mut sim, link, sink) = setup(params);
+        sim.post(
+            link,
+            SimDuration::ZERO,
+            lnic_sim::fault::Corrupt {
+                duration: SimDuration::from_millis(10),
+                prob: 1.0,
+            },
+        );
+        for i in 0..100u64 {
+            sim.post(
+                link,
+                SimDuration::from_micros(i * 10),
+                packet_with_payload(32),
+            );
+        }
+        // One clean frame after the window closes.
+        sim.post(link, SimDuration::from_millis(20), packet_with_payload(32));
+        sim.run();
+        let l = sim.get::<Link>(link).unwrap();
+        // Every single-bit flip past the Ethernet header is caught by the
+        // IPv4/UDP checksums, so nothing mangled reaches the receiver.
+        assert_eq!(l.corrupt_detected(), 100);
+        assert_eq!(l.dropped(), 100);
+        assert_eq!(sim.get::<Recorder>(sink).unwrap().arrivals.len(), 1);
     }
 
     #[test]

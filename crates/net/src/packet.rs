@@ -25,7 +25,17 @@ pub const IPV4_HDR_LEN: usize = 20;
 /// Byte length of a UDP header.
 pub const UDP_HDR_LEN: usize = 8;
 /// Byte length of a λ-NIC lambda header.
-pub const LAMBDA_HDR_LEN: usize = 22;
+pub const LAMBDA_HDR_LEN: usize = 32;
+
+/// Return code: success.
+pub const RC_OK: u16 = 0;
+/// Return code: the worker dropped the request at dequeue because its
+/// propagated deadline had already passed (tail tolerance: do not burn
+/// cycles on work nobody is waiting for).
+pub const RC_EXPIRED: u16 = 0xFFFD;
+/// Return code: the gateway shed the request at admission (token bucket,
+/// concurrency cap, or infeasible deadline).
+pub const RC_OVERLOADED: u16 = 0xFFFE;
 
 /// Errors produced while decoding a packet from wire bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +52,9 @@ pub enum DecodeError {
     },
     /// The IPv4 header checksum did not verify.
     BadChecksum,
+    /// The UDP checksum over the pseudo-header and payload did not
+    /// verify (the frame was mangled in flight).
+    BadUdpChecksum,
 }
 
 impl fmt::Display for DecodeError {
@@ -50,6 +63,7 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated { header } => write!(f, "truncated {header} header"),
             DecodeError::BadField { field } => write!(f, "invalid value in field {field}"),
             DecodeError::BadChecksum => write!(f, "ipv4 header checksum mismatch"),
+            DecodeError::BadUdpChecksum => write!(f, "udp checksum mismatch"),
         }
     }
 }
@@ -137,6 +151,13 @@ pub struct LambdaHdr {
     pub kind: LambdaKind,
     /// Lambda return code (meaningful on responses).
     pub return_code: u16,
+    /// Absolute request deadline as nanoseconds of virtual time
+    /// (0 = no deadline). Workers drop expired requests at dequeue
+    /// instead of executing them.
+    pub deadline_ns: u64,
+    /// Queue-depth backpressure signal: on responses, the depth of the
+    /// worker's run queue at dequeue time (saturating; 0 on requests).
+    pub queue_depth: u16,
 }
 
 impl Default for LambdaHdr {
@@ -148,6 +169,8 @@ impl Default for LambdaHdr {
             frag_count: 1,
             kind: LambdaKind::Request,
             return_code: 0,
+            deadline_ns: 0,
+            queue_depth: 0,
         }
     }
 }
@@ -162,6 +185,12 @@ impl LambdaHdr {
         }
     }
 
+    /// Sets the absolute deadline (nanoseconds of virtual time).
+    pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = deadline_ns;
+        self
+    }
+
     /// Creates the response header matching this request.
     pub fn response_to(&self, return_code: u16) -> Self {
         LambdaHdr {
@@ -169,8 +198,14 @@ impl LambdaHdr {
             return_code,
             frag_index: 0,
             frag_count: 1,
+            queue_depth: 0,
             ..*self
         }
+    }
+
+    /// Whether the deadline (if any) has passed at `now_ns`.
+    pub fn expired_at(&self, now_ns: u64) -> bool {
+        self.deadline_ns != 0 && now_ns >= self.deadline_ns
     }
 }
 
@@ -274,10 +309,11 @@ impl Packet {
         let csum = ipv4_checksum(&buf[ip_start..ip_start + IPV4_HDR_LEN]);
         buf[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
 
+        let udp_start = buf.len();
         buf.put_u16(self.udp.src_port);
         buf.put_u16(self.udp.dst_port);
         buf.put_u16((UDP_HDR_LEN + lambda_len + self.payload.len()) as u16);
-        buf.put_u16(0); // UDP checksum unused in the simulation
+        buf.put_u16(0); // UDP checksum placeholder, patched below
 
         if let Some(l) = &self.lambda {
             buf.put_u16(LAMBDA_MAGIC);
@@ -287,8 +323,16 @@ impl Packet {
             buf.put_u16(l.frag_count);
             buf.put_u16(l.kind as u16);
             buf.put_u16(l.return_code);
+            buf.put_u64(l.deadline_ns);
+            buf.put_u16(l.queue_depth);
         }
         buf.put_slice(&self.payload);
+
+        // UDP checksum over the RFC 768 pseudo-header plus the full UDP
+        // datagram, so any in-flight bit flip past the IP header is
+        // caught at decode instead of executed.
+        let csum = udp_checksum(self.ipv4.src, self.ipv4.dst, &buf[udp_start..]);
+        buf[udp_start + 6..udp_start + 8].copy_from_slice(&csum.to_be_bytes());
         buf.freeze()
     }
 
@@ -355,13 +399,20 @@ impl Packet {
             ident,
         };
 
+        if buf.remaining() < UDP_HDR_LEN {
+            return Err(DecodeError::Truncated { header: "udp" });
+        }
+        let udp_len_peek = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if udp_len_peek < UDP_HDR_LEN || udp_len_peek > buf.remaining() {
+            return Err(DecodeError::BadField { field: "udp_len" });
+        }
+        if udp_checksum(src_ip, dst_ip, &buf[..udp_len_peek]) != 0 {
+            return Err(DecodeError::BadUdpChecksum);
+        }
         let src_port = buf.get_u16();
         let dst_port = buf.get_u16();
         let udp_len = buf.get_u16() as usize;
         let _udp_csum = buf.get_u16();
-        if udp_len < UDP_HDR_LEN || udp_len - UDP_HDR_LEN > buf.remaining() {
-            return Err(DecodeError::BadField { field: "udp_len" });
-        }
         let udp = UdpHdr { src_port, dst_port };
         let mut rest = &buf[..udp_len - UDP_HDR_LEN];
 
@@ -377,6 +428,8 @@ impl Packet {
                 field: "lambda.kind",
             })?;
             let return_code = rest.get_u16();
+            let deadline_ns = rest.get_u64();
+            let queue_depth = rest.get_u16();
             if frag_count == 0 || frag_index >= frag_count {
                 return Err(DecodeError::BadField {
                     field: "lambda.frag",
@@ -389,6 +442,8 @@ impl Packet {
                 frag_count,
                 kind,
                 return_code,
+                deadline_ns,
+                queue_depth,
             })
         } else {
             None
@@ -477,7 +532,29 @@ impl PacketBuilder {
 /// Over a header with a zeroed checksum field this yields the value to
 /// store; over a header that includes a correct checksum it yields zero.
 pub fn ipv4_checksum(data: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
+    fold(sum_words(0, data))
+}
+
+/// Computes the RFC 768 UDP checksum: ones'-complement sum over the
+/// IPv4 pseudo-header (source, destination, protocol, UDP length) and
+/// the UDP datagram `udp` (header + payload).
+///
+/// Same convention as [`ipv4_checksum`]: over a datagram whose checksum
+/// field is zero this yields the value to store; over a datagram that
+/// carries a correct checksum it yields zero. Unlike real UDP the zero
+/// value is not special-cased — the simulation always verifies.
+pub fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, udp: &[u8]) -> u16 {
+    let mut pseudo = [0u8; 12];
+    pseudo[0..4].copy_from_slice(&src.to_bits().to_be_bytes());
+    pseudo[4..8].copy_from_slice(&dst.to_bits().to_be_bytes());
+    pseudo[9] = IPPROTO_UDP;
+    pseudo[10..12].copy_from_slice(&(udp.len() as u16).to_be_bytes());
+    fold(sum_words(sum_words(0, &pseudo), udp))
+}
+
+/// Adds `data` to a running 16-bit ones'-complement sum. `data` slices
+/// fed in sequence must each be even-length except the last.
+fn sum_words(mut sum: u32, data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
         sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
@@ -485,6 +562,11 @@ pub fn ipv4_checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
+    sum
+}
+
+/// Folds carries and complements, finishing an RFC 1071 checksum.
+fn fold(mut sum: u32) -> u16 {
     while sum > 0xffff {
         sum = (sum & 0xffff) + (sum >> 16);
     }
@@ -525,6 +607,7 @@ mod tests {
             frag_count: 5,
             kind: LambdaKind::RdmaWrite,
             return_code: 0,
+            ..Default::default()
         };
         let p = sample_packet(Some(hdr), &[0xab; 300]);
         let decoded = Packet::decode(&p.encode()).unwrap();
@@ -560,6 +643,21 @@ mod tests {
         assert!(Packet::decode(&wire[..ETH_HDR_LEN + 5]).is_err());
     }
 
+    /// Recomputes the UDP checksum of a hand-mutated wire buffer so
+    /// field-validation tests get past checksum verification.
+    fn refresh_udp_checksum(wire: &mut [u8]) {
+        let udp_start = ETH_HDR_LEN + IPV4_HDR_LEN;
+        let src = Ipv4Addr::from_bits(u32::from_be_bytes(
+            wire[ETH_HDR_LEN + 12..ETH_HDR_LEN + 16].try_into().unwrap(),
+        ));
+        let dst = Ipv4Addr::from_bits(u32::from_be_bytes(
+            wire[ETH_HDR_LEN + 16..ETH_HDR_LEN + 20].try_into().unwrap(),
+        ));
+        wire[udp_start + 6..udp_start + 8].copy_from_slice(&[0, 0]);
+        let csum = udp_checksum(src, dst, &wire[udp_start..]);
+        wire[udp_start + 6..udp_start + 8].copy_from_slice(&csum.to_be_bytes());
+    }
+
     #[test]
     fn bad_lambda_kind_rejected() {
         let hdr = LambdaHdr::request(1, 2);
@@ -569,12 +667,65 @@ mod tests {
         let off = ETH_HDR_LEN + IPV4_HDR_LEN + UDP_HDR_LEN + 18;
         wire[off] = 0xff;
         wire[off + 1] = 0xff;
+        refresh_udp_checksum(&mut wire);
         assert_eq!(
             Packet::decode(&wire),
             Err(DecodeError::BadField {
                 field: "lambda.kind"
             })
         );
+    }
+
+    #[test]
+    fn udp_checksum_catches_payload_corruption() {
+        let p = sample_packet(Some(LambdaHdr::request(1, 2)), b"payload bytes");
+        let mut wire = p.encode().to_vec();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        assert_eq!(Packet::decode(&wire), Err(DecodeError::BadUdpChecksum));
+    }
+
+    #[test]
+    fn checksums_catch_every_single_bit_flip_past_ethernet() {
+        // The Corrupt fault model flips one bit anywhere in the IP
+        // packet; between the IPv4 header checksum and the UDP checksum
+        // (pseudo-header + datagram) every such flip must surface as a
+        // decode error rather than decode to a different packet.
+        let p = sample_packet(
+            Some(LambdaHdr::request(7, 99).with_deadline_ns(123_456)),
+            b"some payload that is long enough to matter",
+        );
+        let wire = p.encode().to_vec();
+        for byte in ETH_HDR_LEN..wire.len() {
+            for bit in 0..8 {
+                let mut mangled = wire.clone();
+                mangled[byte] ^= 1 << bit;
+                assert!(
+                    Packet::decode(&mangled).is_err(),
+                    "flip at byte {byte} bit {bit} decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_roundtrips_and_expiry_math() {
+        let hdr = LambdaHdr::request(3, 4).with_deadline_ns(1_000);
+        let p = sample_packet(Some(hdr), b"x");
+        let d = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(d.lambda.unwrap().deadline_ns, 1_000);
+        assert!(!hdr.expired_at(999));
+        assert!(hdr.expired_at(1_000));
+        // No deadline set => never expires.
+        assert!(!LambdaHdr::request(3, 4).expired_at(u64::MAX));
+        // Responses keep the request's deadline but clear the depth.
+        let resp = LambdaHdr {
+            queue_depth: 9,
+            ..hdr
+        }
+        .response_to(0);
+        assert_eq!(resp.deadline_ns, 1_000);
+        assert_eq!(resp.queue_depth, 0);
     }
 
     #[test]

@@ -211,22 +211,35 @@ impl RpcTracker {
         &self.policy
     }
 
+    /// The in-flight record for `request_id`, if still outstanding.
+    pub fn get(&self, request_id: u64) -> Option<&Outstanding> {
+        self.outstanding.get(&request_id)
+    }
+
     /// The timer armed after the first send (pre-jitter). Kept for
     /// callers that only need the fixed-policy value.
     pub fn timeout(&self) -> SimDuration {
         self.policy.base_timeout
     }
 
-    /// The timer to arm for `request_id`'s most recent send, honoring
-    /// backoff and jitter. Falls back to the base timeout for unknown
-    /// ids (the request may already have completed).
-    pub fn arm_timeout(&self, request_id: u64, rng: &mut impl Rng) -> SimDuration {
-        let attempt = self
-            .outstanding
-            .get(&request_id)
-            .map(|rec| rec.attempts)
-            .unwrap_or(1);
-        self.policy.arm_timeout(attempt, rng)
+    /// The timer to arm at `now` for `request_id`'s most recent send,
+    /// honoring backoff and jitter. When the policy carries a deadline
+    /// the timer is clamped so it never fires past
+    /// `first_sent_at + deadline`: a retry is never scheduled beyond the
+    /// request's deadline, it gives up at the deadline instant instead.
+    /// Falls back to the base timeout for unknown ids (the request may
+    /// already have completed).
+    pub fn arm_timeout(&self, now: SimTime, request_id: u64, rng: &mut impl Rng) -> SimDuration {
+        let rec = self.outstanding.get(&request_id);
+        let attempt = rec.map(|rec| rec.attempts).unwrap_or(1);
+        let timer = self.policy.arm_timeout(attempt, rng);
+        match (rec, self.policy.deadline) {
+            (Some(rec), Some(deadline)) => {
+                let remaining = (rec.first_sent_at + deadline).saturating_duration_since(now);
+                timer.min(remaining)
+            }
+            _ => timer,
+        }
     }
 
     /// Registers a new RPC and returns its request id.
@@ -277,17 +290,20 @@ impl RpcTracker {
 
     /// Handles a retransmission timer for `request_id` firing at `now`.
     ///
-    /// Gives up when the attempt budget is exhausted or the policy
-    /// deadline has passed; otherwise returns the record to resend with
-    /// its attempt count already incremented.
+    /// Gives up when the attempt budget is exhausted, the policy
+    /// deadline has passed, or the *next* timer would only fire past
+    /// the deadline (a retransmission whose follow-up cannot complete
+    /// inside the deadline is pure wasted load); otherwise returns the
+    /// record to resend with its attempt count already incremented.
     pub fn on_timeout(&mut self, now: SimTime, request_id: u64) -> TimeoutAction {
         let Some(rec) = self.outstanding.get_mut(&request_id) else {
             return TimeoutAction::Ignore;
         };
-        let over_deadline = self
-            .policy
-            .deadline
-            .is_some_and(|d| now.saturating_duration_since(rec.first_sent_at) >= d);
+        let over_deadline = self.policy.deadline.is_some_and(|d| {
+            let outstanding_for = now.saturating_duration_since(rec.first_sent_at);
+            outstanding_for >= d
+                || outstanding_for + self.policy.timeout_for_attempt(rec.attempts + 1) > d
+        });
         if over_deadline || retries_exhausted(rec.attempts, self.policy.max_attempts) {
             let rec = self.outstanding.remove(&request_id).expect("checked above");
             self.failed += 1;
@@ -519,6 +535,53 @@ mod tests {
             other => panic!("expected deadline give-up, got {other:?}"),
         }
         assert_eq!(t.failed(), 1);
+    }
+
+    #[test]
+    fn no_retry_is_scheduled_past_the_deadline() {
+        // Boundary case: a retransmission is allowed when its follow-up
+        // timer lands *exactly on* the deadline, and refused when it
+        // would land one nanosecond past it.
+        let mut policy = RetryPolicy::fixed(SimDuration::from_millis(1), 100);
+        policy.deadline = Some(SimDuration::from_millis(3));
+        let mut t = RpcTracker::with_policy(policy);
+        let id = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        // Fires at 2 ms: next timer lands exactly at the 3 ms deadline.
+        assert!(matches!(
+            t.on_timeout(SimTime::ZERO + SimDuration::from_millis(2), id),
+            TimeoutAction::Resend(_)
+        ));
+        // Fires 1 ns later than 2 ms: the next timer would land at
+        // 3 ms + 1 ns, past the deadline — give up instead of resending.
+        match t.on_timeout(
+            SimTime::ZERO + SimDuration::from_millis(2) + SimDuration::from_nanos(1),
+            id,
+        ) {
+            TimeoutAction::GiveUp(rec) => assert_eq!(rec.attempts, 2),
+            other => panic!("expected give-up, got {other:?}"),
+        }
+
+        // And the armed timer itself is clamped to the deadline: with
+        // ±10% jitter a raw timer could overshoot, but the tracker
+        // truncates it to the remaining deadline budget.
+        let mut policy = RetryPolicy::exponential(SimDuration::from_millis(1), 8);
+        policy.deadline = Some(SimDuration::from_micros(1_500));
+        let t2 = RpcTracker::with_policy(policy);
+        let mut t2 = {
+            let mut t2 = t2;
+            let _ = t2.register(SimTime::ZERO, 1, dst(), Bytes::new());
+            t2
+        };
+        let id2 = t2.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..64 {
+            let timer =
+                t2.arm_timeout(SimTime::ZERO + SimDuration::from_micros(600), id2, &mut rng);
+            assert!(
+                timer <= SimDuration::from_micros(900),
+                "timer {timer} fires past the deadline"
+            );
+        }
     }
 
     #[test]

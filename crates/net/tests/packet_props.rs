@@ -32,14 +32,18 @@ fn arb_lambda_hdr() -> impl Strategy<Value = LambdaHdr> {
         1u16..=64,
         arb_kind(),
         any::<u16>(),
+        any::<u64>(),
+        any::<u16>(),
     )
-        .prop_map(|(wid, rid, idx, count, kind, rc)| LambdaHdr {
+        .prop_map(|(wid, rid, idx, count, kind, rc, dl, depth)| LambdaHdr {
             workload_id: wid,
             request_id: rid,
             frag_index: idx.min(count - 1),
             frag_count: count,
             kind,
             return_code: rc,
+            deadline_ns: dl,
+            queue_depth: depth,
         })
 }
 

@@ -81,6 +81,9 @@ pub struct NicCounters {
     pub dropped_crashed: u64,
     /// In-flight jobs (running or queued) lost to crashes.
     pub jobs_lost: u64,
+    /// Requests refused at dequeue because their propagated deadline had
+    /// already expired (answered with `RC_EXPIRED`, not executed).
+    pub deadline_drops: u64,
 }
 
 #[derive(Debug)]
@@ -186,6 +189,11 @@ pub struct Nic {
     swap_epoch: u64,
     /// The control processor defers all work until this instant.
     stalled_until: SimTime,
+    /// Gray failure: compute runs `slow_factor`× slower until
+    /// `slow_until` (the NIC still answers health pings — only
+    /// latency-based fail-slow detection can see this).
+    slow_until: SimTime,
+    slow_factor: f64,
 
     threads: Vec<Thread>,
     idle: Vec<usize>,
@@ -239,6 +247,8 @@ impl Nic {
             last_firmware: None,
             swap_epoch: 0,
             stalled_until: SimTime::ZERO,
+            slow_until: SimTime::ZERO,
+            slow_factor: 1.0,
             threads,
             idle,
             rr_next: 0,
@@ -564,8 +574,37 @@ impl Nic {
         }
     }
 
+    /// Refuses an expired request at dequeue: answer `RC_EXPIRED` so the
+    /// sender resolves the request promptly instead of waiting out its
+    /// retransmission timer, and spend no NPU cycles on it.
+    fn reject_expired(&mut self, ctx: &mut Ctx<'_>, pending: &PendingRequest) {
+        self.counters.deadline_drops += 1;
+        let hdr = pending.req_hdr;
+        let overdue_ns = ctx.now().as_nanos().saturating_sub(hdr.deadline_ns);
+        ctx.emit(|| TraceEvent::DeadlineDrop {
+            request_id: hdr.request_id,
+            workload_id: hdr.workload_id,
+            overdue_ns,
+        });
+        let mut resp_hdr = hdr.response_to(lnic_net::packet::RC_EXPIRED);
+        resp_hdr.queue_depth = self.queue.len().min(u16::MAX as usize) as u16;
+        let packet = pending
+            .reply_template
+            .reply_to()
+            .lambda(resp_hdr)
+            .payload(Bytes::new())
+            .build();
+        ctx.send(self.uplink, SimDuration::ZERO, packet);
+        self.arrival_times
+            .remove(&(pending.lambda_idx, hdr.request_id));
+    }
+
     /// Assigns the request to an idle lambda thread or queues it.
     fn admit_to_thread(&mut self, ctx: &mut Ctx<'_>, pending: PendingRequest) {
+        if pending.req_hdr.expired_at(ctx.now().as_nanos()) {
+            self.reject_expired(ctx, &pending);
+            return;
+        }
         let lambda = pending.lambda_idx;
         match self.alloc_thread(ctx.rng()) {
             Some(t) => self.start_job(ctx, t, pending),
@@ -658,7 +697,10 @@ impl Nic {
             );
         let delta = total.saturating_sub(job.charged_cycles);
         job.charged_cycles = total;
-        let delay = self.params.cycles_to_time(delta);
+        let mut delay = self.params.cycles_to_time(delta);
+        if ctx.now() < self.slow_until {
+            delay = delay.mul_f64(self.slow_factor);
+        }
         let epoch = self.threads[thread].epoch;
         self.threads[thread].state = ThreadState::Computing(job);
         ctx.send_self(delay, ThreadPhase { thread, epoch });
@@ -797,7 +839,10 @@ impl Nic {
     }
 
     fn emit_response(&mut self, ctx: &mut Ctx<'_>, job: &Job, response: Bytes, code: u16) {
-        let resp_hdr = job.req_hdr.response_to(code);
+        let mut resp_hdr = job.req_hdr.response_to(code);
+        // Advertise the wait-queue depth so the gateway can route and
+        // shed against backpressure.
+        resp_hdr.queue_depth = self.queue.len().min(u16::MAX as usize) as u16;
         let packet = job
             .reply_template
             .reply_to()
@@ -817,7 +862,10 @@ impl Nic {
     fn free_thread(&mut self, ctx: &mut Ctx<'_>, thread: usize) {
         self.threads[thread].epoch += 1;
         self.threads[thread].state = ThreadState::Idle;
-        if let Some((lambda, pending)) = self.queue.pop() {
+        // Skip over requests whose deadline expired while they waited:
+        // answering them late helps nobody, and the cycles go to work
+        // someone is still waiting for.
+        while let Some((lambda, pending)) = self.queue.pop() {
             let weight_milli = (self.queue.weight_of(lambda) * 1000.0).round() as u64;
             let depth = self.queue.len_for(lambda) as u64;
             ctx.emit(|| TraceEvent::WfqDequeue {
@@ -825,10 +873,14 @@ impl Nic {
                 weight_milli,
                 depth,
             });
+            if pending.req_hdr.expired_at(ctx.now().as_nanos()) {
+                self.reject_expired(ctx, &pending);
+                continue;
+            }
             self.start_job(ctx, thread, pending);
-        } else {
-            self.idle.push(thread);
+            return;
         }
+        self.idle.push(thread);
     }
 
     /// Emits the per-object memory charges and the finish record for a
@@ -932,6 +984,19 @@ impl Component for Nic {
         let msg = match msg.downcast::<lnic_sim::fault::StallFor>() {
             Ok(stall) => {
                 self.stalled_until = self.stalled_until.max(ctx.now() + stall.0);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::Slowdown>() {
+            Ok(slow) => {
+                self.slow_until = self.slow_until.max(ctx.now() + slow.duration);
+                self.slow_factor = slow.factor.max(1.0);
+                ctx.trace(|| format!("nic slowdown x{} for {:?}", slow.factor, slow.duration));
+                ctx.emit(|| TraceEvent::Fault {
+                    kind: "slowdown",
+                    detail: (slow.factor * 1000.0) as u64,
+                });
                 return;
             }
             Err(other) => other,

@@ -224,6 +224,7 @@ fn rdma_fragments_reassemble_and_dispatch_once() {
             frag_count: count,
             kind: LambdaKind::RdmaWrite,
             return_code: 0,
+            ..Default::default()
         };
         let pkt = Packet::builder()
             .eth(GW_MAC, NIC_MAC)

@@ -116,6 +116,11 @@ pub struct InvariantChecker {
     completed: u64,
     failed: u64,
     outstanding: HashSet<u64>,
+    // Requests with a hedge in flight: a hedge may only be fired once
+    // per request, only while the request is outstanding, and must
+    // never double-count in conservation (the completion stays 1:1).
+    hedged: HashSet<u64>,
+    shed: u64,
 
     // Run-to-completion + cost consistency, keyed by (component, core).
     slots: HashMap<(usize, u32), JobSpan>,
@@ -153,6 +158,8 @@ impl InvariantChecker {
             completed: 0,
             failed: 0,
             outstanding: HashSet::new(),
+            hedged: HashSet::new(),
+            shed: 0,
             slots: HashMap::new(),
             wfq: HashMap::new(),
             placement_capacity: HashMap::new(),
@@ -189,6 +196,11 @@ impl InvariantChecker {
     /// Requests currently outstanding at the gateway.
     pub fn in_flight(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// Requests shed by admission control (never submitted).
+    pub fn shed(&self) -> u64 {
+        self.shed
     }
 
     /// Panics unless zero violations were recorded.
@@ -604,8 +616,45 @@ impl TraceSink for InvariantChecker {
                     );
                     self.violation(rec.at, msg);
                 }
+                self.hedged.remove(&request_id);
             }
             TraceEvent::RequestUnplaced { .. } => {}
+
+            // Invariant 2, hedging form: a hedge is a *duplicate attempt*
+            // for one outstanding request, never a new request. Exactly
+            // one completion may follow, which the arms above enforce;
+            // here we pin that hedges only attach to live requests and
+            // fire at most once each.
+            TraceEvent::HedgeFired { request_id, .. } => {
+                if !self.outstanding.contains(&request_id) {
+                    let msg = format!("request {request_id} hedged but not outstanding");
+                    self.violation(rec.at, msg);
+                }
+                if !self.hedged.insert(request_id) {
+                    let msg = format!("request {request_id} hedged twice");
+                    self.violation(rec.at, msg);
+                }
+            }
+            TraceEvent::HedgeWon { request_id, .. } => {
+                if !self.hedged.contains(&request_id) {
+                    let msg = format!("request {request_id} hedge won without a hedge fired");
+                    self.violation(rec.at, msg);
+                }
+                if !self.outstanding.contains(&request_id) {
+                    let msg = format!("request {request_id} hedge won after the request completed");
+                    self.violation(rec.at, msg);
+                }
+            }
+            // Shed requests are rejected before submission: they never
+            // get a request id and must not enter conservation.
+            TraceEvent::AdmissionReject { .. } => {
+                self.shed += 1;
+            }
+            // A worker-side deadline drop resolves through the normal
+            // response/timeout path at the gateway, so conservation is
+            // untouched here.
+            TraceEvent::DeadlineDrop { .. } => {}
+            TraceEvent::EndpointQuarantine { .. } => {}
 
             // Invariant 3 (+5 joins).
             TraceEvent::ExecStart {

@@ -55,6 +55,54 @@ pub struct LossBurst {
     pub prob: f64,
 }
 
+/// Control message: the target worker keeps serving but every unit of
+/// work takes `factor`× as long for `duration` (a gray failure — e.g.
+/// thermal throttling, a sick DIMM, or a noisy neighbour on the NPU
+/// complex). The worker still answers health pings, so heartbeat-based
+/// failure detectors cannot see it; only latency-based fail-slow
+/// detection can.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slowdown {
+    /// Multiplier applied to service/compute time (>= 1.0).
+    pub factor: f64,
+    /// How long the slowdown lasts.
+    pub duration: SimDuration,
+}
+
+/// Control message: for `duration`, the target link delays each frame by
+/// an extra uniform jitter up to `spread`, so later frames can overtake
+/// earlier ones (reordering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reorder {
+    /// How long the reorder window lasts.
+    pub duration: SimDuration,
+    /// Maximum extra per-frame delay drawn uniformly at random.
+    pub spread: SimDuration,
+}
+
+/// Control message: for `duration`, the target link delivers each frame
+/// twice with probability `prob` (a misbehaving switch or a retransmit
+/// race at the PHY).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Duplicate {
+    /// How long the duplication window lasts.
+    pub duration: SimDuration,
+    /// Probability that a frame is delivered twice.
+    pub prob: f64,
+}
+
+/// Control message: for `duration`, the target link flips one random bit
+/// per frame with probability `prob`. The receiving NIC's checksum
+/// verification must detect (and drop) the mangled frame rather than
+/// execute it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Corrupt {
+    /// How long the corruption window lasts.
+    pub duration: SimDuration,
+    /// Probability that a frame gets one bit flipped.
+    pub prob: f64,
+}
+
 /// Health probe sent by a controller to a worker.
 ///
 /// Live workers answer with [`HealthPong`] carrying the same sequence
@@ -113,6 +161,46 @@ pub enum FaultEvent {
         worker: usize,
         /// How long the worker stalls.
         duration: SimDuration,
+    },
+    /// Worker `worker` runs `factor`× slower for `duration` (gray
+    /// failure: alive, answering health pings, but sick).
+    Slowdown {
+        /// Index of the worker in the testbed.
+        worker: usize,
+        /// Service-time multiplier (>= 1.0).
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration: SimDuration,
+    },
+    /// Link `link` reorders frames for `duration` by delaying each one
+    /// an extra uniform amount up to `spread`.
+    Reorder {
+        /// Index of the link in the testbed's link table.
+        link: usize,
+        /// How long the reorder window lasts.
+        duration: SimDuration,
+        /// Maximum extra per-frame delay.
+        spread: SimDuration,
+    },
+    /// Link `link` duplicates frames with probability `prob` for
+    /// `duration`.
+    Duplicate {
+        /// Index of the link in the testbed's link table.
+        link: usize,
+        /// How long the duplication window lasts.
+        duration: SimDuration,
+        /// Probability a frame is delivered twice.
+        prob: f64,
+    },
+    /// Link `link` flips one random bit per frame with probability
+    /// `prob` for `duration`.
+    Corrupt {
+        /// Index of the link in the testbed's link table.
+        link: usize,
+        /// How long the corruption window lasts.
+        duration: SimDuration,
+        /// Probability a frame gets one bit flipped.
+        prob: f64,
     },
 }
 
@@ -199,6 +287,72 @@ impl FaultPlan {
     /// Schedules a backend stall.
     pub fn backend_stall(self, worker: usize, at: SimTime, duration: SimDuration) -> FaultPlan {
         self.push(at, FaultEvent::BackendStall { worker, duration })
+    }
+
+    /// Schedules a gray-failure slowdown on a worker.
+    pub fn slowdown(
+        self,
+        worker: usize,
+        at: SimTime,
+        factor: f64,
+        duration: SimDuration,
+    ) -> FaultPlan {
+        self.push(
+            at,
+            FaultEvent::Slowdown {
+                worker,
+                factor,
+                duration,
+            },
+        )
+    }
+
+    /// Schedules a reorder window on a link.
+    pub fn reorder(
+        self,
+        link: usize,
+        at: SimTime,
+        duration: SimDuration,
+        spread: SimDuration,
+    ) -> FaultPlan {
+        self.push(
+            at,
+            FaultEvent::Reorder {
+                link,
+                duration,
+                spread,
+            },
+        )
+    }
+
+    /// Schedules a duplication window on a link.
+    pub fn duplicate(
+        self,
+        link: usize,
+        at: SimTime,
+        duration: SimDuration,
+        prob: f64,
+    ) -> FaultPlan {
+        self.push(
+            at,
+            FaultEvent::Duplicate {
+                link,
+                duration,
+                prob,
+            },
+        )
+    }
+
+    /// Schedules a corruption window on a link.
+    pub fn corrupt(self, link: usize, at: SimTime, duration: SimDuration, prob: f64) -> FaultPlan {
+        self.push(
+            at,
+            FaultEvent::Corrupt {
+                link,
+                duration,
+                prob,
+            },
+        )
     }
 
     /// The scheduled events, in insertion order.

@@ -281,6 +281,50 @@ pub enum TraceEvent {
         /// Why (`"instr-store"`, `"memory"`, `"threads"`, ...).
         reason: &'static str,
     },
+    /// The gateway's admission controller shed a request before it
+    /// entered the system (never submitted; no request id is assigned).
+    AdmissionReject {
+        /// The target workload.
+        workload_id: u32,
+        /// Why (`"rate"`, `"concurrency"`, `"deadline"`).
+        reason: &'static str,
+    },
+    /// The gateway issued a hedge (duplicate attempt to a second
+    /// replica) for a still-outstanding request.
+    HedgeFired {
+        /// The hedged request.
+        request_id: u64,
+        /// The target workload.
+        workload_id: u32,
+    },
+    /// A hedged request's winning reply came from the hedge replica
+    /// (emitted just before the single `request_completed`).
+    HedgeWon {
+        /// The hedged request.
+        request_id: u64,
+        /// The target workload.
+        workload_id: u32,
+    },
+    /// A worker dropped an expired request at dequeue instead of
+    /// executing it (deadline propagation).
+    DeadlineDrop {
+        /// The expired request.
+        request_id: u64,
+        /// The target workload.
+        workload_id: u32,
+        /// How far past the deadline the dequeue happened, in ns.
+        overdue_ns: u64,
+    },
+    /// The fail-slow detector quarantined a gray endpoint: its EWMA
+    /// latency was an outlier against the cluster median.
+    EndpointQuarantine {
+        /// Index of the quarantined worker.
+        worker: u32,
+        /// The endpoint's EWMA latency in ns at quarantine time.
+        ewma_ns: u64,
+        /// The cluster median EWMA in ns it was judged against.
+        median_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -312,6 +356,11 @@ impl TraceEvent {
             TraceEvent::MigrateStart { .. } => "migrate_start",
             TraceEvent::MigrateDone { .. } => "migrate_done",
             TraceEvent::PlacementReject { .. } => "reject",
+            TraceEvent::AdmissionReject { .. } => "admission_reject",
+            TraceEvent::HedgeFired { .. } => "hedge_fired",
+            TraceEvent::HedgeWon { .. } => "hedge_won",
+            TraceEvent::DeadlineDrop { .. } => "deadline_drop",
+            TraceEvent::EndpointQuarantine { .. } => "endpoint_quarantine",
         }
     }
 
@@ -493,6 +542,42 @@ impl TraceEvent {
                 f("workload_id", U64(workload_id.into()));
                 f("worker", U64(worker.into()));
                 f("reason", Str(reason));
+            }
+            TraceEvent::AdmissionReject {
+                workload_id,
+                reason,
+            } => {
+                f("workload_id", U64(workload_id.into()));
+                f("reason", Str(reason));
+            }
+            TraceEvent::HedgeFired {
+                request_id,
+                workload_id,
+            }
+            | TraceEvent::HedgeWon {
+                request_id,
+                workload_id,
+            } => {
+                f("request_id", U64(request_id));
+                f("workload_id", U64(workload_id.into()));
+            }
+            TraceEvent::DeadlineDrop {
+                request_id,
+                workload_id,
+                overdue_ns,
+            } => {
+                f("request_id", U64(request_id));
+                f("workload_id", U64(workload_id.into()));
+                f("overdue_ns", U64(overdue_ns));
+            }
+            TraceEvent::EndpointQuarantine {
+                worker,
+                ewma_ns,
+                median_ns,
+            } => {
+                f("worker", U64(worker.into()));
+                f("ewma_ns", U64(ewma_ns));
+                f("median_ns", U64(median_ns));
             }
         }
     }

@@ -53,6 +53,7 @@ fn chaos_run(seed: u64) -> ChaosOutcome {
     bed.enable_failover(FailoverConfig {
         heartbeat_interval: SimDuration::from_millis(50),
         missed_beats: 3,
+        ..FailoverConfig::default()
     });
 
     // Worker 0 homes the first web lambda; kill it mid-run, bring it
@@ -181,6 +182,7 @@ fn failover_events_follow_the_fault_timeline() {
     bed.enable_failover(FailoverConfig {
         heartbeat_interval: hb,
         missed_beats: 3,
+        ..FailoverConfig::default()
     });
     let plan = FaultPlan::new()
         .nic_crash(0, SimTime::ZERO + CRASH_AT)

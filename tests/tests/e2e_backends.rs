@@ -39,6 +39,7 @@ fn run_backend(
                 self.completed.push(lnic::CompletedRequest {
                     workload_id: done.workload_id,
                     latency: done.latency,
+                    sojourn: done.sojourn,
                     at: ctx.now(),
                     failed: done.failed,
                     return_code: done.return_code,

@@ -39,6 +39,7 @@ fn run_plan(seed: u64, plan: &FaultPlan) -> Result<(), TestCaseError> {
     bed.enable_failover(FailoverConfig {
         heartbeat_interval: SimDuration::from_millis(25),
         missed_beats: 3,
+        ..FailoverConfig::default()
     });
     bed.inject_faults(plan);
 
@@ -95,14 +96,22 @@ proptest! {
         // Derived chaos knobs, kept off the argument list (tuple
         // strategies cap at arity 10).
         let stall_worker = (crash_worker + 1) % WORKERS;
+        let slow_worker = (crash_worker + 2) % WORKERS;
         let burst_prob = 0.1 + (seed % 80) as f64 / 100.0;
+        let dup_prob = 0.1 + (seed % 90) as f64 / 100.0;
+        let corrupt_prob = 0.05 + (seed % 60) as f64 / 100.0;
+        let slow_factor = 2.0 + (seed % 40) as f64;
         let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
         let plan = FaultPlan::new()
             .nic_crash(crash_worker, t(crash_at_ms))
             .nic_restart(crash_worker, t(crash_at_ms + restart_after_ms))
             .backend_stall(stall_worker, t(stall_at_ms), SimDuration::from_millis(stall_ms))
+            .slowdown(slow_worker, t(stall_at_ms), slow_factor, SimDuration::from_millis(stall_ms * 4))
             .link_flap(link, t(flap_at_ms), SimDuration::from_millis(flap_ms))
-            .loss_burst(link, t(flap_at_ms + flap_ms), SimDuration::from_millis(flap_ms), burst_prob);
+            .loss_burst(link, t(flap_at_ms + flap_ms), SimDuration::from_millis(flap_ms), burst_prob)
+            .reorder(link, t(stall_at_ms), SimDuration::from_millis(flap_ms), SimDuration::from_micros(80))
+            .duplicate(link, t(crash_at_ms), SimDuration::from_millis(flap_ms), dup_prob)
+            .corrupt(link, t(flap_at_ms + 2 * flap_ms), SimDuration::from_millis(flap_ms), corrupt_prob);
         run_plan(seed, &plan)?;
     }
 
@@ -124,6 +133,7 @@ proptest! {
             bed.enable_failover(FailoverConfig {
                 heartbeat_interval: SimDuration::from_millis(25),
                 missed_beats: 3,
+        ..FailoverConfig::default()
             });
             bed.inject_faults(plan);
             let jobs: Vec<JobSpec> = program

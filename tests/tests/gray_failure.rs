@@ -1,0 +1,236 @@
+//! Gray-failure chaos tests: failures heartbeats cannot see.
+//!
+//! A fail-slow worker answers every health probe promptly while serving
+//! requests an order of magnitude late — classic gray failure. The
+//! heartbeat-driven failover controller never fires; detection has to
+//! come from the data path. These tests pin the fail-slow pipeline end
+//! to end: the gateway's per-endpoint latency feed reaches the
+//! controller, the EWMA-vs-cluster-median detector quarantines the
+//! slow worker (with **zero** deaths — no crash was injected), traffic
+//! re-routes, and the tail recovers to its pre-fault shape.
+//!
+//! A second scenario drives the `Duplicate` link fault and pins
+//! duplicate-reply suppression: replaying responses must be idempotent
+//! — conservation holds, no request completes twice, and the
+//! transport's duplicate counter (not the completion count) absorbs
+//! the replays.
+
+use std::sync::Arc;
+
+use lnic::failover::{FailoverConfig, FailoverController, FailoverEventKind};
+use lnic::prelude::*;
+use lnic_sim::prelude::*;
+use lnic_workloads::three_web_servers;
+
+const WORKERS: usize = 4;
+const THREADS: usize = 6;
+const REQUESTS_PER_THREAD: u64 = 4_000;
+const SLOW_AT: SimDuration = SimDuration::from_secs(1);
+const SLOW_FOR: SimDuration = SimDuration::from_millis(1_500);
+/// Compute runs 60× slow — far past the 4× cluster-median threshold.
+const SLOW_FACTOR: f64 = 60.0;
+
+#[test]
+fn fail_slow_worker_is_quarantined_without_a_crash() {
+    let config = TestbedConfig::new(BackendKind::Nic)
+        .seed(7)
+        .workers(WORKERS);
+    let mut bed = build_testbed(config);
+    let program = Arc::new(three_web_servers());
+    bed.preload(&program);
+    bed.enable_failover(FailoverConfig::default());
+
+    // Worker 0 turns gray mid-run: 60× slower compute, heartbeats fine.
+    let plan = FaultPlan::new().slowdown(0, SimTime::ZERO + SLOW_AT, SLOW_FACTOR, SLOW_FOR);
+    bed.inject_faults(&plan);
+
+    let jobs: Vec<JobSpec> = program
+        .lambdas
+        .iter()
+        .map(|l| JobSpec {
+            workload_id: l.id.0,
+            payload: PayloadSpec::Page(0),
+        })
+        .collect();
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        bed.gateway,
+        jobs,
+        THREADS,
+        SimDuration::from_millis(1),
+        Some(REQUESTS_PER_THREAD),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(60));
+
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    assert!(d.is_done(), "driver must drain its budget");
+    assert_eq!(d.issued(), THREADS as u64 * REQUESTS_PER_THREAD);
+    assert_eq!(d.completed().len() as u64, d.issued(), "conservation");
+
+    let ctl = bed
+        .sim
+        .get::<FailoverController>(bed.failover.unwrap())
+        .unwrap();
+    // The detector fired; the heartbeat path saw nothing wrong.
+    assert!(
+        ctl.counters().quarantines >= 1,
+        "fail-slow worker never quarantined: {:?}",
+        ctl.counters()
+    );
+    assert_eq!(ctl.counters().deaths, 0, "no crash was injected");
+    assert!(
+        ctl.counters().quarantine_lifts >= 1,
+        "probation never re-admitted the worker"
+    );
+    let quarantine_at = ctl
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, FailoverEventKind::Quarantined { worker: 0 }))
+        .expect("worker 0 quarantined")
+        .at;
+    assert!(
+        quarantine_at >= SimTime::ZERO + SLOW_AT,
+        "quarantined before the slowdown started"
+    );
+    assert!(
+        quarantine_at <= SimTime::ZERO + SLOW_AT + SimDuration::from_millis(500),
+        "detection took too long: {quarantine_at:?}"
+    );
+
+    // Tail recovery: once the slowdown expires and the final probation
+    // lift re-admits worker 0, the p99 returns to the pre-fault shape.
+    let fault_start = SimTime::ZERO + SLOW_AT;
+    let settled = SimTime::ZERO + SLOW_AT + SLOW_FOR + SimDuration::from_millis(500);
+    let mut pre = Series::new("pre");
+    let mut post = Series::new("post");
+    for c in d.completed().iter().filter(|c| !c.failed) {
+        if c.at < fault_start {
+            pre.record(c.latency);
+        } else if c.at >= settled {
+            post.record(c.latency);
+        }
+    }
+    assert!(!pre.is_empty() && !post.is_empty());
+    let p99_pre = pre.summary().p99_ns;
+    let p99_post = post.summary().p99_ns;
+    assert!(
+        p99_post <= 2 * p99_pre,
+        "post-recovery p99 {p99_post}ns vs pre-fault p99 {p99_pre}ns"
+    );
+}
+
+#[test]
+fn gray_failure_run_is_deterministic_for_a_seed() {
+    let fingerprint = || {
+        let config = TestbedConfig::new(BackendKind::Nic)
+            .seed(13)
+            .workers(WORKERS);
+        let mut bed = build_testbed(config);
+        let program = Arc::new(three_web_servers());
+        bed.preload(&program);
+        bed.enable_failover(FailoverConfig::default());
+        let plan = FaultPlan::new().slowdown(1, SimTime::ZERO + SLOW_AT, SLOW_FACTOR, SLOW_FOR);
+        bed.inject_faults(&plan);
+        let jobs: Vec<JobSpec> = program
+            .lambdas
+            .iter()
+            .map(|l| JobSpec {
+                workload_id: l.id.0,
+                payload: PayloadSpec::Page(0),
+            })
+            .collect();
+        let driver = bed.sim.add(ClosedLoopDriver::new(
+            bed.gateway,
+            jobs,
+            THREADS,
+            SimDuration::from_millis(1),
+            Some(500),
+        ));
+        bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+        bed.sim
+            .run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+        let sum: u64 = d
+            .completed()
+            .iter()
+            .filter(|c| !c.failed)
+            .map(|c| c.latency.as_nanos())
+            .sum();
+        let ctl = bed
+            .sim
+            .get::<FailoverController>(bed.failover.unwrap())
+            .unwrap();
+        (
+            d.issued(),
+            d.completed().len(),
+            sum,
+            ctl.counters().quarantines,
+            ctl.counters().quarantine_lifts,
+        )
+    };
+    assert_eq!(fingerprint(), fingerprint());
+}
+
+#[test]
+fn duplicate_replies_are_suppressed_and_requests_conserved() {
+    let config = TestbedConfig::new(BackendKind::Nic)
+        .seed(23)
+        .workers(WORKERS);
+    let mut bed = build_testbed(config);
+    let program = Arc::new(three_web_servers());
+    bed.preload(&program);
+
+    // Duplicate every frame both ways through the gateway's switch port
+    // for two seconds: requests replay at the workers, responses replay
+    // at the gateway's transport.
+    let dup_window = SimDuration::from_secs(2);
+    let plan = FaultPlan::new()
+        .duplicate(0, SimTime::ZERO, dup_window, 1.0)
+        .duplicate(1, SimTime::ZERO, dup_window, 1.0);
+    bed.inject_faults(&plan);
+
+    let jobs: Vec<JobSpec> = program
+        .lambdas
+        .iter()
+        .map(|l| JobSpec {
+            workload_id: l.id.0,
+            payload: PayloadSpec::Page(0),
+        })
+        .collect();
+    let driver = bed.sim.add(ClosedLoopDriver::new(
+        bed.gateway,
+        jobs,
+        THREADS,
+        SimDuration::from_millis(1),
+        Some(1_000),
+    ));
+    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+    bed.sim.run();
+    // End-of-run conservation accounting (the in-stream invariant
+    // checker panics on any double completion as the run goes).
+    bed.finish_tracing();
+
+    let d = bed.sim.get::<ClosedLoopDriver>(driver).unwrap();
+    assert_eq!(d.issued(), THREADS as u64 * 1_000);
+    assert_eq!(
+        d.completed().len() as u64,
+        d.issued(),
+        "duplicates must not create or destroy completions"
+    );
+    assert!(
+        d.completed().iter().all(|c| !c.failed),
+        "a duplicated frame is extra traffic, not a failure"
+    );
+
+    let gw = bed.sim.get::<Gateway>(bed.gateway).unwrap();
+    assert!(
+        gw.duplicate_replies() > 0,
+        "with every frame duplicated, replayed responses must reach the tracker"
+    );
+    assert_eq!(
+        gw.counters().completed,
+        d.issued(),
+        "each request completes exactly once at the gateway"
+    );
+}
