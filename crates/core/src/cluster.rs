@@ -373,9 +373,7 @@ impl Testbed {
                     self.sim.post(
                         worker.component,
                         SimDuration::ZERO,
-                        lnic_host::DeployProgram {
-                            program: Arc::new(firmware.program.clone()),
-                        },
+                        lnic_host::DeployProgram::unfenced(Arc::new(firmware.program.clone())),
                     );
                 }
             }
@@ -423,9 +421,7 @@ impl Testbed {
             self.sim.post(
                 host,
                 SimDuration::ZERO,
-                lnic_host::DeployProgram {
-                    program: Arc::clone(host_program),
-                },
+                lnic_host::DeployProgram::unfenced(Arc::clone(host_program)),
             );
         }
         let gw = self
@@ -476,7 +472,7 @@ impl Testbed {
     ///
     /// Panics when a worker or link index is out of range.
     pub fn inject_faults(&mut self, plan: &FaultPlan) {
-        use lnic_sim::fault::{Crash, FaultEvent, LinkDown, Restart, StallFor};
+        use lnic_sim::fault::{Crash, FaultEvent, LinkDown, NetCutFrom, Restart, StallFor};
         for fault in plan.events() {
             let delay = fault.at.saturating_duration_since(self.sim.now());
             match fault.event {
@@ -548,6 +544,91 @@ impl Testbed {
                         delay,
                         lnic_sim::fault::Corrupt { duration, prob },
                     );
+                }
+                FaultEvent::Partition { groups, duration } => {
+                    // Down the severed workers' uplink and switch port:
+                    // every data frame they send or receive blackholes,
+                    // including frames from same-side peers (the switch
+                    // is a single star, so a severed worker is dark).
+                    let severed: Vec<usize> = (0..self.workers.len())
+                        .filter(|&i| groups & (1 << i) != 0)
+                        .collect();
+                    for &i in &severed {
+                        self.sim
+                            .post(self.links[4 + 2 * i], delay, LinkDown(duration));
+                        self.sim
+                            .post(self.links[5 + 2 * i], delay, LinkDown(duration));
+                    }
+                    // Direct control traffic (heartbeats, lease grants,
+                    // acks) does not ride the links; cut it explicitly
+                    // in both directions.
+                    if let Some(controller) = self.failover {
+                        let peers: Vec<ComponentId> =
+                            severed.iter().map(|&i| self.workers[i].component).collect();
+                        self.sim
+                            .post(controller, delay, NetCutFrom { peers, duration });
+                        for &i in &severed {
+                            self.sim.post(
+                                self.workers[i].component,
+                                delay,
+                                NetCutFrom {
+                                    peers: vec![controller],
+                                    duration,
+                                },
+                            );
+                        }
+                    }
+                }
+                FaultEvent::AsymLink { from, to, duration } => {
+                    if from == 0 {
+                        // Control plane -> worker: the worker's switch
+                        // port goes dark (it hears nobody), but its
+                        // uplink still carries frames out.
+                        let j = to.checked_sub(1).expect("asym_link endpoints differ");
+                        self.sim
+                            .post(self.links[5 + 2 * j], delay, LinkDown(duration));
+                        if let Some(controller) = self.failover {
+                            self.sim.post(
+                                self.workers[j].component,
+                                delay,
+                                NetCutFrom {
+                                    peers: vec![controller],
+                                    duration,
+                                },
+                            );
+                        }
+                    } else {
+                        // Worker -> control plane (or worker -> worker):
+                        // the sender's uplink goes dark; it still hears
+                        // everything.
+                        let i = from - 1;
+                        self.sim
+                            .post(self.links[4 + 2 * i], delay, LinkDown(duration));
+                        if to == 0 {
+                            if let Some(controller) = self.failover {
+                                self.sim.post(
+                                    controller,
+                                    delay,
+                                    NetCutFrom {
+                                        peers: vec![self.workers[i].component],
+                                        duration,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                FaultEvent::ControllerCrash => {
+                    let controller = self
+                        .failover
+                        .expect("ControllerCrash requires enable_failover");
+                    self.sim.post(controller, delay, Crash);
+                }
+                FaultEvent::ControllerRestart => {
+                    let controller = self
+                        .failover
+                        .expect("ControllerRestart requires enable_failover");
+                    self.sim.post(controller, delay, Restart);
                 }
             }
         }

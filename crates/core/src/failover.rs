@@ -14,13 +14,48 @@
 //! worker component (the out-of-band management NIC port, not the data
 //! plane), so a congested data path never looks like a death — only a
 //! crashed or long-stalled worker does.
+//!
+//! # Leases and fencing ([`FailoverConfig::fencing`])
+//!
+//! Heartbeat liveness alone is unsafe under network partitions: a
+//! worker the controller cannot reach may still be serving traffic, and
+//! re-placing its workloads creates two live owners (split brain). With
+//! fencing enabled the controller instead grants **bounded leases**
+//! carrying monotonically increasing **epochs** ([`GrantLease`]):
+//!
+//! - A worker serves only while its lease is live, and stamps its epoch
+//!   on every reply; work carrying an older epoch is refused with
+//!   `RC_FENCED`.
+//! - The controller stops renewing after [`FailoverConfig::missed_beats`]
+//!   silent rounds and re-places only once the last granted lease has
+//!   **provably expired** — there is no instant at which the old owner
+//!   still accepts work and a new owner exists.
+//! - Fencing raises the gateway's reply floor to `epoch + 1`
+//!   ([`crate::gateway::FenceWorker`]), so late replies from the fenced
+//!   epoch can never complete a re-placed request twice.
+//! - A healed worker rejoins through a lease-renewal handshake that
+//!   bumps its epoch past the fence and drops its pre-partition queue.
+//!
+//! With [`FailoverConfig::snapshot_interval`] set, the controller also
+//! serializes its membership + placement state to a stable snapshot on
+//! a cadence and writes it through on every fence/rejoin transition, so
+//! a crash-restarted control plane ([`lnic_sim::fault::Crash`] /
+//! [`lnic_sim::fault::Restart`]) resumes from the last snapshot and
+//! reconciles against worker-reported epochs ([`EpochQuery`]).
 
 use std::collections::HashMap;
 
-use lnic_sim::fault::{HealthPing, HealthPong};
+use lnic_net::transport::UpdateService;
+use lnic_sim::fault::{
+    Crash, EpochQuery, EpochReport, GrantLease, HealthPing, HealthPong, LeaseAck, NetCutFrom,
+    Restart,
+};
 use lnic_sim::prelude::*;
 
-use crate::gateway::{AddPlacement, EndpointLatencyReport, RemoveWorkerEndpoints, WorkerEndpoint};
+use crate::gateway::{
+    AddPlacement, EndpointLatencyReport, FenceWorker, RemoveWorkerEndpoints, SetWorkerEpoch,
+    WorkerEndpoint,
+};
 
 /// Health-check timing and thresholds.
 #[derive(Clone, Copy, Debug)]
@@ -39,17 +74,51 @@ pub struct FailoverConfig {
     pub quarantine_probation: SimDuration,
     /// EWMA smoothing weight given to each new latency report.
     pub ewma_alpha: f64,
+    /// Replace heartbeat liveness with lease-based membership + epoch
+    /// fencing (see the module docs). Off by default: legacy testbeds
+    /// keep the exact ping/pong behaviour.
+    pub fencing: bool,
+    /// Validity of each granted lease. A suspected worker is fenced
+    /// only once its last granted lease has provably expired.
+    pub lease_duration: SimDuration,
+    /// When set, serialize controller state to a stable snapshot on
+    /// this cadence (and on every fence/rejoin transition), enabling
+    /// crash-restart recovery of the control plane.
+    pub snapshot_interval: Option<SimDuration>,
 }
 
 impl Default for FailoverConfig {
     fn default() -> Self {
+        let heartbeat_interval = SimDuration::from_millis(50);
+        let missed_beats: u32 = 3;
         FailoverConfig {
-            heartbeat_interval: SimDuration::from_millis(50),
-            missed_beats: 3,
+            heartbeat_interval,
+            missed_beats,
+            lease_duration: heartbeat_interval * missed_beats as u64,
             slow_factor: 4.0,
             slow_strikes: 3,
             quarantine_probation: SimDuration::from_millis(500),
             ewma_alpha: 0.3,
+            fencing: false,
+            snapshot_interval: None,
+        }
+    }
+}
+
+impl FailoverConfig {
+    /// Enables lease-based membership with epoch fencing.
+    pub fn fenced(self) -> Self {
+        FailoverConfig {
+            fencing: true,
+            ..self
+        }
+    }
+
+    /// Enables periodic stable snapshots of controller state.
+    pub fn with_snapshots(self, interval: SimDuration) -> Self {
+        FailoverConfig {
+            snapshot_interval: Some(interval),
+            ..self
         }
     }
 }
@@ -76,7 +145,17 @@ pub struct ReplanRequest {
 }
 
 #[derive(Debug)]
-struct Beat;
+struct Beat {
+    /// Generation at arming; a crash-restart bumps the generation so
+    /// pre-crash timers cannot double the beat loop.
+    gen: u64,
+}
+
+/// Self-timer: take the next periodic stable snapshot.
+#[derive(Debug)]
+struct SnapTick {
+    gen: u64,
+}
 
 /// Self-timer: a quarantined worker's probation is over.
 #[derive(Debug)]
@@ -160,6 +239,28 @@ struct WorkerHealth {
     slow_strikes: u32,
     /// Ejected by the fail-slow detector (still answers heartbeats).
     quarantined: bool,
+    /// The worker's fencing token (fencing mode; 0 before the regime
+    /// starts, then ≥ 1, bumped on every rejoin).
+    epoch: u64,
+    /// Expiry of the last lease granted to this worker, as recorded at
+    /// grant time. An upper bound on the worker's own view: lost grants
+    /// only make the worker's lease *shorter*.
+    lease_until: SimTime,
+    /// Fenced: lease provably expired, placements re-homed, awaiting
+    /// the rejoin handshake.
+    fenced: bool,
+}
+
+/// Stable-storage image of the controller's membership + placement
+/// state. Written through on every fence/rejoin so restored epochs are
+/// exact; leases are volatile and re-bounded at restore.
+#[derive(Clone)]
+struct Snapshot {
+    seq: u64,
+    /// Per-worker `(epoch, fenced, alive)`.
+    workers: Vec<(u64, bool, bool)>,
+    home: Vec<(u32, usize)>,
+    origin: Vec<(u32, usize)>,
 }
 
 /// The health-check + failover controller component.
@@ -177,6 +278,28 @@ pub struct FailoverController {
     /// When set, death/recovery re-placement decisions are delegated to
     /// this planner via [`ReplanRequest`] instead of applied directly.
     planner: Option<ComponentId>,
+    /// Peers this controller is partitioned from (by component index),
+    /// and until when; their acks/pongs/reports are dropped.
+    cut_from: HashMap<usize, SimTime>,
+    /// Crashed control plane: silent until a [`Restart`].
+    crashed: bool,
+    /// Last stable snapshot (survives crashes — modeled stable storage).
+    stable: Option<Snapshot>,
+    /// Monotonic snapshot sequence (also survives crashes).
+    snap_seq: u64,
+    /// Current beat-timer generation (see [`Beat`]).
+    beat_gen: u64,
+    /// Current snapshot-timer generation.
+    snap_gen: u64,
+    /// Monotonic lease-grant sequence.
+    lease_seq: u64,
+    /// Workload → service id routes to broadcast ([`UpdateService`])
+    /// when a re-placement moves the workload.
+    service_routes: HashMap<u32, u16>,
+    /// A restore happened; emit `SnapshotRestored` (with the count of
+    /// workers whose reported epoch was ahead) on the next beat, after
+    /// the zero-delay [`EpochReport`]s have arrived.
+    restore_pending: Option<(u64, u64)>,
 }
 
 impl FailoverController {
@@ -201,6 +324,9 @@ impl FailoverController {
                     ewma_ns: None,
                     slow_strikes: 0,
                     quarantined: false,
+                    epoch: 0,
+                    lease_until: SimTime::ZERO,
+                    fenced: false,
                 })
                 .collect(),
             home: HashMap::new(),
@@ -209,6 +335,15 @@ impl FailoverController {
             counters: FailoverCounters::default(),
             events: Vec::new(),
             planner: None,
+            cut_from: HashMap::new(),
+            crashed: false,
+            stable: None,
+            snap_seq: 0,
+            beat_gen: 0,
+            snap_gen: 0,
+            lease_seq: 0,
+            service_routes: HashMap::new(),
+            restore_pending: None,
         }
     }
 
@@ -229,6 +364,35 @@ impl FailoverController {
         assert!(worker < self.workers.len(), "worker index out of range");
         self.home.insert(workload_id, worker);
         self.origin.insert(workload_id, worker);
+    }
+
+    /// Records that `workload_id` is callable as lambda-RPC service
+    /// `service`. When a re-placement moves the workload, the controller
+    /// broadcasts the new endpoint to every worker's service table
+    /// ([`UpdateService`]), so in-flight RPC retries chase the live
+    /// endpoint instead of retransmitting at the evicted one.
+    pub fn track_service(&mut self, workload_id: u32, service: u16) {
+        self.service_routes.insert(workload_id, service);
+    }
+
+    /// The fencing token worker `worker` was last seen holding.
+    pub fn worker_epoch(&self, worker: usize) -> u64 {
+        self.workers[worker].epoch
+    }
+
+    /// Whether worker `worker` is currently fenced.
+    pub fn is_fenced(&self, worker: usize) -> bool {
+        self.workers[worker].fenced
+    }
+
+    /// Sequence number of the last stable snapshot taken (0 = none).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snap_seq
+    }
+
+    /// Whether the control plane is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Statistics.
@@ -263,10 +427,42 @@ impl FailoverController {
         });
     }
 
-    /// One heartbeat round: tally the previous round's silences, act on
-    /// deaths, then probe everyone again.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        if self.cfg.fencing {
+            // Establish the epoch regime: every worker starts at 1 and
+            // the gateway stamps that token on requests routed at it.
+            for i in 0..self.workers.len() {
+                self.workers[i].epoch = 1;
+                let mac = self.workers[i].endpoint.mac;
+                ctx.send(
+                    self.gateway,
+                    SimDuration::ZERO,
+                    SetWorkerEpoch { mac, epoch: 1 },
+                );
+            }
+        }
+        if let Some(interval) = self.cfg.snapshot_interval {
+            self.take_snapshot(ctx);
+            let gen = self.snap_gen;
+            ctx.send_self(interval, SnapTick { gen });
+        }
+        self.on_beat(ctx);
+    }
+
+    /// One round of the liveness loop: tally the previous round's
+    /// silences, act on deaths (or lease expiries), then probe (or
+    /// grant) again.
     fn on_beat(&mut self, ctx: &mut Ctx<'_>) {
         self.counters.beats += 1;
+        // A restore completed last turn; every reachable worker's
+        // zero-delay EpochReport has arrived by now.
+        if let Some((seq, reconciled)) = self.restore_pending.take() {
+            ctx.emit(|| TraceEvent::SnapshotRestored { seq, reconciled });
+        }
         for i in 0..self.workers.len() {
             let w = &mut self.workers[i];
             if w.ponged {
@@ -275,7 +471,19 @@ impl FailoverController {
                 w.missed = w.missed.saturating_add(1);
             }
             w.ponged = false;
-            if w.alive && w.missed >= self.cfg.missed_beats {
+        }
+        if self.cfg.fencing {
+            self.beat_fencing(ctx);
+        } else {
+            self.beat_legacy(ctx);
+        }
+        let gen = self.beat_gen;
+        ctx.send_self(self.cfg.heartbeat_interval, Beat { gen });
+    }
+
+    fn beat_legacy(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.workers.len() {
+            if self.workers[i].alive && self.workers[i].missed >= self.cfg.missed_beats {
                 self.declare_dead(ctx, i);
             }
         }
@@ -288,7 +496,323 @@ impl FailoverController {
                 HealthPing { seq, reply_to },
             );
         }
-        ctx.send_self(self.cfg.heartbeat_interval, Beat);
+    }
+
+    fn beat_fencing(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        for i in 0..self.workers.len() {
+            if self.workers[i].fenced {
+                // Rejoin probe: idempotent until the worker acks with
+                // the bumped epoch (a partitioned worker never sees it).
+                let epoch = self.workers[i].epoch + 1;
+                self.send_grant(ctx, i, epoch, true);
+                continue;
+            }
+            if self.workers[i].missed >= self.cfg.missed_beats {
+                // Suspected: stop extending the lease. Fencing is safe
+                // only once the last granted lease has provably expired
+                // — before that instant the worker may still be serving.
+                if crate::lease::provably_expired(now, self.workers[i].lease_until) {
+                    self.fence_worker(ctx, i);
+                }
+                continue;
+            }
+            let epoch = self.workers[i].epoch;
+            self.send_grant(ctx, i, epoch, false);
+        }
+    }
+
+    /// Grants (or probes, for `rejoin`) a lease. Grants are direct
+    /// zero-delay control messages, so the `lease_until` recorded here
+    /// is exactly what the worker adopts when the grant is delivered;
+    /// a lost grant only leaves the worker with a *shorter* lease.
+    fn send_grant(&mut self, ctx: &mut Ctx<'_>, idx: usize, epoch: u64, rejoin: bool) {
+        self.lease_seq += 1;
+        // A rejoin probe carries an already-expired lease: the worker
+        // adopts the bumped epoch but earns serving time only after its
+        // ack round-trips.
+        let until = if rejoin {
+            ctx.now()
+        } else {
+            ctx.now() + self.cfg.lease_duration
+        };
+        if !rejoin {
+            self.workers[idx].lease_until = self.workers[idx].lease_until.max(until);
+        }
+        let worker = idx as u32;
+        let until_ns = until.as_nanos();
+        ctx.emit(|| TraceEvent::LeaseGrant {
+            worker,
+            epoch,
+            until_ns,
+        });
+        let reply_to = ctx.self_id();
+        ctx.send(
+            self.workers[idx].component,
+            SimDuration::ZERO,
+            GrantLease {
+                epoch,
+                until_ns,
+                seq: self.lease_seq,
+                rejoin,
+                reply_to,
+            },
+        );
+    }
+
+    /// Fences a worker whose lease provably expired: raise the
+    /// gateway's reply floor, withdraw its endpoints, re-home its
+    /// workloads, and persist the membership transition.
+    fn fence_worker(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let epoch = self.workers[idx].epoch;
+        self.workers[idx].fenced = true;
+        self.workers[idx].alive = false;
+        self.counters.deaths += 1;
+        self.record(ctx, FailoverEventKind::WorkerDead { worker: idx });
+        let worker = idx as u32;
+        let component = self.workers[idx].component.index() as u32;
+        ctx.emit(|| TraceEvent::LeaseExpire { worker, epoch });
+        ctx.emit(|| TraceEvent::WorkerFenced {
+            worker,
+            component,
+            epoch,
+        });
+        let mac = self.workers[idx].endpoint.mac;
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            FenceWorker {
+                mac,
+                floor_epoch: epoch + 1,
+            },
+        );
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            RemoveWorkerEndpoints { mac },
+        );
+        self.replace_orphans(ctx, idx);
+        self.write_through(ctx);
+    }
+
+    /// Broadcasts the new endpoint of a re-placed service workload to
+    /// every worker's service table.
+    fn broadcast_service_route(&mut self, ctx: &mut Ctx<'_>, workload_id: u32, target: usize) {
+        let Some(&service) = self.service_routes.get(&workload_id) else {
+            return;
+        };
+        let ep = self.workers[target].endpoint;
+        let update = UpdateService {
+            service,
+            mac: ep.mac,
+            addr: ep.addr,
+        };
+        for w in &self.workers {
+            ctx.send(w.component, SimDuration::ZERO, update);
+        }
+    }
+
+    /// Serializes membership + placement state to the stable snapshot.
+    fn take_snapshot(&mut self, ctx: &mut Ctx<'_>) {
+        self.snap_seq += 1;
+        let seq = self.snap_seq;
+        let mut home: Vec<(u32, usize)> = self.home.iter().map(|(&k, &v)| (k, v)).collect();
+        home.sort_unstable();
+        let mut origin: Vec<(u32, usize)> = self.origin.iter().map(|(&k, &v)| (k, v)).collect();
+        origin.sort_unstable();
+        let workers: Vec<(u64, bool, bool)> = self
+            .workers
+            .iter()
+            .map(|w| (w.epoch, w.fenced, w.alive))
+            .collect();
+        let n_workers = workers.len() as u64;
+        let placements = home.len() as u64;
+        self.stable = Some(Snapshot {
+            seq,
+            workers,
+            home,
+            origin,
+        });
+        ctx.emit(|| TraceEvent::SnapshotTaken {
+            seq,
+            workers: n_workers,
+            placements,
+        });
+    }
+
+    /// Persists a membership transition immediately (fence/rejoin), so
+    /// restored epochs are never stale. No-op when snapshotting is off.
+    fn write_through(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.snapshot_interval.is_some() {
+            self.take_snapshot(ctx);
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_>) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "crash",
+            detail: 0,
+        });
+    }
+
+    /// Restarts the control plane from the last stable snapshot:
+    /// restore membership + placement bookkeeping, re-bound every
+    /// worker's lease (no grant was sent while crashed, so every
+    /// pre-crash lease expires within one lease duration), re-assert
+    /// epoch/floor state at the gateway, and query workers for epochs
+    /// the snapshot may have missed. Placements are NOT re-issued —
+    /// gateway placement state survived, and re-placing would violate
+    /// conservation.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "restart",
+            detail: 0,
+        });
+        // Pre-crash timers must not double the loops.
+        self.beat_gen += 1;
+        self.snap_gen += 1;
+        if !self.started {
+            return;
+        }
+        if let Some(snap) = self.stable.clone() {
+            self.home = snap.home.into_iter().collect();
+            self.origin = snap.origin.into_iter().collect();
+            let reply_to = ctx.self_id();
+            for (i, &(epoch, fenced, alive)) in snap.workers.iter().enumerate() {
+                let w = &mut self.workers[i];
+                w.epoch = epoch;
+                w.fenced = fenced;
+                w.alive = alive;
+                w.missed = 0;
+                w.ponged = false;
+                w.lease_until = ctx.now() + self.cfg.lease_duration;
+                let mac = w.endpoint.mac;
+                ctx.send(
+                    self.gateway,
+                    SimDuration::ZERO,
+                    SetWorkerEpoch { mac, epoch },
+                );
+                if fenced {
+                    ctx.send(
+                        self.gateway,
+                        SimDuration::ZERO,
+                        FenceWorker {
+                            mac,
+                            floor_epoch: epoch + 1,
+                        },
+                    );
+                    ctx.send(
+                        self.gateway,
+                        SimDuration::ZERO,
+                        RemoveWorkerEndpoints { mac },
+                    );
+                }
+                ctx.send(
+                    self.workers[i].component,
+                    SimDuration::ZERO,
+                    EpochQuery { reply_to },
+                );
+            }
+            self.restore_pending = Some((snap.seq, 0));
+        }
+        let gen = self.beat_gen;
+        ctx.send_self(self.cfg.heartbeat_interval, Beat { gen });
+        if let Some(interval) = self.cfg.snapshot_interval {
+            let gen = self.snap_gen;
+            ctx.send_self(interval, SnapTick { gen });
+        }
+    }
+
+    fn on_lease_ack(&mut self, ctx: &mut Ctx<'_>, ack: &LeaseAck) {
+        let Some(idx) = self.workers.iter().position(|w| w.component == ack.from) else {
+            return;
+        };
+        if self.is_cut_from(ctx.now(), ack.from) {
+            return;
+        }
+        let w = &mut self.workers[idx];
+        w.ponged = true;
+        w.missed = 0;
+        if w.fenced && ack.epoch > w.epoch {
+            // Rejoin handshake complete: the worker adopted the bumped
+            // epoch and dropped its pre-partition queue. The probe
+            // carried no serving time, so issue the real lease now.
+            w.epoch = ack.epoch;
+            w.fenced = false;
+            w.alive = true;
+            self.counters.recoveries += 1;
+            self.record(ctx, FailoverEventKind::WorkerRecovered { worker: idx });
+            let worker = idx as u32;
+            let component = ack.from.index() as u32;
+            let epoch = ack.epoch;
+            ctx.emit(|| TraceEvent::WorkerRejoin {
+                worker,
+                component,
+                epoch,
+            });
+            let mac = self.workers[idx].endpoint.mac;
+            ctx.send(
+                self.gateway,
+                SimDuration::ZERO,
+                SetWorkerEpoch { mac, epoch },
+            );
+            self.send_grant(ctx, idx, epoch, false);
+            self.hand_back(ctx, idx);
+            self.write_through(ctx);
+        } else if ack.epoch > w.epoch {
+            // Tokens never regress; adopt the fresher view.
+            w.epoch = ack.epoch;
+        }
+    }
+
+    fn on_epoch_report(&mut self, ctx: &mut Ctx<'_>, report: &EpochReport) {
+        let Some(idx) = self.workers.iter().position(|w| w.component == report.from) else {
+            return;
+        };
+        if self.is_cut_from(ctx.now(), report.from) {
+            return;
+        }
+        let w = &mut self.workers[idx];
+        if report.epoch > w.epoch {
+            // The worker completed a rejoin the snapshot missed. Its
+            // gateway placements survived the controller crash, so no
+            // handback is needed — only the bookkeeping catches up.
+            w.epoch = report.epoch;
+            if w.fenced {
+                w.fenced = false;
+                w.alive = true;
+            }
+            if let Some((_, reconciled)) = self.restore_pending.as_mut() {
+                *reconciled += 1;
+            }
+            let mac = w.endpoint.mac;
+            let epoch = report.epoch;
+            ctx.send(
+                self.gateway,
+                SimDuration::ZERO,
+                SetWorkerEpoch { mac, epoch },
+            );
+        }
+        if report.lease_until_ns > 0 {
+            let until = SimTime::from_nanos(report.lease_until_ns);
+            let w = &mut self.workers[idx];
+            w.lease_until = w.lease_until.max(until);
+        }
+    }
+
+    /// Whether a message from `peer` is inside an active partition cut.
+    fn is_cut_from(&self, now: SimTime, peer: ComponentId) -> bool {
+        self.cut_from
+            .get(&peer.index())
+            .is_some_and(|&until| now < until)
     }
 
     fn declare_dead(&mut self, ctx: &mut Ctx<'_>, dead: usize) {
@@ -363,6 +887,9 @@ impl FailoverController {
                     endpoint: self.workers[target].endpoint,
                 },
             );
+            // Inter-worker RPC tables must chase the re-placement too,
+            // or retries keep hammering the evicted endpoint.
+            self.broadcast_service_route(ctx, wid, target);
         }
     }
 
@@ -370,6 +897,9 @@ impl FailoverController {
         let Some(idx) = self.workers.iter().position(|w| w.component == from) else {
             return;
         };
+        if self.is_cut_from(ctx.now(), from) {
+            return;
+        }
         let w = &mut self.workers[idx];
         w.ponged = true;
         w.missed = 0;
@@ -432,6 +962,7 @@ impl FailoverController {
                     endpoint,
                 },
             );
+            self.broadcast_service_route(ctx, wid, idx);
         }
     }
 
@@ -545,19 +1076,76 @@ impl Component for FailoverController {
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        // Fault controls model process/network state and act even while
+        // the process is down.
+        let msg = match msg.downcast::<Crash>() {
+            Ok(_) => {
+                self.on_crash(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<Restart>() {
+            Ok(_) => {
+                self.on_restart(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<NetCutFrom>() {
+            Ok(cut) => {
+                let until = ctx.now() + cut.duration;
+                for peer in &cut.peers {
+                    let slot = self.cut_from.entry(peer.index()).or_insert(until);
+                    *slot = (*slot).max(until);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        if self.crashed {
+            // Messages addressed to a crashed process die with it.
+            return;
+        }
         let msg = match msg.downcast::<StartFailover>() {
             Ok(_) => {
-                if !self.started {
-                    self.started = true;
+                self.on_start(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<Beat>() {
+            Ok(beat) => {
+                if beat.gen == self.beat_gen {
                     self.on_beat(ctx);
                 }
                 return;
             }
             Err(other) => other,
         };
-        let msg = match msg.downcast::<Beat>() {
-            Ok(_) => {
-                self.on_beat(ctx);
+        let msg = match msg.downcast::<SnapTick>() {
+            Ok(tick) => {
+                if tick.gen == self.snap_gen {
+                    self.take_snapshot(ctx);
+                    if let Some(interval) = self.cfg.snapshot_interval {
+                        let gen = self.snap_gen;
+                        ctx.send_self(interval, SnapTick { gen });
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<LeaseAck>() {
+            Ok(ack) => {
+                self.on_lease_ack(ctx, &ack);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<EpochReport>() {
+            Ok(report) => {
+                self.on_epoch_report(ctx, &report);
                 return;
             }
             Err(other) => other,

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 
 use lnic_net::frag::fragment;
-use lnic_net::packet::{LambdaHdr, LambdaKind, Packet, RC_EXPIRED, RC_OVERLOADED};
+use lnic_net::packet::{LambdaHdr, LambdaKind, Packet, RC_EXPIRED, RC_FENCED, RC_OVERLOADED};
 use lnic_net::params::MTU_PAYLOAD_BYTES;
 use lnic_net::transport::{RetryPolicy, RpcTracker, TimeoutAction};
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
@@ -203,6 +203,33 @@ pub struct RemoveWorkerEndpoints {
     pub mac: MacAddr,
 }
 
+/// Control message: record the fencing token a worker currently serves
+/// under. Every subsequent request routed at that worker carries this
+/// epoch in its lambda header; the worker refuses anything older.
+///
+/// Sent by the failover controller at lease establishment and again
+/// after a fenced worker rejoins with a bumped epoch.
+#[derive(Debug)]
+pub struct SetWorkerEpoch {
+    /// The worker (by MAC).
+    pub mac: MacAddr,
+    /// Its current fencing token.
+    pub epoch: u64,
+}
+
+/// Control message: fence a worker at the gateway. Replies arriving
+/// from this worker with an epoch below `floor_epoch` are discarded —
+/// they were produced under a lease that has since been revoked, and
+/// accepting them could complete a request the controller already
+/// re-placed (a double side effect).
+#[derive(Debug)]
+pub struct FenceWorker {
+    /// The worker (by MAC).
+    pub mac: MacAddr,
+    /// Minimum acceptable reply epoch (the fenced epoch + 1).
+    pub floor_epoch: u64,
+}
+
 /// Control message: ask the gateway for per-workload statistics since
 /// the last query; it replies with a [`StatsReport`].
 #[derive(Debug)]
@@ -262,11 +289,21 @@ pub struct GatewayCounters {
     pub hedges_fired: u64,
     /// Requests whose winning response came from the hedge replica.
     pub hedges_won: u64,
+    /// `RC_FENCED` replies: a worker refused the attempt because its
+    /// lease lapsed or the carried token was stale.
+    pub fenced_replies: u64,
+    /// Late replies discarded because they carried an epoch below the
+    /// worker's fence floor.
+    pub stale_replies: u64,
 }
 
 #[derive(Debug)]
 struct GwTimeout {
     request_id: u64,
+    /// Timer generation at arming; a mismatch at firing means the
+    /// request was already retried through another path (e.g. an
+    /// `RC_FENCED` fast retry) and this timer is stale.
+    gen: u64,
 }
 
 /// Self-timer: consider hedging a still-outstanding request.
@@ -299,6 +336,8 @@ struct PendingMeta {
     primary_mac: MacAddr,
     /// Whether a hedge has been sent for this request.
     hedged: bool,
+    /// Current retransmission-timer generation (see [`GwTimeout`]).
+    timer_gen: u64,
 }
 
 /// The gateway component.
@@ -329,6 +368,13 @@ pub struct Gateway {
     latency_observer: Option<ComponentId>,
     /// Whether a `GwLatFlush` timer is currently armed.
     lat_timer_armed: bool,
+    /// The fencing token each worker currently serves under; stamped
+    /// into the lambda header of every request routed at it (0 when the
+    /// worker is outside any lease regime).
+    worker_epochs: HashMap<MacAddr, u64>,
+    /// Minimum acceptable reply epoch per fenced worker; older replies
+    /// are discarded to prevent double-completion after re-placement.
+    fence_floors: HashMap<MacAddr, u64>,
 }
 
 impl Gateway {
@@ -363,6 +409,8 @@ impl Gateway {
             pending_lat: HashMap::new(),
             latency_observer: None,
             lat_timer_armed: false,
+            worker_epochs: HashMap::new(),
+            fence_floors: HashMap::new(),
         }
     }
 
@@ -486,8 +534,13 @@ impl Gateway {
         arm_timer: bool,
     ) {
         let src = SocketAddr::new(self.params.ip, self.params.port);
+        // Stamp the destination worker's fencing token so the worker can
+        // refuse the attempt if its lease has since been superseded.
+        let epoch = self.worker_epochs.get(&endpoint.mac).copied().unwrap_or(0);
         if payload.len() <= MTU_PAYLOAD_BYTES {
-            let hdr = LambdaHdr::request(workload_id, request_id).with_deadline_ns(deadline_ns);
+            let hdr = LambdaHdr::request(workload_id, request_id)
+                .with_deadline_ns(deadline_ns)
+                .with_epoch(epoch);
             let packet = Packet::builder()
                 .eth(self.params.mac, endpoint.mac)
                 .udp(src, endpoint.addr)
@@ -510,6 +563,7 @@ impl Gateway {
                     return_code: 0,
                     deadline_ns,
                     queue_depth: 0,
+                    epoch,
                 };
                 let packet = Packet::builder()
                     .eth(self.params.mac, endpoint.mac)
@@ -527,7 +581,8 @@ impl Gateway {
         // arming their own.
         if arm_timer {
             let timer = self.tracker.arm_timeout(ctx.now(), request_id, ctx.rng());
-            ctx.send_self(send_delay + timer, GwTimeout { request_id });
+            let gen = self.meta.get(&request_id).map_or(0, |m| m.timer_gen);
+            ctx.send_self(send_delay + timer, GwTimeout { request_id, gen });
         }
     }
 
@@ -627,6 +682,7 @@ impl Gateway {
                 deadline_ns,
                 primary_mac: endpoint.mac,
                 hedged: false,
+                timer_gen: 0,
             },
         );
         ctx.emit(|| TraceEvent::RequestSubmitted {
@@ -731,6 +787,49 @@ impl Gateway {
         // Backpressure signal: workers advertise their queue depth on
         // every response, even ones losing a hedge race.
         self.endpoint_depth.insert(packet.eth.src, hdr.queue_depth);
+        // Fencing: discard late replies carrying an epoch below the
+        // worker's fence floor. They were produced under a lease the
+        // controller has since revoked; the workload may already be
+        // re-placed, and accepting such a reply could complete a request
+        // twice. The request stays outstanding — its retransmission
+        // timer resolves it against the current placement.
+        if let Some(&floor) = self.fence_floors.get(&packet.eth.src) {
+            if hdr.epoch < floor {
+                self.counters.stale_replies += 1;
+                ctx.emit(|| TraceEvent::StaleReplyDrop {
+                    request_id: hdr.request_id,
+                    reply_epoch: hdr.epoch,
+                    floor_epoch: floor,
+                });
+                return;
+            }
+        }
+        // A worker refused the attempt because its lease lapsed or the
+        // carried token was stale. Adopt the fresher epoch, then retry
+        // immediately on another replica when one exists; with no
+        // alternative the armed timer retries after the controller has
+        // re-placed the workload.
+        if hdr.return_code == RC_FENCED {
+            self.counters.fenced_replies += 1;
+            if hdr.epoch != 0 {
+                let slot = self.worker_epochs.entry(packet.eth.src).or_insert(0);
+                *slot = (*slot).max(hdr.epoch);
+            }
+            let Some(rec) = self.tracker.get(hdr.request_id) else {
+                return; // already resolved (e.g. the other hedge arm won)
+            };
+            let has_alt = self
+                .placements
+                .get(&rec.workload_id)
+                .is_some_and(|list| list.iter().any(|ep| ep.mac != packet.eth.src));
+            if has_alt {
+                if let Some(meta) = self.meta.get_mut(&hdr.request_id) {
+                    meta.timer_gen += 1; // the armed timer is now stale
+                }
+                self.attempt_retry(ctx, hdr.request_id, Some(packet.eth.src));
+            }
+            return;
+        }
         let Some(done) = self.tracker.on_response(hdr.request_id) else {
             return; // duplicate (e.g. the losing side of a hedge race)
         };
@@ -846,7 +945,25 @@ impl Gateway {
         ctx.send_self(LAT_FLUSH_INTERVAL, GwLatFlush);
     }
 
-    fn on_timeout(&mut self, ctx: &mut Ctx<'_>, request_id: u64) {
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_>, request_id: u64, gen: u64) {
+        // A generation mismatch means the request was already retried
+        // through another path (an `RC_FENCED` fast retry) after this
+        // timer was armed; that retry armed its own timer.
+        if self
+            .meta
+            .get(&request_id)
+            .is_some_and(|m| m.timer_gen != gen)
+        {
+            return;
+        }
+        self.attempt_retry(ctx, request_id, None);
+    }
+
+    /// Drives one retry decision for an outstanding request: charges the
+    /// tracker's attempt budget, re-resolves the placement (preferring a
+    /// replica other than `avoid` when one exists), and resends or fails
+    /// the request.
+    fn attempt_retry(&mut self, ctx: &mut Ctx<'_>, request_id: u64, avoid: Option<MacAddr>) {
         match self.tracker.on_timeout(ctx.now(), request_id) {
             TimeoutAction::Ignore => {}
             TimeoutAction::Resend(rec) => {
@@ -854,7 +971,19 @@ impl Gateway {
                 // controller re-placed the workload after a worker died,
                 // the retransmission must chase the new endpoint, not
                 // the one recorded at first send.
-                if let Some(endpoint) = self.pick_endpoint(rec.workload_id) {
+                let mut picked = self.pick_endpoint(rec.workload_id);
+                if let (Some(ep), Some(avoid_mac)) = (picked, avoid) {
+                    if ep.mac == avoid_mac {
+                        // Prefer any replica over the one that just
+                        // fenced the attempt.
+                        picked = self
+                            .placements
+                            .get(&rec.workload_id)
+                            .and_then(|list| list.iter().find(|e| e.mac != avoid_mac).copied())
+                            .or(picked);
+                    }
+                }
+                if let Some(endpoint) = picked {
                     self.counters.retransmitted += 1;
                     ctx.emit(|| TraceEvent::RequestRetransmit {
                         request_id,
@@ -953,7 +1082,7 @@ impl Component for Gateway {
         };
         let msg = match msg.downcast::<GwTimeout>() {
             Ok(t) => {
-                self.on_timeout(ctx, t.request_id);
+                self.on_timeout(ctx, t.request_id, t.gen);
                 return;
             }
             Err(other) => other,
@@ -996,6 +1125,23 @@ impl Component for Gateway {
         let msg = match msg.downcast::<RemoveWorkerEndpoints>() {
             Ok(r) => {
                 self.remove_worker_endpoints(r.mac);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<SetWorkerEpoch>() {
+            Ok(s) => {
+                let slot = self.worker_epochs.entry(s.mac).or_insert(0);
+                // Fencing tokens never regress.
+                *slot = (*slot).max(s.epoch);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<FenceWorker>() {
+            Ok(f) => {
+                let slot = self.fence_floors.entry(f.mac).or_insert(0);
+                *slot = (*slot).max(f.floor_epoch);
                 return;
             }
             Err(other) => other,

@@ -53,6 +53,7 @@ pub mod deploy;
 pub mod driver;
 pub mod failover;
 pub mod gateway;
+pub mod lease;
 pub mod manager;
 
 pub use admission::{Admission, AdmissionParams, TokenBucket};
@@ -72,6 +73,7 @@ pub use gateway::{
     EndpointLatencyReport, Gateway, GatewayCounters, GatewayParams, HedgeParams, RequestDone,
     SubmitRequest,
 };
+pub use lease::{provably_expired, ControllerView, Grant, Lease, WorkerView};
 pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
 
 /// Convenience re-exports for experiment authors.

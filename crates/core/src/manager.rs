@@ -201,7 +201,7 @@ impl WorkloadManager {
                 ctx.send(
                     target,
                     SimDuration::ZERO,
-                    lnic_nic::LoadFirmware { firmware },
+                    lnic_nic::LoadFirmware::unfenced(firmware),
                 );
                 // The NIC swap runs inside the NIC model.
                 lnic_nic::NicParams::agilio_cx().firmware_swap_time
@@ -210,9 +210,7 @@ impl WorkloadManager {
                 ctx.send(
                     target,
                     SimDuration::ZERO,
-                    lnic_host::DeployProgram {
-                        program: Arc::new(firmware.program.clone()),
-                    },
+                    lnic_host::DeployProgram::unfenced(Arc::new(firmware.program.clone())),
                 );
                 SimDuration::ZERO
             }

@@ -20,8 +20,9 @@ use lnic_mlambda::interp::{Execution, HeaderValues, ObjectMemory, RequestCtx, St
 use lnic_mlambda::ir::retcode;
 use lnic_mlambda::program::{DispatchCtx, DispatchResult, Program};
 use lnic_net::frag::Reassembler;
-use lnic_net::packet::{LambdaHdr, LambdaKind, Packet, RC_EXPIRED};
+use lnic_net::packet::{LambdaHdr, LambdaKind, Packet, RC_EXPIRED, RC_FENCED};
 use lnic_net::transport::retries_exhausted;
+pub use lnic_net::transport::UpdateService;
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
 use lnic_sim::fault::{Crash, HealthPing, HealthPong, Restart, StallFor};
 use lnic_sim::prelude::*;
@@ -45,6 +46,17 @@ pub struct ServiceEndpoint {
 pub struct DeployProgram {
     /// The lambdas to serve.
     pub program: Arc<Program>,
+    /// Fencing token of the deploy (0 = fencing disabled). A worker
+    /// holding a higher epoch refuses the program: it was cut for a
+    /// placement decision that has since been superseded.
+    pub epoch: u64,
+}
+
+impl DeployProgram {
+    /// A deploy outside any fencing regime (epoch 0).
+    pub fn unfenced(program: Arc<Program>) -> Self {
+        DeployProgram { program, epoch: 0 }
+    }
 }
 
 /// Experiment counters.
@@ -71,6 +83,10 @@ pub struct HostCounters {
     /// Requests refused at dequeue because their propagated deadline had
     /// already expired (answered with `RC_EXPIRED`, not executed).
     pub deadline_drops: u64,
+    /// Requests refused because the worker's lease lapsed or the work
+    /// carried a stale fencing token (answered with `RC_FENCED`, not
+    /// executed).
+    pub fenced_rejects: u64,
 }
 
 #[derive(Debug)]
@@ -174,6 +190,15 @@ pub struct HostBackend {
     /// `slow_until` while health pings are still answered.
     slow_until: SimTime,
     slow_factor: f64,
+
+    /// Fencing token held under the lease regime (0 until first grant).
+    lease_epoch: u64,
+    /// End of the current lease; `None` until the controller first
+    /// grants one (legacy heartbeat testbeds never set it).
+    lease_until: Option<SimTime>,
+    /// Peers (by component index) this node is partitioned from, and
+    /// until when; direct control messages from them are dropped.
+    cut_from: HashMap<usize, SimTime>,
 }
 
 impl HostBackend {
@@ -212,6 +237,9 @@ impl HostBackend {
             last_program: None,
             slow_until: SimTime::ZERO,
             slow_factor: 1.0,
+            lease_epoch: 0,
+            lease_until: None,
+            cut_from: HashMap::new(),
         }
     }
 
@@ -219,6 +247,11 @@ impl HostBackend {
     pub fn with_service(mut self, id: u16, endpoint: ServiceEndpoint) -> Self {
         self.services.insert(id, endpoint);
         self
+    }
+
+    /// The endpoint this worker currently resolves `service` to.
+    pub fn service(&self, id: u16) -> Option<ServiceEndpoint> {
+        self.services.get(&id).copied()
     }
 
     /// Deploys a program immediately (experiment setup).
@@ -245,6 +278,65 @@ impl HostBackend {
     /// Whether the backend is currently crashed (blackholing traffic).
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// The fencing token this worker currently serves under.
+    pub fn lease_epoch(&self) -> u64 {
+        self.lease_epoch
+    }
+
+    /// Whether the worker holds a live lease at `now` (vacuously true
+    /// when no lease regime has ever been established).
+    pub fn lease_live(&self, now: SimTime) -> bool {
+        self.lease_until.is_none_or(|until| now < until)
+    }
+
+    /// Whether a direct control message from `peer` is inside an active
+    /// partition cut.
+    fn is_cut_from(&self, now: SimTime, peer: ComponentId) -> bool {
+        self.cut_from
+            .get(&peer.index())
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Returns the worker's epoch when the given header must be fenced:
+    /// either the worker's own lease lapsed (self-fence until rejoin),
+    /// or the work carries a token older than the current epoch. Epoch
+    /// 0 marks unfenced traffic (worker-to-worker RPCs, testbeds
+    /// without a lease regime) and bypasses the staleness comparison —
+    /// it is still refused once the lease lapses.
+    fn fence_check(&self, hdr: &LambdaHdr, now: SimTime) -> Option<u64> {
+        self.lease_until?;
+        if !self.lease_live(now) || (hdr.epoch != 0 && hdr.epoch < self.lease_epoch) {
+            return Some(self.lease_epoch);
+        }
+        None
+    }
+
+    /// Refuses fenced work with a typed `RC_FENCED` reply so the sender
+    /// re-resolves the placement instead of waiting out its timer.
+    fn reject_fenced(&mut self, ctx: &mut Ctx<'_>, pending: &PendingRequest, worker_epoch: u64) {
+        self.counters.fenced_rejects += 1;
+        let hdr = pending.req_hdr;
+        ctx.emit(|| TraceEvent::FencedReject {
+            request_id: hdr.request_id,
+            workload_id: hdr.workload_id,
+            hdr_epoch: hdr.epoch,
+            worker_epoch,
+        });
+        let mut resp_hdr = hdr.response_to(RC_FENCED);
+        resp_hdr.queue_depth = self.runq.len().min(u16::MAX as usize) as u16;
+        resp_hdr.epoch = self.lease_epoch;
+        let packet = pending
+            .reply_template
+            .reply_to()
+            .lambda(resp_hdr)
+            .payload(Bytes::new())
+            .build();
+        let tx = self.tx_latency(ctx);
+        ctx.send(self.uplink, tx, packet);
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.arrivals.remove(&(pending.lambda_idx, hdr.request_id));
     }
 
     /// Host-side service-time samples.
@@ -326,6 +418,12 @@ impl HostBackend {
         self.program = None;
         self.deployed_mem.clear();
         self.restart_epoch += 1;
+        // A lease does not survive a crash: the restarted worker must
+        // not serve until the controller renews it (the epoch itself is
+        // stable storage and persists).
+        if self.lease_until.is_some() {
+            self.lease_until = Some(SimTime::ZERO);
+        }
     }
 
     /// Begins recovery: the runtime pays `restart_time` before the
@@ -516,6 +614,7 @@ impl HostBackend {
         });
         let mut resp_hdr = hdr.response_to(RC_EXPIRED);
         resp_hdr.queue_depth = self.runq.len().min(u16::MAX as usize) as u16;
+        resp_hdr.epoch = self.lease_epoch;
         let packet = pending
             .reply_template
             .reply_to()
@@ -534,6 +633,10 @@ impl HostBackend {
         if self.crashed || self.program.is_none() {
             self.counters.jobs_lost += 1;
             self.counters.dropped_crashed += 1;
+            return;
+        }
+        if let Some(epoch) = self.fence_check(&pending.req_hdr, ctx.now()) {
+            self.reject_fenced(ctx, &pending, epoch);
             return;
         }
         if pending.req_hdr.expired_at(ctx.now().as_nanos()) {
@@ -862,6 +965,7 @@ impl HostBackend {
         // Advertise the run-queue depth so the gateway can route and
         // shed against backpressure.
         resp_hdr.queue_depth = self.runq.len().min(u16::MAX as usize) as u16;
+        resp_hdr.epoch = self.lease_epoch;
         let packet = job
             .reply_template
             .reply_to()
@@ -883,8 +987,12 @@ impl HostBackend {
     fn free_worker(&mut self, ctx: &mut Ctx<'_>, worker: usize) {
         self.workers[worker].epoch += 1;
         self.workers[worker].state = WorkerState::Idle;
-        // Skip requests whose deadline expired while they waited.
+        // Skip requests fenced or expired while they waited.
         while let Some(pending) = self.runq.pop_front() {
+            if let Some(epoch) = self.fence_check(&pending.req_hdr, ctx.now()) {
+                self.reject_fenced(ctx, &pending, epoch);
+                continue;
+            }
             if pending.req_hdr.expired_at(ctx.now().as_nanos()) {
                 self.reject_expired(ctx, &pending);
                 continue;
@@ -985,6 +1093,17 @@ impl Component for HostBackend {
             }
             Err(other) => other,
         };
+        let msg = match msg.downcast::<lnic_sim::fault::NetCutFrom>() {
+            Ok(cut) => {
+                let until = ctx.now() + cut.duration;
+                for peer in &cut.peers {
+                    let slot = self.cut_from.entry(peer.index()).or_insert(SimTime::ZERO);
+                    *slot = (*slot).max(until);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
         let msg = match msg.downcast::<lnic_sim::fault::Slowdown>() {
             Ok(slow) => {
                 self.slow_until = self.slow_until.max(ctx.now() + slow.duration);
@@ -1008,7 +1127,7 @@ impl Component for HostBackend {
         }
         let msg = match msg.downcast::<HealthPing>() {
             Ok(ping) => {
-                if !self.crashed {
+                if !self.crashed && !self.is_cut_from(ctx.now(), ping.reply_to) {
                     ctx.send(
                         ping.reply_to,
                         SimDuration::ZERO,
@@ -1018,6 +1137,84 @@ impl Component for HostBackend {
                         },
                     );
                 }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::GrantLease>() {
+            Ok(grant) => {
+                // A crashed worker is silent; a partitioned one never
+                // saw the grant. Stale grants (lower epoch than held)
+                // are ignored — fencing tokens never regress.
+                if self.crashed
+                    || self.is_cut_from(ctx.now(), grant.reply_to)
+                    || grant.epoch < self.lease_epoch
+                {
+                    return;
+                }
+                let rejoining = grant.rejoin && grant.epoch > self.lease_epoch;
+                self.lease_epoch = grant.epoch;
+                // Adopt the controller's *absolute* expiry: a grant that
+                // sat in a stalled worker's backlog must not extend the
+                // lease past what the controller recorded at issue time.
+                // (Rejoin probes arrive pre-expired; serving resumes
+                // with the regular grant that follows the ack.)
+                let until = SimTime::from_nanos(grant.until_ns);
+                self.lease_until = Some(self.lease_until.map_or(until, |held| held.max(until)));
+                if rejoining {
+                    // Drop pre-partition placements: everything still
+                    // queued was stamped with an older epoch. Refuse it
+                    // now so senders re-resolve immediately.
+                    while let Some(pending) = self.runq.pop_front() {
+                        self.reject_fenced(ctx, &pending, self.lease_epoch);
+                    }
+                    self.reassembler = Reassembler::new();
+                }
+                ctx.send(
+                    grant.reply_to,
+                    SimDuration::ZERO,
+                    lnic_sim::fault::LeaseAck {
+                        from: ctx.self_id(),
+                        epoch: self.lease_epoch,
+                        seq: grant.seq,
+                    },
+                );
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::EpochQuery>() {
+            Ok(q) => {
+                if !self.crashed && !self.is_cut_from(ctx.now(), q.reply_to) {
+                    ctx.send(
+                        q.reply_to,
+                        SimDuration::ZERO,
+                        lnic_sim::fault::EpochReport {
+                            from: ctx.self_id(),
+                            epoch: self.lease_epoch,
+                            lease_until_ns: self.lease_until.map_or(0, |t| t.as_nanos()),
+                        },
+                    );
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<UpdateService>() {
+            Ok(up) => {
+                if self.crashed {
+                    // Missed updates are re-broadcast when the worker's
+                    // workloads are handed back after recovery.
+                    self.counters.dropped_crashed += 1;
+                    return;
+                }
+                self.services.insert(
+                    up.service,
+                    ServiceEndpoint {
+                        mac: up.mac,
+                        addr: up.addr,
+                    },
+                );
                 return;
             }
             Err(other) => other,
@@ -1059,6 +1256,24 @@ impl Component for HostBackend {
         };
         match msg.downcast::<DeployProgram>() {
             Ok(d) => {
+                if self.crashed {
+                    // A crashed runtime cannot take a program; the
+                    // controller re-deploys after restart.
+                    self.counters.dropped_crashed += 1;
+                    return;
+                }
+                if self.lease_until.is_some() && d.epoch < self.lease_epoch {
+                    // A deploy stamped before this worker's last rejoin:
+                    // the placement decision behind it has been fenced.
+                    self.counters.fenced_rejects += 1;
+                    ctx.emit(|| TraceEvent::FencedReject {
+                        request_id: 0,
+                        workload_id: 0,
+                        hdr_epoch: d.epoch,
+                        worker_epoch: self.lease_epoch,
+                    });
+                    return;
+                }
                 self.install(d.program);
                 ctx.emit(|| TraceEvent::ProgramInstall {});
             }

@@ -18,5 +18,5 @@
 pub mod backend;
 pub mod params;
 
-pub use backend::{DeployProgram, HostBackend, HostCounters, ServiceEndpoint};
+pub use backend::{DeployProgram, HostBackend, HostCounters, ServiceEndpoint, UpdateService};
 pub use params::{host_memory_spec, ContainerParams, HostParams, RuntimeKind};

@@ -295,9 +295,7 @@ fn undeployed_backend_drops_requests() {
     sim.post(
         backend,
         SimDuration::ZERO,
-        DeployProgram {
-            program: web_program(b"late"),
-        },
+        DeployProgram::unfenced(web_program(b"late")),
     );
     sim.post(backend, SimDuration::from_millis(1), request(1, 2));
     sim.run();

@@ -142,6 +142,24 @@ impl Link {
     pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
         self.params.serialization_delay(bytes)
     }
+
+    /// Attributes a dropped frame to its owning request when it was one
+    /// fragment of a multi-packet message. Losing a fragment silently
+    /// stalls the whole reassembly at the receiver, so conservation
+    /// accounting needs the request id of the loss, not just its bytes.
+    fn attribute_frag_drop(ctx: &mut Ctx<'_>, packet: &Packet, reason: &'static str) {
+        let Some(hdr) = packet.lambda else {
+            return;
+        };
+        if hdr.frag_count > 1 {
+            ctx.emit(|| TraceEvent::FragDrop {
+                request_id: hdr.request_id,
+                frag_index: hdr.frag_index.into(),
+                frag_count: hdr.frag_count.into(),
+                reason,
+            });
+        }
+    }
 }
 
 /// Internal marker telling a link that a frame's last bit left the
@@ -222,6 +240,7 @@ impl Component for Link {
                 bytes: bytes as u64,
                 reason: "down",
             });
+            Self::attribute_frag_drop(ctx, &packet, "down");
             return;
         }
         if ctx.now() < self.burst_until
@@ -234,6 +253,7 @@ impl Component for Link {
                 bytes: bytes as u64,
                 reason: "burst",
             });
+            Self::attribute_frag_drop(ctx, &packet, "burst");
             return;
         }
         if self.params.loss_probability > 0.0 && ctx.rng().gen_bool(self.params.loss_probability) {
@@ -242,6 +262,7 @@ impl Component for Link {
                 bytes: bytes as u64,
                 reason: "loss",
             });
+            Self::attribute_frag_drop(ctx, &packet, "loss");
             return;
         }
         if self.queued_bytes + bytes > self.params.queue_capacity_bytes {
@@ -251,6 +272,7 @@ impl Component for Link {
                 bytes: bytes as u64,
                 reason: "overflow",
             });
+            Self::attribute_frag_drop(ctx, &packet, "overflow");
             return;
         }
         self.queued_bytes += bytes;
@@ -280,6 +302,7 @@ impl Component for Link {
                     bytes: bytes as u64,
                     reason: "corrupt",
                 });
+                Self::attribute_frag_drop(ctx, &packet, "corrupt");
                 return;
             }
             // A flip the checksums cannot see (only possible inside the
@@ -461,6 +484,66 @@ mod tests {
         let l = sim.get::<Link>(link).unwrap();
         assert_eq!(l.dropped(), 2);
         assert_eq!(l.fault_drops(), 2);
+    }
+
+    #[test]
+    fn flapped_fragment_drops_are_attributed_to_their_request() {
+        use crate::packet::{LambdaHdr, LambdaKind};
+        use lnic_sim::trace::{RingSink, TraceEvent};
+
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 1 << 20,
+            loss_probability: 0.0,
+        };
+        let mut sim = Simulation::new(1);
+        sim.add_trace_sink(Box::new(RingSink::new(64)));
+        let sink = sim.add(Recorder { arrivals: vec![] });
+        let link = sim.add(Link::new(sink, params));
+        sim.post(
+            link,
+            SimDuration::ZERO,
+            lnic_sim::fault::LinkDown(SimDuration::from_micros(20)),
+        );
+        // One mid-reassembly RDMA fragment and one plain single-packet
+        // request, both inside the flap window.
+        let frag = Packet::builder()
+            .eth(MacAddr::from_index(1), MacAddr::from_index(2))
+            .udp(
+                SocketAddr::new(Ipv4Addr::node(1), 1),
+                SocketAddr::new(Ipv4Addr::node(2), 2),
+            )
+            .lambda(LambdaHdr {
+                workload_id: 4,
+                request_id: 77,
+                frag_index: 1,
+                frag_count: 3,
+                kind: LambdaKind::RdmaWrite,
+                ..Default::default()
+            })
+            .payload(Bytes::from(vec![0u8; 64]))
+            .build();
+        sim.post(link, SimDuration::from_micros(5), frag);
+        sim.post(link, SimDuration::from_micros(6), packet_with_payload(10));
+        sim.run();
+        assert_eq!(sim.get::<Link>(link).unwrap().fault_drops(), 2);
+        let ring = sim.trace_sink::<RingSink>().unwrap();
+        let frag_drops: Vec<_> = ring
+            .records()
+            .filter_map(|r| match r.event {
+                TraceEvent::FragDrop {
+                    request_id,
+                    frag_index,
+                    frag_count,
+                    reason,
+                } => Some((request_id, frag_index, frag_count, reason)),
+                _ => None,
+            })
+            .collect();
+        // Only the fragment loss is attributed; the single-packet drop
+        // already shows up in request conservation via retransmission.
+        assert_eq!(frag_drops, vec![(77, 1, 3, "down")]);
     }
 
     #[test]

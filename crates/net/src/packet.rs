@@ -25,10 +25,14 @@ pub const IPV4_HDR_LEN: usize = 20;
 /// Byte length of a UDP header.
 pub const UDP_HDR_LEN: usize = 8;
 /// Byte length of a λ-NIC lambda header.
-pub const LAMBDA_HDR_LEN: usize = 32;
+pub const LAMBDA_HDR_LEN: usize = 40;
 
 /// Return code: success.
 pub const RC_OK: u16 = 0;
+/// Return code: the worker refused the request or deploy because it
+/// carried a stale fencing token (epoch), or because the worker's own
+/// membership lease had lapsed and it must not execute until it rejoins.
+pub const RC_FENCED: u16 = 0xFFFC;
 /// Return code: the worker dropped the request at dequeue because its
 /// propagated deadline had already passed (tail tolerance: do not burn
 /// cycles on work nobody is waiting for).
@@ -158,6 +162,13 @@ pub struct LambdaHdr {
     /// Queue-depth backpressure signal: on responses, the depth of the
     /// worker's run queue at dequeue time (saturating; 0 on requests).
     pub queue_depth: u16,
+    /// Fencing token (membership epoch) stamped by the control plane.
+    /// On requests and deploys it names the epoch of the placement that
+    /// routed the work; workers reject anything below their current
+    /// epoch with [`RC_FENCED`]. On responses it carries the epoch the
+    /// worker served under, so the gateway can discard late replies
+    /// from fenced epochs. 0 = fencing disabled.
+    pub epoch: u64,
 }
 
 impl Default for LambdaHdr {
@@ -171,6 +182,7 @@ impl Default for LambdaHdr {
             return_code: 0,
             deadline_ns: 0,
             queue_depth: 0,
+            epoch: 0,
         }
     }
 }
@@ -188,6 +200,12 @@ impl LambdaHdr {
     /// Sets the absolute deadline (nanoseconds of virtual time).
     pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
         self.deadline_ns = deadline_ns;
+        self
+    }
+
+    /// Sets the fencing token (membership epoch).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
         self
     }
 
@@ -325,6 +343,7 @@ impl Packet {
             buf.put_u16(l.return_code);
             buf.put_u64(l.deadline_ns);
             buf.put_u16(l.queue_depth);
+            buf.put_u64(l.epoch);
         }
         buf.put_slice(&self.payload);
 
@@ -430,6 +449,7 @@ impl Packet {
             let return_code = rest.get_u16();
             let deadline_ns = rest.get_u64();
             let queue_depth = rest.get_u16();
+            let epoch = rest.get_u64();
             if frag_count == 0 || frag_index >= frag_count {
                 return Err(DecodeError::BadField {
                     field: "lambda.frag",
@@ -444,6 +464,7 @@ impl Packet {
                 return_code,
                 deadline_ns,
                 queue_depth,
+                epoch,
             })
         } else {
             None
@@ -726,6 +747,17 @@ mod tests {
         .response_to(0);
         assert_eq!(resp.deadline_ns, 1_000);
         assert_eq!(resp.queue_depth, 0);
+    }
+
+    #[test]
+    fn epoch_roundtrips_and_survives_response() {
+        let hdr = LambdaHdr::request(3, 4).with_epoch(17);
+        let p = sample_packet(Some(hdr), b"x");
+        let d = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(d.lambda.unwrap().epoch, 17);
+        let resp = hdr.response_to(RC_FENCED);
+        assert_eq!(resp.epoch, 17);
+        assert_eq!(resp.return_code, RC_FENCED);
     }
 
     #[test]

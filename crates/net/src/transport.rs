@@ -18,7 +18,25 @@ use bytes::Bytes;
 use lnic_sim::time::{SimDuration, SimTime};
 use rand::Rng;
 
-use crate::addr::SocketAddr;
+use crate::addr::{MacAddr, SocketAddr};
+
+/// Control message: repoint one entry of a worker's service table.
+///
+/// Worker-side lambda RPCs resolve their target through a local service
+/// table on *every* attempt, so retransmissions follow this update
+/// instead of hammering an endpoint the failover controller has already
+/// evicted. Both worker backends (SmartNIC and host) handle the same
+/// message, which is why it lives in the shared transport layer rather
+/// than either backend crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateService {
+    /// The logical service id being re-pointed.
+    pub service: u16,
+    /// L2 address of the new serving node.
+    pub mac: MacAddr,
+    /// UDP endpoint of the new serving node.
+    pub addr: SocketAddr,
+}
 
 /// Returns whether a sender that has already transmitted `attempts_sent`
 /// copies of a request has exhausted a total budget of `max_attempts`.

@@ -34,17 +34,21 @@ fn arb_lambda_hdr() -> impl Strategy<Value = LambdaHdr> {
         any::<u16>(),
         any::<u64>(),
         any::<u16>(),
+        any::<u64>(),
     )
-        .prop_map(|(wid, rid, idx, count, kind, rc, dl, depth)| LambdaHdr {
-            workload_id: wid,
-            request_id: rid,
-            frag_index: idx.min(count - 1),
-            frag_count: count,
-            kind,
-            return_code: rc,
-            deadline_ns: dl,
-            queue_depth: depth,
-        })
+        .prop_map(
+            |(wid, rid, idx, count, kind, rc, dl, depth, epoch)| LambdaHdr {
+                workload_id: wid,
+                request_id: rid,
+                frag_index: idx.min(count - 1),
+                frag_count: count,
+                kind,
+                return_code: rc,
+                deadline_ns: dl,
+                queue_depth: depth,
+                epoch,
+            },
+        )
 }
 
 /// Payloads that cannot be confused with a lambda header: either shorter

@@ -53,7 +53,20 @@ pub struct ServiceEndpoint {
 pub struct LoadFirmware {
     /// The compiled image.
     pub firmware: Arc<Firmware>,
+    /// Fencing token of the deploy (0 = fencing disabled). A worker
+    /// holding a higher epoch refuses the image: it was cut for a
+    /// placement decision that has since been superseded.
+    pub epoch: u64,
 }
+
+impl LoadFirmware {
+    /// A deploy outside any fencing regime (epoch 0).
+    pub fn unfenced(firmware: Arc<Firmware>) -> Self {
+        LoadFirmware { firmware, epoch: 0 }
+    }
+}
+
+pub use lnic_net::transport::UpdateService;
 
 /// Counters exposed for experiments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -84,6 +97,10 @@ pub struct NicCounters {
     /// Requests refused at dequeue because their propagated deadline had
     /// already expired (answered with `RC_EXPIRED`, not executed).
     pub deadline_drops: u64,
+    /// Requests or deploys refused because they carried a stale fencing
+    /// token, or because the worker's own lease had lapsed (answered
+    /// with `RC_FENCED`, not executed).
+    pub fenced_rejects: u64,
 }
 
 #[derive(Debug)]
@@ -194,6 +211,17 @@ pub struct Nic {
     /// latency-based fail-slow detection can see this).
     slow_until: SimTime,
     slow_factor: f64,
+    /// Membership: the fencing token this worker currently serves under.
+    /// Only ever increases; survives crashes (modeled as stable storage,
+    /// as a production epoch would be).
+    lease_epoch: u64,
+    /// Lease expiry. `None` until the first grant arrives (no fencing
+    /// regime: legacy heartbeat-free testbeds keep working); once
+    /// leased, the worker self-fences when the clock passes this.
+    lease_until: Option<SimTime>,
+    /// Partition windows: direct control messages from these component
+    /// indices are blackholed until the stored instant.
+    cut_from: HashMap<usize, SimTime>,
 
     threads: Vec<Thread>,
     idle: Vec<usize>,
@@ -249,6 +277,9 @@ impl Nic {
             stalled_until: SimTime::ZERO,
             slow_until: SimTime::ZERO,
             slow_factor: 1.0,
+            lease_epoch: 0,
+            lease_until: None,
+            cut_from: HashMap::new(),
             threads,
             idle,
             rr_next: 0,
@@ -271,6 +302,11 @@ impl Nic {
     pub fn with_service(mut self, id: u16, endpoint: ServiceEndpoint) -> Self {
         self.services.insert(id, endpoint);
         self
+    }
+
+    /// The endpoint this worker currently resolves `service` to.
+    pub fn service(&self, id: u16) -> Option<ServiceEndpoint> {
+        self.services.get(&id).copied()
     }
 
     /// Overrides the dispatch policy (ablation).
@@ -346,6 +382,64 @@ impl Nic {
         self.crashed
     }
 
+    /// The fencing token this worker currently serves under.
+    pub fn lease_epoch(&self) -> u64 {
+        self.lease_epoch
+    }
+
+    /// Whether the worker holds a live lease at `now` (vacuously true
+    /// when no lease regime has ever been established).
+    pub fn lease_live(&self, now: SimTime) -> bool {
+        self.lease_until.is_none_or(|until| now < until)
+    }
+
+    /// Whether a direct control message from `peer` is inside an active
+    /// partition cut.
+    fn is_cut_from(&self, now: SimTime, peer: ComponentId) -> bool {
+        self.cut_from
+            .get(&peer.index())
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Returns the worker's epoch when the given header must be fenced:
+    /// either the worker's own lease lapsed (self-fence until rejoin),
+    /// or the work carries a token older than the current epoch. Epoch
+    /// 0 marks unfenced traffic (worker-to-worker RPCs, testbeds
+    /// without a lease regime) and bypasses the staleness comparison —
+    /// it is still refused once the lease lapses.
+    fn fence_check(&self, hdr: &LambdaHdr, now: SimTime) -> Option<u64> {
+        self.lease_until?;
+        if !self.lease_live(now) || (hdr.epoch != 0 && hdr.epoch < self.lease_epoch) {
+            return Some(self.lease_epoch);
+        }
+        None
+    }
+
+    /// Refuses fenced work with a typed `RC_FENCED` reply so the sender
+    /// re-resolves the placement instead of waiting out its timer.
+    fn reject_fenced(&mut self, ctx: &mut Ctx<'_>, pending: &PendingRequest, worker_epoch: u64) {
+        self.counters.fenced_rejects += 1;
+        let hdr = pending.req_hdr;
+        ctx.emit(|| TraceEvent::FencedReject {
+            request_id: hdr.request_id,
+            workload_id: hdr.workload_id,
+            hdr_epoch: hdr.epoch,
+            worker_epoch,
+        });
+        let mut resp_hdr = hdr.response_to(lnic_net::packet::RC_FENCED);
+        resp_hdr.queue_depth = self.queue.len().min(u16::MAX as usize) as u16;
+        resp_hdr.epoch = self.lease_epoch;
+        let packet = pending
+            .reply_template
+            .reply_to()
+            .lambda(resp_hdr)
+            .payload(Bytes::new())
+            .build();
+        ctx.send(self.uplink, SimDuration::ZERO, packet);
+        self.arrival_times
+            .remove(&(pending.lambda_idx, hdr.request_id));
+    }
+
     fn install(&mut self, firmware: Arc<Firmware>) {
         let program = Arc::new(firmware.program.clone());
         self.deployed_mem = program
@@ -392,6 +486,12 @@ impl Nic {
         self.deployed_mem = Vec::new();
         self.swapping = false;
         self.swap_epoch += 1;
+        // A lease does not survive a crash: the restarted worker must
+        // not serve until the controller renews it (the epoch itself is
+        // stable storage and persists).
+        if self.lease_until.is_some() {
+            self.lease_until = Some(SimTime::ZERO);
+        }
     }
 
     /// Recovers a crashed NIC: power back on and re-enter service by
@@ -588,6 +688,7 @@ impl Nic {
         });
         let mut resp_hdr = hdr.response_to(lnic_net::packet::RC_EXPIRED);
         resp_hdr.queue_depth = self.queue.len().min(u16::MAX as usize) as u16;
+        resp_hdr.epoch = self.lease_epoch;
         let packet = pending
             .reply_template
             .reply_to()
@@ -601,6 +702,10 @@ impl Nic {
 
     /// Assigns the request to an idle lambda thread or queues it.
     fn admit_to_thread(&mut self, ctx: &mut Ctx<'_>, pending: PendingRequest) {
+        if let Some(epoch) = self.fence_check(&pending.req_hdr, ctx.now()) {
+            self.reject_fenced(ctx, &pending, epoch);
+            return;
+        }
         if pending.req_hdr.expired_at(ctx.now().as_nanos()) {
             self.reject_expired(ctx, &pending);
             return;
@@ -843,6 +948,9 @@ impl Nic {
         // Advertise the wait-queue depth so the gateway can route and
         // shed against backpressure.
         resp_hdr.queue_depth = self.queue.len().min(u16::MAX as usize) as u16;
+        // Stamp the epoch the work was served under, so the gateway can
+        // discard late replies from fenced epochs.
+        resp_hdr.epoch = self.lease_epoch;
         let packet = job
             .reply_template
             .reply_to()
@@ -873,6 +981,10 @@ impl Nic {
                 weight_milli,
                 depth,
             });
+            if let Some(epoch) = self.fence_check(&pending.req_hdr, ctx.now()) {
+                self.reject_fenced(ctx, &pending, epoch);
+                continue;
+            }
             if pending.req_hdr.expired_at(ctx.now().as_nanos()) {
                 self.reject_expired(ctx, &pending);
                 continue;
@@ -988,6 +1100,17 @@ impl Component for Nic {
             }
             Err(other) => other,
         };
+        let msg = match msg.downcast::<lnic_sim::fault::NetCutFrom>() {
+            Ok(cut) => {
+                let until = ctx.now() + cut.duration;
+                for peer in &cut.peers {
+                    let slot = self.cut_from.entry(peer.index()).or_insert(SimTime::ZERO);
+                    *slot = (*slot).max(until);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
         let msg = match msg.downcast::<lnic_sim::fault::Slowdown>() {
             Ok(slow) => {
                 self.slow_until = self.slow_until.max(ctx.now() + slow.duration);
@@ -1013,7 +1136,7 @@ impl Component for Nic {
                 // The management endpoint answers as long as the NIC has
                 // power — including during firmware swaps — but a
                 // crashed NIC is silent, which is the failure signal.
-                if !self.crashed {
+                if !self.crashed && !self.is_cut_from(ctx.now(), ping.reply_to) {
                     ctx.send(
                         ping.reply_to,
                         SimDuration::ZERO,
@@ -1022,6 +1145,89 @@ impl Component for Nic {
                             from: ctx.self_id(),
                         },
                     );
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::GrantLease>() {
+            Ok(grant) => {
+                // A crashed worker is silent; a partitioned one never
+                // saw the grant. Stale grants (lower epoch than held)
+                // are ignored — fencing tokens never regress.
+                if self.crashed
+                    || self.is_cut_from(ctx.now(), grant.reply_to)
+                    || grant.epoch < self.lease_epoch
+                {
+                    return;
+                }
+                let rejoining = grant.rejoin && grant.epoch > self.lease_epoch;
+                self.lease_epoch = grant.epoch;
+                // Adopt the controller's *absolute* expiry: a grant that
+                // sat in a stalled worker's backlog must not extend the
+                // lease past what the controller recorded at issue time.
+                // (Rejoin probes arrive pre-expired; serving resumes
+                // with the regular grant that follows the ack.)
+                let until = SimTime::from_nanos(grant.until_ns);
+                self.lease_until = Some(self.lease_until.map_or(until, |held| held.max(until)));
+                if rejoining {
+                    // Drop pre-partition placements: everything still
+                    // queued was stamped with an older epoch. Refuse it
+                    // now so senders re-resolve immediately.
+                    while let Some((_, pending)) = self.queue.pop() {
+                        self.reject_fenced(ctx, &pending, self.lease_epoch);
+                    }
+                    self.reassembler = Reassembler::new();
+                }
+                ctx.send(
+                    grant.reply_to,
+                    SimDuration::ZERO,
+                    lnic_sim::fault::LeaseAck {
+                        from: ctx.self_id(),
+                        epoch: self.lease_epoch,
+                        seq: grant.seq,
+                    },
+                );
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<lnic_sim::fault::EpochQuery>() {
+            Ok(q) => {
+                if !self.crashed && !self.is_cut_from(ctx.now(), q.reply_to) {
+                    ctx.send(
+                        q.reply_to,
+                        SimDuration::ZERO,
+                        lnic_sim::fault::EpochReport {
+                            from: ctx.self_id(),
+                            epoch: self.lease_epoch,
+                            lease_until_ns: self.lease_until.map_or(0, |t| t.as_nanos()),
+                        },
+                    );
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<UpdateService>() {
+            Ok(up) => {
+                if self.crashed {
+                    // Missed updates are re-broadcast when the worker's
+                    // workloads are handed back after recovery.
+                    self.counters.dropped_crashed += 1;
+                    return;
+                }
+                self.services.insert(
+                    up.service,
+                    ServiceEndpoint {
+                        mac: up.mac,
+                        addr: up.addr,
+                    },
+                );
+                // Hybrid deployments punt some lambdas to the host OS;
+                // its RPC table must chase the same re-placement.
+                if let Some(host) = self.host {
+                    ctx.send(host, self.params.pcie_latency, *up);
                 }
                 return;
             }
@@ -1080,6 +1286,18 @@ impl Component for Nic {
                     // A crashed NIC cannot take an image; the controller
                     // re-deploys after restart.
                     self.counters.dropped_crashed += 1;
+                    return;
+                }
+                if self.lease_until.is_some() && lf.epoch < self.lease_epoch {
+                    // A deploy stamped before this worker's last rejoin:
+                    // the placement decision behind it has been fenced.
+                    self.counters.fenced_rejects += 1;
+                    ctx.emit(|| TraceEvent::FencedReject {
+                        request_id: 0,
+                        workload_id: 0,
+                        hdr_epoch: lf.epoch,
+                        worker_epoch: self.lease_epoch,
+                    });
                     return;
                 }
                 self.swapping = true;

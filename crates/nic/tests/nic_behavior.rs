@@ -342,9 +342,7 @@ fn firmware_swap_incurs_downtime_then_serves() {
     sim.post(
         nic,
         SimDuration::ZERO,
-        LoadFirmware {
-            firmware: compile_fw(&web_program(b"v1")),
-        },
+        LoadFirmware::unfenced(compile_fw(&web_program(b"v1"))),
     );
     drop(fw);
     // During the swap, requests are dropped.

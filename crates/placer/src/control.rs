@@ -484,9 +484,7 @@ impl Placer {
             ctx.send(
                 w.nic,
                 SimDuration::ZERO,
-                LoadFirmware {
-                    firmware: Arc::clone(&firmware),
-                },
+                LoadFirmware::unfenced(Arc::clone(&firmware)),
             );
         }
         ctx.send_self(
@@ -693,9 +691,7 @@ pub fn install_static_split(
         bed.sim.post(
             host.expect("hybrid testbed"),
             SimDuration::ZERO,
-            DeployProgram {
-                program: Arc::clone(base),
-            },
+            DeployProgram::unfenced(Arc::clone(base)),
         );
     }
     for (i, lambda) in base.lambdas.iter().enumerate() {

@@ -28,6 +28,19 @@
 //!    pairs with a prior `migrate_start`. The checks only engage when
 //!    placement events appear on the stream, so testbeds without a
 //!    placer are unaffected.
+//! 7. **At most one live owner per placement across epochs** — between a
+//!    `worker_fenced` event and the matching `worker_rejoin`, the fenced
+//!    component must not start executing any job (a stale owner running
+//!    work after the controller re-placed its lambdas is exactly the
+//!    split-brain the fencing tokens exist to prevent).
+//! 8. **Fencing-token monotonicity** — per worker, lease/fence/rejoin
+//!    epochs never regress (including across controller restarts), a
+//!    rejoin strictly bumps the fenced epoch, a worker never rejects a
+//!    token fresher than its own epoch, and the gateway only discards
+//!    replies whose epoch is genuinely below the fence floor.
+//! 9. **Snapshot conservation** — control-plane snapshot sequence
+//!    numbers strictly increase, and a restore names a snapshot that was
+//!    actually taken (a restart must not invent state).
 //!
 //! By default a violation panics immediately with the offending record,
 //! which makes every integration test a correctness gate; use
@@ -136,6 +149,16 @@ pub struct InvariantChecker {
     live_placements: HashMap<u32, u32>,
     ever_placed: HashSet<u32>,
     migrations_in_flight: HashMap<u32, u32>,
+
+    // Fencing and membership (invariants 7–8). Epoch floors are keyed
+    // by worker id; fenced spans by component index so `ExecStart`
+    // records (attributed by `src`) can be matched against them.
+    lease_epochs: HashMap<u32, u64>,
+    fenced_components: HashMap<usize, u64>,
+
+    // Snapshot conservation (invariant 9).
+    snapshot_seqs: HashSet<u64>,
+    last_snapshot_seq: u64,
 }
 
 impl Default for InvariantChecker {
@@ -167,6 +190,10 @@ impl InvariantChecker {
             live_placements: HashMap::new(),
             ever_placed: HashSet::new(),
             migrations_in_flight: HashMap::new(),
+            lease_epochs: HashMap::new(),
+            fenced_components: HashMap::new(),
+            snapshot_seqs: HashSet::new(),
+            last_snapshot_seq: 0,
         }
     }
 
@@ -569,6 +596,22 @@ impl InvariantChecker {
             }
         }
     }
+
+    /// Invariant 8: per-worker epochs never regress, no matter which
+    /// membership event carries them (this also holds across controller
+    /// restarts — a restored control plane must not hand out old
+    /// tokens).
+    fn note_epoch(&mut self, rec: &TraceRecord, worker: u32, epoch: u64, what: &str) {
+        let prev = self.lease_epochs.get(&worker).copied().unwrap_or(0);
+        if epoch < prev {
+            let msg = format!(
+                "fencing token regressed on worker {worker}: {what} at epoch \
+                 {epoch} after epoch {prev}"
+            );
+            self.violation(rec.at, msg);
+        }
+        self.lease_epochs.insert(worker, prev.max(epoch));
+    }
 }
 
 impl TraceSink for InvariantChecker {
@@ -656,12 +699,22 @@ impl TraceSink for InvariantChecker {
             TraceEvent::DeadlineDrop { .. } => {}
             TraceEvent::EndpointQuarantine { .. } => {}
 
-            // Invariant 3 (+5 joins).
+            // Invariant 3 (+5 joins); invariant 7 gates entry.
             TraceEvent::ExecStart {
                 core,
                 lambda_id,
                 request_id,
-            } => self.on_exec_start(rec, core, lambda_id, request_id),
+            } => {
+                if let Some(epoch) = self.fenced_components.get(&rec.src.index()) {
+                    let msg = format!(
+                        "stale-epoch execution: {} (fenced at epoch {epoch}) started \
+                         request {request_id} (lambda {lambda_id}) before rejoining",
+                        rec.src
+                    );
+                    self.violation(rec.at, msg);
+                }
+                self.on_exec_start(rec, core, lambda_id, request_id);
+            }
             TraceEvent::ExecSuspend {
                 core, request_id, ..
             } => self.on_exec_suspend(rec, core, request_id, false),
@@ -755,8 +808,95 @@ impl TraceSink for InvariantChecker {
             TraceEvent::MigrateDone { workload_id, .. } => self.on_migrate_done(rec, workload_id),
             TraceEvent::PlacementReject { .. } => {}
 
+            // Invariants 7–8: lease-based membership and fencing.
+            TraceEvent::LeaseGrant { worker, epoch, .. } => {
+                self.note_epoch(rec, worker, epoch, "lease grant");
+            }
+            TraceEvent::WorkerFenced {
+                worker,
+                component,
+                epoch,
+            } => {
+                self.note_epoch(rec, worker, epoch, "fence");
+                self.fenced_components.insert(component as usize, epoch);
+            }
+            TraceEvent::WorkerRejoin {
+                worker,
+                component,
+                epoch,
+            } => {
+                match self.fenced_components.remove(&(component as usize)) {
+                    Some(fenced_epoch) if epoch <= fenced_epoch => {
+                        let msg = format!(
+                            "worker {worker} rejoined at epoch {epoch} without bumping \
+                             past the fenced epoch {fenced_epoch}"
+                        );
+                        self.violation(rec.at, msg);
+                    }
+                    Some(_) => {}
+                    None => {
+                        let msg = format!(
+                            "worker {worker} rejoined at epoch {epoch} without a \
+                             preceding fence"
+                        );
+                        self.violation(rec.at, msg);
+                    }
+                }
+                self.note_epoch(rec, worker, epoch, "rejoin");
+            }
+            TraceEvent::FencedReject {
+                request_id,
+                hdr_epoch,
+                worker_epoch,
+                ..
+            } => {
+                // A worker may reject an equal-epoch token (lapsed
+                // lease, self-fence) but never a strictly fresher one.
+                if hdr_epoch > worker_epoch {
+                    let msg = format!(
+                        "request {request_id} carried epoch {hdr_epoch} but was \
+                         fence-rejected by a worker at older epoch {worker_epoch}"
+                    );
+                    self.violation(rec.at, msg);
+                }
+            }
+            TraceEvent::StaleReplyDrop {
+                request_id,
+                reply_epoch,
+                floor_epoch,
+            } => {
+                if reply_epoch >= floor_epoch {
+                    let msg = format!(
+                        "reply for request {request_id} at epoch {reply_epoch} \
+                         discarded despite meeting the fence floor {floor_epoch}"
+                    );
+                    self.violation(rec.at, msg);
+                }
+            }
+            TraceEvent::LeaseExpire { .. } => {}
+
+            // Invariant 9: snapshot conservation.
+            TraceEvent::SnapshotTaken { seq, .. } => {
+                if seq <= self.last_snapshot_seq {
+                    let msg = format!(
+                        "snapshot seq went backwards: {seq} after {}",
+                        self.last_snapshot_seq
+                    );
+                    self.violation(rec.at, msg);
+                }
+                self.last_snapshot_seq = seq;
+                self.snapshot_seqs.insert(seq);
+            }
+            TraceEvent::SnapshotRestored { seq, .. } => {
+                if !self.snapshot_seqs.contains(&seq) {
+                    let msg = format!("controller restored snapshot {seq} that was never taken");
+                    self.violation(rec.at, msg);
+                }
+            }
+
             TraceEvent::LinkTx { .. }
             | TraceEvent::LinkDrop { .. }
+            | TraceEvent::FragDrop { .. }
             | TraceEvent::SwitchForward { .. }
             | TraceEvent::SwitchDrop { .. }
             | TraceEvent::Mark { .. } => {}
@@ -1524,6 +1664,278 @@ mod tests {
         );
         c.on_finish(SimTime::from_nanos(10));
         c.assert_clean();
+    }
+
+    #[test]
+    fn fenced_component_execution_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::WorkerFenced {
+                        worker: 0,
+                        component: 4,
+                        epoch: 3,
+                    },
+                ),
+                // The fenced component (src 4) starts a job: split-brain.
+                (
+                    5,
+                    4,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 1,
+                        request_id: 7,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("stale-epoch execution"));
+    }
+
+    #[test]
+    fn rejoin_lifts_the_fence() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::WorkerFenced {
+                        worker: 0,
+                        component: 4,
+                        epoch: 3,
+                    },
+                ),
+                (
+                    5,
+                    9,
+                    TraceEvent::WorkerRejoin {
+                        worker: 0,
+                        component: 4,
+                        epoch: 4,
+                    },
+                ),
+                (
+                    6,
+                    4,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 1,
+                        request_id: 7,
+                    },
+                ),
+            ],
+        );
+        // The ExecStart half-opens a run-to-completion span; only the
+        // fencing rules are under test here.
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn epoch_regression_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::LeaseGrant {
+                        worker: 2,
+                        epoch: 5,
+                        until_ns: 100,
+                    },
+                ),
+                (
+                    10,
+                    9,
+                    TraceEvent::LeaseGrant {
+                        worker: 2,
+                        epoch: 4,
+                        until_ns: 200,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("fencing token regressed"));
+    }
+
+    #[test]
+    fn rejoin_must_bump_past_fenced_epoch() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::WorkerFenced {
+                        worker: 1,
+                        component: 5,
+                        epoch: 2,
+                    },
+                ),
+                (
+                    5,
+                    9,
+                    TraceEvent::WorkerRejoin {
+                        worker: 1,
+                        component: 5,
+                        epoch: 2,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("without bumping"));
+    }
+
+    #[test]
+    fn rejoin_without_fence_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[(
+                0,
+                9,
+                TraceEvent::WorkerRejoin {
+                    worker: 1,
+                    component: 5,
+                    epoch: 2,
+                },
+            )],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("without a preceding fence"));
+    }
+
+    #[test]
+    fn rejecting_a_fresher_token_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[(
+                0,
+                4,
+                TraceEvent::FencedReject {
+                    request_id: 11,
+                    workload_id: 1,
+                    hdr_epoch: 5,
+                    worker_epoch: 3,
+                },
+            )],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("fence-rejected"));
+        // Equal-epoch rejects (lapsed lease) are legitimate.
+        let mut ok = InvariantChecker::collecting();
+        feed(
+            &mut ok,
+            &[(
+                0,
+                4,
+                TraceEvent::FencedReject {
+                    request_id: 12,
+                    workload_id: 1,
+                    hdr_epoch: 3,
+                    worker_epoch: 3,
+                },
+            )],
+        );
+        assert!(ok.violations().is_empty(), "{:?}", ok.violations());
+    }
+
+    #[test]
+    fn dropping_a_reply_above_the_floor_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[(
+                0,
+                1,
+                TraceEvent::StaleReplyDrop {
+                    request_id: 9,
+                    reply_epoch: 4,
+                    floor_epoch: 4,
+                },
+            )],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("despite meeting the fence floor"));
+    }
+
+    #[test]
+    fn snapshot_seq_regression_and_invented_restore_are_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::SnapshotTaken {
+                        seq: 2,
+                        workers: 4,
+                        placements: 8,
+                    },
+                ),
+                (
+                    5,
+                    9,
+                    TraceEvent::SnapshotTaken {
+                        seq: 2,
+                        workers: 4,
+                        placements: 8,
+                    },
+                ),
+                (
+                    10,
+                    9,
+                    TraceEvent::SnapshotRestored {
+                        seq: 3,
+                        reconciled: 0,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 2, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("snapshot seq went backwards"));
+        assert!(c.violations()[1].contains("never taken"));
+    }
+
+    #[test]
+    fn restore_of_taken_snapshot_passes() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::SnapshotTaken {
+                        seq: 1,
+                        workers: 4,
+                        placements: 8,
+                    },
+                ),
+                (
+                    10,
+                    9,
+                    TraceEvent::SnapshotRestored {
+                        seq: 1,
+                        reconciled: 2,
+                    },
+                ),
+            ],
+        );
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
     }
 
     #[test]

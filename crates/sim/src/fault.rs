@@ -124,6 +124,80 @@ pub struct HealthPong {
     pub from: ComponentId,
 }
 
+/// Control message: a membership lease offered by the controller.
+///
+/// The lease replaces bare heartbeats: a worker that holds a current
+/// lease may serve; once the absolute expiry `until_ns` passes without
+/// a renewal the worker must *self-fence* (answer `RC_FENCED`, execute
+/// nothing), and the controller may only re-place its lambdas after the
+/// same bound has provably passed. The expiry is absolute rather than
+/// relative so a grant whose processing is delayed (a stalled worker
+/// draining its backlog) can never extend the lease beyond what the
+/// controller recorded when it issued the grant. `epoch` is the
+/// worker's fencing token; it only ever increases, and a grant with
+/// `rejoin` set tells a healed worker to adopt the higher epoch and
+/// drop its pre-partition placements — a rejoin grant carries an
+/// already-expired `until_ns`, so serving only resumes after the ack
+/// round-trips and a regular grant follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrantLease {
+    /// Fencing token the worker serves under while the lease is live.
+    pub epoch: u64,
+    /// Absolute instant (ns) the lease runs out.
+    pub until_ns: u64,
+    /// Renewal round (echoed in the [`LeaseAck`]).
+    pub seq: u64,
+    /// Set on the first grant after a fence: the worker bumps its epoch
+    /// and discards placements stamped with older epochs.
+    pub rejoin: bool,
+    /// Where to send the ack.
+    pub reply_to: ComponentId,
+}
+
+/// Control message: a worker's acceptance of a [`GrantLease`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseAck {
+    /// The acking component.
+    pub from: ComponentId,
+    /// The epoch the worker now holds.
+    pub epoch: u64,
+    /// The renewal round being acked.
+    pub seq: u64,
+}
+
+/// Control message: a restarted controller asking a worker what epoch it
+/// holds, to reconcile a restored snapshot against reality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochQuery {
+    /// Where to send the [`EpochReport`].
+    pub reply_to: ComponentId,
+}
+
+/// A worker's answer to an [`EpochQuery`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochReport {
+    /// The reporting component.
+    pub from: ComponentId,
+    /// The epoch the worker currently holds.
+    pub epoch: u64,
+    /// When the worker's lease runs out (ns), 0 if it never held one.
+    pub lease_until_ns: u64,
+}
+
+/// Control message: for `duration`, the target must treat direct control
+/// messages *from* the listed components as blackholed (they never
+/// arrived). This is how a [`FaultEvent::Partition`] severs the
+/// control-plane channel (heartbeats, lease grants/acks) that does not
+/// ride the simulated links; frames on the data path are cut by
+/// [`LinkDown`] windows on the links crossing the partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetCutFrom {
+    /// Peers whose direct messages are dropped.
+    pub peers: Vec<ComponentId>,
+    /// How long the cut lasts.
+    pub duration: SimDuration,
+}
+
 /// One scheduled failure against a logical target.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultEvent {
@@ -202,6 +276,40 @@ pub enum FaultEvent {
         /// Probability a frame gets one bit flipped.
         prob: f64,
     },
+    /// Network partition: the workers named by the `groups` bitmask
+    /// (bit *i* = worker *i*) are cut off from everything on the other
+    /// side — the control plane, the gateway, the shared services, and
+    /// the workers whose bits are clear — for `duration`. Frames are
+    /// blackholed in *both* directions, including heartbeats and lease
+    /// traffic, and the cut composes with any other fault window active
+    /// on the affected links.
+    Partition {
+        /// Bitmask of worker indices on the severed side.
+        groups: u64,
+        /// How long the partition lasts before healing.
+        duration: SimDuration,
+    },
+    /// Asymmetric cut: frames from node `from` toward node `to` are
+    /// blackholed for `duration`, while the reverse direction keeps
+    /// working (a one-way fibre fault or a poisoned ARP entry). Node 0
+    /// is the control plane (gateway + controller); node `1 + i` is
+    /// worker `i`.
+    AsymLink {
+        /// Sending node whose frames are lost (0 = control plane).
+        from: usize,
+        /// Receiving node that never sees them (0 = control plane).
+        to: usize,
+        /// How long the asymmetry lasts.
+        duration: SimDuration,
+    },
+    /// The control plane (failover controller) crashes: its in-memory
+    /// membership and placement state is lost; only the last stable
+    /// snapshot survives. Leases stop renewing, so workers self-fence
+    /// when theirs expire.
+    ControllerCrash,
+    /// The control plane restarts from its last stable snapshot and
+    /// reconciles against worker-reported epochs before serving.
+    ControllerRestart,
 }
 
 /// A [`FaultEvent`] with its injection time.
@@ -353,6 +461,39 @@ impl FaultPlan {
                 prob,
             },
         )
+    }
+
+    /// Schedules a network partition severing the given workers from the
+    /// rest of the cluster (control plane included).
+    pub fn partition(self, workers: &[usize], at: SimTime, duration: SimDuration) -> FaultPlan {
+        let mut groups = 0u64;
+        for &w in workers {
+            assert!(w < 64, "partition bitmask holds worker indices < 64");
+            groups |= 1 << w;
+        }
+        self.push(at, FaultEvent::Partition { groups, duration })
+    }
+
+    /// Schedules a one-way cut from node `from` to node `to`
+    /// (0 = control plane, `1 + i` = worker `i`).
+    pub fn asym_link(
+        self,
+        from: usize,
+        to: usize,
+        at: SimTime,
+        duration: SimDuration,
+    ) -> FaultPlan {
+        self.push(at, FaultEvent::AsymLink { from, to, duration })
+    }
+
+    /// Schedules a control-plane crash.
+    pub fn controller_crash(self, at: SimTime) -> FaultPlan {
+        self.push(at, FaultEvent::ControllerCrash)
+    }
+
+    /// Schedules a control-plane restart from the last stable snapshot.
+    pub fn controller_restart(self, at: SimTime) -> FaultPlan {
+        self.push(at, FaultEvent::ControllerRestart)
     }
 
     /// The scheduled events, in insertion order.

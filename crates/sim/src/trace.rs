@@ -325,6 +325,98 @@ pub enum TraceEvent {
         /// The cluster median EWMA in ns it was judged against.
         median_ns: u64,
     },
+    /// A link drop destroyed one fragment of a multi-packet message, so
+    /// the whole reassembly will stall or abort; emitted alongside the
+    /// `link_drop` so conservation accounting can attribute the loss to
+    /// the owning request.
+    FragDrop {
+        /// The request whose fragment was lost.
+        request_id: u64,
+        /// Index of the lost fragment.
+        frag_index: u64,
+        /// Total fragments in the message.
+        frag_count: u64,
+        /// The drop reason of the underlying link drop.
+        reason: &'static str,
+    },
+    /// The membership controller granted (or renewed) a worker's lease.
+    LeaseGrant {
+        /// Index of the worker in the testbed.
+        worker: u32,
+        /// Fencing token the lease carries.
+        epoch: u64,
+        /// Absolute expiry of the lease, in ns.
+        until_ns: u64,
+    },
+    /// A worker's lease provably expired at the controller: the grace
+    /// bound passed with no ack, so re-placement is now safe.
+    LeaseExpire {
+        /// Index of the worker.
+        worker: u32,
+        /// The epoch the expired lease carried.
+        epoch: u64,
+    },
+    /// The controller fenced a worker: placements stamped with `epoch`
+    /// or older are dead, and any execution on `component` before a
+    /// matching `worker_rejoin` is split-brain.
+    WorkerFenced {
+        /// Index of the fenced worker.
+        worker: u32,
+        /// The worker's component index (for checker attribution).
+        component: u32,
+        /// Highest epoch the fence invalidates.
+        epoch: u64,
+    },
+    /// A fenced worker completed the lease-renewal handshake and rejoined
+    /// with a strictly higher epoch.
+    WorkerRejoin {
+        /// Index of the rejoining worker.
+        worker: u32,
+        /// The worker's component index (for checker attribution).
+        component: u32,
+        /// The new epoch (must exceed every previously fenced epoch).
+        epoch: u64,
+    },
+    /// A worker refused a request or deploy carrying a stale fencing
+    /// token (or arriving after its own lease lapsed) with `RC_FENCED`.
+    FencedReject {
+        /// The refused request (0 for deploys).
+        request_id: u64,
+        /// The target workload.
+        workload_id: u32,
+        /// The fencing token the work carried.
+        hdr_epoch: u64,
+        /// The epoch the worker currently holds.
+        worker_epoch: u64,
+    },
+    /// The gateway discarded a late reply stamped with a fenced epoch
+    /// instead of completing the request with it (no double-completion).
+    StaleReplyDrop {
+        /// The request the late reply answered.
+        request_id: u64,
+        /// The epoch the reply carried.
+        reply_epoch: u64,
+        /// The fence floor the reply failed to clear.
+        floor_epoch: u64,
+    },
+    /// The control plane serialized its membership + placement state to
+    /// stable storage.
+    SnapshotTaken {
+        /// Monotonic snapshot sequence number.
+        seq: u64,
+        /// Workers captured in the snapshot.
+        workers: u64,
+        /// Placement entries captured in the snapshot.
+        placements: u64,
+    },
+    /// A restarted control plane restored the last stable snapshot and
+    /// reconciled it against worker-reported epochs.
+    SnapshotRestored {
+        /// Sequence number of the restored snapshot.
+        seq: u64,
+        /// Workers whose reported epoch was ahead of the snapshot.
+        reconciled: u64,
+    },
 }
 
 impl TraceEvent {
@@ -361,6 +453,15 @@ impl TraceEvent {
             TraceEvent::HedgeWon { .. } => "hedge_won",
             TraceEvent::DeadlineDrop { .. } => "deadline_drop",
             TraceEvent::EndpointQuarantine { .. } => "endpoint_quarantine",
+            TraceEvent::FragDrop { .. } => "frag_drop",
+            TraceEvent::LeaseGrant { .. } => "lease_grant",
+            TraceEvent::LeaseExpire { .. } => "lease_expire",
+            TraceEvent::WorkerFenced { .. } => "worker_fenced",
+            TraceEvent::WorkerRejoin { .. } => "worker_rejoin",
+            TraceEvent::FencedReject { .. } => "fenced_reject",
+            TraceEvent::StaleReplyDrop { .. } => "stale_reply_drop",
+            TraceEvent::SnapshotTaken { .. } => "snapshot_taken",
+            TraceEvent::SnapshotRestored { .. } => "snapshot_restored",
         }
     }
 
@@ -578,6 +679,77 @@ impl TraceEvent {
                 f("worker", U64(worker.into()));
                 f("ewma_ns", U64(ewma_ns));
                 f("median_ns", U64(median_ns));
+            }
+            TraceEvent::FragDrop {
+                request_id,
+                frag_index,
+                frag_count,
+                reason,
+            } => {
+                f("request_id", U64(request_id));
+                f("frag_index", U64(frag_index));
+                f("frag_count", U64(frag_count));
+                f("reason", Str(reason));
+            }
+            TraceEvent::LeaseGrant {
+                worker,
+                epoch,
+                until_ns,
+            } => {
+                f("worker", U64(worker.into()));
+                f("epoch", U64(epoch));
+                f("until_ns", U64(until_ns));
+            }
+            TraceEvent::LeaseExpire { worker, epoch } => {
+                f("worker", U64(worker.into()));
+                f("epoch", U64(epoch));
+            }
+            TraceEvent::WorkerFenced {
+                worker,
+                component,
+                epoch,
+            }
+            | TraceEvent::WorkerRejoin {
+                worker,
+                component,
+                epoch,
+            } => {
+                f("worker", U64(worker.into()));
+                f("component", U64(component.into()));
+                f("epoch", U64(epoch));
+            }
+            TraceEvent::FencedReject {
+                request_id,
+                workload_id,
+                hdr_epoch,
+                worker_epoch,
+            } => {
+                f("request_id", U64(request_id));
+                f("workload_id", U64(workload_id.into()));
+                f("hdr_epoch", U64(hdr_epoch));
+                f("worker_epoch", U64(worker_epoch));
+            }
+            TraceEvent::StaleReplyDrop {
+                request_id,
+                reply_epoch,
+                floor_epoch,
+            } => {
+                f("request_id", U64(request_id));
+                f("reply_epoch", U64(reply_epoch));
+                f("floor_epoch", U64(floor_epoch));
+            }
+            TraceEvent::SnapshotTaken {
+                seq,
+                workers,
+                placements,
+            } => {
+                f("seq", U64(seq));
+                f("workers", U64(workers));
+                f("placements", U64(placements));
+            }
+            TraceEvent::SnapshotRestored { seq, reconciled } => {
+                f("seq", U64(seq));
+                f("reconciled", U64(reconciled));
             }
         }
     }

@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use lnic::failover::FailoverConfig;
 use lnic::prelude::*;
 use lnic_nic::{DispatchPolicy, Nic};
 use lnic_sim::prelude::*;
@@ -32,15 +33,28 @@ use lnic_workloads::three_web_servers;
 const THREADS: usize = 4;
 const REQUESTS_PER_THREAD: u64 = 100;
 
+/// What besides plain traffic a golden run exercises.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    /// Traffic only.
+    Plain,
+    /// A worker NIC crashes and restarts mid-run.
+    NicChaos,
+    /// Lease-fenced failover with snapshots: a partition cuts worker 0
+    /// off, the control plane crashes and restores from its snapshot,
+    /// the partition heals, and the worker rejoins at a bumped epoch.
+    CtrlChaos,
+}
+
 /// Runs the standard golden workload and returns the trace hash.
 ///
 /// Three distinct web-server lambdas on two λ-NIC workers under a
 /// closed-loop driver: enough traffic to exercise dispatch, WFQ,
 /// memory charges, and the response path, while staying fast in debug
 /// builds.
-fn traced_run(seed: u64, policy: DispatchPolicy, plan: Option<&FaultPlan>) -> u64 {
+fn traced_run(seed: u64, policy: DispatchPolicy, scenario: Scenario) -> u64 {
     let mut config = TestbedConfig::new(BackendKind::Nic).seed(seed).workers(2);
-    if plan.is_some() {
+    if scenario != Scenario::Plain {
         config.gateway.rpc_timeout = SimDuration::from_millis(50);
         config.gateway.rpc_attempts = 5;
         config.gateway = config.gateway.resilient();
@@ -57,8 +71,23 @@ fn traced_run(seed: u64, policy: DispatchPolicy, plan: Option<&FaultPlan>) -> u6
             .unwrap()
             .set_dispatch_policy(policy);
     }
-    if let Some(plan) = plan {
-        bed.inject_faults(plan);
+    match scenario {
+        Scenario::Plain => {}
+        Scenario::NicChaos => {
+            bed.inject_faults(&nic_chaos_plan());
+        }
+        Scenario::CtrlChaos => {
+            bed.enable_failover(
+                FailoverConfig {
+                    heartbeat_interval: SimDuration::from_millis(10),
+                    missed_beats: 3,
+                    ..FailoverConfig::default()
+                }
+                .fenced()
+                .with_snapshots(SimDuration::from_millis(40)),
+            );
+            bed.inject_faults(&ctrl_chaos_plan());
+        }
     }
     let jobs: Vec<JobSpec> = program
         .lambdas
@@ -68,15 +97,29 @@ fn traced_run(seed: u64, policy: DispatchPolicy, plan: Option<&FaultPlan>) -> u6
             payload: PayloadSpec::Page(0),
         })
         .collect();
+    let per_thread = if scenario == Scenario::CtrlChaos {
+        // Enough traffic to straddle the partition, the controller
+        // outage, and the rejoin.
+        REQUESTS_PER_THREAD * 6
+    } else {
+        REQUESTS_PER_THREAD
+    };
     let driver = bed.sim.add(ClosedLoopDriver::new(
         bed.gateway,
         jobs,
         THREADS,
         SimDuration::from_micros(200),
-        Some(REQUESTS_PER_THREAD),
+        Some(per_thread),
     ));
     bed.sim.post(driver, SimDuration::ZERO, StartDriver);
-    bed.sim.run();
+    if scenario == Scenario::CtrlChaos {
+        // The heartbeat ticks forever; run to a horizon instead of
+        // draining the queue.
+        bed.sim
+            .run_until(SimTime::ZERO + SimDuration::from_secs(10));
+    } else {
+        bed.sim.run();
+    }
     assert!(
         bed.sim.get::<ClosedLoopDriver>(driver).unwrap().is_done(),
         "all budgeted requests must terminate"
@@ -92,40 +135,64 @@ fn traced_run(seed: u64, policy: DispatchPolicy, plan: Option<&FaultPlan>) -> u6
     hash.hash()
 }
 
-fn chaos_plan() -> FaultPlan {
+fn nic_chaos_plan() -> FaultPlan {
     FaultPlan::new()
         .nic_crash(0, SimTime::ZERO + SimDuration::from_millis(20))
         .nic_restart(0, SimTime::ZERO + SimDuration::from_millis(60))
 }
 
-/// The pinned golden runs: name → (seed, policy, chaos?).
-fn golden_cases() -> Vec<(&'static str, u64, DispatchPolicy, bool)> {
+/// Partition worker 0, crash the control plane mid-partition, restore
+/// it from the last snapshot, and let the partition heal: the full
+/// fence → snapshot-restore → rejoin cycle in one deterministic run.
+fn ctrl_chaos_plan() -> FaultPlan {
+    FaultPlan::new()
+        .partition(
+            &[0],
+            SimTime::ZERO + SimDuration::from_millis(20),
+            SimDuration::from_millis(250),
+        )
+        .controller_crash(SimTime::ZERO + SimDuration::from_millis(90))
+        .controller_restart(SimTime::ZERO + SimDuration::from_millis(130))
+}
+
+/// The pinned golden runs: name → (seed, policy, scenario).
+fn golden_cases() -> Vec<(&'static str, u64, DispatchPolicy, Scenario)> {
     vec![
         (
             "web3-uniform-seed42",
             42,
             DispatchPolicy::UniformRandom,
-            false,
+            Scenario::Plain,
         ),
         (
             "web3-uniform-seed7",
             7,
             DispatchPolicy::UniformRandom,
-            false,
+            Scenario::Plain,
         ),
         (
             "web3-roundrobin-seed42",
             42,
             DispatchPolicy::RoundRobin,
-            false,
+            Scenario::Plain,
         ),
-        ("web3-chaos-seed42", 42, DispatchPolicy::UniformRandom, true),
+        (
+            "web3-chaos-seed42",
+            42,
+            DispatchPolicy::UniformRandom,
+            Scenario::NicChaos,
+        ),
+        (
+            "web3-ctrl-chaos-seed42",
+            42,
+            DispatchPolicy::UniformRandom,
+            Scenario::CtrlChaos,
+        ),
     ]
 }
 
-fn run_case(seed: u64, policy: DispatchPolicy, chaos: bool) -> u64 {
-    let plan = chaos.then(chaos_plan);
-    traced_run(seed, policy, plan.as_ref())
+fn run_case(seed: u64, policy: DispatchPolicy, scenario: Scenario) -> u64 {
+    traced_run(seed, policy, scenario)
 }
 
 fn goldens_path() -> PathBuf {
@@ -151,7 +218,7 @@ fn read_goldens() -> HashMap<String, u64> {
 #[test]
 fn same_seed_yields_identical_trace_hash_across_runs() {
     let hashes: Vec<u64> = (0..3)
-        .map(|_| traced_run(42, DispatchPolicy::UniformRandom, None))
+        .map(|_| traced_run(42, DispatchPolicy::UniformRandom, Scenario::Plain))
         .collect();
     assert_eq!(hashes[0], hashes[1], "run 1 vs run 2 diverged");
     assert_eq!(hashes[0], hashes[2], "run 1 vs run 3 diverged");
@@ -159,31 +226,42 @@ fn same_seed_yields_identical_trace_hash_across_runs() {
 
 #[test]
 fn chaos_fault_plan_is_trace_deterministic() {
-    let plan = chaos_plan();
-    let a = traced_run(42, DispatchPolicy::UniformRandom, Some(&plan));
-    let b = traced_run(42, DispatchPolicy::UniformRandom, Some(&plan));
-    let c = traced_run(42, DispatchPolicy::UniformRandom, Some(&plan));
+    let a = traced_run(42, DispatchPolicy::UniformRandom, Scenario::NicChaos);
+    let b = traced_run(42, DispatchPolicy::UniformRandom, Scenario::NicChaos);
+    let c = traced_run(42, DispatchPolicy::UniformRandom, Scenario::NicChaos);
     assert_eq!(a, b);
     assert_eq!(a, c);
     // The crash must actually leave a mark on the stream.
     assert_ne!(
         a,
-        traced_run(42, DispatchPolicy::UniformRandom, None),
+        traced_run(42, DispatchPolicy::UniformRandom, Scenario::Plain),
         "fault plan left no trace"
     );
 }
 
 #[test]
+fn controller_chaos_is_trace_deterministic() {
+    let a = traced_run(42, DispatchPolicy::UniformRandom, Scenario::CtrlChaos);
+    let b = traced_run(42, DispatchPolicy::UniformRandom, Scenario::CtrlChaos);
+    assert_eq!(a, b, "partition + controller crash-restart diverged");
+    assert_ne!(
+        a,
+        traced_run(42, DispatchPolicy::UniformRandom, Scenario::Plain),
+        "controller chaos left no trace"
+    );
+}
+
+#[test]
 fn scheduler_perturbation_changes_the_hash() {
-    let uniform = traced_run(42, DispatchPolicy::UniformRandom, None);
-    let rr = traced_run(42, DispatchPolicy::RoundRobin, None);
+    let uniform = traced_run(42, DispatchPolicy::UniformRandom, Scenario::Plain);
+    let rr = traced_run(42, DispatchPolicy::RoundRobin, Scenario::Plain);
     assert_ne!(uniform, rr, "dispatch-policy change must perturb the trace");
 }
 
 #[test]
 fn different_seeds_diverge() {
-    let a = traced_run(42, DispatchPolicy::UniformRandom, None);
-    let b = traced_run(7, DispatchPolicy::UniformRandom, None);
+    let a = traced_run(42, DispatchPolicy::UniformRandom, Scenario::Plain);
+    let b = traced_run(7, DispatchPolicy::UniformRandom, Scenario::Plain);
     assert_ne!(a, b, "seed change must perturb the trace");
 }
 
@@ -209,8 +287,8 @@ fn trace_hashes_match_pinned_goldens() {
             "# Pinned FNV-1a trace hashes. Regenerate with UPDATE_GOLDENS=1\n\
              # cargo test -p lnic-integration --test trace_golden\n",
         );
-        for (name, seed, policy, chaos) in golden_cases() {
-            let hash = run_case(seed, policy, chaos);
+        for (name, seed, policy, scenario) in golden_cases() {
+            let hash = run_case(seed, policy, scenario);
             out.push_str(&format!("{name} {hash:#018x}\n"));
         }
         std::fs::create_dir_all(goldens_path().parent().unwrap()).unwrap();
@@ -218,11 +296,11 @@ fn trace_hashes_match_pinned_goldens() {
         return;
     }
     let goldens = read_goldens();
-    for (name, seed, policy, chaos) in golden_cases() {
+    for (name, seed, policy, scenario) in golden_cases() {
         let expect = *goldens
             .get(name)
             .unwrap_or_else(|| panic!("golden `{name}` missing from trace_hashes.txt"));
-        let got = run_case(seed, policy, chaos);
+        let got = run_case(seed, policy, scenario);
         assert_eq!(
             got, expect,
             "golden `{name}` drifted: got {got:#018x}, pinned {expect:#018x} \
