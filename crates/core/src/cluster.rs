@@ -17,6 +17,7 @@ use lnic_sim::prelude::*;
 use crate::deploy::BackendKind;
 use crate::failover::{FailoverConfig, FailoverController, StartFailover};
 use crate::gateway::{Gateway, GatewayParams, WorkerEndpoint};
+use crate::repkv::{RepKvReplica, StartReplica};
 
 /// The logical service id workers use to reach the memcached server.
 pub use lnic_workloads::kv::KV_SERVICE;
@@ -160,6 +161,11 @@ pub struct Testbed {
     pub links: Vec<ComponentId>,
     /// Failover controller (set by [`Testbed::enable_failover`]).
     pub failover: Option<ComponentId>,
+    /// Replicated-KV replicas by worker index (set by
+    /// [`Testbed::enable_replicated_kv`]; empty otherwise). Crash and
+    /// restart faults aimed at a hosting worker are co-injected here —
+    /// the replica shares its NIC's fate.
+    pub repkv_replicas: Vec<ComponentId>,
     /// `(workload, worker index)` placements registered at setup, the
     /// home map handed to the failover controller.
     placements: Vec<(u32, usize)>,
@@ -339,6 +345,7 @@ pub fn build_testbed(config: TestbedConfig) -> Testbed {
         raft_net,
         links,
         failover: None,
+        repkv_replicas: Vec::new(),
         placements: Vec::new(),
     }
 }
@@ -478,10 +485,16 @@ impl Testbed {
             match fault.event {
                 FaultEvent::NicCrash { worker } => {
                     self.sim.post(self.workers[worker].component, delay, Crash);
+                    if let Some(&replica) = self.repkv_replicas.get(worker) {
+                        self.sim.post(replica, delay, Crash);
+                    }
                 }
                 FaultEvent::NicRestart { worker } => {
                     self.sim
                         .post(self.workers[worker].component, delay, Restart);
+                    if let Some(&replica) = self.repkv_replicas.get(worker) {
+                        self.sim.post(replica, delay, Restart);
+                    }
                 }
                 FaultEvent::BackendStall { worker, duration } => {
                     self.sim
@@ -684,6 +697,67 @@ impl Testbed {
         self.sim.post(id, SimDuration::ZERO, StartFailover);
         self.failover = Some(id);
         id
+    }
+
+    /// Wires a 3-replica raft-backed KV service across the first three
+    /// NIC workers: each worker's NIC gets a co-located
+    /// [`RepKvReplica`] registered as the resident service for
+    /// [`lnic_workloads::kv::REPKV_WORKLOAD_ID`], the gateway gets all
+    /// three endpoints as replicas plus leadership-aware routing, and
+    /// every replica's raft node is started at time zero (randomized
+    /// election timers break the tie). Returns the replica component
+    /// ids by raft node id.
+    ///
+    /// Replication traffic rides the data-plane links as `RdmaWrite`
+    /// frames, so link faults (partitions, reorder, duplication,
+    /// corruption) exercise raft exactly as they exercise requests;
+    /// crash and restart faults aimed at workers 0–2 are co-injected
+    /// into the corresponding replica by [`Testbed::inject_faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the testbed runs the NIC backend with at least
+    /// three workers.
+    pub fn enable_replicated_kv(&mut self, cfg: RaftConfig) -> Vec<ComponentId> {
+        use lnic_workloads::kv::{REPKV_SERVICE, REPKV_WORKLOAD_ID};
+        assert!(
+            self.backend == BackendKind::Nic,
+            "replicated KV requires the NIC backend"
+        );
+        assert!(
+            self.workers.len() >= 3,
+            "replicated KV requires at least 3 workers"
+        );
+        let peers: Vec<(MacAddr, SocketAddr)> = (0..3).map(worker_identity).collect();
+        let gateway = self.gateway;
+        let mut replicas = Vec::with_capacity(3);
+        for (i, &(mac, addr)) in peers.iter().enumerate() {
+            let nic = self.workers[i].component;
+            let replica = self.sim.add(RepKvReplica::new(
+                i as u32,
+                peers.clone(),
+                gateway,
+                nic,
+                cfg,
+            ));
+            self.sim
+                .get_mut::<Nic>(nic)
+                .expect("worker is a NIC")
+                .register_resident(REPKV_WORKLOAD_ID, replica);
+            self.sim.post(replica, SimDuration::ZERO, StartReplica);
+            let gw = self
+                .sim
+                .get_mut::<Gateway>(gateway)
+                .expect("gateway exists");
+            gw.add_replica(REPKV_WORKLOAD_ID, WorkerEndpoint { mac, addr });
+            replicas.push(replica);
+        }
+        self.sim
+            .get_mut::<Gateway>(gateway)
+            .expect("gateway exists")
+            .track_replicated(REPKV_WORKLOAD_ID, REPKV_SERVICE);
+        self.repkv_replicas = replicas.clone();
+        replicas
     }
 
     /// The `(workload, worker index)` placements registered at setup

@@ -12,7 +12,9 @@ use rand::Rng;
 
 use lnic_sim::prelude::*;
 use lnic_workloads::image::RgbaImage;
-use lnic_workloads::kv::{get_request_payload, set_request_payload};
+use lnic_workloads::kv::{
+    get_request_payload, repkv_get_payload, repkv_put_payload, set_request_payload, KvMix,
+};
 
 use crate::gateway::{RequestDone, SubmitRequest};
 
@@ -49,6 +51,12 @@ pub enum PayloadSpec {
     },
     /// A fixed payload.
     Fixed(Bytes),
+    /// Replicated-KV traffic drawn from a [`KvMix`]: reads and writes
+    /// per its read share, keys per its popularity skew. Write values
+    /// are drawn uniformly from `u64` and double as client-unique ids
+    /// (PutOnce dedup), so the probability two writes collide over a
+    /// bench run is negligible.
+    RepKv(KvMix),
 }
 
 impl PayloadSpec {
@@ -76,6 +84,14 @@ impl PayloadSpec {
                 Bytes::from(RgbaImage::synthetic(*width, *height).data)
             }
             PayloadSpec::Fixed(b) => b.clone(),
+            PayloadSpec::RepKv(mix) => {
+                let key = mix.sample_key(rng);
+                if mix.sample_read(rng) {
+                    repkv_get_payload(key)
+                } else {
+                    repkv_put_payload(key, rng.gen())
+                }
+            }
         }
     }
 }

@@ -15,11 +15,14 @@ use std::collections::HashMap;
 use bytes::Bytes;
 
 use lnic_net::frag::fragment;
-use lnic_net::packet::{LambdaHdr, LambdaKind, Packet, RC_EXPIRED, RC_FENCED, RC_OVERLOADED};
+use lnic_net::packet::{
+    LambdaHdr, LambdaKind, Packet, RC_EXPIRED, RC_FENCED, RC_OVERLOADED, RC_REDIRECT,
+};
 use lnic_net::params::MTU_PAYLOAD_BYTES;
-use lnic_net::transport::{RetryPolicy, RpcTracker, TimeoutAction};
+use lnic_net::transport::{RetryPolicy, RpcTracker, TimeoutAction, UpdateService};
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
 use lnic_sim::prelude::*;
+use lnic_workloads::kv::{decode_repkv_get_response, decode_repkv_request, RepKvOp};
 
 use crate::admission::{Admission, AdmissionParams};
 
@@ -295,6 +298,9 @@ pub struct GatewayCounters {
     /// Late replies discarded because they carried an epoch below the
     /// worker's fence floor.
     pub stale_replies: u64,
+    /// `RC_REDIRECT` replies: a replicated service's non-leader replica
+    /// bounced the attempt; the gateway retried it elsewhere.
+    pub redirected_replies: u64,
 }
 
 #[derive(Debug)]
@@ -375,6 +381,16 @@ pub struct Gateway {
     /// Minimum acceptable reply epoch per fenced worker; older replies
     /// are discarded to prevent double-completion after re-placement.
     fence_floors: HashMap<MacAddr, u64>,
+    /// Replicated workloads: workload id → replica-group service id.
+    /// Their requests emit `KvInvoke`/`KvResponse` trace events (the
+    /// linearizability checker's history) and follow leader routing.
+    replicated: HashMap<u32, u16>,
+    /// Last announced leader MAC per replicated workload; preferred by
+    /// `pick_endpoint` while it remains in the placement list.
+    preferred_leader: HashMap<u32, MacAddr>,
+    /// In-flight replicated-KV ops: request id → `(write, value)`, used
+    /// to emit the matching `KvResponse` at resolution.
+    kv_ops: HashMap<u64, (bool, u64)>,
 }
 
 impl Gateway {
@@ -411,7 +427,19 @@ impl Gateway {
             lat_timer_armed: false,
             worker_epochs: HashMap::new(),
             fence_floors: HashMap::new(),
+            replicated: HashMap::new(),
+            preferred_leader: HashMap::new(),
+            kv_ops: HashMap::new(),
         }
+    }
+
+    /// Marks a workload as a replicated KV service: its requests are
+    /// routed leader-first (following [`UpdateService`] announcements),
+    /// `RC_REDIRECT` bounces are retried against other replicas, and
+    /// every operation emits the `KvInvoke`/`KvResponse` trace pair the
+    /// online linearizability checker consumes.
+    pub fn track_replicated(&mut self, workload_id: u32, service: u16) {
+        self.replicated.insert(workload_id, service);
     }
 
     /// Registers the component receiving [`EndpointLatencyReport`]s
@@ -472,6 +500,13 @@ impl Gateway {
         let list = self.placements.get(&workload_id)?;
         if list.is_empty() {
             return None;
+        }
+        // Replicated workloads route to the announced leader while it is
+        // still placed: only the leader serves reads without a redirect.
+        if let Some(leader) = self.preferred_leader.get(&workload_id) {
+            if let Some(ep) = list.iter().find(|ep| ep.mac == *leader) {
+                return Some(*ep);
+            }
         }
         let idx = self.rr.entry(workload_id).or_insert(0);
         let start = *idx % list.len();
@@ -591,6 +626,34 @@ impl Gateway {
         self.next_ident
     }
 
+    /// Emits the `KvResponse` half of a replicated-KV operation's trace
+    /// pair, if this request id belongs to one. `response` carries the
+    /// worker payload on success (parsed for read results).
+    fn resolve_kv(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        request_id: u64,
+        ok: bool,
+        response: Option<&Bytes>,
+    ) {
+        let Some((write, value)) = self.kv_ops.remove(&request_id) else {
+            return;
+        };
+        let (found, value) = if write {
+            (true, value)
+        } else {
+            response
+                .and_then(|p| decode_repkv_get_response(p))
+                .unwrap_or((false, 0))
+        };
+        ctx.emit(|| TraceEvent::KvResponse {
+            request_id,
+            ok,
+            found,
+            value,
+        });
+    }
+
     /// Rejects a submit with a typed `Overloaded` reply. Shed requests
     /// never emit `RequestSubmitted`, so conservation is untouched.
     fn shed(&mut self, ctx: &mut Ctx<'_>, req: &SubmitRequest, reason: &'static str) {
@@ -689,6 +752,24 @@ impl Gateway {
             request_id,
             workload_id: req.workload_id,
         });
+        // Replicated-KV history: one invocation per client op, emitted
+        // exactly once at first send (retries, hedges, and redirects of
+        // the same request id are transparent to the checker).
+        if self.replicated.contains_key(&req.workload_id) {
+            if let Some(op) = decode_repkv_request(&req.payload) {
+                let (key, write, value) = match op {
+                    RepKvOp::Get { key } => (u64::from(key), false, 0),
+                    RepKvOp::Put { key, value } => (u64::from(key), true, value),
+                };
+                self.kv_ops.insert(request_id, (write, value));
+                ctx.emit(|| TraceEvent::KvInvoke {
+                    request_id,
+                    key,
+                    write,
+                    value,
+                });
+            }
+        }
         self.send_attempt(
             ctx,
             request_id,
@@ -830,6 +911,31 @@ impl Gateway {
             }
             return;
         }
+        // A replicated service's replica is not (or no longer) the
+        // leader. Drop any stale leadership preference pointing at it,
+        // then retry on another replica; the winner's `UpdateService`
+        // announcement re-points routing for subsequent requests.
+        if hdr.return_code == RC_REDIRECT {
+            self.counters.redirected_replies += 1;
+            let Some(rec) = self.tracker.get(hdr.request_id) else {
+                return; // already resolved
+            };
+            let workload_id = rec.workload_id;
+            if self.preferred_leader.get(&workload_id) == Some(&packet.eth.src) {
+                self.preferred_leader.remove(&workload_id);
+            }
+            let has_alt = self
+                .placements
+                .get(&workload_id)
+                .is_some_and(|list| list.iter().any(|ep| ep.mac != packet.eth.src));
+            if has_alt {
+                if let Some(meta) = self.meta.get_mut(&hdr.request_id) {
+                    meta.timer_gen += 1; // the armed timer is now stale
+                }
+                self.attempt_retry(ctx, hdr.request_id, Some(packet.eth.src));
+            }
+            return;
+        }
         let Some(done) = self.tracker.on_response(hdr.request_id) else {
             return; // duplicate (e.g. the losing side of a hedge race)
         };
@@ -842,6 +948,7 @@ impl Gateway {
         if hdr.return_code == RC_EXPIRED {
             self.counters.failed += 1;
             self.counters.expired += 1;
+            self.resolve_kv(ctx, hdr.request_id, false, None);
             ctx.emit(|| TraceEvent::RequestCompleted {
                 request_id: hdr.request_id,
                 workload_id: done.workload_id,
@@ -876,6 +983,7 @@ impl Gateway {
                 });
             }
         }
+        self.resolve_kv(ctx, hdr.request_id, true, Some(&packet.payload));
         ctx.emit(|| TraceEvent::RequestCompleted {
             request_id: hdr.request_id,
             workload_id: done.workload_id,
@@ -1007,6 +1115,7 @@ impl Gateway {
                     // instead of letting it dangle without a timer.
                     let _ = self.tracker.on_response(request_id);
                     self.counters.failed += 1;
+                    self.resolve_kv(ctx, request_id, false, None);
                     let latency_ns = (ctx.now() - rec.first_sent_at).as_nanos();
                     ctx.emit(|| TraceEvent::RequestCompleted {
                         request_id,
@@ -1033,6 +1142,7 @@ impl Gateway {
             }
             TimeoutAction::GiveUp(rec) => {
                 self.counters.failed += 1;
+                self.resolve_kv(ctx, request_id, false, None);
                 let latency_ns = (ctx.now() - rec.first_sent_at).as_nanos();
                 ctx.emit(|| TraceEvent::RequestCompleted {
                     request_id,
@@ -1142,6 +1252,31 @@ impl Component for Gateway {
             Ok(f) => {
                 let slot = self.fence_floors.entry(f.mac).or_insert(0);
                 *slot = (*slot).max(f.floor_epoch);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<UpdateService>() {
+            Ok(u) => {
+                // A replica announced leadership of its service: route
+                // every workload tracked under that service to it. If a
+                // prior failover declared this worker dead and dropped
+                // its endpoints, the announcement also restores the
+                // leader's placement — a rejoined replica that wins an
+                // election must be routable again.
+                for (&wid, &svc) in &self.replicated {
+                    if svc != u.service {
+                        continue;
+                    }
+                    self.preferred_leader.insert(wid, u.mac);
+                    let list = self.placements.entry(wid).or_default();
+                    if !list.iter().any(|ep| ep.mac == u.mac) {
+                        list.push(WorkerEndpoint {
+                            mac: u.mac,
+                            addr: u.addr,
+                        });
+                    }
+                }
                 return;
             }
             Err(other) => other,

@@ -55,6 +55,7 @@ pub mod failover;
 pub mod gateway;
 pub mod lease;
 pub mod manager;
+pub mod repkv;
 
 pub use admission::{Admission, AdmissionParams, TokenBucket};
 pub use autoscaler::{
@@ -75,6 +76,7 @@ pub use gateway::{
 };
 pub use lease::{provably_expired, ControllerView, Grant, Lease, WorkerView};
 pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
+pub use repkv::{RepKvCounters, RepKvReplica, StartReplica};
 
 /// Convenience re-exports for experiment authors.
 pub mod prelude {

@@ -347,5 +347,146 @@ mod tests {
             prop_assert_eq!(r.in_progress(), 0);
             prop_assert_eq!(r.duplicates(), 0);
         }
+
+        /// A Duplicate fault replays fragments; under any interleaving of
+        /// originals and replays the message completes exactly once, with
+        /// the replays counted and the payload intact.
+        #[test]
+        fn reassembly_survives_duplication_and_reorder(
+            payload in proptest::collection::vec(any::<u8>(), 1..4_000),
+            mtu in 1usize..1_200,
+            copies in proptest::collection::vec(1usize..4, 64),
+            seed in any::<u64>(),
+        ) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let payload = Bytes::from(payload);
+            let frags = fragment(payload.clone(), mtu);
+            let n = frags.len() as u16;
+            let mut deliveries: Vec<usize> = Vec::new();
+            for i in 0..frags.len() {
+                for _ in 0..copies[i % copies.len()] {
+                    deliveries.push(i);
+                }
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            deliveries.shuffle(&mut rng);
+
+            let mut r = Reassembler::new();
+            let mut fed = 0u64;
+            let mut done = None;
+            for &i in &deliveries {
+                fed += 1;
+                if let Some(msg) = r.accept(hdr(42, i as u16, n), frags[i].clone()) {
+                    done = Some(msg);
+                    break; // sender stops once the message completed
+                }
+            }
+            let msg = done.expect("complete once every index appeared");
+            prop_assert_eq!(msg.payload, payload);
+            prop_assert_eq!(r.in_progress(), 0);
+            // Everything fed beyond one copy per fragment was a replay.
+            prop_assert_eq!(r.duplicates(), fed - u64::from(n));
+        }
+
+        /// A loss burst drops a subset of fragments; the message stays
+        /// incomplete until the sender retransmits the whole set, after
+        /// which it completes exactly once with the payload intact.
+        #[test]
+        fn reassembly_completes_after_loss_burst_and_retransmit(
+            payload in proptest::collection::vec(any::<u8>(), 1..4_000),
+            mtu in 1usize..600,
+            loss_seed in any::<u64>(),
+            order_seed in any::<u64>(),
+        ) {
+            use rand::seq::SliceRandom;
+            use rand::{Rng, SeedableRng};
+            let payload = Bytes::from(payload);
+            let frags = fragment(payload.clone(), mtu);
+            let n = frags.len() as u16;
+            let mut loss_rng = rand::rngs::SmallRng::seed_from_u64(loss_seed);
+            // Lose at least one fragment so the first pass cannot finish.
+            let mut lost: Vec<bool> = (0..frags.len()).map(|_| loss_rng.gen_bool(0.4)).collect();
+            if lost.iter().all(|l| !l) {
+                lost[0] = true;
+            }
+            let survivors = lost.iter().filter(|l| !**l).count();
+
+            let mut r = Reassembler::new();
+            let mut order: Vec<usize> = (0..frags.len()).collect();
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(order_seed);
+            order.shuffle(&mut rng);
+            for &i in &order {
+                if !lost[i] {
+                    prop_assert!(r.accept(hdr(7, i as u16, n), frags[i].clone()).is_none());
+                }
+            }
+            prop_assert_eq!(r.in_progress(), usize::from(survivors > 0));
+
+            // Timeout: the sender retransmits the complete fragment set
+            // and stops as soon as the message completes.
+            order.shuffle(&mut rng);
+            let mut done = None;
+            let mut redelivered_survivors = 0u64;
+            for &i in &order {
+                if !lost[i] {
+                    redelivered_survivors += 1;
+                }
+                if let Some(msg) = r.accept(hdr(7, i as u16, n), frags[i].clone()) {
+                    done = Some(msg);
+                    break;
+                }
+            }
+            let msg = done.expect("complete after retransmit");
+            prop_assert_eq!(msg.payload, payload);
+            prop_assert_eq!(r.in_progress(), 0);
+            // Only re-deliveries of first-pass survivors are replays.
+            prop_assert_eq!(r.duplicates(), redelivered_survivors);
+        }
+
+        /// A Corrupt fault that mangles a fragment header (and slips past
+        /// the packet checksums) is rejected by the consistency guard
+        /// without poisoning the assembly of the valid fragments.
+        #[test]
+        fn corrupted_headers_are_rejected_without_poisoning_assembly(
+            // Payload strictly larger than the mtu: at least two
+            // fragments, so the corrupt frame lands mid-assembly (a
+            // corrupt frame arriving *first* seeds the partial and the
+            // request stalls until abort — covered by the abort test).
+            payload in proptest::collection::vec(any::<u8>(), 601..3_000),
+            mtu in 1usize..600,
+            seed in any::<u64>(),
+            bogus_at in any::<u64>(),
+        ) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let payload = Bytes::from(payload);
+            let frags = fragment(payload.clone(), mtu);
+            let n = frags.len() as u16;
+            let mut order: Vec<usize> = (0..frags.len()).collect();
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+            let bogus_pos = 1 + (bogus_at as usize) % (order.len() - 1);
+
+            let mut r = Reassembler::new();
+            let mut done = None;
+            for (pos, &i) in order.iter().enumerate() {
+                if pos == bogus_pos {
+                    // Same request, inconsistent frag_count: must be
+                    // dropped, not spliced into the message.
+                    let out = r.accept(hdr(13, 0, n + 1), Bytes::from_static(b"junk"));
+                    prop_assert!(out.is_none());
+                }
+                let out = r.accept(hdr(13, i as u16, n), frags[i].clone());
+                if out.is_some() {
+                    prop_assert!(done.is_none());
+                    done = out;
+                }
+            }
+            let msg = done.expect("valid fragments still assemble");
+            prop_assert_eq!(msg.payload, payload);
+            prop_assert_eq!(r.mismatched(), 1);
+            prop_assert_eq!(r.in_progress(), 0);
+        }
     }
 }

@@ -29,6 +29,11 @@ pub const LAMBDA_HDR_LEN: usize = 40;
 
 /// Return code: success.
 pub const RC_OK: u16 = 0;
+/// Return code: a replicated NIC-resident service received a request it
+/// cannot serve because it is not (or no longer) the replica group's
+/// leader. The gateway retries the request against another replica; the
+/// leadership broadcast that follows repoints future traffic.
+pub const RC_REDIRECT: u16 = 0xFFFB;
 /// Return code: the worker refused the request or deploy because it
 /// carried a stale fencing token (epoch), or because the worker's own
 /// membership lease had lapsed and it must not execute until it rejoins.

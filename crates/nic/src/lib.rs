@@ -19,7 +19,10 @@ pub mod params;
 pub mod profiles;
 pub mod wfq;
 
-pub use nic::{DispatchPolicy, LoadFirmware, Nic, NicCounters, ServiceEndpoint, UpdateService};
+pub use nic::{
+    DispatchPolicy, LoadFirmware, Nic, NicCounters, ResidentCall, ResidentDone, ResidentEpoch,
+    ResidentFrame, ResidentTx, ServiceEndpoint, UpdateService,
+};
 pub use params::NicParams;
 pub use profiles::{NicClass, TABLE1};
 pub use wfq::WeightedFairQueue;

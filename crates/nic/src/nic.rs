@@ -68,6 +68,67 @@ impl LoadFirmware {
 
 pub use lnic_net::transport::UpdateService;
 
+/// NIC → resident service: a single-packet `Request` for a workload
+/// registered with [`Nic::register_resident`], intercepted ahead of the
+/// firmware dispatch path. The resident answers with [`ResidentDone`].
+#[derive(Debug)]
+pub struct ResidentCall {
+    /// Correlates the eventual [`ResidentDone`] with the reply state the
+    /// NIC keeps (headers of the request packet).
+    pub token: u64,
+    /// The request's λ-NIC header.
+    pub hdr: LambdaHdr,
+    /// The request payload.
+    pub payload: Bytes,
+}
+
+/// Resident service → NIC: completes the call `token`; the NIC builds
+/// and transmits the response packet, stamping queue depth and epoch
+/// exactly like a lambda response.
+#[derive(Debug)]
+pub struct ResidentDone {
+    /// The [`ResidentCall`] token being answered.
+    pub token: u64,
+    /// Response return code (`RC_OK`, `RC_REDIRECT`, ...).
+    pub return_code: u16,
+    /// Response payload.
+    pub payload: Bytes,
+}
+
+/// NIC → resident service: a raw `RdmaWrite` frame addressed to a
+/// resident workload (replication traffic). The resident runs its own
+/// reassembler; the NIC does not interpret these.
+#[derive(Debug)]
+pub struct ResidentFrame {
+    /// The undecoded frame.
+    pub packet: Packet,
+}
+
+/// Resident service → NIC: transmit a fully-built packet on the wire
+/// (replica-to-replica replication traffic originates here).
+#[derive(Debug)]
+pub struct ResidentTx {
+    /// The packet to transmit.
+    pub packet: Packet,
+}
+
+/// NIC → resident service: the worker's fencing epoch rose (lease grant
+/// after a partition rejoin). Residents derive leadership fences from
+/// this: a replica whose worker was fenced must step down.
+#[derive(Debug)]
+pub struct ResidentEpoch {
+    /// The new epoch.
+    pub epoch: u64,
+}
+
+/// Reply state for one outstanding [`ResidentCall`].
+#[derive(Debug)]
+struct ResidentReply {
+    /// The request packet (headers only) used to construct the reply.
+    reply_template: Packet,
+    req_hdr: LambdaHdr,
+}
+
 /// Counters exposed for experiments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NicCounters {
@@ -222,6 +283,13 @@ pub struct Nic {
     /// Partition windows: direct control messages from these component
     /// indices are blackholed until the stored instant.
     cut_from: HashMap<usize, SimTime>,
+    /// NIC-resident services by workload id: intercepted ahead of the
+    /// firmware dispatch path and delegated to a co-located component
+    /// (the replicated KV replica).
+    resident: HashMap<u32, ComponentId>,
+    /// Outstanding [`ResidentCall`]s awaiting their [`ResidentDone`].
+    resident_pending: HashMap<u64, ResidentReply>,
+    resident_next_token: u64,
 
     threads: Vec<Thread>,
     idle: Vec<usize>,
@@ -280,6 +348,9 @@ impl Nic {
             lease_epoch: 0,
             lease_until: None,
             cut_from: HashMap::new(),
+            resident: HashMap::new(),
+            resident_pending: HashMap::new(),
+            resident_next_token: 0,
             threads,
             idle,
             rr_next: 0,
@@ -307,6 +378,15 @@ impl Nic {
     /// The endpoint this worker currently resolves `service` to.
     pub fn service(&self, id: u16) -> Option<ServiceEndpoint> {
         self.services.get(&id).copied()
+    }
+
+    /// Registers a NIC-resident service: packets for `workload_id` are
+    /// intercepted ahead of the firmware dispatch path and delegated to
+    /// `component` (which must be co-located with this NIC — it speaks
+    /// [`ResidentCall`]/[`ResidentDone`] and shares the NIC's fate on
+    /// crash and fencing).
+    pub fn register_resident(&mut self, workload_id: u32, component: ComponentId) {
+        self.resident.insert(workload_id, component);
     }
 
     /// Overrides the dispatch policy (ablation).
@@ -476,6 +556,7 @@ impl Nic {
         while self.queue.pop().is_some() {}
         self.reassembler = Reassembler::new();
         self.arrival_times.clear();
+        self.resident_pending.clear();
         for slot in &mut self.stage_free_at {
             *slot = SimTime::ZERO;
         }
@@ -550,6 +631,15 @@ impl Nic {
             return;
         }
 
+        // Resident services bypass the firmware path entirely: they are
+        // live across swaps and do not need an image loaded.
+        if let Some(hdr) = packet.lambda {
+            if let Some(&svc) = self.resident.get(&hdr.workload_id) {
+                self.on_resident_packet(ctx, svc, packet, hdr);
+                return;
+            }
+        }
+
         if self.swapping || self.firmware.is_none() {
             self.counters.dropped_downtime += 1;
             return;
@@ -597,6 +687,84 @@ impl Nic {
             LambdaKind::Response | LambdaKind::RdmaComplete => {
                 self.punt_to_host(ctx, packet);
             }
+        }
+    }
+
+    /// Hands an intercepted packet to a co-located resident service.
+    /// Requests pass the same fencing and deadline gates as dispatched
+    /// lambda work; replication frames (`RdmaWrite`) pass through raw —
+    /// the resident runs its own reassembler, and the raft layer above
+    /// it carries its own epoch discipline.
+    fn on_resident_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        svc: ComponentId,
+        packet: Packet,
+        hdr: LambdaHdr,
+    ) {
+        match hdr.kind {
+            LambdaKind::Request => {
+                self.counters.requests += 1;
+                let refuse = |nic: &mut Nic, ctx: &mut Ctx<'_>, code: u16| {
+                    let mut resp_hdr = hdr.response_to(code);
+                    resp_hdr.queue_depth = nic.queue.len().min(u16::MAX as usize) as u16;
+                    resp_hdr.epoch = nic.lease_epoch;
+                    let reply = packet
+                        .reply_to()
+                        .lambda(resp_hdr)
+                        .payload(Bytes::new())
+                        .build();
+                    ctx.send(nic.uplink, SimDuration::ZERO, reply);
+                };
+                if let Some(worker_epoch) = self.fence_check(&hdr, ctx.now()) {
+                    self.counters.fenced_rejects += 1;
+                    ctx.emit(|| TraceEvent::FencedReject {
+                        request_id: hdr.request_id,
+                        workload_id: hdr.workload_id,
+                        hdr_epoch: hdr.epoch,
+                        worker_epoch,
+                    });
+                    refuse(self, ctx, lnic_net::packet::RC_FENCED);
+                    return;
+                }
+                if hdr.expired_at(ctx.now().as_nanos()) {
+                    self.counters.deadline_drops += 1;
+                    let overdue_ns = ctx.now().as_nanos().saturating_sub(hdr.deadline_ns);
+                    ctx.emit(|| TraceEvent::DeadlineDrop {
+                        request_id: hdr.request_id,
+                        workload_id: hdr.workload_id,
+                        overdue_ns,
+                    });
+                    refuse(self, ctx, lnic_net::packet::RC_EXPIRED);
+                    return;
+                }
+                let token = self.resident_next_token;
+                self.resident_next_token += 1;
+                let payload = packet.payload.clone();
+                let mut reply_template = packet;
+                reply_template.payload = Bytes::new();
+                self.resident_pending.insert(
+                    token,
+                    ResidentReply {
+                        reply_template,
+                        req_hdr: hdr,
+                    },
+                );
+                ctx.send(
+                    svc,
+                    SimDuration::ZERO,
+                    ResidentCall {
+                        token,
+                        hdr,
+                        payload,
+                    },
+                );
+            }
+            LambdaKind::RdmaWrite => {
+                self.counters.rdma_fragments += 1;
+                ctx.send(svc, SimDuration::ZERO, ResidentFrame { packet });
+            }
+            LambdaKind::Response | LambdaKind::RdmaComplete => self.punt_to_host(ctx, packet),
         }
     }
 
@@ -1162,7 +1330,22 @@ impl Component for Nic {
                     return;
                 }
                 let rejoining = grant.rejoin && grant.epoch > self.lease_epoch;
+                let epoch_rose = grant.epoch > self.lease_epoch;
                 self.lease_epoch = grant.epoch;
+                if epoch_rose {
+                    // The fencing token doubles as a leadership fence:
+                    // residents must re-derive any authority they held
+                    // under the previous epoch.
+                    for &svc in self.resident.values() {
+                        ctx.send(
+                            svc,
+                            SimDuration::ZERO,
+                            ResidentEpoch {
+                                epoch: self.lease_epoch,
+                            },
+                        );
+                    }
+                }
                 // Adopt the controller's *absolute* expiry: a grant that
                 // sat in a stalled worker's backlog must not extend the
                 // lease past what the controller recorded at issue time.
@@ -1229,6 +1412,43 @@ impl Component for Nic {
                 if let Some(host) = self.host {
                     ctx.send(host, self.params.pcie_latency, *up);
                 }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<ResidentDone>() {
+            Ok(done) => {
+                if self.crashed {
+                    self.counters.dropped_crashed += 1;
+                    return;
+                }
+                // Token unknown: the call state died with a crash or was
+                // superseded; the gateway's retransmit path covers it.
+                let Some(reply) = self.resident_pending.remove(&done.token) else {
+                    return;
+                };
+                let mut resp_hdr = reply.req_hdr.response_to(done.return_code);
+                resp_hdr.queue_depth = self.queue.len().min(u16::MAX as usize) as u16;
+                resp_hdr.epoch = self.lease_epoch;
+                let packet = reply
+                    .reply_template
+                    .reply_to()
+                    .lambda(resp_hdr)
+                    .payload(done.payload)
+                    .build();
+                ctx.send(self.uplink, SimDuration::ZERO, packet);
+                self.counters.responses += 1;
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<ResidentTx>() {
+            Ok(tx) => {
+                if self.crashed {
+                    self.counters.dropped_crashed += 1;
+                    return;
+                }
+                ctx.send(self.uplink, SimDuration::ZERO, tx.packet);
                 return;
             }
             Err(other) => other,

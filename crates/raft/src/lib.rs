@@ -68,12 +68,13 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod msg;
 pub mod net;
 pub mod node;
 pub mod types;
 
-pub use msg::{ClientOp, ClientReply, ClientRequest, NotLeader};
+pub use msg::{ClientOp, ClientReply, ClientRequest, NotLeader, RaftMsg, Rpc};
 pub use net::{Heal, RaftNet, SetPartitions};
 pub use node::{Crash, RaftConfig, RaftNode, Restart, StartNode};
 pub use types::{Command, KvStore, LogEntry, LogIndex, NodeId, Role, Term};

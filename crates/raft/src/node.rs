@@ -18,6 +18,17 @@ pub struct RaftConfig {
     pub election_timeout_max: SimDuration,
     /// Leader heartbeat interval.
     pub heartbeat_interval: SimDuration,
+    /// Leader read lease: when set, a leader only serves reads locally
+    /// while it has heard append acks from a majority within this
+    /// window, *and* has committed its term's no-op, *and* has applied
+    /// everything committed — otherwise it answers
+    /// [`crate::msg::NotLeader`] and the client retries elsewhere. The
+    /// window must be shorter than `election_timeout_min` so a deposed
+    /// leader's lease provably lapses before any successor can be
+    /// elected (same clock in the simulation, so no skew term). `None`
+    /// keeps the seed's lease-free behaviour (reads may be stale during
+    /// leadership changes; fine for the control-plane use).
+    pub read_lease: Option<SimDuration>,
 }
 
 impl Default for RaftConfig {
@@ -26,9 +37,18 @@ impl Default for RaftConfig {
             election_timeout_min: SimDuration::from_millis(150),
             election_timeout_max: SimDuration::from_millis(300),
             heartbeat_interval: SimDuration::from_millis(50),
+            read_lease: None,
         }
     }
 }
+
+/// Cap on entries per AppendEntries. Without it a freshly-healed
+/// follower is offered the whole missed suffix on every write *and*
+/// every heartbeat while the first ack is still in flight — the send
+/// rate outruns the ack round-trip and the offered load diverges.
+/// Catch-up past the cap is ack-clocked (see the AppendEntriesReply
+/// success path).
+const MAX_APPEND_BATCH: usize = 64;
 
 #[derive(Debug)]
 struct ElectionTimeout {
@@ -76,6 +96,12 @@ pub struct RaftNode {
     /// History of `(term, was_leader)` observations for election-safety
     /// checks.
     leader_terms: Vec<Term>,
+    /// When each peer last acknowledged an append from this leader
+    /// (read-lease freshness evidence; cleared on every role change).
+    ack_times: HashMap<NodeId, SimTime>,
+    /// Index of the no-op this leader proposed on election; local reads
+    /// wait for it to commit (Raft §8's current-commit-index guard).
+    term_start: LogIndex,
 }
 
 impl RaftNode {
@@ -109,6 +135,8 @@ impl RaftNode {
             applied: Vec::new(),
             pending: HashMap::new(),
             leader_terms: Vec::new(),
+            ack_times: HashMap::new(),
+            term_start: 0,
         }
     }
 
@@ -155,6 +183,49 @@ impl RaftNode {
     /// Whether the node is currently crashed.
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Steps down immediately if leader (leadership fencing): called by
+    /// the embedding component when its worker's lease epoch is bumped —
+    /// a fenced worker must not keep acting as the group's leader, so
+    /// PR-5 fencing tokens double as raft leadership fences. Pending
+    /// proposals fail with [`NotLeader`] and clients retry against the
+    /// successor.
+    pub fn fence(&mut self, ctx: &mut Ctx<'_>) {
+        if self.crashed {
+            return;
+        }
+        if self.role != Role::Follower {
+            let term = self.term;
+            self.become_follower(ctx, term);
+        }
+    }
+
+    /// Whether a local read is currently linearizable: leader, term
+    /// no-op committed, state machine caught up, and (when a read lease
+    /// is configured) majority ack evidence fresher than the lease.
+    pub fn can_serve_read(&self, now: SimTime) -> bool {
+        let Some(lease) = self.cfg.read_lease else {
+            // Lease-free configs keep the seed's behaviour: any leader
+            // serves reads from local state.
+            return self.role == Role::Leader;
+        };
+        if self.role != Role::Leader
+            || self.commit_index < self.term_start
+            || self.last_applied < self.commit_index
+        {
+            return false;
+        }
+        let fresh = 1 + self
+            .peers
+            .iter()
+            .filter(|p| {
+                self.ack_times
+                    .get(p)
+                    .is_some_and(|&t| now.saturating_duration_since(t) <= lease)
+            })
+            .count();
+        fresh >= self.majority()
     }
 
     fn last_log_index(&self) -> LogIndex {
@@ -222,9 +293,20 @@ impl RaftNode {
                 );
             }
         }
+        // Only a deposed leader needs a fresh election timer (leaders
+        // run no timer). Followers and candidates keep the one already
+        // armed: resetting here would let a partitioned node that
+        // rejoined with a huge term — but an unelectable, stale log —
+        // perpetually push back everyone else's timeouts and starve the
+        // real election (the disruption the dissertation's §9.6
+        // vote-grant-only reset rule exists to prevent).
+        let stepped_down = self.role == Role::Leader;
         self.role = Role::Follower;
         self.votes.clear();
-        self.reset_election_timer(ctx);
+        self.ack_times.clear();
+        if stepped_down {
+            self.reset_election_timer(ctx);
+        }
     }
 
     fn start_election(&mut self, ctx: &mut Ctx<'_>) {
@@ -262,11 +344,13 @@ impl RaftNode {
             self.match_index.insert(p, 0);
         }
         // Commit a no-op from the new term (Raft §8) so the leader learns
-        // the commit index promptly.
+        // the commit index promptly; local reads wait for it.
         self.log.push(LogEntry {
             term: self.term,
             command: Command::Noop,
         });
+        self.term_start = self.last_log_index();
+        self.ack_times.clear();
         self.broadcast_append(ctx);
         ctx.send_self(
             self.cfg.heartbeat_interval,
@@ -285,7 +369,8 @@ impl RaftNode {
         let next = *self.next_index.get(&peer).unwrap_or(&1);
         let prev_index = next - 1;
         let prev_term = self.entry_term(prev_index).unwrap_or(0);
-        let entries: Vec<LogEntry> = self.log.get(prev_index as usize..).unwrap_or(&[]).to_vec();
+        let suffix = self.log.get(prev_index as usize..).unwrap_or(&[]);
+        let entries: Vec<LogEntry> = suffix[..suffix.len().min(MAX_APPEND_BATCH)].to_vec();
         self.send(
             ctx,
             peer,
@@ -457,10 +542,23 @@ impl RaftNode {
                 if self.role != Role::Leader || term != self.term {
                     return;
                 }
+                // Any same-term reply is freshness evidence: the peer
+                // processed an append from this leadership.
+                self.ack_times.insert(from, ctx.now());
                 if success {
-                    self.match_index.insert(from, match_index);
-                    self.next_index.insert(from, match_index + 1);
-                    self.try_advance_commit(ctx);
+                    // Monotonic: a late or duplicated ack must not
+                    // rewind the pipe.
+                    let prev = self.match_index.get(&from).copied().unwrap_or(0);
+                    if match_index > prev {
+                        self.match_index.insert(from, match_index);
+                        self.next_index.insert(from, match_index + 1);
+                        self.try_advance_commit(ctx);
+                        if match_index < self.last_log_index() {
+                            // Ack-clocked catch-up: the peer accepted a
+                            // capped batch and is still behind.
+                            self.send_append(ctx, from);
+                        }
+                    }
                 } else {
                     // Back off and retry.
                     let next = self.next_index.entry(from).or_insert(1);
@@ -487,6 +585,21 @@ impl RaftNode {
         }
         match req.op {
             ClientOp::Read { key } => {
+                // Serving from local state is only linearizable under
+                // the read-lease conditions; otherwise bounce the client
+                // (it retries, landing here again once the no-op commits
+                // or at the new leader once one exists).
+                if !self.can_serve_read(ctx.now()) {
+                    ctx.send(
+                        req.reply_to,
+                        SimDuration::ZERO,
+                        ClientReply {
+                            token: req.token,
+                            result: Err(NotLeader { hint: None }),
+                        },
+                    );
+                    return;
+                }
                 let value = self.kv.get(&key).map(|v| v.to_vec());
                 ctx.send(
                     req.reply_to,
@@ -547,6 +660,8 @@ impl Component for RaftNode {
             self.kv = KvStore::default();
             self.applied.clear();
             self.pending.clear();
+            self.ack_times.clear();
+            self.term_start = 0;
             // Invalidate timers armed before the crash.
             self.election_epoch += 1;
             return;

@@ -2,7 +2,7 @@
 //! key-value state machine (the `etcd` the paper's framework uses to sync
 //! lambda placement state, §6.1.1).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 /// A Raft term.
@@ -36,6 +36,19 @@ pub enum Command {
         /// The key.
         key: String,
     },
+    /// Insert or overwrite `key`, applying at most once per `uid`: a
+    /// client retry of an already-applied write (at-least-once delivery
+    /// after a leader change) re-proposes the same uid, and the state
+    /// machine deduplicates it on apply. The dedup set is part of the
+    /// replicated state, so every replica resolves retries identically.
+    PutOnce {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Vec<u8>,
+        /// Client-unique write id.
+        uid: u64,
+    },
     /// No-op (committed by new leaders to learn the commit index).
     Noop,
 }
@@ -65,17 +78,32 @@ pub struct LogEntry {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KvStore {
     data: BTreeMap<String, Vec<u8>>,
+    applied_uids: HashSet<u64>,
 }
 
 impl KvStore {
     /// Applies one command, returning the previous value for `Put` /
-    /// `Delete`.
+    /// `Delete`. A [`Command::PutOnce`] whose uid was already applied is
+    /// a no-op returning the current value (the retry's acknowledgment).
     pub fn apply(&mut self, command: &Command) -> Option<Vec<u8>> {
         match command {
             Command::Put { key, value } => self.data.insert(key.clone(), value.clone()),
             Command::Delete { key } => self.data.remove(key),
+            Command::PutOnce { key, value, uid } => {
+                if self.applied_uids.insert(*uid) {
+                    self.data.insert(key.clone(), value.clone())
+                } else {
+                    self.data.get(key).cloned()
+                }
+            }
             Command::Noop => None,
         }
+    }
+
+    /// Whether a [`Command::PutOnce`] with this uid has been applied
+    /// (the bench's lost-acknowledged-write audit).
+    pub fn has_uid(&self, uid: u64) -> bool {
+        self.applied_uids.contains(&uid)
     }
 
     /// Reads a key.

@@ -41,13 +41,23 @@
 //! 9. **Snapshot conservation** — control-plane snapshot sequence
 //!    numbers strictly increase, and a restore names a snapshot that was
 //!    actually taken (a restart must not invent state).
+//! 10. **Linearizability** — the per-key history of replicated-KV
+//!     operations ([`TraceEvent::KvInvoke`]/[`TraceEvent::KvResponse`]
+//!     pairs emitted at the gateway) admits a legal sequential ordering
+//!     that respects real time, checked online Wing–Gong style: each
+//!     response re-runs a memoized search for a witness ordering over the
+//!     current window. Failed writes are *ghosts* — they may take effect
+//!     at any later point or never (the gateway gave up, but a delayed or
+//!     duplicated frame can still apply them) — while failed reads have
+//!     no visible effect and drop out. The rule only engages when KV
+//!     events appear on the stream, so existing testbeds are unaffected.
 //!
 //! By default a violation panics immediately with the offending record,
 //! which makes every integration test a correctness gate; use
 //! [`InvariantChecker::collecting`] to gather violations instead (e.g.
 //! to assert that a deliberately broken run *is* caught).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceRecord, TraceSink};
@@ -116,6 +126,196 @@ impl WfqState {
     }
 }
 
+/// Completed KV ops a key's window may hold before the checker forces a
+/// compaction (ghosts folded into the wildcard set — a sound
+/// over-approximation, counted in [`InvariantChecker::kv_forced_gc`]).
+const KV_WINDOW_CAP: usize = 96;
+
+/// Optional (ghost / still-pending) ops a key's window may hold before
+/// a forced compaction. Ghosts carry no real-time upper bound, so each
+/// one roughly doubles the Wing–Gong state space: an outage that fails
+/// every write (leaderless churn, a partitioned majority) would
+/// otherwise push the per-response search cost to 2^ghosts. Compacting
+/// at a small ghost count keeps the search cheap while the required-op
+/// real-time order keeps it near-linear in window length.
+const KV_GHOST_CAP: usize = 8;
+
+/// One completed (or ghost) operation in a key's linearizability window.
+#[derive(Clone, Debug)]
+struct KvOp {
+    request_id: u64,
+    /// Trace sequence number of the invocation (real-time lower bound).
+    invoke_seq: u64,
+    /// Trace sequence number of the response (real-time upper bound —
+    /// only binding for `required` ops; `u64::MAX` while the op is
+    /// still pending).
+    resp_seq: u64,
+    write: bool,
+    /// The value written (writes) or returned (successful reads).
+    value: u64,
+    /// Reads: whether the key was present.
+    found: bool,
+    /// Acknowledged ops must appear in the witness ordering; ghosts
+    /// (failed or still-pending writes) are optional and carry no
+    /// real-time upper bound.
+    required: bool,
+}
+
+/// An invocation awaiting its response.
+#[derive(Debug)]
+struct PendingKvOp {
+    key: u64,
+    invoke_seq: u64,
+    write: bool,
+    value: u64,
+}
+
+/// Per-key linearizability state (invariant 10).
+#[derive(Debug, Default)]
+struct KeyHistory {
+    /// Completed ops not yet compacted, in completion order.
+    window: Vec<KvOp>,
+    /// Possible register values at the start of the window (`None` =
+    /// absent). Seeded with `{None}`; replaced by the reachable final
+    /// values at each compaction.
+    init_values: BTreeSet<Option<u64>>,
+    /// Values of ghost writes dropped by a forced compaction: a later
+    /// read returning one is accepted as "the ghost applied just before
+    /// this read" (over-approximation, see [`KV_WINDOW_CAP`]).
+    wildcard: HashSet<u64>,
+    /// Invocations on this key still awaiting a response.
+    open: usize,
+}
+
+impl KeyHistory {
+    fn fresh() -> Self {
+        KeyHistory {
+            init_values: std::iter::once(None).collect(),
+            ..KeyHistory::default()
+        }
+    }
+
+    /// Ops with no real-time upper bound: ghosts and in-flight writes.
+    fn optional_len(&self) -> usize {
+        self.window.iter().filter(|op| !op.required).count()
+    }
+
+    /// Wing–Gong search: does the window admit a witness ordering, and
+    /// if so, which register values can a complete ordering end on?
+    ///
+    /// DFS over `(linearized-set, value)` states with memoization. From
+    /// each state any not-yet-linearized op may go next unless a
+    /// *required* op's response precedes its invocation (real time
+    /// forbids reordering past an op that demonstrably finished first);
+    /// reads must match the current value, writes set it. A state is
+    /// complete once every required op is linearized — ghosts may remain
+    /// unlinearized forever.
+    fn search(&self) -> Option<BTreeSet<Option<u64>>> {
+        let n = self.window.len();
+        debug_assert!(n <= 128, "window bounded by KV_WINDOW_CAP");
+        let mut required_mask: u128 = 0;
+        for (i, op) in self.window.iter().enumerate() {
+            if op.required {
+                required_mask |= 1 << i;
+            }
+        }
+        let mut finals = BTreeSet::new();
+        let mut seen = HashSet::new();
+        let mut stack: Vec<(u128, Option<u64>)> =
+            self.init_values.iter().map(|&v| (0u128, v)).collect();
+        while let Some((mask, val)) = stack.pop() {
+            if !seen.insert((mask, val)) {
+                continue;
+            }
+            if mask & required_mask == required_mask {
+                finals.insert(val);
+            }
+            'next: for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    continue;
+                }
+                let op = &self.window[i];
+                for (j, other) in self.window.iter().enumerate() {
+                    if j != i
+                        && mask & (1 << j) == 0
+                        && other.required
+                        && other.resp_seq < op.invoke_seq
+                    {
+                        continue 'next;
+                    }
+                }
+                let next_val = if op.write {
+                    Some(op.value)
+                } else if op.found {
+                    if val == Some(op.value) {
+                        val
+                    } else if self.wildcard.contains(&op.value) {
+                        Some(op.value)
+                    } else {
+                        continue;
+                    }
+                } else if val.is_none() {
+                    val
+                } else {
+                    continue;
+                };
+                stack.push((mask | (1 << i), next_val));
+            }
+        }
+        if finals.is_empty() {
+            None
+        } else {
+            Some(finals)
+        }
+    }
+
+    /// Forced compaction given a successful search: fold every optional
+    /// op's value into the wildcard set (a dropped ghost or still-pending
+    /// write may apply at any later point) and restart the window from
+    /// the reachable final values. A sound over-approximation — it can
+    /// only admit more histories, never reject a linearizable one.
+    fn fold_into(&mut self, finals: BTreeSet<Option<u64>>) {
+        let ghost_values: Vec<u64> = self
+            .window
+            .iter()
+            .filter(|op| !op.required)
+            .map(|op| op.value)
+            .collect();
+        self.init_values = finals;
+        for v in ghost_values {
+            self.init_values.insert(Some(v));
+            self.wildcard.insert(v);
+        }
+        self.window.clear();
+    }
+
+    /// A compact rendering of the window for violation messages.
+    fn describe(&self) -> String {
+        let ops: Vec<String> = self
+            .window
+            .iter()
+            .map(|op| {
+                let kind = match (op.write, op.required) {
+                    (true, true) => "W",
+                    (true, false) => "W?",
+                    (false, _) if op.found => "R",
+                    (false, _) => "R∅",
+                };
+                let resp = if op.resp_seq == u64::MAX {
+                    "?".to_string()
+                } else {
+                    op.resp_seq.to_string()
+                };
+                format!(
+                    "{kind}(v={},inv={},resp={resp},req={})",
+                    op.value, op.invoke_seq, op.request_id
+                )
+            })
+            .collect();
+        format!("inits {:?}, window [{}]", self.init_values, ops.join(" "))
+    }
+}
+
 /// The online checker; see the module docs for the invariant list.
 pub struct InvariantChecker {
     panic_on_violation: bool,
@@ -159,6 +359,13 @@ pub struct InvariantChecker {
     // Snapshot conservation (invariant 9).
     snapshot_seqs: HashSet<u64>,
     last_snapshot_seq: u64,
+
+    // Linearizability (invariant 10), engaged only when KV events
+    // appear on the stream.
+    kv_pending: HashMap<u64, PendingKvOp>,
+    kv_keys: HashMap<u64, KeyHistory>,
+    kv_ops: u64,
+    kv_forced_gc: u64,
 }
 
 impl Default for InvariantChecker {
@@ -194,6 +401,10 @@ impl InvariantChecker {
             fenced_components: HashMap::new(),
             snapshot_seqs: HashSet::new(),
             last_snapshot_seq: 0,
+            kv_pending: HashMap::new(),
+            kv_keys: HashMap::new(),
+            kv_ops: 0,
+            kv_forced_gc: 0,
         }
     }
 
@@ -228,6 +439,17 @@ impl InvariantChecker {
     /// Requests shed by admission control (never submitted).
     pub fn shed(&self) -> u64 {
         self.shed
+    }
+
+    /// Completed replicated-KV operations checked for linearizability.
+    pub fn kv_ops(&self) -> u64 {
+        self.kv_ops
+    }
+
+    /// Forced window compactions (each one widens the over-approximation
+    /// for its key; zero in a healthy run of bench scale).
+    pub fn kv_forced_gc(&self) -> u64 {
+        self.kv_forced_gc
     }
 
     /// Panics unless zero violations were recorded.
@@ -612,6 +834,176 @@ impl InvariantChecker {
         }
         self.lease_epochs.insert(worker, prev.max(epoch));
     }
+
+    /// Invariant 10: a KV invocation opens an op on its key. Writes
+    /// enter the window immediately — a concurrent read may legally
+    /// return a value whose write has not been acknowledged yet — as
+    /// optional, unbounded ops until their response arrives.
+    fn on_kv_invoke(
+        &mut self,
+        rec: &TraceRecord,
+        request_id: u64,
+        key: u64,
+        write: bool,
+        value: u64,
+    ) {
+        if self
+            .kv_pending
+            .insert(
+                request_id,
+                PendingKvOp {
+                    key,
+                    invoke_seq: rec.seq,
+                    write,
+                    value,
+                },
+            )
+            .is_some()
+        {
+            let msg = format!("kv request {request_id} invoked twice");
+            self.violation(rec.at, msg);
+        }
+        let mut forced = false;
+        {
+            let hist = self.kv_keys.entry(key).or_insert_with(KeyHistory::fresh);
+            hist.open += 1;
+            if write {
+                if hist.window.len() >= KV_WINDOW_CAP || hist.optional_len() >= KV_GHOST_CAP {
+                    if let Some(finals) = hist.search() {
+                        hist.fold_into(finals);
+                        forced = true;
+                    }
+                }
+                hist.window.push(KvOp {
+                    request_id,
+                    invoke_seq: rec.seq,
+                    resp_seq: u64::MAX,
+                    write: true,
+                    value,
+                    found: true,
+                    required: false,
+                });
+            }
+        }
+        if forced {
+            self.kv_forced_gc += 1;
+        }
+    }
+
+    /// Invariant 10: a KV response closes its op and re-runs the
+    /// Wing–Gong search over the key's window.
+    fn on_kv_response(
+        &mut self,
+        rec: &TraceRecord,
+        request_id: u64,
+        ok: bool,
+        found: bool,
+        value: u64,
+    ) {
+        let Some(pending) = self.kv_pending.remove(&request_id) else {
+            let msg = format!("kv request {request_id} responded without an invocation");
+            self.violation(rec.at, msg);
+            return;
+        };
+        self.kv_ops += 1;
+        let key = pending.key;
+        let mut viol = None;
+        let mut forced = false;
+        {
+            let hist = self
+                .kv_keys
+                .get_mut(&key)
+                .expect("invocation created the key history");
+            hist.open = hist.open.saturating_sub(1);
+            // Bind the response to its op. Writes were placed in the
+            // window at invocation: the response fixes their real-time
+            // upper bound and, when acknowledged, makes them required.
+            // Acknowledged reads are appended, constrained by the value
+            // they *returned*; failed reads constrain nothing.
+            let write_idx = if pending.write {
+                match hist.window.iter().position(|op| {
+                    op.write && op.request_id == request_id && op.resp_seq == u64::MAX
+                }) {
+                    Some(idx) => {
+                        if !ok {
+                            // Ghost: stays optional and unbounded.
+                            return;
+                        }
+                        hist.window[idx].resp_seq = rec.seq;
+                        hist.window[idx].required = true;
+                        Some(idx)
+                    }
+                    // A forced compaction already folded this write into
+                    // the wildcard set; its ordering can no longer be
+                    // enforced (counted in `kv_forced_gc`).
+                    None => return,
+                }
+            } else {
+                if !ok {
+                    return;
+                }
+                hist.window.push(KvOp {
+                    request_id,
+                    invoke_seq: pending.invoke_seq,
+                    resp_seq: rec.seq,
+                    write: false,
+                    value,
+                    found,
+                    required: true,
+                });
+                None
+            };
+            match hist.search() {
+                None => {
+                    let msg = format!(
+                        "non-linearizable history on key {key}: no witness ordering \
+                         after request {request_id} ({}{}) — {}",
+                        if pending.write { "write" } else { "read" },
+                        if pending.write {
+                            format!(" v={}", pending.value)
+                        } else if found {
+                            format!(" returned v={value}")
+                        } else {
+                            " returned absent".to_string()
+                        },
+                        hist.describe()
+                    );
+                    // Surgical recovery so one bad response does not
+                    // cascade into a violation on every later op: demote
+                    // the write back to a ghost, or drop the read.
+                    match write_idx {
+                        Some(idx) => {
+                            hist.window[idx].resp_seq = u64::MAX;
+                            hist.window[idx].required = false;
+                        }
+                        None => {
+                            hist.window.pop();
+                        }
+                    }
+                    viol = Some(msg);
+                }
+                Some(finals) => {
+                    // Compact at quiescence: with no open ops and no
+                    // ghosts, the window collapses to its reachable
+                    // final values exactly.
+                    let optional = hist.optional_len();
+                    if hist.open == 0 && optional == 0 {
+                        hist.init_values = finals;
+                        hist.window.clear();
+                    } else if hist.window.len() >= KV_WINDOW_CAP || optional >= KV_GHOST_CAP {
+                        hist.fold_into(finals);
+                        forced = true;
+                    }
+                }
+            }
+        }
+        if forced {
+            self.kv_forced_gc += 1;
+        }
+        if let Some(msg) = viol {
+            self.violation(rec.at, msg);
+        }
+    }
 }
 
 impl TraceSink for InvariantChecker {
@@ -894,6 +1286,21 @@ impl TraceSink for InvariantChecker {
                 }
             }
 
+            // Invariant 10: online linearizability over per-key KV
+            // histories.
+            TraceEvent::KvInvoke {
+                request_id,
+                key,
+                write,
+                value,
+            } => self.on_kv_invoke(rec, request_id, key, write, value),
+            TraceEvent::KvResponse {
+                request_id,
+                ok,
+                found,
+                value,
+            } => self.on_kv_response(rec, request_id, ok, found, value),
+
             TraceEvent::LinkTx { .. }
             | TraceEvent::LinkDrop { .. }
             | TraceEvent::FragDrop { .. }
@@ -958,8 +1365,11 @@ mod tests {
     }
 
     fn feed(checker: &mut InvariantChecker, events: &[(u64, usize, TraceEvent)]) {
-        for (i, (at, src, ev)) in events.iter().enumerate() {
-            checker.on_record(&rec(*at, i as u64, *src, ev.clone()));
+        for (at, src, ev) in events {
+            // Seq continues across feed calls: real-time order between
+            // batches must be preserved (the kv rule orders by seq).
+            let seq = checker.records;
+            checker.on_record(&rec(*at, seq, *src, ev.clone()));
         }
     }
 
@@ -1955,5 +2365,157 @@ mod tests {
             ));
         }));
         assert!(result.is_err());
+    }
+
+    // ---- Invariant 10: linearizability -------------------------------
+
+    fn kv_invoke(request_id: u64, key: u64, write: bool, value: u64) -> TraceEvent {
+        TraceEvent::KvInvoke {
+            request_id,
+            key,
+            write,
+            value,
+        }
+    }
+
+    fn kv_response(request_id: u64, ok: bool, found: bool, value: u64) -> TraceEvent {
+        TraceEvent::KvResponse {
+            request_id,
+            ok,
+            found,
+            value,
+        }
+    }
+
+    /// The self-test the satellite demands: a recorded history with a
+    /// seeded stale read (two acknowledged sequential writes, then a
+    /// read returning the overwritten value) must trip the rule — a
+    /// checker that silently passes this history is broken.
+    #[test]
+    fn stale_read_after_two_writes_is_flagged() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (0, 1, kv_invoke(1, 5, true, 10)),
+                (1, 1, kv_response(1, true, true, 10)),
+                (2, 1, kv_invoke(2, 5, true, 20)),
+                (3, 1, kv_response(2, true, true, 20)),
+                (4, 1, kv_invoke(3, 5, false, 0)),
+                (5, 1, kv_response(3, true, true, 10)),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(
+            c.violations()[0].contains("non-linearizable"),
+            "{:?}",
+            c.violations()
+        );
+        assert_eq!(c.kv_ops(), 3);
+    }
+
+    #[test]
+    fn sequential_writes_and_reads_linearize_cleanly() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (0, 1, kv_invoke(1, 5, false, 0)),
+                (1, 1, kv_response(1, true, false, 0)), // read of unwritten key: absent
+                (2, 1, kv_invoke(2, 5, true, 10)),
+                (3, 1, kv_response(2, true, true, 10)),
+                (4, 1, kv_invoke(3, 5, false, 0)),
+                (5, 1, kv_response(3, true, true, 10)),
+                (6, 1, kv_invoke(4, 6, false, 0)), // other key independent
+                (7, 1, kv_response(4, true, false, 0)),
+            ],
+        );
+        c.on_finish(SimTime::from_nanos(10));
+        c.assert_clean();
+        assert_eq!(c.kv_ops(), 4);
+    }
+
+    /// A read concurrent with a write may return either the old or the
+    /// new value — both interleavings are witness orderings.
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        for observed in [(true, 10u64), (false, 0)] {
+            let mut c = InvariantChecker::collecting();
+            feed(
+                &mut c,
+                &[
+                    (0, 1, kv_invoke(1, 5, true, 10)), // write in flight...
+                    (1, 1, kv_invoke(2, 5, false, 0)), // ...read overlaps it
+                    (2, 1, kv_response(2, true, observed.0, observed.1)),
+                    (3, 1, kv_response(1, true, true, 10)),
+                ],
+            );
+            c.assert_clean();
+        }
+    }
+
+    /// A failed (ghost) write may take effect or not: a later read may
+    /// return it once, but after an acknowledged overwrite the ghost
+    /// value must not reappear.
+    #[test]
+    fn ghost_write_value_is_readable_but_cannot_resurrect() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (0, 1, kv_invoke(1, 5, true, 10)),
+                (1, 1, kv_response(1, false, true, 0)), // gateway gave up: ghost
+                (2, 1, kv_invoke(2, 5, false, 0)),
+                (3, 1, kv_response(2, true, true, 10)), // ghost applied after all
+            ],
+        );
+        c.assert_clean();
+        feed(
+            &mut c,
+            &[
+                (4, 1, kv_invoke(3, 5, true, 20)),
+                (5, 1, kv_response(3, true, true, 20)),
+                (6, 1, kv_invoke(4, 5, false, 0)),
+                (7, 1, kv_response(4, true, true, 10)), // stale resurrection
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+    }
+
+    #[test]
+    fn read_of_never_written_value_is_flagged() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (0, 1, kv_invoke(1, 5, true, 10)),
+                (1, 1, kv_response(1, true, true, 10)),
+                (2, 1, kv_invoke(2, 5, false, 0)),
+                (3, 1, kv_response(2, true, true, 99)),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+    }
+
+    /// Failed reads have no effect; quiescence compaction keeps the
+    /// verdicts identical across the GC boundary.
+    #[test]
+    fn compaction_preserves_final_values() {
+        let mut c = InvariantChecker::collecting();
+        // Sequential history; every response quiesces the key, so the
+        // window compacts down to {Some(v)} each round.
+        let mut evs = Vec::new();
+        for i in 0..200u64 {
+            evs.push((2 * i, 1usize, kv_invoke(i, 7, true, i)));
+            evs.push((2 * i + 1, 1usize, kv_response(i, true, true, i)));
+        }
+        evs.push((400, 1, kv_invoke(200, 7, false, 0)));
+        evs.push((401, 1, kv_response(200, true, true, 199)));
+        // A stale read far across compactions must still be caught.
+        evs.push((402, 1, kv_invoke(201, 7, false, 0)));
+        evs.push((403, 1, kv_response(201, true, true, 0)));
+        feed(&mut c, &evs);
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert_eq!(c.kv_forced_gc(), 0);
     }
 }

@@ -417,6 +417,32 @@ pub enum TraceEvent {
         /// Workers whose reported epoch was ahead of the snapshot.
         reconciled: u64,
     },
+    /// A replicated-KV operation entered the system at the gateway (the
+    /// linearizability checker's invocation event; retries and hedges of
+    /// the same request do not re-invoke).
+    KvInvoke {
+        /// Gateway request id (pairs with the matching [`Self::KvResponse`]).
+        request_id: u64,
+        /// The key operated on.
+        key: u64,
+        /// `true` for a write (PUT), `false` for a read (GET).
+        write: bool,
+        /// The value written (writes) or 0 (reads).
+        value: u64,
+    },
+    /// A replicated-KV operation resolved at the gateway (the
+    /// linearizability checker's response event).
+    KvResponse {
+        /// Gateway request id (pairs with the matching [`Self::KvInvoke`]).
+        request_id: u64,
+        /// Whether the operation was acknowledged as successful.
+        ok: bool,
+        /// Reads: whether the key was present. Writes: always `true`.
+        found: bool,
+        /// Reads: the value returned (0 when absent). Writes: the value
+        /// that was acknowledged.
+        value: u64,
+    },
 }
 
 impl TraceEvent {
@@ -462,6 +488,8 @@ impl TraceEvent {
             TraceEvent::StaleReplyDrop { .. } => "stale_reply_drop",
             TraceEvent::SnapshotTaken { .. } => "snapshot_taken",
             TraceEvent::SnapshotRestored { .. } => "snapshot_restored",
+            TraceEvent::KvInvoke { .. } => "kv_invoke",
+            TraceEvent::KvResponse { .. } => "kv_response",
         }
     }
 
@@ -750,6 +778,28 @@ impl TraceEvent {
             TraceEvent::SnapshotRestored { seq, reconciled } => {
                 f("seq", U64(seq));
                 f("reconciled", U64(reconciled));
+            }
+            TraceEvent::KvInvoke {
+                request_id,
+                key,
+                write,
+                value,
+            } => {
+                f("request_id", U64(request_id));
+                f("key", U64(key));
+                f("write", Bool(write));
+                f("value", U64(value));
+            }
+            TraceEvent::KvResponse {
+                request_id,
+                ok,
+                found,
+                value,
+            } => {
+                f("request_id", U64(request_id));
+                f("ok", Bool(ok));
+                f("found", Bool(found));
+                f("value", U64(value));
             }
         }
     }

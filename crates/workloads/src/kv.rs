@@ -190,6 +190,151 @@ pub fn set_request_payload(user_id: u32, value: &[u8]) -> Bytes {
     Bytes::from(v)
 }
 
+// ---------------------------------------------------------------------
+// Replicated NIC-side KV (the raft group spanning NIC workers).
+// ---------------------------------------------------------------------
+
+/// The logical service id of the replicated NIC-side KV group.
+pub const REPKV_SERVICE: u16 = 2;
+
+/// The workload id replicated-KV requests are addressed to (NIC-resident
+/// service, intercepted ahead of the firmware dispatch path).
+pub const REPKV_WORKLOAD_ID: u32 = 900;
+
+/// A decoded replicated-KV request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepKvOp {
+    /// Read `key`.
+    Get {
+        /// The key.
+        key: u32,
+    },
+    /// Write `value` to `key`. The value doubles as the write's unique
+    /// id for at-most-once application under retries.
+    Put {
+        /// The key.
+        key: u32,
+        /// The value (and uid).
+        value: u64,
+    },
+}
+
+/// Builds a replicated-KV GET request payload: `[0, key_be32]`.
+pub fn repkv_get_payload(key: u32) -> Bytes {
+    let mut v = Vec::with_capacity(5);
+    v.push(0);
+    v.extend_from_slice(&key.to_be_bytes());
+    Bytes::from(v)
+}
+
+/// Builds a replicated-KV PUT request payload: `[1, key_be32, value_be64]`.
+pub fn repkv_put_payload(key: u32, value: u64) -> Bytes {
+    let mut v = Vec::with_capacity(13);
+    v.push(1);
+    v.extend_from_slice(&key.to_be_bytes());
+    v.extend_from_slice(&value.to_be_bytes());
+    Bytes::from(v)
+}
+
+/// Decodes a replicated-KV request payload.
+pub fn decode_repkv_request(payload: &[u8]) -> Option<RepKvOp> {
+    match payload.first()? {
+        0 if payload.len() == 5 => Some(RepKvOp::Get {
+            key: u32::from_be_bytes(payload[1..5].try_into().ok()?),
+        }),
+        1 if payload.len() == 13 => Some(RepKvOp::Put {
+            key: u32::from_be_bytes(payload[1..5].try_into().ok()?),
+            value: u64::from_be_bytes(payload[5..13].try_into().ok()?),
+        }),
+        _ => None,
+    }
+}
+
+/// Builds a replicated-KV GET response payload: `[found, value_be64]`.
+pub fn repkv_get_response(found: bool, value: u64) -> Bytes {
+    let mut v = Vec::with_capacity(9);
+    v.push(u8::from(found));
+    v.extend_from_slice(&value.to_be_bytes());
+    Bytes::from(v)
+}
+
+/// Decodes a replicated-KV GET response payload.
+pub fn decode_repkv_get_response(payload: &[u8]) -> Option<(bool, u64)> {
+    if payload.len() != 9 || payload[0] > 1 {
+        return None;
+    }
+    Some((
+        payload[0] == 1,
+        u64::from_be_bytes(payload[1..9].try_into().ok()?),
+    ))
+}
+
+/// A read/write-mix and key-popularity knob for KV benchmarks: reads
+/// with probability `read_permille`/1000, keys drawn Zipf-distributed
+/// with exponent `zipf_milli`/1000 (0 = uniform). Hot-key skew is the
+/// regime where linearizability bugs surface — many concurrent ops per
+/// key — so benches default to a skewed mix.
+#[derive(Clone, Debug)]
+pub struct KvMix {
+    keys: u32,
+    read_permille: u16,
+    /// Cumulative key-popularity distribution (monotone, last = 1.0).
+    cdf: std::sync::Arc<Vec<f64>>,
+}
+
+impl KvMix {
+    /// Builds a mix over `keys` keys. `read_permille` is the read share
+    /// out of 1000; `zipf_milli` is the Zipf exponent ×1000.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero or `read_permille` exceeds 1000.
+    pub fn new(keys: u32, read_permille: u16, zipf_milli: u32) -> Self {
+        assert!(keys > 0, "mix needs at least one key");
+        assert!(read_permille <= 1000, "read share is out of 1000");
+        let s = zipf_milli as f64 / 1000.0;
+        let mut weights: Vec<f64> = (1..=keys as u64)
+            .map(|rank| 1.0 / (rank as f64).powf(s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard the tail against floating-point shortfall.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        KvMix {
+            keys,
+            read_permille,
+            cdf: std::sync::Arc::new(weights),
+        }
+    }
+
+    /// Number of keys in the working set.
+    pub fn keys(&self) -> u32 {
+        self.keys
+    }
+
+    /// The read share out of 1000.
+    pub fn read_permille(&self) -> u16 {
+        self.read_permille
+    }
+
+    /// Draws whether the next op is a read.
+    pub fn sample_read(&self, rng: &mut impl rand::Rng) -> bool {
+        rng.gen_range(0u32..1000) < u32::from(self.read_permille)
+    }
+
+    /// Draws a key (0-based) by popularity rank: key 0 is the hottest.
+    pub fn sample_key(&self, rng: &mut impl rand::Rng) -> u32 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +492,74 @@ mod tests {
         out.validate().expect("coalesced kv program validates");
         assert!(report.functions_shared >= 2, "{report:?}");
         assert!(!out.shared.is_empty());
+    }
+
+    #[test]
+    fn repkv_payloads_roundtrip() {
+        assert_eq!(
+            decode_repkv_request(&repkv_get_payload(7)),
+            Some(RepKvOp::Get { key: 7 })
+        );
+        assert_eq!(
+            decode_repkv_request(&repkv_put_payload(9, 0xDEAD_BEEF)),
+            Some(RepKvOp::Put {
+                key: 9,
+                value: 0xDEAD_BEEF
+            })
+        );
+        assert_eq!(decode_repkv_request(b""), None);
+        assert_eq!(decode_repkv_request(&[2, 0, 0, 0, 1]), None);
+        assert_eq!(decode_repkv_request(&[0, 0, 0]), None);
+        assert_eq!(
+            decode_repkv_get_response(&repkv_get_response(true, 42)),
+            Some((true, 42))
+        );
+        assert_eq!(
+            decode_repkv_get_response(&repkv_get_response(false, 0)),
+            Some((false, 0))
+        );
+        assert_eq!(decode_repkv_get_response(&[9; 9]), None);
+    }
+
+    #[test]
+    fn kv_mix_respects_read_share_and_skew() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mix = KvMix::new(100, 900, 990);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut reads = 0u32;
+        let mut hot = 0u32;
+        for _ in 0..n {
+            if mix.sample_read(&mut rng) {
+                reads += 1;
+            }
+            let key = mix.sample_key(&mut rng);
+            assert!(key < 100);
+            if key == 0 {
+                hot += 1;
+            }
+        }
+        let read_share = f64::from(reads) / f64::from(n);
+        assert!((0.88..0.92).contains(&read_share), "{read_share}");
+        // Zipf(0.99) over 100 keys puts ~19% of mass on the hottest key;
+        // uniform would put 1%.
+        let hot_share = f64::from(hot) / f64::from(n);
+        assert!(hot_share > 0.12, "{hot_share}");
+    }
+
+    #[test]
+    fn kv_mix_uniform_has_no_hot_key() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mix = KvMix::new(10, 500, 0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[mix.sample_key(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
     }
 }
