@@ -40,6 +40,11 @@ impl SimTime {
     /// The origin of the simulated timeline.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of representable time. The sharded engine uses this as
+    /// the "no pending event" sentinel when merging per-shard clocks,
+    /// so no real event may ever be scheduled at it.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates an instant from nanoseconds since the simulation start.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)
@@ -82,6 +87,13 @@ impl SimTime {
     /// `earlier` is in the future.
     pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, clamping at [`SimTime::MAX`] instead of
+    /// overflowing — used for conservative window arithmetic near the
+    /// end of time (`+` panics in debug and wraps in release).
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
     }
 }
 

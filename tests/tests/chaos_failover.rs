@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use lnic::failover::{FailoverConfig, FailoverEventKind};
 use lnic::prelude::*;
+use lnic_integration::{page_jobs, resilient_nic_config, spawn_closed_loop};
 use lnic_sim::prelude::*;
 use lnic_workloads::three_web_servers;
 
@@ -37,15 +38,10 @@ struct ChaosOutcome {
 }
 
 fn chaos_run(seed: u64) -> ChaosOutcome {
-    let mut config = TestbedConfig::new(BackendKind::Nic)
-        .seed(seed)
-        .workers(WORKERS);
+    let mut config = resilient_nic_config(seed, WORKERS);
     // A 200 ms re-provisioning window keeps the test fast while still
     // forcing traffic to bridge a real outage.
     config.nic.firmware_swap_time = SimDuration::from_millis(200);
-    config.gateway.rpc_timeout = SimDuration::from_millis(50);
-    config.gateway.rpc_attempts = 5;
-    config.gateway = config.gateway.resilient();
 
     let mut bed = build_testbed(config);
     let program = Arc::new(three_web_servers());
@@ -63,22 +59,14 @@ fn chaos_run(seed: u64) -> ChaosOutcome {
         .nic_restart(0, SimTime::ZERO + RESTART_AT);
     bed.inject_faults(&plan);
 
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
-    let driver = bed.sim.add(ClosedLoopDriver::new(
-        bed.gateway,
-        jobs,
+    let driver = spawn_closed_loop(
+        &mut bed,
+        page_jobs(&program),
         THREADS,
         SimDuration::from_millis(1),
         Some(REQUESTS_PER_THREAD),
-    ));
-    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+        SimDuration::ZERO,
+    );
     // The heartbeat ticks forever; run to a horizon far past the last
     // possible completion instead of draining the queue.
     bed.sim

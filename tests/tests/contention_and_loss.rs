@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use lnic::prelude::*;
+use lnic_integration::page_jobs;
 use lnic_net::params::LinkParams;
 use lnic_sim::prelude::*;
 use lnic_workloads::three_web_servers;
@@ -23,14 +24,7 @@ fn contended_run(backend: BackendKind, concurrency: usize, requests: u64) -> Ser
     for lambda in &program.lambdas {
         bed.place(lambda.id.0, 0);
     }
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let gateway = bed.gateway;
     let driver = bed.sim.add(ClosedLoopDriver::new(
         gateway,

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use lnic::failover::FailoverConfig;
 use lnic::prelude::*;
+use lnic_integration::page_jobs;
 use lnic_sim::prelude::*;
 use lnic_workloads::three_web_servers;
 use proptest::prelude::*;
@@ -43,14 +44,7 @@ fn run_plan(seed: u64, plan: &FaultPlan) -> Result<(), TestCaseError> {
     });
     bed.inject_faults(plan);
 
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let driver = bed.sim.add(ClosedLoopDriver::new(
         bed.gateway,
         jobs,
@@ -136,11 +130,7 @@ proptest! {
         ..FailoverConfig::default()
             });
             bed.inject_faults(plan);
-            let jobs: Vec<JobSpec> = program
-                .lambdas
-                .iter()
-                .map(|l| JobSpec { workload_id: l.id.0, payload: PayloadSpec::Page(0) })
-                .collect();
+            let jobs = page_jobs(&program);
             let driver = bed.sim.add(ClosedLoopDriver::new(
                 bed.gateway,
                 jobs,

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use lnic::failover::{FailoverConfig, FailoverController, FailoverEventKind};
 use lnic::prelude::*;
+use lnic_integration::page_jobs;
 use lnic_sim::prelude::*;
 use lnic_workloads::three_web_servers;
 
@@ -44,14 +45,7 @@ fn fail_slow_worker_is_quarantined_without_a_crash() {
     let plan = FaultPlan::new().slowdown(0, SimTime::ZERO + SLOW_AT, SLOW_FACTOR, SLOW_FOR);
     bed.inject_faults(&plan);
 
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let driver = bed.sim.add(ClosedLoopDriver::new(
         bed.gateway,
         jobs,
@@ -132,14 +126,7 @@ fn gray_failure_run_is_deterministic_for_a_seed() {
         bed.enable_failover(FailoverConfig::default());
         let plan = FaultPlan::new().slowdown(1, SimTime::ZERO + SLOW_AT, SLOW_FACTOR, SLOW_FOR);
         bed.inject_faults(&plan);
-        let jobs: Vec<JobSpec> = program
-            .lambdas
-            .iter()
-            .map(|l| JobSpec {
-                workload_id: l.id.0,
-                payload: PayloadSpec::Page(0),
-            })
-            .collect();
+        let jobs = page_jobs(&program);
         let driver = bed.sim.add(ClosedLoopDriver::new(
             bed.gateway,
             jobs,
@@ -190,14 +177,7 @@ fn duplicate_replies_are_suppressed_and_requests_conserved() {
         .duplicate(1, SimTime::ZERO, dup_window, 1.0);
     bed.inject_faults(&plan);
 
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let driver = bed.sim.add(ClosedLoopDriver::new(
         bed.gateway,
         jobs,

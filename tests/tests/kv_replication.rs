@@ -16,11 +16,11 @@
 //! (re-pin intentional changes with `UPDATE_GOLDENS=1`).
 
 use std::collections::HashMap;
-use std::path::PathBuf;
 
 use lnic::failover::FailoverConfig;
 use lnic::prelude::*;
 use lnic::repkv::RepKvReplica;
+use lnic_integration::{goldens, resilient_nic_config, serial_golden_checks_enabled};
 use lnic_raft::{RaftConfig, Role};
 use lnic_sim::prelude::*;
 use lnic_sim::trace::{TraceRecord, TraceSink};
@@ -106,10 +106,7 @@ fn leader_index(bed: &Testbed) -> Option<usize> {
 }
 
 fn repkv_run(seed: u64, scenario: Scenario) -> RunResult {
-    let mut config = TestbedConfig::new(BackendKind::Nic).seed(seed).workers(3);
-    config.gateway.rpc_timeout = SimDuration::from_millis(50);
-    config.gateway.rpc_attempts = 5;
-    config.gateway = config.gateway.resilient();
+    let config = resilient_nic_config(seed, 3);
     let mut bed = build_testbed(config);
     bed.sim.add_trace_sink(Box::new(HashSink::new()));
     bed.sim.add_trace_sink(Box::new(KvAudit::default()));
@@ -275,26 +272,7 @@ fn golden_cases() -> Vec<(&'static str, u64, Scenario)> {
     ]
 }
 
-fn goldens_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("goldens")
-        .join("kv_replication_hashes.txt")
-}
-
-fn read_goldens() -> HashMap<String, u64> {
-    let text = std::fs::read_to_string(goldens_path()).expect(
-        "tests/goldens/kv_replication_hashes.txt exists (run with UPDATE_GOLDENS=1 to create)",
-    );
-    text.lines()
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| {
-            let (name, hash) = l.split_once(' ').expect("`name 0x<hash>` per line");
-            let hash = u64::from_str_radix(hash.trim().trim_start_matches("0x"), 16)
-                .expect("hash parses as hex");
-            (name.to_owned(), hash)
-        })
-        .collect()
-}
+const GOLDENS_FILE: &str = "kv_replication_hashes.txt";
 
 /// The replicated-KV scenarios' trace hashes must match the pinned
 /// goldens. After an *intentional* change, regenerate with:
@@ -304,24 +282,24 @@ fn read_goldens() -> HashMap<String, u64> {
 /// ```
 #[test]
 fn repkv_trace_hashes_match_pinned_goldens() {
-    if lnic::prelude::seed_offset() != 0 {
-        eprintln!("skipping pinned-golden check under LNIC_SEED_OFFSET");
+    if !serial_golden_checks_enabled() {
+        eprintln!("skipping pinned serial-golden check (seed offset or non-serial engine)");
         return;
     }
-    if std::env::var_os("UPDATE_GOLDENS").is_some() {
-        let mut out = String::from(
-            "# Pinned FNV-1a trace hashes. Regenerate with UPDATE_GOLDENS=1\n\
-             # cargo test -p lnic-integration --test kv_replication\n",
+    if goldens::update_requested() {
+        let cases: Vec<(String, u64)> = golden_cases()
+            .into_iter()
+            .map(|(name, seed, scenario)| (name.to_owned(), repkv_run(seed, scenario).hash))
+            .collect();
+        goldens::write(
+            GOLDENS_FILE,
+            "Pinned FNV-1a trace hashes. Regenerate with UPDATE_GOLDENS=1\n\
+             cargo test -p lnic-integration --test kv_replication",
+            &cases,
         );
-        for (name, seed, scenario) in golden_cases() {
-            let hash = repkv_run(seed, scenario).hash;
-            out.push_str(&format!("{name} {hash:#018x}\n"));
-        }
-        std::fs::create_dir_all(goldens_path().parent().unwrap()).unwrap();
-        std::fs::write(goldens_path(), out).unwrap();
         return;
     }
-    let goldens = read_goldens();
+    let goldens = goldens::read(GOLDENS_FILE);
     for (name, seed, scenario) in golden_cases() {
         let expect = *goldens
             .get(name)

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use lnic::failover::{FailoverConfig, FailoverController, FailoverEventKind};
 use lnic::prelude::*;
+use lnic_integration::{page_jobs, resilient_nic_config};
 use lnic_nic::Nic;
 use lnic_sim::check::InvariantChecker;
 use lnic_sim::prelude::*;
@@ -82,12 +83,7 @@ struct RunOutcome {
 /// Drives traffic through a worker that stalls long enough to be given
 /// up on, with fencing on or off, and measures stale executions.
 fn stall_run(seed: u64, fenced: bool) -> RunOutcome {
-    let mut config = TestbedConfig::new(BackendKind::Nic)
-        .seed(seed)
-        .workers(WORKERS);
-    config.gateway.rpc_timeout = SimDuration::from_millis(50);
-    config.gateway.rpc_attempts = 5;
-    config.gateway = config.gateway.resilient();
+    let config = resilient_nic_config(seed, WORKERS);
 
     let mut bed = build_testbed(config);
     bed.sim.add_trace_sink(Box::new(ExecLog::default()));
@@ -109,14 +105,7 @@ fn stall_run(seed: u64, fenced: bool) -> RunOutcome {
     let plan = FaultPlan::new().backend_stall(0, stall_at, stall_for);
     bed.inject_faults(&plan);
 
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let driver = bed.sim.add(ClosedLoopDriver::new(
         bed.gateway,
         jobs,
@@ -277,12 +266,7 @@ fn stall_runs_are_deterministic_for_a_seed() {
 /// intact, exactly one fence and one rejoin.
 #[test]
 fn partition_heal_cycle_fences_and_rejoins() {
-    let mut config = TestbedConfig::new(BackendKind::Nic)
-        .seed(7)
-        .workers(WORKERS);
-    config.gateway.rpc_timeout = SimDuration::from_millis(50);
-    config.gateway.rpc_attempts = 5;
-    config.gateway = config.gateway.resilient();
+    let config = resilient_nic_config(7, WORKERS);
 
     let mut bed = build_testbed(config);
     bed.sim.add_trace_sink(Box::new(ExecLog::default()));
@@ -305,14 +289,7 @@ fn partition_heal_cycle_fences_and_rejoins() {
     );
     bed.inject_faults(&plan);
 
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let driver = bed.sim.add(ClosedLoopDriver::new(
         bed.gateway,
         jobs,
@@ -364,12 +341,7 @@ fn partition_heal_cycle_fences_and_rejoins() {
 /// ack finally round-trips.
 #[test]
 fn asymmetric_cut_fences_without_split_brain() {
-    let mut config = TestbedConfig::new(BackendKind::Nic)
-        .seed(13)
-        .workers(WORKERS);
-    config.gateway.rpc_timeout = SimDuration::from_millis(50);
-    config.gateway.rpc_attempts = 5;
-    config.gateway = config.gateway.resilient();
+    let config = resilient_nic_config(13, WORKERS);
 
     let mut bed = build_testbed(config);
     bed.sim.add_trace_sink(Box::new(ExecLog::default()));
@@ -393,14 +365,7 @@ fn asymmetric_cut_fences_without_split_brain() {
     );
     bed.inject_faults(&plan);
 
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let driver = bed.sim.add(ClosedLoopDriver::new(
         bed.gateway,
         jobs,
@@ -446,12 +411,7 @@ fn asymmetric_cut_fences_without_split_brain() {
 /// (the attached checker enforces both).
 #[test]
 fn controller_restart_restores_from_snapshot() {
-    let mut config = TestbedConfig::new(BackendKind::Nic)
-        .seed(21)
-        .workers(WORKERS);
-    config.gateway.rpc_timeout = SimDuration::from_millis(50);
-    config.gateway.rpc_attempts = 5;
-    config.gateway = config.gateway.resilient();
+    let config = resilient_nic_config(21, WORKERS);
 
     let mut bed = build_testbed(config);
     bed.sim.add_trace_sink(Box::new(ExecLog::default()));
@@ -480,14 +440,7 @@ fn controller_restart_restores_from_snapshot() {
         .controller_restart(SimTime::ZERO + SimDuration::from_millis(900));
     bed.inject_faults(&plan);
 
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let driver = bed.sim.add(ClosedLoopDriver::new(
         bed.gateway,
         jobs,

@@ -20,12 +20,11 @@
 //! The testbed's default [`InvariantChecker`] stays attached for every
 //! run, so each golden replay is also a full online-invariant pass.
 
-use std::collections::HashMap;
-use std::path::PathBuf;
 use std::sync::Arc;
 
 use lnic::failover::FailoverConfig;
 use lnic::prelude::*;
+use lnic_integration::{goldens, page_jobs, serial_golden_checks_enabled, spawn_closed_loop};
 use lnic_nic::{DispatchPolicy, Nic};
 use lnic_sim::prelude::*;
 use lnic_workloads::three_web_servers;
@@ -89,14 +88,7 @@ fn traced_run(seed: u64, policy: DispatchPolicy, scenario: Scenario) -> u64 {
             bed.inject_faults(&ctrl_chaos_plan());
         }
     }
-    let jobs: Vec<JobSpec> = program
-        .lambdas
-        .iter()
-        .map(|l| JobSpec {
-            workload_id: l.id.0,
-            payload: PayloadSpec::Page(0),
-        })
-        .collect();
+    let jobs = page_jobs(&program);
     let per_thread = if scenario == Scenario::CtrlChaos {
         // Enough traffic to straddle the partition, the controller
         // outage, and the rejoin.
@@ -104,14 +96,14 @@ fn traced_run(seed: u64, policy: DispatchPolicy, scenario: Scenario) -> u64 {
     } else {
         REQUESTS_PER_THREAD
     };
-    let driver = bed.sim.add(ClosedLoopDriver::new(
-        bed.gateway,
+    let driver = spawn_closed_loop(
+        &mut bed,
         jobs,
         THREADS,
         SimDuration::from_micros(200),
         Some(per_thread),
-    ));
-    bed.sim.post(driver, SimDuration::ZERO, StartDriver);
+        SimDuration::ZERO,
+    );
     if scenario == Scenario::CtrlChaos {
         // The heartbeat ticks forever; run to a horizon instead of
         // draining the queue.
@@ -195,25 +187,7 @@ fn run_case(seed: u64, policy: DispatchPolicy, scenario: Scenario) -> u64 {
     traced_run(seed, policy, scenario)
 }
 
-fn goldens_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("goldens")
-        .join("trace_hashes.txt")
-}
-
-fn read_goldens() -> HashMap<String, u64> {
-    let text = std::fs::read_to_string(goldens_path())
-        .expect("tests/goldens/trace_hashes.txt exists (run with UPDATE_GOLDENS=1 to create)");
-    text.lines()
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| {
-            let (name, hash) = l.split_once(' ').expect("`name 0x<hash>` per line");
-            let hash = u64::from_str_radix(hash.trim().trim_start_matches("0x"), 16)
-                .expect("hash parses as hex");
-            (name.to_owned(), hash)
-        })
-        .collect()
-}
+const GOLDENS_FILE: &str = "trace_hashes.txt";
 
 #[test]
 fn same_seed_yields_identical_trace_hash_across_runs() {
@@ -274,28 +248,32 @@ fn different_seeds_diverge() {
 /// ```
 #[test]
 fn trace_hashes_match_pinned_goldens() {
-    // The pinned values are tied to the configured seeds; a CI seed
-    // sweep (LNIC_SEED_OFFSET != 0) legitimately lands elsewhere. The
+    // The pinned values are tied to the configured seeds on the serial
+    // engine; a CI seed sweep (LNIC_SEED_OFFSET != 0) or the sharded
+    // engine (LNIC_ENGINE) legitimately lands elsewhere — the sharded
+    // universe is pinned separately by `engine_equivalence`. The
     // determinism and sensitivity tests above still run under every
-    // offset.
-    if lnic::prelude::seed_offset() != 0 {
-        eprintln!("skipping pinned-golden check under LNIC_SEED_OFFSET");
+    // offset and engine.
+    if !serial_golden_checks_enabled() {
+        eprintln!("skipping pinned serial-golden check (seed offset or non-serial engine)");
         return;
     }
-    if std::env::var_os("UPDATE_GOLDENS").is_some() {
-        let mut out = String::from(
-            "# Pinned FNV-1a trace hashes. Regenerate with UPDATE_GOLDENS=1\n\
-             # cargo test -p lnic-integration --test trace_golden\n",
+    if goldens::update_requested() {
+        let cases: Vec<(String, u64)> = golden_cases()
+            .into_iter()
+            .map(|(name, seed, policy, scenario)| {
+                (name.to_owned(), run_case(seed, policy, scenario))
+            })
+            .collect();
+        goldens::write(
+            GOLDENS_FILE,
+            "Pinned FNV-1a trace hashes. Regenerate with UPDATE_GOLDENS=1\n\
+             cargo test -p lnic-integration --test trace_golden",
+            &cases,
         );
-        for (name, seed, policy, scenario) in golden_cases() {
-            let hash = run_case(seed, policy, scenario);
-            out.push_str(&format!("{name} {hash:#018x}\n"));
-        }
-        std::fs::create_dir_all(goldens_path().parent().unwrap()).unwrap();
-        std::fs::write(goldens_path(), out).unwrap();
         return;
     }
-    let goldens = read_goldens();
+    let goldens = goldens::read(GOLDENS_FILE);
     for (name, seed, policy, scenario) in golden_cases() {
         let expect = *goldens
             .get(name)
