@@ -588,6 +588,33 @@ impl Testbed {
             .add_replica(workload_id, endpoint);
     }
 
+    /// Turns on multi-tenant virtualization across the testbed: the
+    /// gateway stamps and quota-gates by the directory (announcing the
+    /// assignments as `TenantAssign` events at t=0), and every NIC
+    /// worker schedules hierarchically, enforces thread quotas, and
+    /// virtualizes its instruction store behind the firmware cache.
+    /// Host-backend workers ignore tenancy (they model the isolated
+    /// per-tenant machines of the static baseline).
+    pub fn enable_tenancy(
+        &mut self,
+        dir: Arc<lnic_tenant::TenantDirectory>,
+        cfg: lnic_tenant::TenancyConfig,
+    ) {
+        if self.backend == BackendKind::Nic {
+            for worker in &self.workers {
+                self.sim
+                    .get_mut::<Nic>(worker.component)
+                    .expect("worker is a NIC")
+                    .enable_tenancy(Arc::clone(&dir), cfg);
+            }
+        }
+        self.sim.post(
+            self.gateway,
+            SimDuration::ZERO,
+            crate::gateway::RegisterTenants { dir },
+        );
+    }
+
     /// Schedules every event of `plan` into the simulation, resolving
     /// worker indices to worker components and link indices into
     /// [`Testbed::links`]. Event times are absolute; call this before

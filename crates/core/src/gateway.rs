@@ -11,6 +11,7 @@
 //! throughput in Table 2.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -22,6 +23,7 @@ use lnic_net::params::MTU_PAYLOAD_BYTES;
 use lnic_net::transport::{RetryPolicy, RpcTracker, TimeoutAction, UpdateService};
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
 use lnic_sim::prelude::*;
+use lnic_tenant::{TenantDirectory, TenantId, DEFAULT_TENANT};
 use lnic_workloads::kv::{decode_repkv_get_response, decode_repkv_request, RepKvOp};
 
 use crate::admission::{Admission, AdmissionParams};
@@ -301,6 +303,19 @@ pub struct GatewayCounters {
     /// `RC_REDIRECT` replies: a replicated service's non-leader replica
     /// bounced the attempt; the gateway retried it elsewhere.
     pub redirected_replies: u64,
+    /// Requests shed because their tenant's in-flight quota was full.
+    pub tenant_quota_shed: u64,
+}
+
+/// Control message installing the tenant directory: the gateway stamps
+/// every outgoing header with the workload's owning tenant, enforces
+/// per-tenant in-flight quotas at admission, and announces the
+/// assignments as `TenantAssign` trace events (the ground truth the
+/// isolation invariants check executions against).
+#[derive(Clone, Debug)]
+pub struct RegisterTenants {
+    /// The shared workload→tenant directory.
+    pub dir: Arc<TenantDirectory>,
 }
 
 #[derive(Debug)]
@@ -334,6 +349,8 @@ pub struct EndpointLatencyReport {
 struct PendingMeta {
     token: u64,
     reply_to: ComponentId,
+    /// The owning tenant (in-flight quota accounting).
+    tenant_id: TenantId,
     /// When the client's submit arrived (sojourn measurement origin).
     submitted_at: SimTime,
     /// Absolute deadline carried in the lambda header (0 = none).
@@ -391,6 +408,10 @@ pub struct Gateway {
     /// In-flight replicated-KV ops: request id → `(write, value)`, used
     /// to emit the matching `KvResponse` at resolution.
     kv_ops: HashMap<u64, (bool, u64)>,
+    /// The tenant directory; `None` stamps everything [`DEFAULT_TENANT`].
+    tenants: Option<Arc<TenantDirectory>>,
+    /// In-flight requests per tenant (quota enforcement).
+    tenant_in_flight: HashMap<TenantId, usize>,
 }
 
 impl Gateway {
@@ -430,7 +451,26 @@ impl Gateway {
             replicated: HashMap::new(),
             preferred_leader: HashMap::new(),
             kv_ops: HashMap::new(),
+            tenants: None,
+            tenant_in_flight: HashMap::new(),
         }
+    }
+
+    /// The owning tenant of a workload per the installed directory.
+    fn tenant_of(&self, workload_id: u32) -> TenantId {
+        self.tenants
+            .as_ref()
+            .map_or(DEFAULT_TENANT, |d| d.tenant_of(workload_id))
+    }
+
+    /// Removes a request's metadata, releasing its tenant's in-flight
+    /// quota slot. Every terminal path goes through here.
+    fn release_meta(&mut self, request_id: u64) -> Option<PendingMeta> {
+        let meta = self.meta.remove(&request_id)?;
+        if let Some(n) = self.tenant_in_flight.get_mut(&meta.tenant_id) {
+            *n = n.saturating_sub(1);
+        }
+        Some(meta)
     }
 
     /// Marks a workload as a replicated KV service: its requests are
@@ -572,10 +612,12 @@ impl Gateway {
         // Stamp the destination worker's fencing token so the worker can
         // refuse the attempt if its lease has since been superseded.
         let epoch = self.worker_epochs.get(&endpoint.mac).copied().unwrap_or(0);
+        let tenant_id = self.tenant_of(workload_id);
         if payload.len() <= MTU_PAYLOAD_BYTES {
             let hdr = LambdaHdr::request(workload_id, request_id)
                 .with_deadline_ns(deadline_ns)
-                .with_epoch(epoch);
+                .with_epoch(epoch)
+                .with_tenant(tenant_id);
             let packet = Packet::builder()
                 .eth(self.params.mac, endpoint.mac)
                 .udp(src, endpoint.addr)
@@ -599,6 +641,7 @@ impl Gateway {
                     deadline_ns,
                     queue_depth: 0,
                     epoch,
+                    tenant_id,
                 };
                 let packet = Packet::builder()
                     .eth(self.params.mac, endpoint.mac)
@@ -688,6 +731,18 @@ impl Gateway {
                 return;
             }
         }
+        // Per-tenant in-flight quota: one tenant's burst must not occupy
+        // the gateway's whole concurrency budget.
+        let tenant_id = self.tenant_of(req.workload_id);
+        if let Some(dir) = self.tenants.as_ref() {
+            let cap = dir.spec_of(tenant_id).max_in_flight;
+            let held = self.tenant_in_flight.get(&tenant_id).copied().unwrap_or(0);
+            if cap != 0 && held >= cap {
+                self.counters.tenant_quota_shed += 1;
+                self.shed(ctx, &req, "tenant-quota");
+                return;
+            }
+        }
         // Deadline-aware shedding: if the proxy backlog alone would eat
         // the whole deadline, the request is already dead — reject it
         // now instead of shipping doomed work.
@@ -736,11 +791,13 @@ impl Gateway {
             endpoint.addr,
             req.payload.clone(),
         );
+        *self.tenant_in_flight.entry(tenant_id).or_insert(0) += 1;
         self.meta.insert(
             request_id,
             PendingMeta {
                 token: req.token,
                 reply_to: req.reply_to,
+                tenant_id,
                 submitted_at: ctx.now(),
                 deadline_ns,
                 primary_mac: endpoint.mac,
@@ -940,7 +997,7 @@ impl Gateway {
             return; // duplicate (e.g. the losing side of a hedge race)
         };
         let latency = ctx.now() - done.first_sent_at;
-        let meta = self.meta.remove(&hdr.request_id);
+        let meta = self.release_meta(hdr.request_id);
 
         // The worker refused the request because its deadline had
         // already expired at dequeue: a failed completion. No latency
@@ -1123,7 +1180,7 @@ impl Gateway {
                         latency_ns,
                         failed: true,
                     });
-                    if let Some(meta) = self.meta.remove(&request_id) {
+                    if let Some(meta) = self.release_meta(request_id) {
                         ctx.send(
                             meta.reply_to,
                             SimDuration::ZERO,
@@ -1150,7 +1207,7 @@ impl Gateway {
                     latency_ns,
                     failed: true,
                 });
-                if let Some(meta) = self.meta.remove(&request_id) {
+                if let Some(meta) = self.release_meta(request_id) {
                     ctx.send(
                         meta.reply_to,
                         SimDuration::ZERO,
@@ -1207,6 +1264,22 @@ impl Component for Gateway {
         let msg = match msg.downcast::<GwLatFlush>() {
             Ok(_) => {
                 self.on_lat_flush(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<RegisterTenants>() {
+            Ok(r) => {
+                // Announce the assignments before any request can be
+                // submitted so the checker knows every owner up front;
+                // sorted for deterministic trace order.
+                for (workload_id, tenant_id) in r.dir.assignments() {
+                    ctx.emit(|| TraceEvent::TenantAssign {
+                        tenant_id,
+                        workload_id,
+                    });
+                }
+                self.tenants = Some(r.dir);
                 return;
             }
             Err(other) => other,

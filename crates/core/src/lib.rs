@@ -71,8 +71,8 @@ pub use failover::{
     ReplanRequest, StartFailover,
 };
 pub use gateway::{
-    EndpointLatencyReport, Gateway, GatewayCounters, GatewayParams, HedgeParams, RequestDone,
-    SubmitRequest,
+    EndpointLatencyReport, Gateway, GatewayCounters, GatewayParams, HedgeParams, RegisterTenants,
+    RequestDone, SubmitRequest,
 };
 pub use lease::{provably_expired, ControllerView, Grant, Lease, WorkerView};
 pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};

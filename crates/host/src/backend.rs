@@ -656,6 +656,7 @@ impl HostBackend {
             core: worker as u32,
             lambda_id: pending.lambda_idx as u32,
             request_id: pending.req_hdr.request_id,
+            tenant_id: pending.req_hdr.tenant_id,
         });
         let program = self.program.as_ref().expect("deployed").clone();
         let exec = Execution::start(
@@ -1016,6 +1017,8 @@ impl HostBackend {
         let core = worker as u32;
         let lambda_id = job.lambda_idx as u32;
         let request_id = job.req_hdr.request_id;
+        // Host workers serve the single tenant that deployed to them.
+        let owner_tenant = job.req_hdr.tenant_id;
         let charge = |level: &'static str,
                       latency_cycles: u64,
                       scalar: u64,
@@ -1036,6 +1039,7 @@ impl HostBackend {
                 bulk_ops,
                 bulk_bytes,
                 cycles,
+                owner_tenant,
             });
         };
         // All host objects live in (the host spec's) EMEM level.

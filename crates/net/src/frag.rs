@@ -303,6 +303,103 @@ mod tests {
     }
 
     #[test]
+    fn fragment_exact_mtu_boundaries() {
+        // len == mtu: one full fragment, no empty tail.
+        assert_eq!(fragment(Bytes::from(vec![1u8; 100]), 100).len(), 1);
+        // len == mtu + 1: the tail carries exactly the overflow byte.
+        let frags = fragment(Bytes::from(vec![2u8; 101]), 100);
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[1].len(), 1);
+        // mtu == 1 degenerates to one fragment per byte.
+        assert_eq!(fragment(Bytes::from(vec![3u8; 7]), 1).len(), 7);
+    }
+
+    #[test]
+    fn single_fragment_message_completes_immediately() {
+        let mut r = Reassembler::new();
+        let msg = r
+            .accept(hdr(20, 0, 1), Bytes::from_static(b"solo"))
+            .unwrap();
+        assert_eq!(&msg.payload[..], b"solo");
+        assert_eq!(msg.out_of_order_frags, 0);
+        assert_eq!(msg.reorder_instrs, 0);
+        assert_eq!(r.in_progress(), 0);
+    }
+
+    #[test]
+    fn out_of_range_frag_index_rejected() {
+        let mut r = Reassembler::new();
+        // index == count is one past the end and must never land in a slot.
+        assert!(r
+            .accept(hdr(21, 2, 2), Bytes::from_static(b"junk"))
+            .is_none());
+        assert_eq!(r.mismatched(), 1);
+        // The request still assembles from its valid fragments.
+        assert!(r.accept(hdr(21, 0, 2), Bytes::from_static(b"a")).is_none());
+        let msg = r.accept(hdr(21, 1, 2), Bytes::from_static(b"b")).unwrap();
+        assert_eq!(&msg.payload[..], b"ab");
+    }
+
+    #[test]
+    fn zero_frag_count_rejected_but_stalls_until_abort() {
+        // A zero-count header can never complete (there is no last
+        // missing piece); the guard drops it, and the empty partial it
+        // seeded is reclaimed through the sender give-up path.
+        let mut r = Reassembler::new();
+        assert!(r.accept(hdr(22, 0, 0), Bytes::new()).is_none());
+        assert_eq!(r.mismatched(), 1);
+        assert_eq!(r.in_progress(), 1);
+        assert!(r.abort(22));
+        assert_eq!(r.in_progress(), 0);
+    }
+
+    #[test]
+    fn workload_id_mismatch_rejected() {
+        let mut r = Reassembler::new();
+        assert!(r.accept(hdr(23, 0, 2), Bytes::from_static(b"a")).is_none());
+        let mut stray = hdr(23, 1, 2);
+        stray.workload_id = 9;
+        assert!(r.accept(stray, Bytes::from_static(b"?")).is_none());
+        assert_eq!(r.mismatched(), 1);
+        // The honest fragment still completes the message under the
+        // original workload id.
+        let msg = r.accept(hdr(23, 1, 2), Bytes::from_static(b"b")).unwrap();
+        assert_eq!(msg.workload_id, 1);
+        assert_eq!(&msg.payload[..], b"ab");
+    }
+
+    #[test]
+    fn late_replay_after_completion_seeds_fresh_partial() {
+        let mut r = Reassembler::new();
+        assert!(r.accept(hdr(24, 0, 2), Bytes::from_static(b"a")).is_none());
+        assert!(r.accept(hdr(24, 1, 2), Bytes::from_static(b"b")).is_some());
+        // Completion dropped the request's state, so a straggler replay
+        // is indistinguishable from a new request: it opens a fresh
+        // partial (not a duplicate) that only abort/give-up reclaims.
+        assert!(r.accept(hdr(24, 0, 2), Bytes::from_static(b"a")).is_none());
+        assert_eq!(r.duplicates(), 0);
+        assert_eq!(r.in_progress(), 1);
+        assert!(r.abort(24));
+    }
+
+    #[test]
+    fn gap_fill_skips_buffered_run_when_counting_reorders() {
+        // 0, 2, 3, 1 of four: fragments 2 and 3 arrive early (two
+        // reorders), then 1 lands exactly at next_expected and the
+        // cursor skips the buffered run — no extra reorder charged.
+        let mut r = Reassembler::new();
+        let frags = fragment(Bytes::from(vec![5u8; 400]), 100);
+        let mut done = None;
+        for &i in &[0usize, 2, 3, 1] {
+            done = r.accept(hdr(25, i as u16, 4), frags[i].clone());
+        }
+        let msg = done.unwrap();
+        assert_eq!(msg.out_of_order_frags, 2);
+        assert_eq!(msg.reorder_instrs, 2 * REORDER_INSTRS_PER_FRAGMENT);
+        assert_eq!(msg.payload.len(), 400);
+    }
+
+    #[test]
     fn interleaved_requests_assemble_independently() {
         let mut r = Reassembler::new();
         assert!(r.accept(hdr(10, 0, 2), Bytes::from_static(b"x")).is_none());

@@ -25,7 +25,7 @@ pub const IPV4_HDR_LEN: usize = 20;
 /// Byte length of a UDP header.
 pub const UDP_HDR_LEN: usize = 8;
 /// Byte length of a λ-NIC lambda header.
-pub const LAMBDA_HDR_LEN: usize = 40;
+pub const LAMBDA_HDR_LEN: usize = 44;
 
 /// Return code: success.
 pub const RC_OK: u16 = 0;
@@ -174,6 +174,10 @@ pub struct LambdaHdr {
     /// worker served under, so the gateway can discard late replies
     /// from fenced epochs. 0 = fencing disabled.
     pub epoch: u64,
+    /// Owning tenant of the targeted workload, stamped by the gateway
+    /// from the tenant directory. Workers account quotas, WFQ shares,
+    /// and firmware pages against it; 0 = the untenanted default.
+    pub tenant_id: u32,
 }
 
 impl Default for LambdaHdr {
@@ -188,6 +192,7 @@ impl Default for LambdaHdr {
             deadline_ns: 0,
             queue_depth: 0,
             epoch: 0,
+            tenant_id: 0,
         }
     }
 }
@@ -211,6 +216,12 @@ impl LambdaHdr {
     /// Sets the fencing token (membership epoch).
     pub fn with_epoch(mut self, epoch: u64) -> Self {
         self.epoch = epoch;
+        self
+    }
+
+    /// Sets the owning tenant.
+    pub fn with_tenant(mut self, tenant_id: u32) -> Self {
+        self.tenant_id = tenant_id;
         self
     }
 
@@ -349,6 +360,7 @@ impl Packet {
             buf.put_u64(l.deadline_ns);
             buf.put_u16(l.queue_depth);
             buf.put_u64(l.epoch);
+            buf.put_u32(l.tenant_id);
         }
         buf.put_slice(&self.payload);
 
@@ -455,6 +467,7 @@ impl Packet {
             let deadline_ns = rest.get_u64();
             let queue_depth = rest.get_u16();
             let epoch = rest.get_u64();
+            let tenant_id = rest.get_u32();
             if frag_count == 0 || frag_index >= frag_count {
                 return Err(DecodeError::BadField {
                     field: "lambda.frag",
@@ -470,6 +483,7 @@ impl Packet {
                 deadline_ns,
                 queue_depth,
                 epoch,
+                tenant_id,
             })
         } else {
             None
@@ -763,6 +777,18 @@ mod tests {
         let resp = hdr.response_to(RC_FENCED);
         assert_eq!(resp.epoch, 17);
         assert_eq!(resp.return_code, RC_FENCED);
+    }
+
+    #[test]
+    fn tenant_roundtrips_and_survives_response() {
+        let hdr = LambdaHdr::request(3, 4).with_tenant(1234);
+        let p = sample_packet(Some(hdr), b"x");
+        let d = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(d.lambda.unwrap().tenant_id, 1234);
+        let resp = hdr.response_to(RC_OK);
+        assert_eq!(resp.tenant_id, 1234);
+        // Untenanted headers carry tenant 0.
+        assert_eq!(LambdaHdr::request(3, 4).tenant_id, 0);
     }
 
     #[test]

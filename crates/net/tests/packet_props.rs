@@ -35,9 +35,10 @@ fn arb_lambda_hdr() -> impl Strategy<Value = LambdaHdr> {
         any::<u64>(),
         any::<u16>(),
         any::<u64>(),
+        any::<u32>(),
     )
         .prop_map(
-            |(wid, rid, idx, count, kind, rc, dl, depth, epoch)| LambdaHdr {
+            |(wid, rid, idx, count, kind, rc, dl, depth, epoch, tenant)| LambdaHdr {
                 workload_id: wid,
                 request_id: rid,
                 frag_index: idx.min(count - 1),
@@ -47,6 +48,7 @@ fn arb_lambda_hdr() -> impl Strategy<Value = LambdaHdr> {
                 deadline_ns: dl,
                 queue_depth: depth,
                 epoch,
+                tenant_id: tenant,
             },
         )
 }

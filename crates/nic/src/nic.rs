@@ -24,8 +24,11 @@ use lnic_net::packet::{LambdaHdr, LambdaKind, Packet};
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
 use lnic_sim::prelude::*;
 
+use lnic_tenant::cache::{Access, FirmwareCache};
+use lnic_tenant::{TenancyConfig, TenantDirectory, TenantId, DEFAULT_TENANT};
+
 use crate::params::{ExecMode, NicParams};
-use crate::wfq::WeightedFairQueue;
+use crate::wfq::HierarchicalWfq;
 
 /// How the scheduler picks a thread for an incoming request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -162,6 +165,27 @@ pub struct NicCounters {
     /// token, or because the worker's own lease had lapsed (answered
     /// with `RC_FENCED`, not executed).
     pub fenced_rejects: u64,
+    /// Firmware faults: requests whose lambda's instruction-store page
+    /// was not resident and had to page in (tenancy enabled only).
+    pub firmware_faults: u64,
+    /// Firmware pages evicted to make room for fault-ins.
+    pub firmware_evictions: u64,
+    /// Requests queued because their tenant's NPU-thread quota was
+    /// exhausted even though idle threads existed.
+    pub quota_deferrals: u64,
+}
+
+/// Per-worker multi-tenant runtime state: the shared directory, the
+/// virtualized instruction store, and the thread-quota accounting.
+struct TenantRuntime {
+    dir: Arc<TenantDirectory>,
+    cfg: TenancyConfig,
+    /// The LRU firmware cache virtualizing the instruction store:
+    /// resident lambdas execute immediately, cold ones pay a paging
+    /// charge (the per-lambda analogue of a whole-image swap).
+    cache: FirmwareCache,
+    /// Lambda threads currently executing each tenant's work.
+    busy: HashMap<TenantId, usize>,
 }
 
 #[derive(Debug)]
@@ -174,6 +198,8 @@ enum Phase {
 
 struct Job {
     lambda_idx: usize,
+    /// The tenant whose thread-quota slot this job occupies.
+    tenant_id: TenantId,
     exec: Execution,
     /// The request packet (headers only) used to construct the reply.
     reply_template: Packet,
@@ -208,6 +234,8 @@ struct Thread {
 #[derive(Debug)]
 struct PendingRequest {
     lambda_idx: usize,
+    /// The owning tenant per the directory (scheduling identity).
+    tenant_id: TenantId,
     ctx: RequestCtx,
     reply_template: Packet,
     req_hdr: LambdaHdr,
@@ -294,7 +322,16 @@ pub struct Nic {
     threads: Vec<Thread>,
     idle: Vec<usize>,
     rr_next: usize,
-    queue: WeightedFairQueue<PendingRequest>,
+    /// Two-level wait queue: tenants share capacity by tenant weight,
+    /// lambdas within a tenant by lambda weight. With tenancy disabled
+    /// every request lands under [`DEFAULT_TENANT`] and the hierarchy
+    /// degenerates to the flat per-lambda WFQ exactly.
+    queue: HierarchicalWfq<PendingRequest>,
+    /// Lambda WFQ weights by index, applied lazily to whichever tenant
+    /// slice the lambda's requests arrive under.
+    lambda_weights: HashMap<usize, f64>,
+    /// Multi-tenant runtime; `None` keeps the single-tenant behavior.
+    tenancy: Option<TenantRuntime>,
     reassembler: Reassembler,
 
     counters: NicCounters,
@@ -354,7 +391,9 @@ impl Nic {
             threads,
             idle,
             rr_next: 0,
-            queue: WeightedFairQueue::new(),
+            queue: HierarchicalWfq::new(),
+            lambda_weights: HashMap::new(),
+            tenancy: None,
             reassembler: Reassembler::new(),
             counters: NicCounters::default(),
             service_time: Series::new("nic_service_time"),
@@ -413,9 +452,49 @@ impl Nic {
         self.install(firmware);
     }
 
-    /// Sets a lambda's WFQ weight.
+    /// Sets a lambda's WFQ weight (within its tenant's slice).
     pub fn set_weight(&mut self, lambda_idx: usize, weight: f64) {
-        self.queue.set_weight(lambda_idx, weight);
+        self.lambda_weights.insert(lambda_idx, weight);
+        self.queue
+            .set_lambda_weight(DEFAULT_TENANT, lambda_idx, weight);
+    }
+
+    /// Turns on multi-tenant virtualization: requests are scheduled
+    /// under their workload's owning tenant (hierarchical WFQ weighted
+    /// by the directory), NPU-thread quotas gate dispatch, and the
+    /// instruction store is virtualized behind an LRU firmware cache —
+    /// cold lambdas fault their page in, charged as execution overhead
+    /// on the faulting request.
+    pub fn enable_tenancy(&mut self, dir: Arc<TenantDirectory>, cfg: TenancyConfig) {
+        for t in dir.tenants() {
+            self.queue.set_tenant_weight(t, dir.weight_of(t));
+        }
+        self.tenancy = Some(TenantRuntime {
+            cache: FirmwareCache::new(cfg.cache_words),
+            busy: HashMap::new(),
+            dir,
+            cfg,
+        });
+    }
+
+    /// The tenant a workload is scheduled under: its owner per the
+    /// directory, or [`DEFAULT_TENANT`] when tenancy is disabled.
+    fn sched_tenant(&self, workload_id: u32) -> TenantId {
+        self.tenancy
+            .as_ref()
+            .map_or(DEFAULT_TENANT, |t| t.dir.tenant_of(workload_id))
+    }
+
+    /// Whether `tenant` may occupy another lambda thread right now.
+    fn thread_budget_ok(&self, tenant: TenantId) -> bool {
+        let Some(rt) = &self.tenancy else { return true };
+        let quota = rt.dir.spec_of(tenant).thread_quota;
+        quota == 0 || rt.busy.get(&tenant).copied().unwrap_or(0) < quota
+    }
+
+    /// Instruction-store words of one lambda's firmware page.
+    fn page_words(program: &Program, lambda_idx: usize) -> u64 {
+        program.lambdas[lambda_idx].instrs().count() as u64
     }
 
     /// The NIC's MAC address.
@@ -554,6 +633,11 @@ impl Nic {
         self.idle = (0..self.threads.len()).rev().collect();
         self.rr_next = 0;
         while self.queue.pop().is_some() {}
+        // The instruction store and quota accounting are volatile.
+        if let Some(rt) = &mut self.tenancy {
+            rt.busy.clear();
+            rt.cache = FirmwareCache::new(rt.cfg.cache_words);
+        }
         self.reassembler = Reassembler::new();
         self.arrival_times.clear();
         self.resident_pending.clear();
@@ -811,6 +895,7 @@ impl Nic {
                 reply_template.payload = Bytes::new();
                 let pending = PendingRequest {
                     lambda_idx: lambda,
+                    tenant_id: self.sched_tenant(hdr.workload_id),
                     ctx: req,
                     reply_template,
                     req_hdr: hdr,
@@ -879,17 +964,35 @@ impl Nic {
             return;
         }
         let lambda = pending.lambda_idx;
-        match self.alloc_thread(ctx.rng()) {
+        let tenant = pending.tenant_id;
+        let budget_ok = self.thread_budget_ok(tenant);
+        let slot = if budget_ok {
+            self.alloc_thread(ctx.rng())
+        } else {
+            if !self.idle.is_empty() {
+                self.counters.quota_deferrals += 1;
+            }
+            None
+        };
+        match slot {
             Some(t) => self.start_job(ctx, t, pending),
             None => {
                 self.counters.queued += 1;
-                self.queue.push(lambda, pending);
-                let weight_milli = (self.queue.weight_of(lambda) * 1000.0).round() as u64;
-                let depth = self.queue.len_for(lambda) as u64;
+                if let Some(&w) = self.lambda_weights.get(&lambda) {
+                    self.queue.set_lambda_weight(tenant, lambda, w);
+                }
+                self.queue.push(tenant, lambda, pending);
+                let weight_milli =
+                    (self.queue.lambda_weight_of(tenant, lambda) * 1000.0).round() as u64;
+                let tenant_weight_milli =
+                    (self.queue.tenant_weight_of(tenant) * 1000.0).round() as u64;
+                let depth = self.queue.len_for(tenant, lambda) as u64;
                 ctx.emit(|| TraceEvent::WfqEnqueue {
                     lambda_id: lambda as u32,
                     weight_milli,
                     depth,
+                    tenant_id: tenant,
+                    tenant_weight_milli,
                 });
             }
         }
@@ -900,22 +1003,55 @@ impl Nic {
             core: thread as u32,
             lambda_id: pending.lambda_idx as u32,
             request_id: pending.req_hdr.request_id,
+            tenant_id: pending.req_hdr.tenant_id,
         });
         let program = self.program.as_ref().expect("firmware installed").clone();
         let firmware = self.firmware.as_ref().expect("firmware installed").clone();
+        // Virtualized instruction store: a non-resident lambda pages its
+        // firmware in first, charged as overhead on this request — the
+        // per-lambda analogue of the whole-image swap downtime.
+        let mut paging_cycles = 0;
+        if let Some(rt) = &mut self.tenancy {
+            let words = Self::page_words(&program, pending.lambda_idx);
+            let workload_id = pending.req_hdr.workload_id;
+            let tenant_id = pending.tenant_id;
+            if let Access::Fault { evicted } = rt.cache.access(workload_id, words) {
+                paging_cycles = rt.cfg.page_cycles_per_word * words;
+                self.counters.firmware_faults += 1;
+                self.counters.firmware_evictions += evicted.len() as u64;
+                let evictions = evicted.len() as u64;
+                ctx.emit(|| TraceEvent::FirmwareFault {
+                    tenant_id,
+                    workload_id,
+                    words,
+                    evictions,
+                });
+                for e in evicted {
+                    let owner = rt.dir.tenant_of(e.workload_id);
+                    ctx.emit(|| TraceEvent::FirmwareEvict {
+                        tenant_id: owner,
+                        workload_id: e.workload_id,
+                        words: e.words,
+                    });
+                }
+            }
+            *rt.busy.entry(tenant_id).or_insert(0) += 1;
+        }
         let exec = Execution::start(
             Arc::clone(&program),
             pending.lambda_idx,
             pending.ctx,
             self.params.lambda_fuel,
         );
-        let overhead = match self.params.exec_mode {
-            // Pipelined: parse/match already ran on the stage threads.
-            ExecMode::Pipelined { .. } => pending.extra_cycles,
-            ExecMode::RunToCompletion => firmware.parse_match_cycles() + pending.extra_cycles,
-        };
+        let overhead = paging_cycles
+            + match self.params.exec_mode {
+                // Pipelined: parse/match already ran on the stage threads.
+                ExecMode::Pipelined { .. } => pending.extra_cycles,
+                ExecMode::RunToCompletion => firmware.parse_match_cycles() + pending.extra_cycles,
+            };
         let mut job = Job {
             lambda_idx: pending.lambda_idx,
+            tenant_id: pending.tenant_id,
             exec,
             reply_template: pending.reply_template,
             req_hdr: pending.req_hdr,
@@ -993,7 +1129,7 @@ impl Nic {
             Phase::Finish { response, code } => {
                 self.emit_exec_finish(ctx, thread, &job);
                 self.emit_response(ctx, &job, response, code);
-                self.free_thread(ctx, thread);
+                self.free_thread(ctx, thread, job.tenant_id);
             }
             Phase::SendRpc { service, payload } => {
                 job.rpc_seq += 1;
@@ -1092,7 +1228,7 @@ impl Nic {
             });
             self.emit_exec_finish(ctx, thread, &job);
             self.emit_response(ctx, &job, Bytes::new(), retcode::ERROR as u16);
-            self.free_thread(ctx, thread);
+            self.free_thread(ctx, thread, job.tenant_id);
             return;
         }
         job.rpc_attempt += 1;
@@ -1135,19 +1271,39 @@ impl Nic {
         }
     }
 
-    fn free_thread(&mut self, ctx: &mut Ctx<'_>, thread: usize) {
+    fn free_thread(&mut self, ctx: &mut Ctx<'_>, thread: usize, finished_tenant: TenantId) {
         self.threads[thread].epoch += 1;
         self.threads[thread].state = ThreadState::Idle;
+        if let Some(rt) = &mut self.tenancy {
+            if let Some(n) = rt.busy.get_mut(&finished_tenant) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        // Quota-blocked tenants are skipped, not dequeued: their work
+        // keeps its place while eligible tenants use the thread.
+        let budget = self.tenancy.as_ref().map(|rt| {
+            let busy = rt.busy.clone();
+            let dir = Arc::clone(&rt.dir);
+            move |t: TenantId| {
+                let quota = dir.spec_of(t).thread_quota;
+                quota == 0 || busy.get(&t).copied().unwrap_or(0) < quota
+            }
+        });
+        let eligible = |t: TenantId| budget.as_ref().is_none_or(|f| f(t));
         // Skip over requests whose deadline expired while they waited:
         // answering them late helps nobody, and the cycles go to work
         // someone is still waiting for.
-        while let Some((lambda, pending)) = self.queue.pop() {
-            let weight_milli = (self.queue.weight_of(lambda) * 1000.0).round() as u64;
-            let depth = self.queue.len_for(lambda) as u64;
+        while let Some((tenant, lambda, pending)) = self.queue.pop_where(eligible) {
+            let weight_milli =
+                (self.queue.lambda_weight_of(tenant, lambda) * 1000.0).round() as u64;
+            let tenant_weight_milli = (self.queue.tenant_weight_of(tenant) * 1000.0).round() as u64;
+            let depth = self.queue.len_for(tenant, lambda) as u64;
             ctx.emit(|| TraceEvent::WfqDequeue {
                 lambda_id: lambda as u32,
                 weight_milli,
                 depth,
+                tenant_id: tenant,
+                tenant_weight_milli,
             });
             if let Some(epoch) = self.fence_check(&pending.req_hdr, ctx.now()) {
                 self.reject_fenced(ctx, &pending, epoch);
@@ -1175,6 +1331,10 @@ impl Nic {
         let core = thread as u32;
         let lambda_id = job.lambda_idx as u32;
         let request_id = job.req_hdr.request_id;
+        // The charged objects are the executing lambda's own memory, so
+        // the owner is that workload's tenant per the directory — not
+        // whatever tenant the request claimed to be.
+        let owner_tenant = self.sched_tenant(job.req_hdr.workload_id);
         let charge = |level: &'static str,
                       latency_cycles: u64,
                       scalar: u64,
@@ -1195,6 +1355,7 @@ impl Nic {
                 bulk_ops,
                 bulk_bytes,
                 cycles,
+                owner_tenant,
             });
         };
         for (i, &scalar) in stats.obj_scalar.iter().enumerate() {
@@ -1357,7 +1518,7 @@ impl Component for Nic {
                     // Drop pre-partition placements: everything still
                     // queued was stamped with an older epoch. Refuse it
                     // now so senders re-resolve immediately.
-                    while let Some((_, pending)) = self.queue.pop() {
+                    while let Some((_, _, pending)) = self.queue.pop() {
                         self.reject_fenced(ctx, &pending, self.lease_epoch);
                     }
                     self.reassembler = Reassembler::new();

@@ -38,5 +38,7 @@ pub use control::{
     attach_placer, install_static_split, Placer, PlacerConfig, PlacerEvent, StartPlacer,
 };
 pub use migrate::{MigrationPlanner, MigrationPolicy, Move};
-pub use packer::{pack, LambdaProfile, NicCapacity, PackOptions, PlacementPlan, Target};
+pub use packer::{
+    pack, pack_with_tenants, LambdaProfile, NicCapacity, PackOptions, PlacementPlan, Target,
+};
 pub use profile::{route_params_of, static_costs, subset_program, ObservedProfile, StaticCost};

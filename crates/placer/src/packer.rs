@@ -16,6 +16,7 @@
 
 use lnic_mlambda::compile::CompileOptions;
 use lnic_nic::NicParams;
+use lnic_tenant::{TenantDirectory, TenantId};
 
 use crate::profile::StaticCost;
 
@@ -171,6 +172,21 @@ impl PlacementPlan {
 /// Deterministic: profile-guided ordering breaks density ties by
 /// workload id, and all arithmetic is pure.
 pub fn pack(profiles: &[LambdaProfile], cap: &NicCapacity, opts: &PackOptions) -> PlacementPlan {
+    pack_with_tenants(profiles, cap, opts, &TenantDirectory::new())
+}
+
+/// Packs `profiles` into `cap` while enforcing per-tenant NIC memory
+/// quotas from `tenants` ([`lnic_tenant::TenantSpec::mem_quota_bytes`], 0 =
+/// unlimited). A lambda whose admission would push its tenant's summed
+/// NIC memory footprint past the quota spills to the host, or — without
+/// a host — is rejected with reason `"tenant-mem"`. An empty directory
+/// degenerates exactly to [`pack`].
+pub fn pack_with_tenants(
+    profiles: &[LambdaProfile],
+    cap: &NicCapacity,
+    opts: &PackOptions,
+    tenants: &TenantDirectory,
+) -> PlacementPlan {
     let mut order: Vec<usize> = (0..profiles.len()).collect();
     if opts.profile_guided {
         order.sort_by(|&a, &b| {
@@ -181,6 +197,7 @@ pub fn pack(profiles: &[LambdaProfile], cap: &NicCapacity, opts: &PackOptions) -
     }
     let mut plan = PlacementPlan::default();
     let mut occupancy = 0.0f64;
+    let mut tenant_mem: std::collections::HashMap<TenantId, u64> = std::collections::HashMap::new();
     let thread_budget = opts.occupancy_cap * cap.threads as f64;
     for &i in &order {
         let p = &profiles[i];
@@ -193,13 +210,19 @@ pub fn pack(profiles: &[LambdaProfile], cap: &NicCapacity, opts: &PackOptions) -
             (0..4).all(|l| plan.nic_mem_bytes[l] + p.cost.mem_bytes[l] <= cap.mem_bytes[l]);
         let extra = p.rate_rps * p.nic_service_ns / 1e9;
         let threads_ok = occupancy + extra <= thread_budget;
-        if instr_ok && mem_ok && threads_ok {
+        let tenant = tenants.tenant_of(p.workload_id);
+        let quota = tenants.spec_of(tenant).mem_quota_bytes;
+        let lambda_mem: u64 = p.cost.mem_bytes.iter().sum();
+        let held = tenant_mem.get(&tenant).copied().unwrap_or(0);
+        let tenant_ok = quota == 0 || held + lambda_mem <= quota;
+        if instr_ok && mem_ok && threads_ok && tenant_ok {
             plan.nic.push(p.workload_id);
             plan.nic_instr_words += p.cost.instr_words;
             for l in 0..4 {
                 plan.nic_mem_bytes[l] += p.cost.mem_bytes[l];
             }
             occupancy += extra;
+            *tenant_mem.entry(tenant).or_insert(0) += lambda_mem;
         } else if opts.has_host {
             plan.host.push(p.workload_id);
         } else {
@@ -207,8 +230,10 @@ pub fn pack(profiles: &[LambdaProfile], cap: &NicCapacity, opts: &PackOptions) -
                 "instr-store"
             } else if !mem_ok {
                 "memory"
-            } else {
+            } else if !threads_ok {
                 "threads"
+            } else {
+                "tenant-mem"
             };
             plan.rejected.push((p.workload_id, reason));
         }
@@ -299,6 +324,78 @@ mod tests {
         let plan = pack(&ps, &cap(10_000), &opts);
         assert_eq!(plan.nic.len(), 1);
         assert_eq!(plan.host.len(), 1);
+    }
+
+    fn mem_profile(id: u32, emem: u64) -> LambdaProfile {
+        LambdaProfile {
+            workload_id: id,
+            cost: StaticCost {
+                workload_id: id,
+                instr_words: 10,
+                mem_bytes: [0, 0, 0, emem],
+            },
+            rate_rps: 0.0,
+            nic_service_ns: 0.0,
+            host_service_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn tenant_memory_quota_spills_to_host() {
+        // Tenant 1 may hold 1 KiB of NIC memory; its second 600-byte
+        // lambda no longer fits and spills, while tenant 2 (unlimited)
+        // packs freely.
+        let mut dir = lnic_tenant::TenantDirectory::new();
+        dir.register(1, lnic_tenant::TenantSpec::weighted(1.0).memory(1024));
+        dir.register(2, lnic_tenant::TenantSpec::weighted(1.0));
+        dir.assign(10, 1);
+        dir.assign(11, 1);
+        dir.assign(20, 2);
+        let ps = vec![
+            mem_profile(10, 600),
+            mem_profile(11, 600),
+            mem_profile(20, 600),
+        ];
+        let opts = PackOptions {
+            profile_guided: false,
+            ..PackOptions::default()
+        };
+        let plan = pack_with_tenants(&ps, &cap(10_000), &opts, &dir);
+        assert_eq!(plan.nic, vec![10, 20]);
+        assert_eq!(plan.host, vec![11]);
+    }
+
+    #[test]
+    fn tenant_memory_quota_rejects_without_host() {
+        let mut dir = lnic_tenant::TenantDirectory::new();
+        dir.register(1, lnic_tenant::TenantSpec::weighted(1.0).memory(1024));
+        dir.assign(10, 1);
+        dir.assign(11, 1);
+        let ps = vec![mem_profile(10, 600), mem_profile(11, 600)];
+        let opts = PackOptions {
+            profile_guided: false,
+            has_host: false,
+            ..PackOptions::default()
+        };
+        let plan = pack_with_tenants(&ps, &cap(10_000), &opts, &dir);
+        assert_eq!(plan.nic, vec![10]);
+        assert_eq!(plan.rejected, vec![(11, "tenant-mem")]);
+    }
+
+    #[test]
+    fn empty_directory_matches_untenanted_pack() {
+        let ps = vec![
+            profile(10, 600, 1.0, 10_000.0, 20_000.0),
+            profile(11, 600, 5_000.0, 10_000.0, 100_000.0),
+            profile(12, 600, 0.0, 0.0, 0.0),
+        ];
+        let opts = PackOptions::default();
+        let capn = cap(1300);
+        let base = pack(&ps, &capn, &opts);
+        let tenanted = pack_with_tenants(&ps, &capn, &opts, &lnic_tenant::TenantDirectory::new());
+        assert_eq!(base.nic, tenanted.nic);
+        assert_eq!(base.host, tenanted.host);
+        assert_eq!(base.rejected, tenanted.rejected);
     }
 
     #[test]

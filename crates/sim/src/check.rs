@@ -51,6 +51,20 @@
 //!     duplicated frame can still apply them) — while failed reads have
 //!     no visible effect and drop out. The rule only engages when KV
 //!     events appear on the stream, so existing testbeds are unaffected.
+//! 11. **Tenant execution isolation** — a request never executes under
+//!     another tenant's lambda: the tenant an `exec_start` runs as must
+//!     equal the registered owner (`tenant_assign`) of the workload the
+//!     request was submitted against. Untenanted runs carry tenant 0
+//!     everywhere, so the rule is active by default and vacuously clean.
+//! 12. **Tenant memory isolation** — a running job is only ever charged
+//!     for memory objects its own tenant owns: every `mem_charge`'s
+//!     `owner_tenant` must equal the executing span's tenant.
+//! 13. **Tenant-level weighted fairness** — the tenant tier of the
+//!     hierarchical WFQ obeys the same starvation and
+//!     weight-proportional-share bounds as the per-lambda tier
+//!     (invariant 4), computed over the tenant ids and weights stamped
+//!     on `wfq_enqueue`/`wfq_dequeue`: under saturation, per-tenant
+//!     service normalized by tenant weight converges to equal shares.
 //!
 //! By default a violation panics immediately with the offending record,
 //! which makes every integration test a correctness gate; use
@@ -92,6 +106,9 @@ const FAIRNESS_MIN_WINDOW: u64 = 16;
 struct JobSpan {
     request_id: u64,
     lambda_id: u32,
+    /// The tenant the job started under (invariant 12 joins memory
+    /// charges against it).
+    tenant_id: u32,
     suspended: bool,
     /// A program install landed mid-job: charged cycles may mix two
     /// images' placements, so skip the cost identity.
@@ -338,8 +355,21 @@ pub struct InvariantChecker {
     // Run-to-completion + cost consistency, keyed by (component, core).
     slots: HashMap<(usize, u32), JobSpan>,
 
-    // WFQ fairness, keyed by component.
+    // WFQ fairness, keyed by component. The lambda tier tracks the
+    // per-lambda queues; the tenant tier (invariant 13) tracks the
+    // tenant level of the hierarchical tree. The events carry per-lambda
+    // depths, so each tenant's backlog is maintained as a running sum of
+    // its lambdas' last-seen depths (`wfq_lambda_depth` holds them).
     wfq: HashMap<usize, WfqState>,
+    tenant_wfq: HashMap<usize, WfqState>,
+    wfq_lambda_depth: HashMap<(usize, u32), (u32, u64)>,
+
+    // Tenant isolation (invariants 11–12): workload→owner from
+    // tenant_assign events, and request→workload from submissions so
+    // exec_start (which carries the program-local lambda index, not the
+    // workload id) can be joined back to its owner.
+    tenant_owner: HashMap<u32, u32>,
+    request_workload: HashMap<u64, u32>,
 
     // Placement conservation (invariant 6). Capacities are keyed by
     // worker index, live placements by (workload, worker, target) so a
@@ -392,6 +422,10 @@ impl InvariantChecker {
             shed: 0,
             slots: HashMap::new(),
             wfq: HashMap::new(),
+            tenant_wfq: HashMap::new(),
+            wfq_lambda_depth: HashMap::new(),
+            tenant_owner: HashMap::new(),
+            request_workload: HashMap::new(),
             placement_capacity: HashMap::new(),
             placements: HashMap::new(),
             live_placements: HashMap::new(),
@@ -474,7 +508,14 @@ impl InvariantChecker {
         self.violations.push(full);
     }
 
-    fn on_exec_start(&mut self, rec: &TraceRecord, core: u32, lambda_id: u32, request_id: u64) {
+    fn on_exec_start(
+        &mut self,
+        rec: &TraceRecord,
+        core: u32,
+        lambda_id: u32,
+        request_id: u64,
+        tenant_id: u32,
+    ) {
         let key = (rec.src.index(), core);
         if let Some(prev) = self.slots.get(&key) {
             let msg = format!(
@@ -484,11 +525,26 @@ impl InvariantChecker {
             );
             self.violation(rec.at, msg);
         }
+        // Invariant 11: the executing tenant must be the registered
+        // owner of the workload the request was submitted against.
+        if let Some(&workload_id) = self.request_workload.get(&request_id) {
+            let owner = self.tenant_owner.get(&workload_id).copied().unwrap_or(0);
+            if owner != tenant_id {
+                let msg = format!(
+                    "cross-tenant execution on {} core {core}: request {request_id} \
+                     ran as tenant {tenant_id} under workload {workload_id}, which \
+                     belongs to tenant {owner}",
+                    rec.src
+                );
+                self.violation(rec.at, msg);
+            }
+        }
         self.slots.insert(
             key,
             JobSpan {
                 request_id,
                 lambda_id,
+                tenant_id,
                 suspended: false,
                 cost_exempt: false,
                 charge_sum: 0,
@@ -537,6 +593,7 @@ impl InvariantChecker {
         bulk_ops: u64,
         bulk_bytes: u64,
         cycles: u64,
+        owner_tenant: u32,
     ) {
         // Invariant 5a: the per-object charge matches the cost model.
         let expect = scalar * (1 + latency_cycles.div_ceil(SCALAR_BURST))
@@ -554,7 +611,21 @@ impl InvariantChecker {
         }
         let key = (rec.src.index(), core);
         match self.slots.get_mut(&key) {
-            Some(span) if span.request_id == request_id => span.charge_sum += cycles,
+            Some(span) if span.request_id == request_id => {
+                span.charge_sum += cycles;
+                // Invariant 12: a job only touches its own tenant's
+                // memory objects.
+                let span_tenant = span.tenant_id;
+                if span_tenant != owner_tenant {
+                    let msg = format!(
+                        "cross-tenant memory access on {} core {core}: request \
+                         {request_id} (tenant {span_tenant}) charged for a {level} \
+                         object owned by tenant {owner_tenant}",
+                        rec.src
+                    );
+                    self.violation(rec.at, msg);
+                }
+            }
             _ => {
                 let msg = format!(
                     "memory charge for request {request_id} on {} core {core} \
@@ -606,26 +677,26 @@ impl InvariantChecker {
         }
     }
 
-    fn on_wfq(
-        &mut self,
-        rec: &TraceRecord,
-        lambda_id: u32,
+    /// One tier of the WFQ bounds (invariants 4 and 13): `entity` names
+    /// the queueing unit ("lambda" or "tenant") for the messages.
+    fn wfq_tier(
+        state: &mut WfqState,
+        src: String,
+        entity: &'static str,
+        id: u32,
         weight_milli: u64,
         depth: u64,
         deq: bool,
-    ) {
+    ) -> Vec<String> {
         let mut failures = Vec::new();
-        let state = self.wfq.entry(rec.src.index()).or_default();
-        let q = state.lambdas.entry(lambda_id).or_default();
+        let q = state.lambdas.entry(id).or_default();
         q.weight_milli = weight_milli;
         if weight_milli == 0 {
-            let msg = format!(
-                "WFQ weight bound violated on {}: lambda {lambda_id} has \
-                 non-positive weight",
-                rec.src
-            );
-            self.violation(rec.at, msg);
-            return;
+            failures.push(format!(
+                "WFQ weight bound violated on {src}: {entity} {id} has \
+                 non-positive weight"
+            ));
+            return failures;
         }
         if !deq {
             let was_empty = q.backlog == 0;
@@ -634,12 +705,11 @@ impl InvariantChecker {
                 // The backlogged set changed: start a fresh fairness window.
                 state.reset_window();
             }
-            return;
+            return failures;
         }
         if q.backlog == 0 {
             failures.push(format!(
-                "WFQ on {} dequeued lambda {lambda_id} with no recorded backlog",
-                rec.src
+                "WFQ on {src} dequeued {entity} {id} with no recorded backlog"
             ));
         }
         q.backlog = depth;
@@ -670,9 +740,9 @@ impl InvariantChecker {
                 let bound = STARVATION_FACTOR * total_milli.div_ceil(w) + STARVATION_SLACK;
                 if waited > bound {
                     failures.push(format!(
-                        "WFQ starvation on {}: lambda {id} (weight {}m) backlogged \
+                        "WFQ starvation on {src}: {entity} {id} (weight {}m) backlogged \
                          through {waited} dequeues (bound {bound})",
-                        rec.src, w
+                        w
                     ));
                 }
             }
@@ -686,10 +756,9 @@ impl InvariantChecker {
                 let min = norms.iter().cloned().fold(f64::MAX, f64::min);
                 if max - min > FAIRNESS_SLACK_ROUNDS {
                     failures.push(format!(
-                        "WFQ weight bound violated on {}: normalized service spread \
-                         {:.2} rounds exceeds {FAIRNESS_SLACK_ROUNDS} \
+                        "WFQ weight bound violated on {src}: normalized {entity} service \
+                         spread {:.2} rounds exceeds {FAIRNESS_SLACK_ROUNDS} \
                          (window of {} dequeues, set {:?})",
-                        rec.src,
                         max - min,
                         state.window_dequeues,
                         backlogged
@@ -701,8 +770,8 @@ impl InvariantChecker {
             }
         }
         // Advance starvation clocks for everyone else still waiting.
-        for (&id, l) in state.lambdas.iter_mut() {
-            if id != lambda_id && l.backlog > 0 {
+        for (&other, l) in state.lambdas.iter_mut() {
+            if other != id && l.backlog > 0 {
                 l.dequeues_since_served += 1;
             }
         }
@@ -710,6 +779,62 @@ impl InvariantChecker {
             // The backlogged set changed: close the window.
             state.reset_window();
         }
+        failures
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the WFQ events' fields
+    fn on_wfq(
+        &mut self,
+        rec: &TraceRecord,
+        lambda_id: u32,
+        weight_milli: u64,
+        depth: u64,
+        tenant_id: u32,
+        tenant_weight_milli: u64,
+        deq: bool,
+    ) {
+        let src = rec.src.to_string();
+        let state = self.wfq.entry(rec.src.index()).or_default();
+        let mut failures = Self::wfq_tier(
+            state,
+            src.clone(),
+            "lambda",
+            lambda_id,
+            weight_milli,
+            depth,
+            deq,
+        );
+        // Tenant tier (invariant 13). The events carry per-lambda
+        // depths, so each tenant's backlog is the running sum of its
+        // lambdas' last-seen depths.
+        let prev = self
+            .wfq_lambda_depth
+            .insert((rec.src.index(), lambda_id), (tenant_id, depth));
+        let tstate = self.tenant_wfq.entry(rec.src.index()).or_default();
+        let mut cur = tstate
+            .lambdas
+            .get(&tenant_id)
+            .map(|q| q.backlog)
+            .unwrap_or(0);
+        if let Some((prev_tenant, prev_depth)) = prev {
+            if prev_tenant == tenant_id {
+                cur = cur.saturating_sub(prev_depth);
+            } else if let Some(q) = tstate.lambdas.get_mut(&prev_tenant) {
+                // A lambda changed owners mid-run (synthetic histories
+                // only): move its backlog out of the old tenant.
+                q.backlog = q.backlog.saturating_sub(prev_depth);
+            }
+        }
+        let tenant_depth = cur + depth;
+        failures.extend(Self::wfq_tier(
+            tstate,
+            src,
+            "tenant",
+            tenant_id,
+            tenant_weight_milli,
+            tenant_depth,
+            deq,
+        ));
         for msg in failures {
             self.violation(rec.at, msg);
         }
@@ -719,6 +844,9 @@ impl InvariantChecker {
     fn on_component_reset(&mut self, src_index: usize) {
         self.slots.retain(|&(comp, _), _| comp != src_index);
         self.wfq.remove(&src_index);
+        self.tenant_wfq.remove(&src_index);
+        self.wfq_lambda_depth
+            .retain(|&(comp, _), _| comp != src_index);
     }
 
     /// Sums NIC-resident usage on one worker across live placements.
@@ -1023,12 +1151,17 @@ impl TraceSink for InvariantChecker {
 
         match rec.event {
             // Invariant 2: request conservation.
-            TraceEvent::RequestSubmitted { request_id, .. } => {
+            TraceEvent::RequestSubmitted {
+                request_id,
+                workload_id,
+            } => {
                 self.submitted += 1;
                 if !self.outstanding.insert(request_id) {
                     let msg = format!("request {request_id} submitted twice");
                     self.violation(rec.at, msg);
                 }
+                // Invariant 11 joins exec_start back to the workload.
+                self.request_workload.insert(request_id, workload_id);
             }
             TraceEvent::RequestRetransmit { request_id, .. } => {
                 if !self.outstanding.contains(&request_id) {
@@ -1052,6 +1185,7 @@ impl TraceSink for InvariantChecker {
                     self.violation(rec.at, msg);
                 }
                 self.hedged.remove(&request_id);
+                self.request_workload.remove(&request_id);
             }
             TraceEvent::RequestUnplaced { .. } => {}
 
@@ -1091,11 +1225,12 @@ impl TraceSink for InvariantChecker {
             TraceEvent::DeadlineDrop { .. } => {}
             TraceEvent::EndpointQuarantine { .. } => {}
 
-            // Invariant 3 (+5 joins); invariant 7 gates entry.
+            // Invariant 3 (+5, 11 join); invariant 7 gates entry.
             TraceEvent::ExecStart {
                 core,
                 lambda_id,
                 request_id,
+                tenant_id,
             } => {
                 if let Some(epoch) = self.fenced_components.get(&rec.src.index()) {
                     let msg = format!(
@@ -1105,7 +1240,7 @@ impl TraceSink for InvariantChecker {
                     );
                     self.violation(rec.at, msg);
                 }
-                self.on_exec_start(rec, core, lambda_id, request_id);
+                self.on_exec_start(rec, core, lambda_id, request_id, tenant_id);
             }
             TraceEvent::ExecSuspend {
                 core, request_id, ..
@@ -1137,6 +1272,7 @@ impl TraceSink for InvariantChecker {
                 bulk_ops,
                 bulk_bytes,
                 cycles,
+                owner_tenant,
                 ..
             } => self.on_mem_charge(
                 rec,
@@ -1148,19 +1284,40 @@ impl TraceSink for InvariantChecker {
                 bulk_ops,
                 bulk_bytes,
                 cycles,
+                owner_tenant,
             ),
 
-            // Invariant 4.
+            // Invariants 4 and 13.
             TraceEvent::WfqEnqueue {
                 lambda_id,
                 weight_milli,
                 depth,
-            } => self.on_wfq(rec, lambda_id, weight_milli, depth, false),
+                tenant_id,
+                tenant_weight_milli,
+            } => self.on_wfq(
+                rec,
+                lambda_id,
+                weight_milli,
+                depth,
+                tenant_id,
+                tenant_weight_milli,
+                false,
+            ),
             TraceEvent::WfqDequeue {
                 lambda_id,
                 weight_milli,
                 depth,
-            } => self.on_wfq(rec, lambda_id, weight_milli, depth, true),
+                tenant_id,
+                tenant_weight_milli,
+            } => self.on_wfq(
+                rec,
+                lambda_id,
+                weight_milli,
+                depth,
+                tenant_id,
+                tenant_weight_milli,
+                true,
+            ),
 
             TraceEvent::ProgramInstall {} => {
                 let src = rec.src.index();
@@ -1301,6 +1458,17 @@ impl TraceSink for InvariantChecker {
                 value,
             } => self.on_kv_response(rec, request_id, ok, found, value),
 
+            // Invariants 11–12: ownership registration. Firmware paging
+            // events are accounting-only (the fault cost feeds the cost
+            // identity through exec_finish's overhead).
+            TraceEvent::TenantAssign {
+                tenant_id,
+                workload_id,
+            } => {
+                self.tenant_owner.insert(workload_id, tenant_id);
+            }
+            TraceEvent::FirmwareFault { .. } | TraceEvent::FirmwareEvict { .. } => {}
+
             TraceEvent::LinkTx { .. }
             | TraceEvent::LinkDrop { .. }
             | TraceEvent::FragDrop { .. }
@@ -1394,6 +1562,7 @@ mod tests {
                         core: 0,
                         lambda_id: 0,
                         request_id: 1,
+                        tenant_id: 0,
                     },
                 ),
                 (
@@ -1409,6 +1578,7 @@ mod tests {
                         bulk_ops: 1,
                         bulk_bytes: 64,
                         cycles: 2 * (1 + 5) + 40 + 8,
+                        owner_tenant: 0,
                     },
                 ),
                 (
@@ -1512,6 +1682,7 @@ mod tests {
                         core: 4,
                         lambda_id: 0,
                         request_id: 1,
+                        tenant_id: 0,
                     },
                 ),
                 (
@@ -1521,6 +1692,7 @@ mod tests {
                         core: 4,
                         lambda_id: 1,
                         request_id: 2,
+                        tenant_id: 0,
                     },
                 ),
             ],
@@ -1542,6 +1714,7 @@ mod tests {
                         core: 1,
                         lambda_id: 0,
                         request_id: 1,
+                        tenant_id: 0,
                     },
                 ),
                 (
@@ -1582,6 +1755,7 @@ mod tests {
                         core: 1,
                         lambda_id: 2,
                         request_id: 9,
+                        tenant_id: 0,
                     },
                 ),
             ],
@@ -1602,6 +1776,7 @@ mod tests {
                         core: 0,
                         lambda_id: 0,
                         request_id: 1,
+                        tenant_id: 0,
                     },
                 ),
                 (
@@ -1617,6 +1792,7 @@ mod tests {
                         bulk_ops: 0,
                         bulk_bytes: 0,
                         cycles: 7, // model says 1 + ceil(150/8) = 20
+                        owner_tenant: 0,
                     },
                 ),
             ],
@@ -1638,6 +1814,7 @@ mod tests {
                         core: 0,
                         lambda_id: 0,
                         request_id: 1,
+                        tenant_id: 0,
                     },
                 ),
                 (
@@ -1671,6 +1848,7 @@ mod tests {
                         core: 0,
                         lambda_id: 0,
                         request_id: 1,
+                        tenant_id: 0,
                     },
                 ),
                 (1, 3, TraceEvent::ProgramInstall {}),
@@ -1704,6 +1882,7 @@ mod tests {
                         core: 0,
                         lambda_id: 0,
                         request_id: 1,
+                        tenant_id: 0,
                     },
                 ),
                 (
@@ -1722,6 +1901,7 @@ mod tests {
                         core: 0,
                         lambda_id: 1,
                         request_id: 2,
+                        tenant_id: 0,
                     },
                 ),
             ],
@@ -1742,6 +1922,8 @@ mod tests {
                     lambda_id: 0,
                     weight_milli: 2000,
                     depth: i + 1,
+                    tenant_id: 0,
+                    tenant_weight_milli: 1000,
                 },
             ));
             events.push((
@@ -1751,6 +1933,8 @@ mod tests {
                     lambda_id: 1,
                     weight_milli: 1000,
                     depth: i + 1,
+                    tenant_id: 0,
+                    tenant_weight_milli: 1000,
                 },
             ));
         }
@@ -1772,6 +1956,8 @@ mod tests {
                     lambda_id: l,
                     weight_milli: w,
                     depth,
+                    tenant_id: 0,
+                    tenant_weight_milli: 1000,
                 },
             ));
         }
@@ -1790,6 +1976,8 @@ mod tests {
                     lambda_id: 0,
                     weight_milli: 1000,
                     depth: 600,
+                    tenant_id: 0,
+                    tenant_weight_milli: 1000,
                 },
             ),
             (
@@ -1799,6 +1987,8 @@ mod tests {
                     lambda_id: 1,
                     weight_milli: 1000,
                     depth: 600,
+                    tenant_id: 0,
+                    tenant_weight_milli: 1000,
                 },
             ),
         ];
@@ -1811,6 +2001,8 @@ mod tests {
                     lambda_id: 0,
                     weight_milli: 1000,
                     depth: 600 - 1 - i,
+                    tenant_id: 0,
+                    tenant_weight_milli: 1000,
                 },
             ));
         }
@@ -2099,6 +2291,7 @@ mod tests {
                         core: 0,
                         lambda_id: 1,
                         request_id: 7,
+                        tenant_id: 0,
                     },
                 ),
             ],
@@ -2138,6 +2331,7 @@ mod tests {
                         core: 0,
                         lambda_id: 1,
                         request_id: 7,
+                        tenant_id: 0,
                     },
                 ),
             ],
@@ -2517,5 +2711,302 @@ mod tests {
         feed(&mut c, &evs);
         assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
         assert_eq!(c.kv_forced_gc(), 0);
+    }
+
+    // ---- Invariants 11–13: tenant isolation --------------------------
+
+    /// Seeded self-test for invariant 11: a request stamped with one
+    /// tenant executing under a workload registered to another must be
+    /// flagged (the violating history is synthetic — a correct NIC can
+    /// never produce it, which is exactly what the rule guards).
+    #[test]
+    fn cross_tenant_execution_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::TenantAssign {
+                        tenant_id: 1,
+                        workload_id: 7,
+                    },
+                ),
+                (
+                    1,
+                    1,
+                    TraceEvent::RequestSubmitted {
+                        request_id: 42,
+                        workload_id: 7,
+                    },
+                ),
+                // The worker runs the request as tenant 2: isolation hole.
+                (
+                    2,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 42,
+                        tenant_id: 2,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("cross-tenant execution"));
+    }
+
+    #[test]
+    fn matching_tenant_execution_passes() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::TenantAssign {
+                        tenant_id: 1,
+                        workload_id: 7,
+                    },
+                ),
+                (
+                    1,
+                    1,
+                    TraceEvent::RequestSubmitted {
+                        request_id: 42,
+                        workload_id: 7,
+                    },
+                ),
+                (
+                    2,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 42,
+                        tenant_id: 1,
+                    },
+                ),
+            ],
+        );
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    /// Seeded self-test for invariant 12: a job charged for another
+    /// tenant's memory object must be flagged.
+    #[test]
+    fn cross_tenant_memory_charge_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    3,
+                    TraceEvent::ExecStart {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                        tenant_id: 1,
+                    },
+                ),
+                (
+                    1,
+                    3,
+                    TraceEvent::MemCharge {
+                        core: 0,
+                        lambda_id: 0,
+                        request_id: 1,
+                        level: "EMEM",
+                        latency_cycles: 150,
+                        scalar: 1,
+                        bulk_ops: 0,
+                        bulk_bytes: 0,
+                        cycles: 1 + 19, // model-consistent: only the owner is wrong
+                        owner_tenant: 2,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        assert!(c.violations()[0].contains("cross-tenant memory access"));
+    }
+
+    /// Seeded self-test for invariant 13: a tenant kept backlogged while
+    /// another monopolizes the service slots must trip the tenant-tier
+    /// starvation bound even when each lambda, viewed alone, is served
+    /// in proportion.
+    #[test]
+    fn tenant_tier_starvation_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        let mut events = vec![
+            (
+                0,
+                3usize,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 0,
+                    weight_milli: 1000,
+                    depth: 600,
+                    tenant_id: 1,
+                    tenant_weight_milli: 1000,
+                },
+            ),
+            (
+                0,
+                3,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 1,
+                    weight_milli: 1000,
+                    depth: 600,
+                    tenant_id: 2,
+                    tenant_weight_milli: 1000,
+                },
+            ),
+        ];
+        // Serve only tenant 1's lambda while tenant 2 stays backlogged.
+        for i in 0..600u64 {
+            events.push((
+                1 + i,
+                3,
+                TraceEvent::WfqDequeue {
+                    lambda_id: 0,
+                    weight_milli: 1000,
+                    depth: 600 - 1 - i,
+                    tenant_id: 1,
+                    tenant_weight_milli: 1000,
+                },
+            ));
+        }
+        feed(&mut c, &events);
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("starvation") && v.contains("tenant 2")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    /// Weight-proportional service across tenants passes the tenant
+    /// tier: tenants at weights 2:1 served in the 2:1 WRR pattern.
+    #[test]
+    fn tenant_tier_fair_shares_pass() {
+        let mut c = InvariantChecker::collecting();
+        let mut events = Vec::new();
+        // One lambda per tenant; both tiers weighted 2:1, both backlogged.
+        for i in 0..64u64 {
+            events.push((
+                i,
+                3usize,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 0,
+                    weight_milli: 2000,
+                    depth: i + 1,
+                    tenant_id: 1,
+                    tenant_weight_milli: 2000,
+                },
+            ));
+            events.push((
+                i,
+                3,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 1,
+                    weight_milli: 1000,
+                    depth: i + 1,
+                    tenant_id: 2,
+                    tenant_weight_milli: 1000,
+                },
+            ));
+        }
+        let mut d0 = 64u64;
+        let mut d1 = 64u64;
+        for i in 0..45u64 {
+            let (l, t, w, depth) = if i % 3 == 2 {
+                d1 -= 1;
+                (1u32, 2u32, 1000, d1)
+            } else {
+                d0 -= 1;
+                (0u32, 1u32, 2000, d0)
+            };
+            events.push((
+                100 + i,
+                3,
+                TraceEvent::WfqDequeue {
+                    lambda_id: l,
+                    weight_milli: w,
+                    depth,
+                    tenant_id: t,
+                    tenant_weight_milli: w,
+                },
+            ));
+        }
+        feed(&mut c, &events);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    /// Unbalanced service across equal-weight tenants trips the
+    /// tenant-tier fairness bound (shares must converge to weights).
+    #[test]
+    fn tenant_tier_unfair_shares_are_caught() {
+        let mut c = InvariantChecker::collecting();
+        let mut events = Vec::new();
+        for i in 0..200u64 {
+            events.push((
+                i,
+                3usize,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 0,
+                    weight_milli: 1000,
+                    depth: i + 1,
+                    tenant_id: 1,
+                    tenant_weight_milli: 1000,
+                },
+            ));
+            events.push((
+                i,
+                3,
+                TraceEvent::WfqEnqueue {
+                    lambda_id: 1,
+                    weight_milli: 1000,
+                    depth: i + 1,
+                    tenant_id: 2,
+                    tenant_weight_milli: 1000,
+                },
+            ));
+        }
+        // Equal weights, but tenant 1 gets 7 of every 8 service slots.
+        let mut d0 = 200u64;
+        let mut d1 = 200u64;
+        for i in 0..64u64 {
+            let (l, t, depth) = if i % 8 == 7 {
+                d1 -= 1;
+                (1u32, 2u32, d1)
+            } else {
+                d0 -= 1;
+                (0u32, 1u32, d0)
+            };
+            events.push((
+                300 + i,
+                3,
+                TraceEvent::WfqDequeue {
+                    lambda_id: l,
+                    weight_milli: 1000,
+                    depth,
+                    tenant_id: t,
+                    tenant_weight_milli: 1000,
+                },
+            ));
+        }
+        feed(&mut c, &events);
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("normalized tenant service")),
+            "{:?}",
+            c.violations()
+        );
     }
 }

@@ -91,6 +91,10 @@ pub enum TraceEvent {
         lambda_id: u32,
         /// The request being served.
         request_id: u64,
+        /// The tenant the request was stamped with at the gateway. The
+        /// checker asserts it matches the lambda's registered owner —
+        /// a request must never execute under another tenant's lambda.
+        tenant_id: u32,
     },
     /// The execution suspended awaiting a lambda RPC (core stays held:
     /// run-to-completion).
@@ -148,6 +152,10 @@ pub enum TraceEvent {
         bulk_bytes: u64,
         /// Cycles charged for this object under the cost model.
         cycles: u64,
+        /// Tenant owning the charged memory object. The checker asserts
+        /// it matches the executing span's tenant — a lambda must never
+        /// read another tenant's memory objects.
+        owner_tenant: u32,
     },
     /// A request entered the WFQ (all cores busy). `depth` is the
     /// lambda's queue depth after the push.
@@ -158,6 +166,10 @@ pub enum TraceEvent {
         weight_milli: u64,
         /// The lambda's queue depth after the push.
         depth: u64,
+        /// Tenant level of the hierarchical tree the lambda queues under.
+        tenant_id: u32,
+        /// The tenant's weight in milli-units.
+        tenant_weight_milli: u64,
     },
     /// The WFQ released a request to a freed core. `depth` is the
     /// lambda's queue depth after the pop.
@@ -168,6 +180,10 @@ pub enum TraceEvent {
         weight_milli: u64,
         /// The lambda's queue depth after the pop.
         depth: u64,
+        /// Tenant that won the tenant-level service slot.
+        tenant_id: u32,
+        /// The tenant's weight in milli-units.
+        tenant_weight_milli: u64,
     },
     /// A link accepted a frame for transmission.
     LinkTx {
@@ -443,6 +459,40 @@ pub enum TraceEvent {
         /// that was acknowledged.
         value: u64,
     },
+    /// The control plane registered a workload→tenant assignment. The
+    /// checker builds its ownership map from these, so they must precede
+    /// any traffic for the workload (the testbed emits them at t=0).
+    TenantAssign {
+        /// The owning tenant.
+        tenant_id: u32,
+        /// The owned workload.
+        workload_id: u32,
+    },
+    /// A request targeted a lambda whose firmware page was not resident
+    /// in the worker's instruction-store cache: the page is fetched in
+    /// and the fetch cycles are charged as execution overhead on the
+    /// faulting request (the per-lambda analogue of the whole-image
+    /// firmware swap).
+    FirmwareFault {
+        /// Tenant owning the faulting lambda.
+        tenant_id: u32,
+        /// The faulting lambda.
+        workload_id: u32,
+        /// Instruction-store words paged in.
+        words: u64,
+        /// Pages evicted to make room (each also emits `firmware_evict`).
+        evictions: u64,
+    },
+    /// A firmware page was evicted from a worker's instruction-store
+    /// cache to make room for a faulting page (LRU order).
+    FirmwareEvict {
+        /// Tenant owning the evicted lambda.
+        tenant_id: u32,
+        /// The evicted lambda.
+        workload_id: u32,
+        /// Instruction-store words freed.
+        words: u64,
+    },
 }
 
 impl TraceEvent {
@@ -490,6 +540,9 @@ impl TraceEvent {
             TraceEvent::SnapshotRestored { .. } => "snapshot_restored",
             TraceEvent::KvInvoke { .. } => "kv_invoke",
             TraceEvent::KvResponse { .. } => "kv_response",
+            TraceEvent::TenantAssign { .. } => "tenant_assign",
+            TraceEvent::FirmwareFault { .. } => "firmware_fault",
+            TraceEvent::FirmwareEvict { .. } => "firmware_evict",
         }
     }
 
@@ -529,8 +582,14 @@ impl TraceEvent {
                 core,
                 lambda_id,
                 request_id,
+                tenant_id,
+            } => {
+                f("core", U64(core.into()));
+                f("lambda_id", U64(lambda_id.into()));
+                f("request_id", U64(request_id));
+                f("tenant_id", U64(tenant_id.into()));
             }
-            | TraceEvent::ExecSuspend {
+            TraceEvent::ExecSuspend {
                 core,
                 lambda_id,
                 request_id,
@@ -569,6 +628,7 @@ impl TraceEvent {
                 bulk_ops,
                 bulk_bytes,
                 cycles,
+                owner_tenant,
             } => {
                 f("core", U64(core.into()));
                 f("lambda_id", U64(lambda_id.into()));
@@ -579,20 +639,27 @@ impl TraceEvent {
                 f("bulk_ops", U64(bulk_ops));
                 f("bulk_bytes", U64(bulk_bytes));
                 f("cycles", U64(cycles));
+                f("owner_tenant", U64(owner_tenant.into()));
             }
             TraceEvent::WfqEnqueue {
                 lambda_id,
                 weight_milli,
                 depth,
+                tenant_id,
+                tenant_weight_milli,
             }
             | TraceEvent::WfqDequeue {
                 lambda_id,
                 weight_milli,
                 depth,
+                tenant_id,
+                tenant_weight_milli,
             } => {
                 f("lambda_id", U64(lambda_id.into()));
                 f("weight_milli", U64(weight_milli));
                 f("depth", U64(depth));
+                f("tenant_id", U64(tenant_id.into()));
+                f("tenant_weight_milli", U64(tenant_weight_milli));
             }
             TraceEvent::LinkTx { bytes } => f("bytes", U64(bytes)),
             TraceEvent::LinkDrop { bytes, reason } => {
@@ -800,6 +867,33 @@ impl TraceEvent {
                 f("ok", Bool(ok));
                 f("found", Bool(found));
                 f("value", U64(value));
+            }
+            TraceEvent::TenantAssign {
+                tenant_id,
+                workload_id,
+            } => {
+                f("tenant_id", U64(tenant_id.into()));
+                f("workload_id", U64(workload_id.into()));
+            }
+            TraceEvent::FirmwareFault {
+                tenant_id,
+                workload_id,
+                words,
+                evictions,
+            } => {
+                f("tenant_id", U64(tenant_id.into()));
+                f("workload_id", U64(workload_id.into()));
+                f("words", U64(words));
+                f("evictions", U64(evictions));
+            }
+            TraceEvent::FirmwareEvict {
+                tenant_id,
+                workload_id,
+                words,
+            } => {
+                f("tenant_id", U64(tenant_id.into()));
+                f("workload_id", U64(workload_id.into()));
+                f("words", U64(words));
             }
         }
     }

@@ -11,7 +11,9 @@
 //!
 //! [`suite`] combines them into the programs the experiments deploy,
 //! including the §6.4 four-lambda program whose compilation reproduces
-//! Figure 9.
+//! Figure 9. [`tenants`] adds the multi-tenant fleet — many tiny
+//! per-tenant lambdas under Zipf popularity — for the virtualization
+//! ablation.
 
 #![warn(missing_docs)]
 
@@ -19,9 +21,14 @@ pub mod helpers;
 pub mod image;
 pub mod kv;
 pub mod suite;
+pub mod tenants;
 pub mod web;
 
 pub use suite::{
     benchmark_program, default_web_content, image_program, kv_get_program, kv_set_program,
     three_web_servers, web_program, SuiteConfig, IMAGE_ID, KV_GET_ID, KV_SET_ID, WEB_ID,
+};
+pub use tenants::{
+    tenant_fleet_program, tenant_lambda, tenant_tag, tenant_workload_id, zipf_multiplicities,
+    zipf_weights, TENANT_BASE_ID,
 };

@@ -587,6 +587,7 @@ fn checker_catches_fabricated_split_brain() {
             core: 0,
             lambda_id: 0,
             request_id: 77,
+            tenant_id: 0,
         },
     ));
     assert!(

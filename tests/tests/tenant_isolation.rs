@@ -1,0 +1,339 @@
+//! Multi-tenant virtualization, end to end: a shared NIC testbed must
+//! serve every tenant its own lambda (never a neighbour's), enforce the
+//! gateway and NPU-thread quotas, and page cold firmware in and out of
+//! the per-worker LRU cache — all with the invariant checker's
+//! cross-tenant rules running in-stream.
+//!
+//! The checker's *negative* self-tests (each rule fires on a seeded
+//! violating history) live in `lnic_sim::check`; these tests prove the
+//! *positive* direction on the real stack.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lnic::prelude::*;
+use lnic_net::packet::RC_OVERLOADED;
+use lnic_sim::check::InvariantChecker;
+use lnic_sim::prelude::*;
+use lnic_tenant::{TenancyConfig, TenantDirectory, TenantSpec};
+use lnic_workloads::{tenant_fleet_program, tenant_tag, tenant_workload_id};
+
+/// A probe that fires a fixed submission schedule and records every
+/// completion (token, return code, response, gateway latency).
+struct Probe {
+    gateway: ComponentId,
+    /// (delay, workload_id) per request; token = index.
+    schedule: Vec<(SimDuration, u32)>,
+    results: Vec<(u64, Option<u16>, Bytes, SimDuration, bool)>,
+}
+
+#[derive(Debug)]
+struct Go;
+
+impl Component for Probe {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        if msg.is::<Go>() {
+            let self_id = ctx.self_id();
+            for (i, &(delay, wid)) in self.schedule.iter().enumerate() {
+                ctx.send(
+                    self.gateway,
+                    delay,
+                    SubmitRequest {
+                        workload_id: wid,
+                        payload: Bytes::new(),
+                        reply_to: self_id,
+                        token: i as u64,
+                    },
+                );
+            }
+        } else if let Some(done) = msg.downcast_ref::<RequestDone>() {
+            self.results.push((
+                done.token,
+                done.return_code,
+                done.response.clone(),
+                done.latency,
+                done.failed,
+            ));
+        }
+    }
+}
+
+fn run_probe(
+    bed: &mut Testbed,
+    schedule: Vec<(SimDuration, u32)>,
+) -> Vec<(u64, Option<u16>, Bytes, SimDuration, bool)> {
+    let gateway = bed.gateway;
+    let probe = bed.sim.add(Probe {
+        gateway,
+        schedule,
+        results: vec![],
+    });
+    bed.sim.post(probe, SimDuration::ZERO, Go);
+    bed.sim.run();
+    let mut results = bed.sim.get::<Probe>(probe).unwrap().results.clone();
+    results.sort_by_key(|r| r.0);
+    results
+}
+
+/// Tenant `i` (fleet index) owns workload `tenant_workload_id(i)` as
+/// tenant id `i + 1`.
+fn fleet_directory(n: u32, spec: impl Fn(u32) -> TenantSpec) -> Arc<TenantDirectory> {
+    let mut dir = TenantDirectory::new();
+    for i in 0..n {
+        dir.register(i + 1, spec(i));
+        dir.assign(tenant_workload_id(i).0, i + 1);
+    }
+    Arc::new(dir)
+}
+
+fn assert_no_violations(bed: &mut Testbed) {
+    bed.finish_tracing();
+    let checker = bed
+        .sim
+        .trace_sink::<InvariantChecker>()
+        .expect("invariant checker attached by default");
+    assert!(
+        checker.violations().is_empty(),
+        "isolation violations: {:?}",
+        checker.violations()
+    );
+}
+
+#[test]
+fn every_tenant_gets_its_own_lambda_under_paging_pressure() {
+    // Eight tenants on one NIC, cache sized for ~2 resident pages:
+    // requests constantly page lambdas in and out, and every response
+    // must still carry its own tenant's tag.
+    let program = Arc::new(tenant_fleet_program(8, 64));
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(90).workers(1));
+    bed.preload(&program);
+    bed.enable_tenancy(
+        fleet_directory(8, |_| TenantSpec::weighted(1.0)),
+        TenancyConfig {
+            cache_words: 150,
+            ..TenancyConfig::default()
+        },
+    );
+
+    // Three sequential rounds over all eight tenants.
+    let mut schedule = Vec::new();
+    for round in 0..3u64 {
+        for i in 0..8u32 {
+            schedule.push((
+                SimDuration::from_micros((round * 8 + i as u64) * 100),
+                tenant_workload_id(i).0,
+            ));
+        }
+    }
+    let results = run_probe(&mut bed, schedule);
+
+    assert_eq!(results.len(), 24, "every request terminates");
+    for (token, rc, response, _, failed) in &results {
+        let tenant = (token % 8) as u32;
+        assert!(!failed, "request {token} failed");
+        assert_eq!(*rc, Some(0), "request {token}");
+        assert_eq!(
+            &response[..],
+            tenant_tag(tenant),
+            "tenant {tenant} must receive its own lambda's response"
+        );
+    }
+
+    let nic = bed
+        .sim
+        .get::<lnic_nic::Nic>(bed.workers[0].component)
+        .unwrap();
+    assert!(
+        nic.counters().firmware_faults > 0,
+        "an 8-tenant catalog over a 2-page cache must fault"
+    );
+    assert!(nic.counters().firmware_evictions > 0);
+    assert_no_violations(&mut bed);
+}
+
+#[test]
+fn gateway_sheds_over_quota_tenant_but_not_neighbours() {
+    // Tenant 1 may keep one request in flight; tenant 2 is unlimited.
+    // Four concurrent submissions each: tenant 1's burst is shed beyond
+    // the first, tenant 2's all complete.
+    let program = Arc::new(tenant_fleet_program(2, 64));
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(91).workers(1));
+    bed.preload(&program);
+    bed.enable_tenancy(
+        fleet_directory(2, |i| {
+            if i == 0 {
+                TenantSpec::weighted(1.0).in_flight(1)
+            } else {
+                TenantSpec::weighted(1.0)
+            }
+        }),
+        TenancyConfig::default(),
+    );
+
+    let mut schedule = Vec::new();
+    for _ in 0..4 {
+        schedule.push((SimDuration::ZERO, tenant_workload_id(0).0));
+        schedule.push((SimDuration::ZERO, tenant_workload_id(1).0));
+    }
+    let results = run_probe(&mut bed, schedule);
+    assert_eq!(results.len(), 8);
+
+    let (mut t0_ok, mut t0_shed, mut t1_ok) = (0, 0, 0);
+    for (token, rc, _, _, failed) in &results {
+        let tenant0 = token % 2 == 0;
+        match (tenant0, failed) {
+            (true, false) => t0_ok += 1,
+            (true, true) => {
+                assert_eq!(*rc, Some(RC_OVERLOADED), "shed reply is typed");
+                t0_shed += 1;
+            }
+            (false, false) => t1_ok += 1,
+            (false, true) => panic!("unlimited tenant was shed"),
+        }
+    }
+    assert_eq!(t0_ok, 1, "quota admits exactly the in-flight budget");
+    assert_eq!(t0_shed, 3, "the rest of the burst is shed");
+    assert_eq!(t1_ok, 4, "the neighbour is untouched");
+
+    let gw = bed.sim.get::<Gateway>(bed.gateway).unwrap().counters();
+    assert_eq!(gw.tenant_quota_shed, 3);
+    assert_no_violations(&mut bed);
+}
+
+#[test]
+fn nic_thread_quota_defers_tenant_but_keeps_pool_shared() {
+    // A two-thread NIC; tenant 1 may occupy one thread. Its second
+    // concurrent request must wait even though a thread sits idle —
+    // and tenant 2 takes that idle thread meanwhile.
+    let program = Arc::new(tenant_fleet_program(2, 5000));
+    let mut config = TestbedConfig::new(BackendKind::Nic).seed(92).workers(1);
+    config.nic.islands = 1;
+    config.nic.cores_per_island = 1;
+    config.nic.threads_per_core = 2;
+    config.gateway.proxy_cost = SimDuration::from_nanos(100);
+    let mut bed = build_testbed(config);
+    bed.preload(&program);
+    bed.enable_tenancy(
+        fleet_directory(2, |i| {
+            if i == 0 {
+                TenantSpec::weighted(1.0).threads(1)
+            } else {
+                TenantSpec::weighted(1.0)
+            }
+        }),
+        TenancyConfig::default(),
+    );
+
+    let schedule = vec![
+        (SimDuration::ZERO, tenant_workload_id(0).0),
+        (SimDuration::ZERO, tenant_workload_id(0).0),
+        (SimDuration::ZERO, tenant_workload_id(1).0),
+    ];
+    let results = run_probe(&mut bed, schedule);
+    assert_eq!(results.len(), 3, "every request terminates");
+    for (token, rc, response, _, failed) in &results {
+        assert!(!failed, "request {token} failed");
+        assert_eq!(*rc, Some(0));
+        let tenant = if *token < 2 { 0 } else { 1 };
+        assert_eq!(&response[..], tenant_tag(tenant), "request {token}");
+    }
+
+    let nic = bed
+        .sim
+        .get::<lnic_nic::Nic>(bed.workers[0].component)
+        .unwrap();
+    assert!(
+        nic.counters().quota_deferrals > 0,
+        "the quota must have idled a free thread at least once"
+    );
+    assert_eq!(nic.busy_threads(), 0, "all threads freed");
+    assert_no_violations(&mut bed);
+}
+
+#[test]
+fn firmware_cache_rewards_residency_and_charges_faults() {
+    // A one-page cache over two tenants: A faults cold, hits warm, is
+    // evicted by B, and faults again — with the paging cost visible in
+    // the gateway-measured latency.
+    let program = Arc::new(tenant_fleet_program(2, 64));
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(93).workers(1));
+    bed.preload(&program);
+    bed.enable_tenancy(
+        fleet_directory(2, |_| TenantSpec::weighted(1.0)),
+        TenancyConfig {
+            cache_words: 100,
+            ..TenancyConfig::default()
+        },
+    );
+
+    let ms = SimDuration::from_millis(1);
+    let a = tenant_workload_id(0).0;
+    let b = tenant_workload_id(1).0;
+    let schedule = vec![
+        (SimDuration::ZERO, a), // cold fault
+        (ms, a),                // resident hit
+        (ms * 2, b),            // fault, evicts A
+        (ms * 3, a),            // fault again
+    ];
+    let results = run_probe(&mut bed, schedule);
+    assert_eq!(results.len(), 4);
+    for (token, _, _, _, failed) in &results {
+        assert!(!failed, "request {token} failed");
+    }
+
+    let nic = bed
+        .sim
+        .get::<lnic_nic::Nic>(bed.workers[0].component)
+        .unwrap();
+    assert_eq!(nic.counters().firmware_faults, 3, "cold, evict-B, re-fault");
+    assert_eq!(nic.counters().firmware_evictions, 2);
+
+    let lat: Vec<SimDuration> = results.iter().map(|r| r.3).collect();
+    assert!(
+        lat[1] < lat[0],
+        "warm hit {:?} must be cheaper than the cold fault {:?}",
+        lat[1],
+        lat[0]
+    );
+    assert!(
+        lat[3] > lat[1],
+        "a re-fault {:?} must cost more than a hit {:?}",
+        lat[3],
+        lat[1]
+    );
+    assert_no_violations(&mut bed);
+}
+
+#[test]
+fn untenanted_testbed_is_unchanged_by_the_tenancy_machinery() {
+    // The legacy single-tenant world: no directory, no cache — the
+    // hierarchical queue degenerates and nothing pages or sheds.
+    let program = Arc::new(tenant_fleet_program(4, 64));
+    let mut bed = build_testbed(TestbedConfig::new(BackendKind::Nic).seed(94).workers(1));
+    bed.preload(&program);
+
+    let schedule = (0..8u32)
+        .map(|i| {
+            (
+                SimDuration::from_micros(u64::from(i) * 100),
+                tenant_workload_id(i % 4).0,
+            )
+        })
+        .collect();
+    let results = run_probe(&mut bed, schedule);
+    assert_eq!(results.len(), 8);
+    for (token, rc, response, _, failed) in &results {
+        assert!(!failed, "request {token} failed");
+        assert_eq!(*rc, Some(0));
+        assert_eq!(&response[..], tenant_tag((*token % 4) as u32));
+    }
+    let nic = bed
+        .sim
+        .get::<lnic_nic::Nic>(bed.workers[0].component)
+        .unwrap();
+    assert_eq!(nic.counters().firmware_faults, 0);
+    assert_eq!(nic.counters().quota_deferrals, 0);
+    let gw = bed.sim.get::<Gateway>(bed.gateway).unwrap().counters();
+    assert_eq!(gw.tenant_quota_shed, 0);
+    assert_no_violations(&mut bed);
+}
