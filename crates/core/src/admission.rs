@@ -168,6 +168,64 @@ mod tests {
     }
 
     #[test]
+    fn refill_boundary_is_exact() {
+        // 2 rps, burst 1: one token every 500 ms — a duration whose
+        // seconds value (0.5) is exactly representable in f64, so the
+        // boundary admit/reject flip is bit-exact, not approximate.
+        let mut b = TokenBucket::new(2.0, 1.0);
+        assert!(b.try_take(SimTime::ZERO), "bucket starts full");
+        assert!(
+            !b.try_take(SimTime::ZERO + SimDuration::from_nanos(499_999_999)),
+            "one nanosecond before the refill boundary must reject"
+        );
+        assert!(
+            b.try_take(SimTime::ZERO + SimDuration::from_millis(500)),
+            "exactly at the refill boundary the token is whole"
+        );
+        assert!(
+            !b.try_take(SimTime::ZERO + SimDuration::from_millis(500)),
+            "the boundary token spends once"
+        );
+    }
+
+    #[test]
+    fn fractional_refills_accumulate_exactly() {
+        // 4 rps probed every 125 ms: each probe refills exactly 0.5
+        // tokens (0.125 and 0.5 are exact in binary), so the admit
+        // lands on the second probe with no floating-point drift.
+        let mut b = TokenBucket::new(4.0, 1.0);
+        assert!(b.try_take(SimTime::ZERO));
+        assert!(!b.try_take(SimTime::ZERO + SimDuration::from_millis(125)));
+        assert_eq!(b.tokens(), 0.5, "partial refill must be exact");
+        assert!(b.try_take(SimTime::ZERO + SimDuration::from_millis(250)));
+        assert_eq!(b.tokens(), 0.0, "the spend consumes the whole token");
+    }
+
+    #[test]
+    fn refill_clamps_at_burst_after_long_idle() {
+        let mut b = TokenBucket::new(1000.0, 4.0);
+        // Hours of idle time must not bank more than `burst` tokens.
+        let later = SimTime::ZERO + SimDuration::from_secs(3600);
+        assert!(b.try_take(later));
+        assert_eq!(b.tokens(), 3.0, "idle refill clamps at burst");
+        for _ in 0..3 {
+            assert!(b.try_take(later));
+        }
+        assert!(!b.try_take(later), "burst is a hard ceiling");
+    }
+
+    #[test]
+    fn zero_elapsed_calls_do_not_refill() {
+        let mut b = TokenBucket::new(1_000_000.0, 2.0);
+        let now = SimTime::ZERO + SimDuration::from_millis(1);
+        assert!(b.try_take(now));
+        assert!(b.try_take(now));
+        // Same timestamp again: elapsed is zero, no token materializes
+        // no matter how high the rate is.
+        assert!(!b.try_take(now), "same-instant retry must not refill");
+    }
+
+    #[test]
     fn concurrency_cap_rejects_at_limit() {
         let mut a = Admission::new(AdmissionParams {
             rate_per_sec: 0.0,

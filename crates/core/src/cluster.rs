@@ -17,6 +17,7 @@ use lnic_sim::prelude::*;
 use crate::deploy::BackendKind;
 use crate::failover::{FailoverConfig, FailoverController, StartFailover};
 use crate::gateway::{Gateway, GatewayParams, WorkerEndpoint};
+use crate::gwtier::{ShardMap, ShardRouter, StartTier, TierConfig, TierController};
 use crate::repkv::{RepKvReplica, StartReplica};
 
 /// The logical service id workers use to reach the memcached server.
@@ -232,6 +233,19 @@ pub struct Testbed {
     /// entries per worker `i` — `4 + 2i` its uplink and `5 + 2i` its
     /// switch port. Hybrid host uplinks (if any) follow at the end.
     pub links: Vec<ComponentId>,
+    /// Every gateway shard, indexed by gateway id: entry 0 is the
+    /// primary [`Testbed::gateway`]; extras are added by
+    /// [`Testbed::enable_gateway_tier`].
+    pub gateways: Vec<ComponentId>,
+    /// `(uplink, switch port)` per gateway shard, the links a
+    /// `GatewayPartition` fault blackholes.
+    gateway_links: Vec<(ComponentId, ComponentId)>,
+    /// The tier's client-facing [`ShardRouter`] (set by
+    /// [`Testbed::enable_gateway_tier`]).
+    pub tier_router: Option<ComponentId>,
+    /// The tier's membership [`TierController`] (set by
+    /// [`Testbed::enable_gateway_tier`]).
+    pub tier_controller: Option<ComponentId>,
     /// Failover controller (set by [`Testbed::enable_failover`]).
     pub failover: Option<ComponentId>,
     /// Replicated-KV replicas by worker index (set by
@@ -461,6 +475,10 @@ pub fn build_testbed(config: TestbedConfig) -> Testbed {
         raft_nodes,
         raft_net,
         links,
+        gateways: vec![gateway],
+        gateway_links: vec![(gw_uplink, gw_port)],
+        tier_router: None,
+        tier_controller: None,
         failover: None,
         repkv_replicas: Vec::new(),
         placements: Vec::new(),
@@ -503,17 +521,20 @@ impl Testbed {
                 }
             }
         }
-        // Placements: all workloads on all workers; the gateway targets
-        // worker (id % workers) for spread.
+        // Placements: all workloads on all workers; every gateway shard
+        // targets worker (id % workers) for spread.
+        let gateways = self.gateways.clone();
         for (i, lambda) in firmware.program.lambdas.iter().enumerate() {
             let worker_index = i % self.workers.len();
             let worker = &self.workers[worker_index];
             let endpoint = worker.endpoint();
-            let gw = self
-                .sim
-                .get_mut::<Gateway>(self.gateway)
-                .expect("gateway exists");
-            gw.place(lambda.id.0, endpoint);
+            for &gateway in &gateways {
+                let gw = self
+                    .sim
+                    .get_mut::<Gateway>(gateway)
+                    .expect("gateway exists");
+                gw.place(lambda.id.0, endpoint);
+            }
             self.placements.push((lambda.id.0, worker_index));
         }
     }
@@ -549,10 +570,7 @@ impl Testbed {
                 lnic_host::DeployProgram::unfenced(Arc::clone(host_program)),
             );
         }
-        let gw = self
-            .sim
-            .get_mut::<Gateway>(self.gateway)
-            .expect("gateway exists");
+        let gateways = self.gateways.clone();
         let mut placed = Vec::new();
         for lambda in firmware
             .program
@@ -560,32 +578,43 @@ impl Testbed {
             .iter()
             .chain(host_program.lambdas.iter())
         {
-            gw.place(lambda.id.0, self.workers[0].endpoint());
+            for &gateway in &gateways {
+                self.sim
+                    .get_mut::<Gateway>(gateway)
+                    .expect("gateway exists")
+                    .place(lambda.id.0, self.workers[0].endpoint());
+            }
             placed.push((lambda.id.0, 0));
         }
         self.placements.extend(placed);
     }
 
-    /// Places a workload on a specific worker.
+    /// Places a workload on a specific worker (at every gateway shard).
     pub fn place(&mut self, workload_id: u32, worker_index: usize) {
         let endpoint = self.workers[worker_index].endpoint();
-        self.sim
-            .get_mut::<Gateway>(self.gateway)
-            .expect("gateway exists")
-            .place(workload_id, endpoint);
+        let gateways = self.gateways.clone();
+        for &gateway in &gateways {
+            self.sim
+                .get_mut::<Gateway>(gateway)
+                .expect("gateway exists")
+                .place(workload_id, endpoint);
+        }
         self.placements.retain(|&(wid, _)| wid != workload_id);
         self.placements.push((workload_id, worker_index));
     }
 
     /// Adds a replica of `workload_id` on `worker_index` (on top of any
-    /// existing placement); the gateway load-balances across replicas
-    /// and needs at least two to hedge.
+    /// existing placement, at every gateway shard); the gateway
+    /// load-balances across replicas and needs at least two to hedge.
     pub fn place_replica(&mut self, workload_id: u32, worker_index: usize) {
         let endpoint = self.workers[worker_index].endpoint();
-        self.sim
-            .get_mut::<Gateway>(self.gateway)
-            .expect("gateway exists")
-            .add_replica(workload_id, endpoint);
+        let gateways = self.gateways.clone();
+        for &gateway in &gateways {
+            self.sim
+                .get_mut::<Gateway>(gateway)
+                .expect("gateway exists")
+                .add_replica(workload_id, endpoint);
+        }
     }
 
     /// Turns on multi-tenant virtualization across the testbed: the
@@ -607,6 +636,16 @@ impl Testbed {
                     .expect("worker is a NIC")
                     .enable_tenancy(Arc::clone(&dir), cfg);
             }
+        }
+        // Extra gateway shards share the directory silently — only the
+        // primary announces `TenantAssign` events (the checker's
+        // ownership ground truth must be stated exactly once).
+        let extras: Vec<ComponentId> = self.gateways.iter().skip(1).copied().collect();
+        for gateway in extras {
+            self.sim
+                .get_mut::<Gateway>(gateway)
+                .expect("gateway exists")
+                .adopt_tenant_directory(Arc::clone(&dir));
         }
         self.sim.post(
             self.gateway,
@@ -776,6 +815,40 @@ impl Testbed {
                         }
                     }
                 }
+                FaultEvent::GatewayCrash { gateway } => {
+                    self.sim.post(self.gateways[gateway], delay, Crash);
+                }
+                FaultEvent::GatewayRestart { gateway } => {
+                    self.sim.post(self.gateways[gateway], delay, Restart);
+                }
+                FaultEvent::GatewayPartition { gateway, duration } => {
+                    // Data plane: blackhole the shard's uplink and
+                    // switch port, so worker traffic dies both ways.
+                    let (uplink, port) = self.gateway_links[gateway];
+                    self.sim.post(uplink, delay, LinkDown(duration));
+                    self.sim.post(port, delay, LinkDown(duration));
+                    // Control plane: routed submits, lease grants, and
+                    // acks ride direct channels, not the links — cut
+                    // them explicitly in both directions.
+                    let gw = self.gateways[gateway];
+                    let peers: Vec<ComponentId> = [self.tier_router, self.tier_controller]
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                    for &p in &peers {
+                        self.sim.post(
+                            p,
+                            delay,
+                            NetCutFrom {
+                                peers: vec![gw],
+                                duration,
+                            },
+                        );
+                    }
+                    if !peers.is_empty() {
+                        self.sim.post(gw, delay, NetCutFrom { peers, duration });
+                    }
+                }
                 FaultEvent::ControllerCrash => {
                     let controller = self
                         .failover
@@ -831,14 +904,22 @@ impl Testbed {
         for &(workload_id, worker_index) in &self.placements {
             controller.track_placement(workload_id, worker_index);
         }
+        // A gateway tier enabled first: epoch/fencing commands broadcast
+        // to every shard, not just the primary.
+        for &extra in self.gateways.iter().skip(1) {
+            controller.add_gateway(extra);
+        }
         let id = self.sim.add(controller);
-        // Feed the controller the gateway's per-endpoint latency stream
-        // so the fail-slow detector can see gray failures heartbeats
-        // cannot.
-        self.sim
-            .get_mut::<Gateway>(self.gateway)
-            .expect("testbed gateway")
-            .set_latency_observer(id);
+        // Feed the controller every gateway's per-endpoint latency
+        // stream so the fail-slow detector can see gray failures
+        // heartbeats cannot.
+        let gateways = self.gateways.clone();
+        for &gateway in &gateways {
+            self.sim
+                .get_mut::<Gateway>(gateway)
+                .expect("testbed gateway")
+                .set_latency_observer(id);
+        }
         self.sim.post(id, SimDuration::ZERO, StartFailover);
         self.failover = Some(id);
         id
@@ -908,6 +989,112 @@ impl Testbed {
             .track_replicated(REPKV_WORKLOAD_ID, REPKV_SERVICE);
         self.repkv_replicas = replicas.clone();
         replicas
+    }
+
+    /// Installs the sharded gateway tier: `extra` additional gateway
+    /// shards (ids `1..=extra`; the primary gateway is shard 0), a
+    /// [`ShardRouter`] routing clients over an epoch-versioned
+    /// consistent-hash map, and a [`TierController`] running the lease
+    /// loop that deposes silent shards and re-admits healed ones.
+    /// Returns `(router, controller)` (also stored in
+    /// [`Testbed::tier_router`] / [`Testbed::tier_controller`]).
+    ///
+    /// Extra shards copy the primary's placement table and tenant
+    /// directory at install time, so call this **after** `preload*`,
+    /// [`Testbed::place`]-style setup, and
+    /// [`Testbed::enable_tenancy`]. Each extra shard mints request ids
+    /// in its own namespace (`gateway_id << 48`), keeping multi-shard
+    /// traces attributable and the primary's id stream — and therefore
+    /// all single-gateway goldens — byte-identical. If failover is
+    /// enabled (before or after), epoch/fencing commands broadcast to
+    /// every shard.
+    ///
+    /// The controller's heartbeat ticks forever: drive the simulation
+    /// with `run_for`/`run_until` rather than `run`.
+    ///
+    /// `extra == 0` is allowed and builds a degenerate single-member
+    /// tier over the primary gateway alone — the baseline arm the
+    /// handoff benchmarks compare against (same router machinery, no
+    /// shard to fail over to).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called twice.
+    pub fn enable_gateway_tier(
+        &mut self,
+        extra: usize,
+        gw_params: GatewayParams,
+        link: LinkParams,
+        cfg: TierConfig,
+    ) -> (ComponentId, ComponentId) {
+        assert!(self.tier_router.is_none(), "gateway tier already enabled");
+        let table = self
+            .sim
+            .get::<Gateway>(self.gateway)
+            .expect("gateway exists")
+            .placement_table();
+        let tenant_dir = self
+            .sim
+            .get::<Gateway>(self.gateway)
+            .expect("gateway exists")
+            .tenant_directory();
+        for g in 1..=extra {
+            let mut params = gw_params.clone();
+            params.mac = MacAddr::from_index(40 + g as u32);
+            params.ip = Ipv4Addr::node(40 + g as u8);
+            let uplink = self.sim.add(Link::new(self.switch, link));
+            let mut shard = Gateway::new(params.clone(), uplink).with_gateway_id(g as u32);
+            for (wid, endpoints) in &table {
+                for (k, &ep) in endpoints.iter().enumerate() {
+                    if k == 0 {
+                        shard.place(*wid, ep);
+                    } else {
+                        shard.add_replica(*wid, ep);
+                    }
+                }
+            }
+            if let Some(dir) = &tenant_dir {
+                shard.adopt_tenant_directory(Arc::clone(dir));
+            }
+            if let Some(controller) = self.failover {
+                shard.set_latency_observer(controller);
+            }
+            let shard_id = self.sim.add(shard);
+            let port = self.sim.add(Link::new(shard_id, link));
+            self.sim
+                .get_mut::<Switch>(self.switch)
+                .expect("switch exists")
+                .connect(params.mac, port);
+            // Tier links go at the very end of the link table; the
+            // documented indices of the original fabric are unchanged.
+            self.links.push(uplink);
+            self.links.push(port);
+            self.gateways.push(shard_id);
+            self.gateway_links.push((uplink, port));
+            if let Some(controller) = self.failover {
+                self.sim
+                    .get_mut::<FailoverController>(controller)
+                    .expect("failover controller exists")
+                    .add_gateway(shard_id);
+            }
+        }
+        // Tier components live on the hub shard (0) under the sharded
+        // engine — unassigned components default there, alongside the
+        // primary gateway and the drivers.
+        let members: Vec<u32> = (0..self.gateways.len() as u32).collect();
+        let map = Arc::new(ShardMap::new(1, &members, cfg.vnodes));
+        let router = self.sim.add(ShardRouter::new(
+            self.gateways.clone(),
+            Arc::clone(&map),
+            cfg,
+        ));
+        let controller = self
+            .sim
+            .add(TierController::new(cfg, self.gateways.clone(), router, map));
+        self.sim.post(controller, SimDuration::ZERO, StartTier);
+        self.tier_router = Some(router);
+        self.tier_controller = Some(controller);
+        (router, controller)
     }
 
     /// The `(workload, worker index)` placements registered at setup

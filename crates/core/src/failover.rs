@@ -46,6 +46,7 @@
 use std::collections::HashMap;
 
 use lnic_net::transport::UpdateService;
+use lnic_net::MacAddr;
 use lnic_sim::fault::{
     Crash, EpochQuery, EpochReport, GrantLease, HealthPing, HealthPong, LeaseAck, NetCutFrom,
     Restart,
@@ -300,6 +301,12 @@ pub struct FailoverController {
     /// workers whose reported epoch was ahead) on the next beat, after
     /// the zero-delay [`EpochReport`]s have arrived.
     restore_pending: Option<(u64, u64)>,
+    /// Additional gateway shards mirroring every gateway-directed
+    /// reconfiguration — placement withdrawals, worker epochs, fence
+    /// floors, re-placements. A gateway tier registers its extra shards
+    /// here so all of them stop routing at a dead worker, not just the
+    /// primary.
+    extra_gateways: Vec<ComponentId>,
 }
 
 impl FailoverController {
@@ -344,6 +351,74 @@ impl FailoverController {
             lease_seq: 0,
             service_routes: HashMap::new(),
             restore_pending: None,
+            extra_gateways: Vec::new(),
+        }
+    }
+
+    /// Registers an additional gateway shard that must mirror every
+    /// gateway-directed reconfiguration (the gateway tier calls this
+    /// for each shard beyond the primary).
+    pub fn add_gateway(&mut self, gateway: ComponentId) {
+        if gateway != self.gateway && !self.extra_gateways.contains(&gateway) {
+            self.extra_gateways.push(gateway);
+        }
+    }
+
+    /// Sends a worker-epoch update to every gateway shard.
+    fn set_epoch_all(&self, ctx: &mut Ctx<'_>, mac: MacAddr, epoch: u64) {
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            SetWorkerEpoch { mac, epoch },
+        );
+        for &gw in &self.extra_gateways {
+            ctx.send(gw, SimDuration::ZERO, SetWorkerEpoch { mac, epoch });
+        }
+    }
+
+    /// Installs a reply-fence floor for a worker at every gateway shard.
+    fn fence_all(&self, ctx: &mut Ctx<'_>, mac: MacAddr, floor_epoch: u64) {
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            FenceWorker { mac, floor_epoch },
+        );
+        for &gw in &self.extra_gateways {
+            ctx.send(gw, SimDuration::ZERO, FenceWorker { mac, floor_epoch });
+        }
+    }
+
+    /// Withdraws a worker's endpoints from every gateway shard.
+    fn remove_endpoints_all(&self, ctx: &mut Ctx<'_>, mac: MacAddr) {
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            RemoveWorkerEndpoints { mac },
+        );
+        for &gw in &self.extra_gateways {
+            ctx.send(gw, SimDuration::ZERO, RemoveWorkerEndpoints { mac });
+        }
+    }
+
+    /// Adds a replica placement at every gateway shard.
+    fn add_placement_all(&self, ctx: &mut Ctx<'_>, workload_id: u32, endpoint: WorkerEndpoint) {
+        ctx.send(
+            self.gateway,
+            SimDuration::ZERO,
+            AddPlacement {
+                workload_id,
+                endpoint,
+            },
+        );
+        for &gw in &self.extra_gateways {
+            ctx.send(
+                gw,
+                SimDuration::ZERO,
+                AddPlacement {
+                    workload_id,
+                    endpoint,
+                },
+            );
         }
     }
 
@@ -438,11 +513,7 @@ impl FailoverController {
             for i in 0..self.workers.len() {
                 self.workers[i].epoch = 1;
                 let mac = self.workers[i].endpoint.mac;
-                ctx.send(
-                    self.gateway,
-                    SimDuration::ZERO,
-                    SetWorkerEpoch { mac, epoch: 1 },
-                );
+                self.set_epoch_all(ctx, mac, 1);
             }
         }
         if let Some(interval) = self.cfg.snapshot_interval {
@@ -578,19 +649,8 @@ impl FailoverController {
             epoch,
         });
         let mac = self.workers[idx].endpoint.mac;
-        ctx.send(
-            self.gateway,
-            SimDuration::ZERO,
-            FenceWorker {
-                mac,
-                floor_epoch: epoch + 1,
-            },
-        );
-        ctx.send(
-            self.gateway,
-            SimDuration::ZERO,
-            RemoveWorkerEndpoints { mac },
-        );
+        self.fence_all(ctx, mac, epoch + 1);
+        self.remove_endpoints_all(ctx, mac);
         self.replace_orphans(ctx, idx);
         self.write_through(ctx);
     }
@@ -695,25 +755,10 @@ impl FailoverController {
                 w.ponged = false;
                 w.lease_until = ctx.now() + self.cfg.lease_duration;
                 let mac = w.endpoint.mac;
-                ctx.send(
-                    self.gateway,
-                    SimDuration::ZERO,
-                    SetWorkerEpoch { mac, epoch },
-                );
+                self.set_epoch_all(ctx, mac, epoch);
                 if fenced {
-                    ctx.send(
-                        self.gateway,
-                        SimDuration::ZERO,
-                        FenceWorker {
-                            mac,
-                            floor_epoch: epoch + 1,
-                        },
-                    );
-                    ctx.send(
-                        self.gateway,
-                        SimDuration::ZERO,
-                        RemoveWorkerEndpoints { mac },
-                    );
+                    self.fence_all(ctx, mac, epoch + 1);
+                    self.remove_endpoints_all(ctx, mac);
                 }
                 ctx.send(
                     self.workers[i].component,
@@ -759,11 +804,7 @@ impl FailoverController {
                 epoch,
             });
             let mac = self.workers[idx].endpoint.mac;
-            ctx.send(
-                self.gateway,
-                SimDuration::ZERO,
-                SetWorkerEpoch { mac, epoch },
-            );
+            self.set_epoch_all(ctx, mac, epoch);
             self.send_grant(ctx, idx, epoch, false);
             self.hand_back(ctx, idx);
             self.write_through(ctx);
@@ -795,11 +836,7 @@ impl FailoverController {
             }
             let mac = w.endpoint.mac;
             let epoch = report.epoch;
-            ctx.send(
-                self.gateway,
-                SimDuration::ZERO,
-                SetWorkerEpoch { mac, epoch },
-            );
+            self.set_epoch_all(ctx, mac, epoch);
         }
         if report.lease_until_ns > 0 {
             let until = SimTime::from_nanos(report.lease_until_ns);
@@ -821,13 +858,7 @@ impl FailoverController {
         self.record(ctx, FailoverEventKind::WorkerDead { worker: dead });
         // Stop routing anything (originals or retransmissions) at the
         // blackhole.
-        ctx.send(
-            self.gateway,
-            SimDuration::ZERO,
-            RemoveWorkerEndpoints {
-                mac: self.workers[dead].endpoint.mac,
-            },
-        );
+        self.remove_endpoints_all(ctx, self.workers[dead].endpoint.mac);
         self.replace_orphans(ctx, dead);
     }
 
@@ -879,14 +910,7 @@ impl FailoverController {
                     to: target,
                 },
             );
-            ctx.send(
-                self.gateway,
-                SimDuration::ZERO,
-                AddPlacement {
-                    workload_id: wid,
-                    endpoint: self.workers[target].endpoint,
-                },
-            );
+            self.add_placement_all(ctx, wid, self.workers[target].endpoint);
             // Inter-worker RPC tables must chase the re-placement too,
             // or retries keep hammering the evicted endpoint.
             self.broadcast_service_route(ctx, wid, target);
@@ -954,14 +978,7 @@ impl FailoverController {
                     },
                 );
             }
-            ctx.send(
-                self.gateway,
-                SimDuration::ZERO,
-                AddPlacement {
-                    workload_id: wid,
-                    endpoint,
-                },
-            );
+            self.add_placement_all(ctx, wid, endpoint);
             self.broadcast_service_route(ctx, wid, idx);
         }
     }
@@ -1041,13 +1058,7 @@ impl FailoverController {
             ewma_ns,
             median_ns,
         });
-        ctx.send(
-            self.gateway,
-            SimDuration::ZERO,
-            RemoveWorkerEndpoints {
-                mac: self.workers[idx].endpoint.mac,
-            },
-        );
+        self.remove_endpoints_all(ctx, self.workers[idx].endpoint.mac);
         self.replace_orphans(ctx, idx);
         ctx.send_self(self.cfg.quarantine_probation, ProbationEnd { worker: idx });
     }

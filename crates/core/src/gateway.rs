@@ -22,11 +22,13 @@ use lnic_net::packet::{
 use lnic_net::params::MTU_PAYLOAD_BYTES;
 use lnic_net::transport::{RetryPolicy, RpcTracker, TimeoutAction, UpdateService};
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
+use lnic_sim::fault::{Crash, GrantLease, LeaseAck, NetCutFrom, Restart};
 use lnic_sim::prelude::*;
 use lnic_tenant::{TenantDirectory, TenantId, DEFAULT_TENANT};
 use lnic_workloads::kv::{decode_repkv_get_response, decode_repkv_request, RepKvOp};
 
 use crate::admission::{Admission, AdmissionParams};
+use crate::lease::{Grant, WorkerView};
 
 /// How often the gateway pushes per-endpoint latency digests to its
 /// latency observer (the fail-slow detector).
@@ -305,6 +307,13 @@ pub struct GatewayCounters {
     pub redirected_replies: u64,
     /// Requests shed because their tenant's in-flight quota was full.
     pub tenant_quota_shed: u64,
+    /// Routed submits bounced back to the shard router because this
+    /// shard was fenced, draining, or deposed from the tier.
+    pub bounced: u64,
+    /// In-flight requests handed to a successor shard during a drain.
+    pub handed_off: u64,
+    /// In-flight requests adopted from a draining peer shard.
+    pub adopted: u64,
 }
 
 /// Control message installing the tenant directory: the gateway stamps
@@ -316,6 +325,41 @@ pub struct GatewayCounters {
 pub struct RegisterTenants {
     /// The shared workload→tenant directory.
     pub dir: Arc<TenantDirectory>,
+}
+
+/// Control message: the tier controller asks this gateway shard to
+/// drain — hand every in-flight request to `successor` as an
+/// [`AdoptRequest`] and bounce subsequent submits with reason
+/// `"draining"` so the shard router re-routes them under the new shard
+/// map. The shard serves again only after a rejoin lease grant.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainGateway {
+    /// The gateway component adopting the in-flight work.
+    pub successor: ComponentId,
+    /// The successor's gateway id (trace attribution).
+    pub successor_gateway: u32,
+}
+
+/// Gateway-to-gateway handoff of one in-flight request during a drain.
+///
+/// Adoption bypasses admission — the work was already admitted at the
+/// draining shard, and double-charging the token bucket would shed
+/// requests that were promised service — but keeps the original
+/// absolute deadline so handoff never extends a request's budget.
+#[derive(Debug)]
+pub struct AdoptRequest {
+    /// Target workload.
+    pub workload_id: u32,
+    /// Request payload.
+    pub payload: Bytes,
+    /// Who receives the [`RequestDone`] (the shard router).
+    pub reply_to: ComponentId,
+    /// The submitter's token (the router's client uid).
+    pub token: u64,
+    /// Original absolute deadline in ns (0 = none).
+    pub deadline_ns: u64,
+    /// The draining gateway handing the request over.
+    pub from_gateway: u32,
 }
 
 #[derive(Debug)]
@@ -412,6 +456,23 @@ pub struct Gateway {
     tenants: Option<Arc<TenantDirectory>>,
     /// In-flight requests per tenant (quota enforcement).
     tenant_in_flight: HashMap<TenantId, usize>,
+    /// This gateway's shard id within a gateway tier (0 standalone).
+    gateway_id: u32,
+    /// Crashed: every message except [`Restart`] is blackholed.
+    crashed: bool,
+    /// Control-plane partition: direct messages from these component
+    /// indices are dropped until the recorded instant.
+    cut_from: HashMap<usize, SimTime>,
+    /// Whether this shard was ever enrolled in the tier lease regime.
+    /// Once enrolled it self-fences whenever its lease lapses —
+    /// including after a crash, when the lease state itself is lost —
+    /// so a deposed gateway provably stops accepting routed work.
+    tier_enrolled: bool,
+    /// The tier lease this shard currently holds.
+    tier_lease: WorkerView,
+    /// Draining: in-flight work was handed to this successor; new
+    /// submits bounce until a rejoin grant re-admits the shard.
+    draining: Option<ComponentId>,
 }
 
 impl Gateway {
@@ -453,7 +514,33 @@ impl Gateway {
             kv_ops: HashMap::new(),
             tenants: None,
             tenant_in_flight: HashMap::new(),
+            gateway_id: 0,
+            crashed: false,
+            cut_from: HashMap::new(),
+            tier_enrolled: false,
+            tier_lease: WorkerView::new(),
+            draining: None,
         }
+    }
+
+    /// Assigns this gateway's shard id within a gateway tier and moves
+    /// its request-id space to `id << 48`, so ids minted by different
+    /// shards never collide and every trace event is attributable to
+    /// its gateway by the id's high bits. Id 0 keeps the legacy id
+    /// space, so single-gateway traces are byte-identical. Must be
+    /// called before any request is submitted.
+    #[must_use]
+    pub fn with_gateway_id(mut self, id: u32) -> Self {
+        assert!(id < (1 << 16), "gateway id must fit the 16-bit id prefix");
+        self.gateway_id = id;
+        let policy = *self.tracker.policy();
+        self.tracker = RpcTracker::with_policy(policy).with_id_base(u64::from(id) << 48);
+        self
+    }
+
+    /// This gateway's shard id (0 when standalone).
+    pub fn gateway_id(&self) -> u32 {
+        self.gateway_id
     }
 
     /// The owning tenant of a workload per the installed directory.
@@ -521,6 +608,33 @@ impl Gateway {
     /// Replica count for a workload.
     pub fn replicas(&self, workload_id: u32) -> usize {
         self.placements.get(&workload_id).map_or(0, |v| v.len())
+    }
+
+    /// A full dump of the placement table, sorted by workload id —
+    /// used when a gateway tier clones the primary's placements onto
+    /// freshly added shards.
+    pub fn placement_table(&self) -> Vec<(u32, Vec<WorkerEndpoint>)> {
+        let mut table: Vec<(u32, Vec<WorkerEndpoint>)> = self
+            .placements
+            .iter()
+            .map(|(wid, eps)| (*wid, eps.clone()))
+            .collect();
+        table.sort_by_key(|(wid, _)| *wid);
+        table
+    }
+
+    /// The installed tenant directory, if any (tier shards clone it
+    /// from the primary at tier setup).
+    pub fn tenant_directory(&self) -> Option<Arc<TenantDirectory>> {
+        self.tenants.clone()
+    }
+
+    /// Installs a tenant directory *without* re-announcing the
+    /// assignments — the primary gateway already emitted the
+    /// `TenantAssign` events, and duplicating them would corrupt the
+    /// checker's ownership ground truth.
+    pub fn adopt_tenant_directory(&mut self, dir: Arc<TenantDirectory>) {
+        self.tenants = Some(dir);
     }
 
     /// Drops every placement served by `mac` (a dead worker). Workloads
@@ -721,7 +835,208 @@ impl Gateway {
         );
     }
 
+    /// Whether direct messages from `peer` are inside an active
+    /// partition cut.
+    fn is_cut(&self, peer: ComponentId, now: SimTime) -> bool {
+        self.cut_from
+            .get(&peer.index())
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Why this shard must refuse routed work right now, if at all:
+    /// `"draining"` after a [`DrainGateway`], `"fenced"` once an
+    /// enrolled shard's tier lease has lapsed. This is the deposed-
+    /// gateway guarantee the shard map's safety argument rests on: a
+    /// gateway the controller fenced *provably* stops accepting, even
+    /// if the depose decision has not reached it, because its own lease
+    /// clock ran out first (same algebra as [`crate::lease`]).
+    fn tier_refusal(&self, now: SimTime) -> Option<&'static str> {
+        if self.draining.is_some() {
+            return Some("draining");
+        }
+        if self.tier_enrolled && !self.tier_lease.lease.is_some_and(|l| l.live(now)) {
+            return Some("fenced");
+        }
+        None
+    }
+
+    /// Bounces a routed submit back to the shard router with
+    /// `RC_FENCED`: the shard map has moved on (or is about to) and the
+    /// router must re-route the request to the shard that now owns it.
+    /// Bounced requests never emit `RequestSubmitted`, so conservation
+    /// is untouched.
+    fn bounce(&mut self, ctx: &mut Ctx<'_>, req: &SubmitRequest, reason: &'static str) {
+        self.counters.bounced += 1;
+        let gateway = self.gateway_id;
+        let uid = req.token;
+        ctx.emit(|| TraceEvent::GwBounce {
+            gateway,
+            uid,
+            reason,
+        });
+        ctx.send(
+            req.reply_to,
+            SimDuration::ZERO,
+            RequestDone {
+                token: req.token,
+                workload_id: req.workload_id,
+                latency: SimDuration::ZERO,
+                sojourn: SimDuration::ZERO,
+                return_code: Some(RC_FENCED),
+                response: Bytes::new(),
+                failed: true,
+            },
+        );
+    }
+
+    /// Crash: every in-flight request's state is lost — tracker
+    /// records, pending metadata, replicated-KV bookkeeping — and every
+    /// message except [`Restart`] is blackholed. The id sequence
+    /// survives (ids are never reused across a crash, so a late reply
+    /// for a pre-crash request counts as a duplicate, not a
+    /// completion), and an enrolled shard stays self-fenced after
+    /// restart until the tier controller grants it a fresh lease.
+    fn on_crash(&mut self, ctx: &mut Ctx<'_>) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        let lost = self.meta.len() as u64;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "gateway-crash",
+            detail: lost,
+        });
+        self.tracker.abandon_all();
+        self.meta.clear();
+        self.tenant_in_flight.clear();
+        self.kv_ops.clear();
+        self.pending_lat.clear();
+        self.lat_timer_armed = false;
+        self.busy_until = SimTime::ZERO;
+        self.tier_lease = WorkerView::new();
+        self.draining = None;
+    }
+
+    /// Restart after a crash: the gateway serves again (an enrolled
+    /// shard still bounces routed work until it is re-leased).
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "gateway-restart",
+            detail: 0,
+        });
+    }
+
+    /// Tier lease grant from the tier controller: adopt it (tokens
+    /// never regress — the [`WorkerView`] drops stale epochs), ack, and
+    /// on a rejoin grant leave the draining state behind: the shard
+    /// serves again under its bumped epoch.
+    fn on_tier_grant(&mut self, ctx: &mut Ctx<'_>, grant: GrantLease) {
+        if self.is_cut(grant.reply_to, ctx.now()) {
+            return;
+        }
+        self.tier_enrolled = true;
+        let delivered = self.tier_lease.deliver(Grant {
+            epoch: grant.epoch,
+            until: SimTime::from_nanos(grant.until_ns),
+            rejoin: grant.rejoin,
+        });
+        let Some(epoch) = delivered else { return };
+        if grant.rejoin {
+            self.draining = None;
+        }
+        ctx.send(
+            grant.reply_to,
+            SimDuration::ZERO,
+            LeaseAck {
+                from: ctx.self_id(),
+                epoch,
+                seq: grant.seq,
+            },
+        );
+    }
+
+    /// Planned drain: hand every in-flight request to the successor as
+    /// an [`AdoptRequest`] — forward-or-redirect, never drop — then
+    /// bounce subsequent submits so the router re-routes them. Each
+    /// handed-off id is retired from the tracker without a completion;
+    /// the successor re-submits under its own id space, and the
+    /// `GwHandoff` trace event ties the two ids together for the
+    /// exactly-once invariant (checker rule 14).
+    fn on_drain(&mut self, ctx: &mut Ctx<'_>, drain: DrainGateway) {
+        self.draining = Some(drain.successor);
+        // Sorted for deterministic handoff order (meta is a HashMap).
+        let mut ids: Vec<u64> = self.meta.keys().copied().collect();
+        ids.sort_unstable();
+        let from_gateway = self.gateway_id;
+        let to_gateway = drain.successor_gateway;
+        for request_id in ids {
+            let Some(rec) = self.tracker.abandon(request_id) else {
+                // Meta and tracker retire together on every terminal
+                // path, so an id with meta but no record cannot occur;
+                // drop the meta defensively rather than panic mid-drain.
+                self.release_meta(request_id);
+                continue;
+            };
+            let Some(meta) = self.release_meta(request_id) else {
+                continue;
+            };
+            self.kv_ops.remove(&request_id);
+            ctx.emit(|| TraceEvent::GwHandoff {
+                from_gateway,
+                to_gateway,
+                request_id,
+            });
+            self.counters.handed_off += 1;
+            // The handoff costs one proxy occupancy on the wire out.
+            ctx.send(
+                drain.successor,
+                self.params.proxy_cost,
+                AdoptRequest {
+                    workload_id: rec.workload_id,
+                    payload: rec.payload,
+                    reply_to: meta.reply_to,
+                    token: meta.token,
+                    deadline_ns: meta.deadline_ns,
+                    from_gateway,
+                },
+            );
+        }
+    }
+
+    /// Adopts an in-flight request handed over by a draining peer:
+    /// admission is bypassed (the work was already admitted once) and
+    /// the original absolute deadline is preserved.
+    fn on_adopt(&mut self, ctx: &mut Ctx<'_>, adopt: AdoptRequest) {
+        let req = SubmitRequest {
+            workload_id: adopt.workload_id,
+            payload: adopt.payload,
+            reply_to: adopt.reply_to,
+            token: adopt.token,
+        };
+        if let Some(reason) = self.tier_refusal(ctx.now()) {
+            self.bounce(ctx, &req, reason);
+            return;
+        }
+        self.counters.adopted += 1;
+        self.dispatch(ctx, req, adopt.deadline_ns);
+    }
+
     fn on_submit(&mut self, ctx: &mut Ctx<'_>, req: SubmitRequest) {
+        // Partitioned from the submitter: the message never arrived.
+        if self.is_cut(req.reply_to, ctx.now()) {
+            return;
+        }
+        // Tier fencing before admission: a deposed or draining shard
+        // must provably stop accepting routed work, and a bounce must
+        // not consume admission tokens.
+        if let Some(reason) = self.tier_refusal(ctx.now()) {
+            self.bounce(ctx, &req, reason);
+            return;
+        }
         // Admission gate first: shed before occupying the proxy, the
         // wire, or a worker queue.
         if let Some(adm) = self.admission.as_mut() {
@@ -756,7 +1071,15 @@ impl Gateway {
             self.shed(ctx, &req, "deadline");
             return;
         }
+        self.dispatch(ctx, req, deadline_ns);
+    }
 
+    /// Routes an admitted request: placement pick, proxy serialization,
+    /// tracker registration, first attempt, and hedge arming. Shared by
+    /// [`Self::on_submit`] (after its admission gates) and
+    /// [`Self::on_adopt`] (which bypasses them).
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, req: SubmitRequest, deadline_ns: u64) {
+        let tenant_id = self.tenant_of(req.workload_id);
         let Some(endpoint) = self.pick_endpoint(req.workload_id) else {
             self.counters.unplaced += 1;
             ctx.send(
@@ -780,6 +1103,8 @@ impl Gateway {
         self.counters.submitted += 1;
 
         // Serialize through the proxy.
+        let start = self.busy_until.max(ctx.now());
+        let wire_time = start + self.params.proxy_cost;
         self.busy_until = wire_time;
         let send_delay = wire_time - ctx.now();
 
@@ -1233,6 +1558,26 @@ impl Component for Gateway {
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<Crash>() {
+            Ok(_) => {
+                self.on_crash(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<Restart>() {
+            Ok(_) => {
+                self.on_restart(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        if self.crashed {
+            // A crashed gateway blackholes everything until restarted:
+            // submits, worker responses, timers, and control traffic.
+            drop(msg);
+            return;
+        }
         let msg = match msg.downcast::<SubmitRequest>() {
             Ok(req) => {
                 self.on_submit(ctx, *req);
@@ -1350,6 +1695,38 @@ impl Component for Gateway {
                         });
                     }
                 }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<NetCutFrom>() {
+            Ok(c) => {
+                let until = ctx.now() + c.duration;
+                for peer in c.peers {
+                    let slot = self.cut_from.entry(peer.index()).or_insert(SimTime::ZERO);
+                    *slot = (*slot).max(until);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<GrantLease>() {
+            Ok(g) => {
+                self.on_tier_grant(ctx, *g);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<DrainGateway>() {
+            Ok(d) => {
+                self.on_drain(ctx, *d);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<AdoptRequest>() {
+            Ok(a) => {
+                self.on_adopt(ctx, *a);
                 return;
             }
             Err(other) => other,

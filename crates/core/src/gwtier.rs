@@ -1,0 +1,1182 @@
+//! The sharded gateway tier: consistent-hash routing over multiple
+//! gateway shards, with crash/partition-survivable handoff.
+//!
+//! A single [`crate::gateway::Gateway`] is both the paper's measurement
+//! point and a single point of failure: crash it and every in-flight
+//! request is lost, partition it and the whole fleet goes dark. This
+//! module puts a *tier* of gateway shards in front of the worker fleet:
+//!
+//! - A [`ShardMap`] — an epoch-versioned consistent-hash ring — assigns
+//!   every client to a gateway shard. Epochs are strictly increasing;
+//!   the map never moves backwards (checker rule 14).
+//! - A [`ShardRouter`] routes client submissions by the map, suppresses
+//!   duplicate completions (the same uid may be executed by more than
+//!   one shard during a handoff — PR 4's duplicate-suppression idea,
+//!   reused one level up), and re-routes pending work when the map
+//!   changes or a shard bounces it.
+//! - A [`TierController`] runs the lease/fencing machinery of
+//!   [`crate::lease`] over the gateway shards themselves: a shard that
+//!   stops acking loses its lease, *provably* stops accepting (it
+//!   self-fences on its own clock before the controller deposes it),
+//!   and is cut from the map; on heal it rejoins under a bumped epoch.
+//!
+//! The delivery contract is **at-least-once execution, exactly-once
+//! client-visible completion**: a crash or partition may cause a
+//! request to be executed by two shards (the orphaned copy and the
+//! re-routed one), but the router delivers exactly one completion per
+//! client uid and the online checker (rule 14) asserts it on every run.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use lnic_net::packet::RC_FENCED;
+use lnic_sim::fault::{GrantLease, LeaseAck, NetCutFrom};
+use lnic_sim::prelude::*;
+use lnic_workloads::planet::PlanetModel;
+use rand::Rng;
+
+use crate::driver::{CompletedRequest, JobSpec, StartDriver};
+use crate::gateway::{DrainGateway, RequestDone, SubmitRequest};
+use crate::lease::ControllerView;
+
+/// Identifier of one gateway shard in the tier: its index in the
+/// testbed's gateway list, and the high 16 bits of every request id the
+/// shard mints (so multi-gateway traces are attributable by id alone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GatewayId(pub u32);
+
+impl GatewayId {
+    /// The request-id base of this shard's id space (`id << 48`).
+    pub fn id_base(self) -> u64 {
+        u64::from(self.0) << 48
+    }
+
+    /// The shard that minted `request_id`, recovered from its high bits.
+    pub fn of_request(request_id: u64) -> GatewayId {
+        GatewayId((request_id >> 48) as u32)
+    }
+}
+
+impl fmt::Display for GatewayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gw{}", self.0)
+    }
+}
+
+/// The ring hash: a splitmix64 finalizer — full avalanche even on the
+/// structured keys the ring feeds it (small gateway ids, small vnode
+/// indices, dense client ids). Stability matters: routing must be a
+/// pure function of (map, client), identical across runs, platforms,
+/// and engine modes, so this is written out rather than taken from a
+/// hasher whose output could drift.
+fn ring_hash(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An epoch-versioned consistent-hash ring over gateway shards.
+///
+/// Each member contributes `vnodes` points on a `u64` ring; a client
+/// key routes to the owner of the first point at or after its hash.
+/// Membership changes move only the keys adjacent to the departed (or
+/// arrived) member's points — the property that makes handoff cheap.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    epoch: u64,
+    members: Vec<u32>,
+    vnodes: u32,
+    /// `(ring position, owner)`, sorted by position.
+    points: Vec<(u64, u32)>,
+}
+
+impl ShardMap {
+    /// Builds a map at `epoch` over `members` (deduplicated, sorted),
+    /// each contributing `vnodes` ring points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `members` is empty or `vnodes` is zero.
+    pub fn new(epoch: u64, members: &[u32], vnodes: u32) -> Self {
+        assert!(!members.is_empty(), "a shard map needs at least one member");
+        assert!(vnodes > 0, "at least one vnode per member required");
+        let mut ms: Vec<u32> = members.to_vec();
+        ms.sort_unstable();
+        ms.dedup();
+        let mut points = Vec::with_capacity(ms.len() * vnodes as usize);
+        for &g in &ms {
+            for v in 0..vnodes {
+                points.push((ring_hash(u64::from(g) << 32 | u64::from(v)), g));
+            }
+        }
+        // Position ties (vanishingly rare) resolve to the lower gateway
+        // id — determinism over elegance.
+        points.sort_unstable();
+        ShardMap {
+            epoch,
+            members: ms,
+            vnodes,
+            points,
+        }
+    }
+
+    /// The map's epoch (strictly increases across installs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The member shards, sorted.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Whether `gateway` is a member.
+    pub fn contains(&self, gateway: u32) -> bool {
+        self.members.binary_search(&gateway).is_ok()
+    }
+
+    /// Routes a client key to its owning shard: the owner of the first
+    /// ring point at or after the key's hash, wrapping at the top.
+    pub fn route(&self, client_key: u64) -> u32 {
+        let h = ring_hash(client_key);
+        let idx = self.points.partition_point(|&(pos, _)| pos < h);
+        let (_, owner) = self.points[idx % self.points.len()];
+        owner
+    }
+
+    /// The map with `gateway` removed, at `epoch + 1`. Returns `None`
+    /// when `gateway` is not a member or is the last one (the tier
+    /// never deposes its final shard — no owner would remain).
+    pub fn exclude(&self, gateway: u32) -> Option<ShardMap> {
+        if !self.contains(gateway) || self.members.len() <= 1 {
+            return None;
+        }
+        let members: Vec<u32> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&g| g != gateway)
+            .collect();
+        Some(ShardMap::new(self.epoch + 1, &members, self.vnodes))
+    }
+
+    /// The map with `gateway` added, at `epoch + 1`. Returns `None`
+    /// when `gateway` is already a member.
+    pub fn include(&self, gateway: u32) -> Option<ShardMap> {
+        if self.contains(gateway) {
+            return None;
+        }
+        let mut members = self.members.clone();
+        members.push(gateway);
+        Some(ShardMap::new(self.epoch + 1, &members, self.vnodes))
+    }
+
+    /// The successor of `gateway` in member order (cyclic), the default
+    /// adopter for a planned drain. `None` when `gateway` is the only
+    /// member or not a member.
+    pub fn successor(&self, gateway: u32) -> Option<u32> {
+        if self.members.len() <= 1 {
+            return None;
+        }
+        let idx = self.members.binary_search(&gateway).ok()?;
+        Some(self.members[(idx + 1) % self.members.len()])
+    }
+}
+
+/// Gateway-tier configuration: the lease regime over shards and the
+/// router's recovery knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TierConfig {
+    /// Lease renewal / liveness-tally period.
+    pub heartbeat: SimDuration,
+    /// Lease duration granted per renewal. A deposed shard provably
+    /// stops accepting at most this long after its last renewal.
+    pub lease: SimDuration,
+    /// Consecutive silent rounds before the controller stops renewing a
+    /// shard's lease (fencing then follows once the last grant expires).
+    pub miss_threshold: u32,
+    /// Ring points per shard in the [`ShardMap`].
+    pub vnodes: u32,
+    /// Router watchdog: a pending client request silent this long is
+    /// re-submitted to its current map owner (covers submits or
+    /// completions swallowed by a partition, without any map change).
+    pub resubmit_timeout: SimDuration,
+    /// Delay before retrying a bounced (`RC_FENCED`) submission — long
+    /// enough to let a map change land, short enough to not stall.
+    pub bounce_retry: SimDuration,
+    /// Re-route attempts per client request before the router gives up
+    /// and delivers a failure.
+    pub max_reroutes: u32,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            heartbeat: SimDuration::from_millis(50),
+            lease: SimDuration::from_millis(150),
+            miss_threshold: 3,
+            vnodes: 16,
+            resubmit_timeout: SimDuration::from_millis(250),
+            bounce_retry: SimDuration::from_millis(5),
+            max_reroutes: 200,
+        }
+    }
+}
+
+/// A client request entering the tier: like
+/// [`crate::gateway::SubmitRequest`], plus the stable client identity
+/// the consistent-hash ring routes by.
+#[derive(Debug)]
+pub struct ClientSubmit {
+    /// Stable client identity (ring key).
+    pub client_id: u64,
+    /// Target workload.
+    pub workload_id: u32,
+    /// Request payload.
+    pub payload: Bytes,
+    /// Who receives the final [`RequestDone`].
+    pub reply_to: ComponentId,
+    /// Opaque token echoed back to `reply_to`.
+    pub token: u64,
+}
+
+/// Control message installing a new shard map at the router. Maps with
+/// a stale epoch are ignored — the ring never moves backwards.
+#[derive(Clone, Debug)]
+pub struct InstallShardMap {
+    /// The new map.
+    pub map: Arc<ShardMap>,
+}
+
+/// Control message: start the tier controller's lease loop (post at
+/// time zero, like `StartFailover`).
+#[derive(Debug)]
+pub struct StartTier;
+
+/// Control message: administratively drain a shard — its in-flight work
+/// is handed to its ring successor and the map drops it at a bumped
+/// epoch. With `rejoin_after`, the controller keeps probing the drained
+/// shard and re-admits it (bumped epoch) once it acks.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainShard {
+    /// The shard to drain.
+    pub gateway: u32,
+    /// Re-admit the shard after the drain completes.
+    pub rejoin_after: bool,
+}
+
+/// Router liveness watchdog for one pending client request.
+#[derive(Debug)]
+struct ResubmitCheck {
+    uid: u64,
+}
+
+/// Delayed re-route of a bounced client request.
+#[derive(Debug)]
+struct Reroute {
+    uid: u64,
+}
+
+/// Tier-controller lease tick.
+#[derive(Debug)]
+struct TierTick;
+
+/// Router statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterCounters {
+    /// Distinct client requests accepted and routed.
+    pub routed: u64,
+    /// Successful completions delivered to clients.
+    pub delivered: u64,
+    /// Failed completions delivered to clients.
+    pub failed: u64,
+    /// Re-submissions: map changes, watchdog timeouts, bounce retries.
+    pub rerouted: u64,
+    /// `RC_FENCED` bounces received from fenced/draining shards.
+    pub bounced: u64,
+    /// Suppressed duplicate completions (the exactly-once filter).
+    pub duplicates: u64,
+}
+
+/// One client request the router has routed but not yet delivered.
+struct PendingClient {
+    client_id: u64,
+    workload_id: u32,
+    payload: Bytes,
+    reply_to: ComponentId,
+    token: u64,
+    /// The shard currently responsible (updated on re-route).
+    owner: u32,
+    /// Re-route attempts so far.
+    reroutes: u32,
+}
+
+/// The tier's client-facing router: consistent-hash dispatch, duplicate
+/// suppression, and re-routing across shard-map changes.
+pub struct ShardRouter {
+    /// Gateway components by shard id.
+    gateways: Vec<ComponentId>,
+    map: Arc<ShardMap>,
+    cfg: TierConfig,
+    next_uid: u64,
+    pending: HashMap<u64, PendingClient>,
+    /// Uids whose completion has been delivered — the exactly-once
+    /// filter. Grows for the life of the run (simulation memory, not a
+    /// production design; a real router would age this out by lease).
+    delivered: HashSet<u64>,
+    counters: RouterCounters,
+    /// Direct peers currently cut (component index → until).
+    cut_from: HashMap<usize, SimTime>,
+}
+
+impl ShardRouter {
+    /// Creates a router over `gateways` (indexed by shard id) with the
+    /// initial `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gateways` is empty.
+    pub fn new(gateways: Vec<ComponentId>, map: Arc<ShardMap>, cfg: TierConfig) -> Self {
+        assert!(!gateways.is_empty(), "at least one gateway required");
+        ShardRouter {
+            gateways,
+            map,
+            cfg,
+            next_uid: 0,
+            pending: HashMap::new(),
+            delivered: HashSet::new(),
+            counters: RouterCounters::default(),
+            cut_from: HashMap::new(),
+        }
+    }
+
+    /// Statistics.
+    pub fn counters(&self) -> RouterCounters {
+        self.counters
+    }
+
+    /// The epoch of the currently installed map.
+    pub fn map_epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+
+    /// Client requests routed but not yet delivered.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn is_cut(&self, peer: ComponentId, now: SimTime) -> bool {
+        self.cut_from
+            .get(&peer.index())
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Sends the pending request `uid` to its owner shard.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, uid: u64) {
+        let self_id = ctx.self_id();
+        let Some(p) = self.pending.get(&uid) else {
+            return;
+        };
+        let gw = self.gateways[p.owner as usize];
+        ctx.send(
+            gw,
+            SimDuration::ZERO,
+            SubmitRequest {
+                workload_id: p.workload_id,
+                payload: p.payload.clone(),
+                reply_to: self_id,
+                token: uid,
+            },
+        );
+    }
+
+    fn on_client_submit(&mut self, ctx: &mut Ctx<'_>, req: ClientSubmit) {
+        self.next_uid += 1;
+        let uid = self.next_uid;
+        let owner = self.map.route(req.client_id);
+        let client_id = req.client_id;
+        ctx.emit(|| TraceEvent::GwClientSubmit {
+            uid,
+            client_id,
+            gateway: owner,
+        });
+        self.counters.routed += 1;
+        self.pending.insert(
+            uid,
+            PendingClient {
+                client_id: req.client_id,
+                workload_id: req.workload_id,
+                payload: req.payload,
+                reply_to: req.reply_to,
+                token: req.token,
+                owner,
+                reroutes: 0,
+            },
+        );
+        self.dispatch(ctx, uid);
+        ctx.send_self(self.cfg.resubmit_timeout, ResubmitCheck { uid });
+    }
+
+    /// Delivers the terminal completion for `uid` — the single point at
+    /// which a client ever hears about its request.
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, uid: u64, done: &RequestDone) {
+        let Some(p) = self.pending.remove(&uid) else {
+            return;
+        };
+        self.delivered.insert(uid);
+        let gateway = p.owner;
+        let failed = done.failed;
+        ctx.emit(|| TraceEvent::GwClientComplete {
+            uid,
+            gateway,
+            failed,
+        });
+        if failed {
+            self.counters.failed += 1;
+        } else {
+            self.counters.delivered += 1;
+        }
+        ctx.send(
+            p.reply_to,
+            SimDuration::ZERO,
+            RequestDone {
+                token: p.token,
+                workload_id: done.workload_id,
+                latency: done.latency,
+                sojourn: done.sojourn,
+                return_code: done.return_code,
+                response: done.response.clone(),
+                failed,
+            },
+        );
+    }
+
+    fn on_done(&mut self, ctx: &mut Ctx<'_>, done: RequestDone) {
+        let uid = done.token;
+        if self.delivered.contains(&uid) {
+            // A second completion for an already-delivered request: the
+            // orphaned copy of a handoff, or both sides of a partition
+            // answering. Exactly-once means exactly this suppression.
+            self.counters.duplicates += 1;
+            return;
+        }
+        let Some(p) = self.pending.get(&uid) else {
+            self.counters.duplicates += 1;
+            return;
+        };
+        // A completion cannot arrive from a shard we are partitioned
+        // from; the watchdog or a map change recovers the request.
+        if self.is_cut(self.gateways[p.owner as usize], ctx.now()) {
+            return;
+        }
+        let bounced = done.failed && done.return_code == Some(RC_FENCED);
+        if bounced {
+            // The shard refused: fenced, draining, or deposed. Retry
+            // after a short delay — by then the map has usually moved.
+            self.counters.bounced += 1;
+            if p.reroutes >= self.cfg.max_reroutes {
+                self.deliver(ctx, uid, &done);
+                return;
+            }
+            ctx.send_self(self.cfg.bounce_retry, Reroute { uid });
+            return;
+        }
+        self.deliver(ctx, uid, &done);
+    }
+
+    /// Re-routes `uid` to its owner under the current map (used by the
+    /// bounce path and the watchdog).
+    fn reroute(&mut self, ctx: &mut Ctx<'_>, uid: u64) {
+        let owner = {
+            let Some(p) = self.pending.get(&uid) else {
+                return;
+            };
+            self.map.route(p.client_id)
+        };
+        let p = self.pending.get_mut(&uid).expect("checked above");
+        p.owner = owner;
+        p.reroutes += 1;
+        self.counters.rerouted += 1;
+        self.dispatch(ctx, uid);
+    }
+
+    fn on_resubmit_check(&mut self, ctx: &mut Ctx<'_>, uid: u64) {
+        if !self.pending.contains_key(&uid) {
+            return; // delivered; watchdog retires
+        }
+        // Still pending after a full watchdog period: the submit or its
+        // completion was swallowed (partition, crash without a map
+        // change yet). Re-submit to the current owner; duplicate
+        // suppression makes this safe.
+        self.reroute(ctx, uid);
+        ctx.send_self(self.cfg.resubmit_timeout, ResubmitCheck { uid });
+    }
+
+    fn on_install(&mut self, ctx: &mut Ctx<'_>, map: Arc<ShardMap>) {
+        if map.epoch() <= self.map.epoch() {
+            return; // the ring never moves backwards
+        }
+        self.map = map;
+        // Re-home every pending request whose owner changed or left the
+        // map: the fast path that makes a crash lose zero acked work.
+        // Requests a draining shard handed off may be re-executed by
+        // their new hash owner too — at-least-once execution, with the
+        // delivered-set guaranteeing exactly-once completion.
+        let mut stale: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                let new_owner = self.map.route(p.client_id);
+                new_owner != p.owner || !self.map.contains(p.owner)
+            })
+            .map(|(&uid, _)| uid)
+            .collect();
+        stale.sort_unstable();
+        for uid in stale {
+            self.reroute(ctx, uid);
+        }
+    }
+}
+
+impl Component for ShardRouter {
+    fn name(&self) -> &str {
+        "shard-router"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<ClientSubmit>() {
+            Ok(req) => {
+                self.on_client_submit(ctx, *req);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<SubmitRequest>() {
+            Ok(req) => {
+                // Plain submits (the existing drivers) enter the tier
+                // with their token doubling as the client identity.
+                let req = *req;
+                self.on_client_submit(
+                    ctx,
+                    ClientSubmit {
+                        client_id: req.token,
+                        workload_id: req.workload_id,
+                        payload: req.payload,
+                        reply_to: req.reply_to,
+                        token: req.token,
+                    },
+                );
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<RequestDone>() {
+            Ok(done) => {
+                self.on_done(ctx, *done);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<InstallShardMap>() {
+            Ok(i) => {
+                self.on_install(ctx, i.map);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<ResubmitCheck>() {
+            Ok(r) => {
+                self.on_resubmit_check(ctx, r.uid);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<Reroute>() {
+            Ok(r) => {
+                self.reroute(ctx, r.uid);
+                return;
+            }
+            Err(other) => other,
+        };
+        match msg.downcast::<NetCutFrom>() {
+            Ok(c) => {
+                let until = ctx.now() + c.duration;
+                for peer in c.peers {
+                    let slot = self.cut_from.entry(peer.index()).or_insert(SimTime::ZERO);
+                    *slot = (*slot).max(until);
+                }
+            }
+            Err(other) => panic!("shard router received unknown message {other:?}"),
+        }
+    }
+}
+
+/// Tier-controller statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Shards deposed (lease expiry or administrative drain).
+    pub deposed: u64,
+    /// Shards re-admitted after a depose.
+    pub rejoined: u64,
+    /// Administrative drains executed.
+    pub drains: u64,
+    /// Shard maps installed (including the initial one).
+    pub map_installs: u64,
+}
+
+/// Per-shard controller-side state.
+struct ShardState {
+    component: ComponentId,
+    view: ControllerView,
+    /// Consecutive silent renewal rounds.
+    missed: u32,
+    /// Acked the current round.
+    acked: bool,
+    /// Administratively retired: never probed for rejoin.
+    retired: bool,
+}
+
+/// The tier's membership controller: runs the [`crate::lease`] algebra
+/// over gateway shards, deposes shards whose lease provably expired,
+/// re-admits healed shards under bumped epochs, and publishes every
+/// membership change as a new [`ShardMap`] epoch.
+pub struct TierController {
+    cfg: TierConfig,
+    router: ComponentId,
+    shards: Vec<ShardState>,
+    map: Arc<ShardMap>,
+    /// Monotonic renewal round.
+    seq: u64,
+    counters: TierCounters,
+    started: bool,
+    /// Direct peers currently cut (component index → until).
+    cut_from: HashMap<usize, SimTime>,
+}
+
+impl TierController {
+    /// Creates a controller over `gateways` (indexed by shard id, all
+    /// initially members) with the initial `map` shared with the
+    /// router.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gateways` is empty.
+    pub fn new(
+        cfg: TierConfig,
+        gateways: Vec<ComponentId>,
+        router: ComponentId,
+        map: Arc<ShardMap>,
+    ) -> Self {
+        assert!(!gateways.is_empty(), "at least one gateway required");
+        TierController {
+            cfg,
+            router,
+            shards: gateways
+                .into_iter()
+                .map(|component| ShardState {
+                    component,
+                    view: ControllerView::new(1),
+                    missed: 0,
+                    acked: false,
+                    retired: false,
+                })
+                .collect(),
+            map,
+            seq: 0,
+            counters: TierCounters::default(),
+            started: false,
+            cut_from: HashMap::new(),
+        }
+    }
+
+    /// Statistics.
+    pub fn counters(&self) -> TierCounters {
+        self.counters
+    }
+
+    /// The current map epoch.
+    pub fn map_epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+
+    /// The current member shards.
+    pub fn members(&self) -> &[u32] {
+        self.map.members()
+    }
+
+    fn is_cut(&self, peer: ComponentId, now: SimTime) -> bool {
+        self.cut_from
+            .get(&peer.index())
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Publishes the current map: one `GwShardMap` trace event (the
+    /// checker's epoch-monotonicity subject) and an install at the
+    /// router.
+    fn install(&mut self, ctx: &mut Ctx<'_>) {
+        self.counters.map_installs += 1;
+        let epoch = self.map.epoch();
+        let shards = self.map.members().len() as u64;
+        ctx.emit(|| TraceEvent::GwShardMap { epoch, shards });
+        ctx.send(
+            self.router,
+            SimDuration::ZERO,
+            InstallShardMap {
+                map: Arc::clone(&self.map),
+            },
+        );
+    }
+
+    /// Deposes shard `g`: its epoch is recorded as dead, and the map
+    /// drops it at a bumped epoch. The shard itself has *already*
+    /// stopped accepting by lease expiry (or drain) — the depose makes
+    /// it official and re-homes its clients.
+    fn depose(&mut self, ctx: &mut Ctx<'_>, g: u32) {
+        let Some(map) = self.map.exclude(g) else {
+            return; // not a member, or the last shard standing
+        };
+        let epoch = self.shards[g as usize].view.epoch;
+        ctx.emit(|| TraceEvent::GwDeposed { gateway: g, epoch });
+        self.counters.deposed += 1;
+        self.map = Arc::new(map);
+        self.install(ctx);
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let reply_to = ctx.self_id();
+        self.seq += 1;
+        let seq = self.seq;
+        for g in 0..self.shards.len() {
+            // Tally the previous round before deciding this one.
+            let (acked, fenced, retired) = {
+                let s = &self.shards[g];
+                (s.acked, s.view.fenced, s.retired)
+            };
+            {
+                let s = &mut self.shards[g];
+                if s.acked {
+                    s.missed = 0;
+                } else {
+                    s.missed = s.missed.saturating_add(1);
+                }
+                s.acked = false;
+            }
+            if retired {
+                continue;
+            }
+            if fenced {
+                // Rejoin probe: carries the bumped epoch but zero
+                // serving time (see `ControllerView::grant`).
+                let grant = self.shards[g].view.grant(now, self.cfg.lease);
+                ctx.send(
+                    self.shards[g].component,
+                    SimDuration::ZERO,
+                    GrantLease {
+                        epoch: grant.epoch,
+                        until_ns: grant.until.as_nanos(),
+                        seq,
+                        rejoin: true,
+                        reply_to,
+                    },
+                );
+                continue;
+            }
+            let missed = self.shards[g].missed;
+            // Never fence the last shard standing: there is no peer to
+            // absorb its keys, so deposing it would only halt the tier
+            // (and on recovery produce a rejoin with no matching
+            // depose). Keep granting; a restarted shard re-enrolls off
+            // the next ordinary grant.
+            let last_standing = self.map.members().len() == 1 && self.map.contains(g as u32);
+            if missed < self.cfg.miss_threshold || acked || last_standing {
+                // Healthy (or not provably silent): renew.
+                let grant = self.shards[g].view.grant(now, self.cfg.lease);
+                ctx.send(
+                    self.shards[g].component,
+                    SimDuration::ZERO,
+                    GrantLease {
+                        epoch: grant.epoch,
+                        until_ns: grant.until.as_nanos(),
+                        seq,
+                        rejoin: false,
+                        reply_to,
+                    },
+                );
+            } else if self.shards[g].view.try_fence(now) {
+                // Silent past the threshold and the last grant has
+                // provably expired: the shard has already self-fenced
+                // on its own clock. Depose it.
+                self.depose(ctx, g as u32);
+            }
+        }
+        ctx.send_self(self.cfg.heartbeat, TierTick);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Ctx<'_>, ack: LeaseAck) {
+        if self.is_cut(ack.from, ctx.now()) {
+            return;
+        }
+        let Some(g) = self.shards.iter().position(|s| s.component == ack.from) else {
+            return;
+        };
+        let was_fenced = self.shards[g].view.fenced;
+        {
+            let s = &mut self.shards[g];
+            s.acked = true;
+            s.missed = 0;
+        }
+        let now = ctx.now();
+        self.shards[g].view.on_ack(now, ack.epoch, self.cfg.lease);
+        if was_fenced && !self.shards[g].view.fenced {
+            // Rejoin handshake complete: re-admit under the bumped
+            // epoch.
+            let gateway = g as u32;
+            let epoch = self.shards[g].view.epoch;
+            ctx.emit(|| TraceEvent::GwRejoin { gateway, epoch });
+            self.counters.rejoined += 1;
+            if let Some(map) = self.map.include(gateway) {
+                self.map = Arc::new(map);
+                self.install(ctx);
+            }
+        }
+    }
+
+    fn on_drain(&mut self, ctx: &mut Ctx<'_>, drain: DrainShard) {
+        let g = drain.gateway;
+        if !self.map.contains(g) {
+            return;
+        }
+        let Some(successor) = self.map.successor(g) else {
+            return; // last shard standing: nothing can adopt its work
+        };
+        self.counters.drains += 1;
+        // Order matters: the drain command first (the shard hands off
+        // and starts bouncing), then the map change (the router
+        // re-homes). Both are zero-delay; the engine delivers them in
+        // post order.
+        ctx.send(
+            self.shards[g as usize].component,
+            SimDuration::ZERO,
+            DrainGateway {
+                successor: self.shards[successor as usize].component,
+                successor_gateway: successor,
+            },
+        );
+        // Administrative fence: the shard bounces on its own (draining
+        // state), so safety does not rest on lease expiry here.
+        self.shards[g as usize].view.fenced = true;
+        self.shards[g as usize].retired = !drain.rejoin_after;
+        self.depose(ctx, g);
+    }
+}
+
+impl Component for TierController {
+    fn name(&self) -> &str {
+        "tier-controller"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<StartTier>() {
+            Ok(_) => {
+                if !self.started {
+                    self.started = true;
+                    self.install(ctx);
+                    self.on_tick(ctx);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<TierTick>() {
+            Ok(_) => {
+                self.on_tick(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<LeaseAck>() {
+            Ok(a) => {
+                self.on_ack(ctx, *a);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<DrainShard>() {
+            Ok(d) => {
+                self.on_drain(ctx, *d);
+                return;
+            }
+            Err(other) => other,
+        };
+        match msg.downcast::<NetCutFrom>() {
+            Ok(c) => {
+                let until = ctx.now() + c.duration;
+                for peer in c.peers {
+                    let slot = self.cut_from.entry(peer.index()).or_insert(SimTime::ZERO);
+                    *slot = (*slot).max(until);
+                }
+            }
+            Err(other) => panic!("tier controller received unknown message {other:?}"),
+        }
+    }
+}
+
+/// An open-loop load generator driving the tier with the planetary
+/// traffic model: arrivals follow the model's time-varying aggregate
+/// rate (non-homogeneous Poisson, sampled by thinning), and each
+/// arrival is attributed to a client drawn from the model's
+/// heavy-tailed per-client distribution — the ring key the router
+/// shards by.
+pub struct PlanetDriver {
+    router: ComponentId,
+    model: PlanetModel,
+    jobs: Vec<JobSpec>,
+    /// Stop issuing after this much driven time (completions keep
+    /// arriving afterwards).
+    horizon: SimDuration,
+    /// Thinning envelope (the model's analytic max rate).
+    max_rate: f64,
+    started_at: Option<SimTime>,
+    issued: u64,
+    completed: Vec<CompletedRequest>,
+}
+
+/// Candidate arrival of the thinning process.
+#[derive(Debug)]
+struct PlanetArrival;
+
+impl PlanetDriver {
+    /// Creates a driver issuing `model` traffic at `router` for
+    /// `horizon`, rotating payloads over `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty or the model's rate is not positive.
+    pub fn new(
+        router: ComponentId,
+        model: PlanetModel,
+        jobs: Vec<JobSpec>,
+        horizon: SimDuration,
+    ) -> Self {
+        assert!(!jobs.is_empty(), "at least one job required");
+        let max_rate = model.max_rate();
+        assert!(
+            max_rate.is_finite() && max_rate > 0.0,
+            "planet model rate must be positive"
+        );
+        PlanetDriver {
+            router,
+            model,
+            jobs,
+            horizon,
+            max_rate,
+            started_at: None,
+            issued: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Completed requests in completion order.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        &self.completed
+    }
+
+    /// Latencies of successful requests, skipping `warmup` completions.
+    pub fn latency_series(&self, warmup: usize) -> Series {
+        let mut s = Series::new("planet_latency");
+        for c in self.completed.iter().skip(warmup).filter(|c| !c.failed) {
+            s.record(c.latency);
+        }
+        s
+    }
+
+    /// Successful completions per second inside `[from, to)` —
+    /// the goodput probe the handoff benchmarks window around a fault.
+    pub fn goodput_in(&self, from: SimTime, to: SimTime) -> f64 {
+        let window = to.saturating_duration_since(from);
+        if window.is_zero() {
+            return 0.0;
+        }
+        let ok = self
+            .completed
+            .iter()
+            .filter(|c| !c.failed && c.at >= from && c.at < to)
+            .count();
+        ok as f64 / window.as_secs_f64()
+    }
+
+    fn elapsed_s(&self, now: SimTime) -> f64 {
+        self.started_at
+            .map_or(0.0, |s| now.saturating_duration_since(s).as_secs_f64())
+    }
+
+    fn schedule_candidate(&self, ctx: &mut Ctx<'_>) {
+        // Homogeneous candidates at the envelope rate; thinning keeps
+        // each with probability rate(t)/max_rate.
+        let u: f64 = ctx.rng().gen_range(f64::MIN_POSITIVE..1.0);
+        let gap_s = -u.ln() / self.max_rate;
+        ctx.send_self(SimDuration::from_secs_f64(gap_s), PlanetArrival);
+    }
+
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        let t = self.elapsed_s(ctx.now());
+        if t >= self.horizon.as_secs_f64() {
+            return; // horizon reached: stop the arrival process
+        }
+        let keep = self.model.rate_at(t) / self.max_rate;
+        let roll: f64 = ctx.rng().gen();
+        if roll < keep {
+            let client_id = self.model.sample_client(ctx.rng());
+            let job = &self.jobs[(self.issued % self.jobs.len() as u64) as usize];
+            let workload_id = job.workload_id;
+            let payload = job.payload.generate(ctx.rng());
+            let token = self.issued;
+            self.issued += 1;
+            let self_id = ctx.self_id();
+            ctx.send(
+                self.router,
+                SimDuration::ZERO,
+                ClientSubmit {
+                    client_id,
+                    workload_id,
+                    payload,
+                    reply_to: self_id,
+                    token,
+                },
+            );
+        }
+        self.schedule_candidate(ctx);
+    }
+}
+
+impl Component for PlanetDriver {
+    fn name(&self) -> &str {
+        "planet-driver"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        if msg.is::<StartDriver>() {
+            self.started_at = Some(ctx.now());
+            self.schedule_candidate(ctx);
+            return;
+        }
+        if msg.is::<PlanetArrival>() {
+            self.on_arrival(ctx);
+            return;
+        }
+        match msg.downcast::<RequestDone>() {
+            Ok(done) => {
+                self.completed.push(CompletedRequest {
+                    workload_id: done.workload_id,
+                    latency: done.latency,
+                    sojourn: done.sojourn,
+                    at: ctx.now(),
+                    failed: done.failed,
+                    return_code: done.return_code,
+                });
+            }
+            Err(other) => panic!("planet driver received unknown message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let map = ShardMap::new(1, &[0, 1, 2], 16);
+        for key in 0..1000u64 {
+            let a = map.route(key);
+            let b = map.route(key);
+            assert_eq!(a, b, "routing must be a pure function");
+            assert!(map.contains(a), "owner must be a member");
+        }
+    }
+
+    #[test]
+    fn all_members_own_some_keys() {
+        let map = ShardMap::new(1, &[0, 1, 2, 3], 16);
+        let mut owned = [0usize; 4];
+        for key in 0..4000u64 {
+            owned[map.route(key) as usize] += 1;
+        }
+        for (g, &n) in owned.iter().enumerate() {
+            assert!(n > 0, "gateway {g} owns no keys");
+        }
+    }
+
+    #[test]
+    fn exclude_moves_only_the_departed_members_keys() {
+        let map = ShardMap::new(1, &[0, 1, 2], 16);
+        let smaller = map.exclude(1).expect("members remain");
+        assert_eq!(smaller.epoch(), 2);
+        assert!(!smaller.contains(1));
+        let mut moved = 0;
+        let mut kept = 0;
+        for key in 0..2000u64 {
+            let before = map.route(key);
+            let after = smaller.route(key);
+            if before == 1 {
+                assert_ne!(after, 1, "departed member still owns a key");
+                moved += 1;
+            } else {
+                assert_eq!(
+                    before, after,
+                    "a surviving member's key moved on exclude (key {key})"
+                );
+                kept += 1;
+            }
+        }
+        assert!(moved > 0, "departed member owned nothing");
+        assert!(kept > 0, "survivors owned nothing");
+    }
+
+    #[test]
+    fn include_then_exclude_round_trips_membership() {
+        let map = ShardMap::new(5, &[0, 2], 8);
+        let bigger = map.include(1).expect("not a member yet");
+        assert_eq!(bigger.epoch(), 6);
+        assert_eq!(bigger.members(), &[0, 1, 2]);
+        assert!(bigger.include(1).is_none(), "double include");
+        let back = bigger.exclude(1).expect("member");
+        assert_eq!(back.members(), map.members());
+        assert_eq!(back.epoch(), 7, "epochs only move forward");
+    }
+
+    #[test]
+    fn exclude_refuses_to_empty_the_ring() {
+        let map = ShardMap::new(1, &[7], 8);
+        assert!(map.exclude(7).is_none(), "deposed the last shard");
+        assert!(map.exclude(3).is_none(), "excluded a non-member");
+    }
+
+    #[test]
+    fn successor_is_cyclic() {
+        let map = ShardMap::new(1, &[0, 1, 2], 8);
+        assert_eq!(map.successor(0), Some(1));
+        assert_eq!(map.successor(2), Some(0));
+        let solo = ShardMap::new(1, &[4], 8);
+        assert_eq!(solo.successor(4), None);
+    }
+
+    #[test]
+    fn gateway_id_recovers_from_request_ids() {
+        let g = GatewayId(3);
+        let rid = g.id_base() + 12345;
+        assert_eq!(GatewayId::of_request(rid), g);
+        assert_eq!(GatewayId::of_request(42), GatewayId(0));
+        assert_eq!(format!("{g}"), "gw3");
+    }
+}

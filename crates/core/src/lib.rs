@@ -13,6 +13,9 @@
 //! - [`cluster`]: assembles the Figure 5 testbed — master node M1 with
 //!   gateway, manager, and memcached; workers M2–M5 with λ-NIC,
 //!   bare-metal, or container backends; a 10 G switch between them;
+//! - [`gwtier`]: the sharded gateway tier — epoch-versioned
+//!   consistent-hash routing over multiple gateway shards, lease-fenced
+//!   membership, and crash/partition-survivable request handoff;
 //! - [`driver`]: closed-loop load generators for the experiments;
 //! - [`deploy`]: artifact sizes and startup pipeline constants.
 //!
@@ -53,6 +56,7 @@ pub mod deploy;
 pub mod driver;
 pub mod failover;
 pub mod gateway;
+pub mod gwtier;
 pub mod lease;
 pub mod manager;
 pub mod repkv;
@@ -71,8 +75,12 @@ pub use failover::{
     ReplanRequest, StartFailover,
 };
 pub use gateway::{
-    EndpointLatencyReport, Gateway, GatewayCounters, GatewayParams, HedgeParams, RegisterTenants,
-    RequestDone, SubmitRequest,
+    DrainGateway, EndpointLatencyReport, Gateway, GatewayCounters, GatewayParams, HedgeParams,
+    RegisterTenants, RequestDone, SubmitRequest,
+};
+pub use gwtier::{
+    ClientSubmit, DrainShard, GatewayId, InstallShardMap, PlanetDriver, RouterCounters, ShardMap,
+    ShardRouter, StartTier, TierConfig, TierController, TierCounters,
 };
 pub use lease::{provably_expired, ControllerView, Grant, Lease, WorkerView};
 pub use manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
@@ -86,5 +94,9 @@ pub mod prelude {
     pub use crate::driver::{ClosedLoopDriver, JobSpec, OpenLoopDriver, PayloadSpec, StartDriver};
     pub use crate::failover::{FailoverConfig, FailoverController, StartFailover};
     pub use crate::gateway::{Gateway, GatewayParams, HedgeParams, RequestDone, SubmitRequest};
+    pub use crate::gwtier::{
+        ClientSubmit, DrainShard, PlanetDriver, ShardMap, ShardRouter, StartTier, TierConfig,
+        TierController,
+    };
     pub use crate::manager::{DeployDone, DeployWorkload, ManagerConfig, WorkloadManager};
 }

@@ -224,6 +224,26 @@ impl RpcTracker {
         }
     }
 
+    /// Offsets the id space: ids issued after this call start at
+    /// `base + 1`. Multi-gateway deployments stamp the gateway's index
+    /// into the high bits (`(gateway as u64) << 48`) so every request id
+    /// on a shared trace stream is attributable to the gateway that
+    /// issued it; a base of 0 leaves the id sequence unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids were already issued (the base must be set before
+    /// first use, or attribution would be ambiguous).
+    #[must_use]
+    pub fn with_id_base(mut self, base: u64) -> Self {
+        assert_eq!(
+            self.next_id, 1,
+            "id base must be set before any id is issued"
+        );
+        self.next_id = base + 1;
+        self
+    }
+
     /// The retransmission policy in force.
     pub fn policy(&self) -> &RetryPolicy {
         &self.policy
@@ -289,6 +309,25 @@ impl RpcTracker {
         if let Some(rec) = self.outstanding.get_mut(&request_id) {
             rec.dst = dst;
         }
+    }
+
+    /// Retires a pending RPC *without* recording a completion — handoff
+    /// semantics: the caller surrenders the in-flight record (e.g. to a
+    /// peer adopting the request), but the id sequence and completion
+    /// counters are untouched, so ids are never reused and a late reply
+    /// for the retired id still counts as a duplicate.
+    pub fn abandon(&mut self, request_id: u64) -> Option<Outstanding> {
+        self.outstanding.remove(&request_id)
+    }
+
+    /// Drops every pending RPC — crash semantics: all in-flight state is
+    /// lost, but the id sequence survives so post-restart requests never
+    /// collide with pre-crash ones. Returns the abandoned ids, sorted.
+    pub fn abandon_all(&mut self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.outstanding.keys().copied().collect();
+        ids.sort_unstable();
+        self.outstanding.clear();
+        ids
     }
 
     /// Records a response. Returns the completed record for the first
@@ -381,6 +420,25 @@ mod tests {
         let b = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
         assert!(b > a);
         assert_eq!(t.in_flight(), 2);
+    }
+
+    #[test]
+    fn id_base_offsets_the_sequence() {
+        let base = 3u64 << 48;
+        let mut t = tracker().with_id_base(base);
+        let a = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        let b = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        assert_eq!(a, base + 1);
+        assert_eq!(b, base + 2);
+        assert_eq!(a >> 48, 3, "gateway index recoverable from the id");
+    }
+
+    #[test]
+    #[should_panic(expected = "before any id is issued")]
+    fn id_base_after_first_issue_panics() {
+        let mut t = tracker();
+        let _ = t.register(SimTime::ZERO, 1, dst(), Bytes::new());
+        let _ = t.with_id_base(1 << 48);
     }
 
     #[test]

@@ -65,6 +65,18 @@
 //!     (invariant 4), computed over the tenant ids and weights stamped
 //!     on `wfq_enqueue`/`wfq_dequeue`: under saturation, per-tenant
 //!     service normalized by tenant weight converges to equal shares.
+//! 14. **Gateway-tier exactly-once and epoch monotonicity** — across
+//!     shard-map changes and gateway-to-gateway handoffs, each routed
+//!     client request (`gw_client_submit`) is delivered exactly one
+//!     client-visible completion (`gw_client_complete`); shard-map
+//!     epochs (`gw_shard_map`) strictly increase; a deposed gateway
+//!     (`gw_deposed`) must not accept new requests — detected through
+//!     the gateway id encoded in the high bits of submitted request
+//!     ids — until it rejoins (`gw_rejoin`) at a strictly higher
+//!     epoch; and a `gw_handoff` retires an outstanding request at
+//!     the old gateway exactly once (the successor re-submits it under
+//!     its own id, keeping conservation whole). The rule only engages
+//!     when gateway-tier events appear on the stream.
 //!
 //! By default a violation panics immediately with the offending record,
 //! which makes every integration test a correctness gate; use
@@ -396,6 +408,18 @@ pub struct InvariantChecker {
     kv_keys: HashMap<u64, KeyHistory>,
     kv_ops: u64,
     kv_forced_gc: u64,
+
+    // Gateway tier (invariant 14), engaged only when gateway-tier
+    // events appear on the stream. Request ids encode the accepting
+    // gateway in their high 16 bits, which is how acceptance by a
+    // deposed shard is attributed.
+    tier_active: bool,
+    tier_epoch: u64,
+    gw_epochs: HashMap<u32, u64>,
+    deposed_gateways: HashMap<u32, u64>,
+    client_outstanding: HashSet<u64>,
+    client_delivered: HashSet<u64>,
+    handed_off: u64,
 }
 
 impl Default for InvariantChecker {
@@ -439,6 +463,13 @@ impl InvariantChecker {
             kv_keys: HashMap::new(),
             kv_ops: 0,
             kv_forced_gc: 0,
+            tier_active: false,
+            tier_epoch: 0,
+            gw_epochs: HashMap::new(),
+            deposed_gateways: HashMap::new(),
+            client_outstanding: HashSet::new(),
+            client_delivered: HashSet::new(),
+            handed_off: 0,
         }
     }
 
@@ -484,6 +515,25 @@ impl InvariantChecker {
     /// for its key; zero in a healthy run of bench scale).
     pub fn kv_forced_gc(&self) -> u64 {
         self.kv_forced_gc
+    }
+
+    /// Requests retired by gateway-to-gateway handoff (invariant 14);
+    /// each one was outstanding at the old gateway and re-submitted by
+    /// the adopting shard under its own request id.
+    pub fn handed_off(&self) -> u64 {
+        self.handed_off
+    }
+
+    /// Routed client requests delivered exactly one client-visible
+    /// completion so far (invariant 14).
+    pub fn clients_delivered(&self) -> u64 {
+        self.client_delivered.len() as u64
+    }
+
+    /// The last shard-map epoch installed by the tier controller
+    /// (invariant 14); 0 when no gateway tier is on the stream.
+    pub fn tier_epoch(&self) -> u64 {
+        self.tier_epoch
     }
 
     /// Panics unless zero violations were recorded.
@@ -1160,6 +1210,19 @@ impl TraceSink for InvariantChecker {
                     let msg = format!("request {request_id} submitted twice");
                     self.violation(rec.at, msg);
                 }
+                // Invariant 14: with a gateway tier on the stream, the
+                // accepting gateway is encoded in the id's high bits; a
+                // deposed shard must not accept before rejoining.
+                if self.tier_active {
+                    let gateway = (request_id >> 48) as u32;
+                    if let Some(&epoch) = self.deposed_gateways.get(&gateway) {
+                        let msg = format!(
+                            "deposed gateway {gateway} (epoch {epoch}) accepted \
+                             request {request_id} before rejoining"
+                        );
+                        self.violation(rec.at, msg);
+                    }
+                }
                 // Invariant 11 joins exec_start back to the workload.
                 self.request_workload.insert(request_id, workload_id);
             }
@@ -1469,6 +1532,99 @@ impl TraceSink for InvariantChecker {
             }
             TraceEvent::FirmwareFault { .. } | TraceEvent::FirmwareEvict { .. } => {}
 
+            // Invariant 14: gateway-tier exactly-once and epoch
+            // monotonicity.
+            TraceEvent::GwShardMap { epoch, .. } => {
+                self.tier_active = true;
+                if epoch <= self.tier_epoch {
+                    let msg = format!(
+                        "shard-map epoch regressed: {epoch} installed after {}",
+                        self.tier_epoch
+                    );
+                    self.violation(rec.at, msg);
+                }
+                self.tier_epoch = epoch;
+            }
+            TraceEvent::GwDeposed { gateway, epoch } => {
+                self.tier_active = true;
+                let floor = self.gw_epochs.get(&gateway).copied().unwrap_or(0);
+                if epoch < floor {
+                    let msg = format!(
+                        "gateway {gateway} deposed at epoch {epoch}, below its \
+                         prior epoch {floor}"
+                    );
+                    self.violation(rec.at, msg);
+                }
+                self.gw_epochs.insert(gateway, floor.max(epoch));
+                self.deposed_gateways.insert(gateway, epoch);
+            }
+            TraceEvent::GwRejoin { gateway, epoch } => {
+                self.tier_active = true;
+                match self.deposed_gateways.remove(&gateway) {
+                    Some(deposed_epoch) if epoch <= deposed_epoch => {
+                        let msg = format!(
+                            "gateway {gateway} rejoined at epoch {epoch} without \
+                             bumping past the deposed epoch {deposed_epoch}"
+                        );
+                        self.violation(rec.at, msg);
+                    }
+                    Some(_) => {}
+                    None => {
+                        let msg = format!(
+                            "gateway {gateway} rejoined at epoch {epoch} without a \
+                             preceding depose"
+                        );
+                        self.violation(rec.at, msg);
+                    }
+                }
+                let floor = self.gw_epochs.get(&gateway).copied().unwrap_or(0);
+                self.gw_epochs.insert(gateway, floor.max(epoch));
+            }
+            TraceEvent::GwHandoff {
+                from_gateway,
+                to_gateway,
+                request_id,
+            } => {
+                self.tier_active = true;
+                if !self.outstanding.remove(&request_id) {
+                    let msg = format!(
+                        "handoff from gateway {from_gateway} to {to_gateway} retired \
+                         request {request_id}, which was not outstanding"
+                    );
+                    self.violation(rec.at, msg);
+                } else {
+                    self.handed_off += 1;
+                }
+                self.hedged.remove(&request_id);
+                self.request_workload.remove(&request_id);
+            }
+            TraceEvent::GwClientSubmit { uid, .. } => {
+                self.tier_active = true;
+                if self.client_delivered.contains(&uid) || !self.client_outstanding.insert(uid) {
+                    let msg = format!("client request {uid} routed twice");
+                    self.violation(rec.at, msg);
+                }
+            }
+            TraceEvent::GwClientComplete { uid, gateway, .. } => {
+                self.tier_active = true;
+                if self.client_delivered.contains(&uid) {
+                    let msg = format!(
+                        "exactly-once violated: client request {uid} delivered a \
+                         second completion (from gateway {gateway})"
+                    );
+                    self.violation(rec.at, msg);
+                } else if !self.client_outstanding.remove(&uid) {
+                    let msg = format!(
+                        "client request {uid} completed (gateway {gateway}) without \
+                         a routed submission"
+                    );
+                    self.violation(rec.at, msg);
+                } else {
+                    self.client_delivered.insert(uid);
+                }
+            }
+            TraceEvent::GwBounce { .. } => {}
+
             TraceEvent::LinkTx { .. }
             | TraceEvent::LinkDrop { .. }
             | TraceEvent::FragDrop { .. }
@@ -1483,15 +1639,19 @@ impl TraceSink for InvariantChecker {
             return;
         }
         self.finished = true;
-        // Invariant 2, end-of-run form.
-        let accounted = self.completed + self.failed + self.outstanding.len() as u64;
+        // Invariant 2, end-of-run form (handed-off requests were retired
+        // at the old gateway and re-submitted by the adopting shard, so
+        // they count once on each side of the ledger).
+        let accounted =
+            self.completed + self.failed + self.handed_off + self.outstanding.len() as u64;
         if self.submitted != accounted {
             let msg = format!(
                 "request conservation violated: {} submitted but {} completed + \
-                 {} failed + {} in flight = {accounted}",
+                 {} failed + {} handed off + {} in flight = {accounted}",
                 self.submitted,
                 self.completed,
                 self.failed,
+                self.handed_off,
                 self.outstanding.len()
             );
             self.violation(now, msg);
@@ -3005,6 +3165,318 @@ mod tests {
             c.violations()
                 .iter()
                 .any(|v| v.contains("normalized tenant service")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    // ---- invariant 14: gateway-tier exactly-once and epoch rules ----
+
+    #[test]
+    fn clean_tier_handoff_passes() {
+        let gw1_id = 1u64 << 48;
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 1,
+                        shards: 2,
+                    },
+                ),
+                (
+                    5,
+                    9,
+                    TraceEvent::GwClientSubmit {
+                        uid: 1,
+                        client_id: 77,
+                        gateway: 0,
+                    },
+                ),
+                (
+                    6,
+                    2,
+                    TraceEvent::RequestSubmitted {
+                        request_id: 1,
+                        workload_id: 0,
+                    },
+                ),
+                // Planned drain: gateway 0 hands its in-flight request to
+                // gateway 1, which re-submits under its own id space.
+                (
+                    10,
+                    2,
+                    TraceEvent::GwHandoff {
+                        from_gateway: 0,
+                        to_gateway: 1,
+                        request_id: 1,
+                    },
+                ),
+                (
+                    10,
+                    9,
+                    TraceEvent::GwDeposed {
+                        gateway: 0,
+                        epoch: 1,
+                    },
+                ),
+                (
+                    11,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 2,
+                        shards: 1,
+                    },
+                ),
+                (
+                    12,
+                    3,
+                    TraceEvent::RequestSubmitted {
+                        request_id: gw1_id + 1,
+                        workload_id: 0,
+                    },
+                ),
+                (
+                    20,
+                    3,
+                    TraceEvent::RequestCompleted {
+                        request_id: gw1_id + 1,
+                        workload_id: 0,
+                        latency_ns: 8,
+                        failed: false,
+                    },
+                ),
+                (
+                    21,
+                    9,
+                    TraceEvent::GwClientComplete {
+                        uid: 1,
+                        gateway: 1,
+                        failed: false,
+                    },
+                ),
+                (
+                    30,
+                    9,
+                    TraceEvent::GwRejoin {
+                        gateway: 0,
+                        epoch: 3,
+                    },
+                ),
+                (
+                    31,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 3,
+                        shards: 2,
+                    },
+                ),
+            ],
+        );
+        c.on_finish(SimTime::from_nanos(40));
+        c.assert_clean();
+        assert_eq!(c.handed_off(), 1);
+        assert_eq!(c.clients_delivered(), 1);
+        assert_eq!(c.tier_epoch(), 3);
+    }
+
+    #[test]
+    fn double_client_completion_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 1,
+                        shards: 2,
+                    },
+                ),
+                (
+                    1,
+                    9,
+                    TraceEvent::GwClientSubmit {
+                        uid: 4,
+                        client_id: 9,
+                        gateway: 0,
+                    },
+                ),
+                (
+                    5,
+                    9,
+                    TraceEvent::GwClientComplete {
+                        uid: 4,
+                        gateway: 0,
+                        failed: false,
+                    },
+                ),
+                // The old owner's late completion leaks through: the
+                // router failed to suppress the duplicate.
+                (
+                    9,
+                    9,
+                    TraceEvent::GwClientComplete {
+                        uid: 4,
+                        gateway: 1,
+                        failed: false,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations().iter().any(|v| v.contains("exactly-once")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn shard_map_epoch_regression_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 5,
+                        shards: 3,
+                    },
+                ),
+                (
+                    9,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 5,
+                        shards: 2,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("shard-map epoch regressed")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn deposed_gateway_acceptance_is_caught() {
+        let gw2_id = 2u64 << 48;
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 1,
+                        shards: 3,
+                    },
+                ),
+                (
+                    5,
+                    9,
+                    TraceEvent::GwDeposed {
+                        gateway: 2,
+                        epoch: 1,
+                    },
+                ),
+                (
+                    6,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 2,
+                        shards: 2,
+                    },
+                ),
+                // The deposed shard keeps serving: split-brain.
+                (
+                    8,
+                    4,
+                    TraceEvent::RequestSubmitted {
+                        request_id: gw2_id + 7,
+                        workload_id: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("deposed gateway 2")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn rejoin_must_bump_past_deposed_epoch() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 3,
+                        shards: 2,
+                    },
+                ),
+                (
+                    1,
+                    9,
+                    TraceEvent::GwDeposed {
+                        gateway: 1,
+                        epoch: 3,
+                    },
+                ),
+                (
+                    9,
+                    9,
+                    TraceEvent::GwRejoin {
+                        gateway: 1,
+                        epoch: 3,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("without bumping past the deposed epoch")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn handoff_of_unknown_request_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[(
+                3,
+                2,
+                TraceEvent::GwHandoff {
+                    from_gateway: 0,
+                    to_gateway: 1,
+                    request_id: 99,
+                },
+            )],
+        );
+        assert!(
+            c.violations().iter().any(|v| v.contains("not outstanding")),
             "{:?}",
             c.violations()
         );

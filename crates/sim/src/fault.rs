@@ -310,6 +310,32 @@ pub enum FaultEvent {
     /// The control plane restarts from its last stable snapshot and
     /// reconciles against worker-reported epochs before serving.
     ControllerRestart,
+    /// Gateway shard `gateway` crashes: its in-flight request state is
+    /// lost and arrivals blackholed until a restart. With a gateway tier
+    /// installed, the tier controller deposes it once its lease provably
+    /// expires and the router re-routes its orphaned clients.
+    GatewayCrash {
+        /// Index of the gateway shard in the testbed's gateway table.
+        gateway: usize,
+    },
+    /// Gateway shard `gateway` restarts empty. It rejoins the ring only
+    /// after the tier controller's rejoin handshake at a higher epoch.
+    GatewayRestart {
+        /// Index of the gateway shard in the testbed's gateway table.
+        gateway: usize,
+    },
+    /// Gateway shard `gateway` is cut off from everything — its data
+    /// links are blackholed and the direct control channels (tier
+    /// leases, routed submits) are severed in both directions — for
+    /// `duration`, then heals. The shard stays alive the whole time: the
+    /// partition tests that it self-fences when its lease lapses rather
+    /// than serving stale clients.
+    GatewayPartition {
+        /// Index of the gateway shard in the testbed's gateway table.
+        gateway: usize,
+        /// How long the partition lasts before healing.
+        duration: SimDuration,
+    },
 }
 
 /// A [`FaultEvent`] with its injection time.
@@ -496,6 +522,27 @@ impl FaultPlan {
         self.push(at, FaultEvent::ControllerRestart)
     }
 
+    /// Schedules a gateway-shard crash.
+    pub fn gateway_crash(self, gateway: usize, at: SimTime) -> FaultPlan {
+        self.push(at, FaultEvent::GatewayCrash { gateway })
+    }
+
+    /// Schedules a gateway-shard restart.
+    pub fn gateway_restart(self, gateway: usize, at: SimTime) -> FaultPlan {
+        self.push(at, FaultEvent::GatewayRestart { gateway })
+    }
+
+    /// Schedules a partition cutting one gateway shard off from the rest
+    /// of the cluster (router, tier controller, and workers included).
+    pub fn gateway_partition(
+        self,
+        gateway: usize,
+        at: SimTime,
+        duration: SimDuration,
+    ) -> FaultPlan {
+        self.push(at, FaultEvent::GatewayPartition { gateway, duration })
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[TimedFault] {
         &self.events
@@ -533,6 +580,24 @@ mod tests {
                 duration: SimDuration::from_millis(10)
             }
         );
+    }
+
+    #[test]
+    fn gateway_builders_record_events() {
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        let plan = FaultPlan::new()
+            .gateway_crash(1, t(1))
+            .gateway_partition(2, t(2), SimDuration::from_millis(250))
+            .gateway_restart(1, t(3));
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(
+            plan.events()[1].event,
+            FaultEvent::GatewayPartition {
+                gateway: 2,
+                duration: SimDuration::from_millis(250)
+            }
+        );
+        assert_eq!(plan.horizon(), Some(t(3)));
     }
 
     #[test]

@@ -493,6 +493,75 @@ pub enum TraceEvent {
         /// Instruction-store words freed.
         words: u64,
     },
+    /// The gateway-tier controller installed a new shard map. Epochs are
+    /// strictly increasing; the checker rejects any regression.
+    GwShardMap {
+        /// The new map's epoch (fencing token for the whole ring).
+        epoch: u64,
+        /// Gateway shards serving in this map.
+        shards: u64,
+    },
+    /// A gateway shard was deposed from the ring: its tier lease provably
+    /// expired (crash/partition) or it was drained, and the map that
+    /// excludes it is being installed. Any `request_submitted` whose id
+    /// encodes this gateway before a matching `gw_rejoin` is split-brain.
+    GwDeposed {
+        /// The deposed gateway shard.
+        gateway: u32,
+        /// The map epoch at which it was deposed.
+        epoch: u64,
+    },
+    /// A deposed gateway shard completed the lease handshake again and
+    /// rejoined the ring at a strictly higher epoch.
+    GwRejoin {
+        /// The rejoining gateway shard.
+        gateway: u32,
+        /// The new map epoch (must exceed the deposed epoch).
+        epoch: u64,
+    },
+    /// A draining gateway handed one in-flight request to its successor
+    /// (forward-or-redirect). The old request id is retired without a
+    /// completion; the adopting gateway re-submits under its own id.
+    GwHandoff {
+        /// Gateway shard giving the request up.
+        from_gateway: u32,
+        /// Gateway shard adopting it.
+        to_gateway: u32,
+        /// The retired request id at the old gateway.
+        request_id: u64,
+    },
+    /// The shard router accepted a client request and routed it to the
+    /// gateway shard owning the client's hash point.
+    GwClientSubmit {
+        /// Router-assigned client-request uid (unique per run).
+        uid: u64,
+        /// The originating client's identity (hash key for routing).
+        client_id: u64,
+        /// The gateway shard chosen by the current map.
+        gateway: u32,
+    },
+    /// The shard router delivered the single client-visible completion
+    /// for a routed request. A second delivery for the same uid is an
+    /// exactly-once violation (rule 14).
+    GwClientComplete {
+        /// The completed client-request uid.
+        uid: u64,
+        /// The gateway shard whose completion won.
+        gateway: u32,
+        /// Whether the tier gave up on the request.
+        failed: bool,
+    },
+    /// A gateway shard bounced a routed request back to the router
+    /// instead of accepting it: its tier lease had lapsed (self-fence)
+    /// or it was draining. Proof that a deposed shard stops accepting.
+    GwBounce {
+        /// The bouncing gateway shard.
+        gateway: u32,
+        /// The bounced client-request uid.
+        uid: u64,
+        /// Why (`"fenced"`, `"draining"`, `"crashed"`).
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -543,6 +612,13 @@ impl TraceEvent {
             TraceEvent::TenantAssign { .. } => "tenant_assign",
             TraceEvent::FirmwareFault { .. } => "firmware_fault",
             TraceEvent::FirmwareEvict { .. } => "firmware_evict",
+            TraceEvent::GwShardMap { .. } => "gw_shard_map",
+            TraceEvent::GwDeposed { .. } => "gw_deposed",
+            TraceEvent::GwRejoin { .. } => "gw_rejoin",
+            TraceEvent::GwHandoff { .. } => "gw_handoff",
+            TraceEvent::GwClientSubmit { .. } => "gw_client_submit",
+            TraceEvent::GwClientComplete { .. } => "gw_client_complete",
+            TraceEvent::GwBounce { .. } => "gw_bounce",
         }
     }
 
@@ -894,6 +970,50 @@ impl TraceEvent {
                 f("tenant_id", U64(tenant_id.into()));
                 f("workload_id", U64(workload_id.into()));
                 f("words", U64(words));
+            }
+            TraceEvent::GwShardMap { epoch, shards } => {
+                f("epoch", U64(epoch));
+                f("shards", U64(shards));
+            }
+            TraceEvent::GwDeposed { gateway, epoch } | TraceEvent::GwRejoin { gateway, epoch } => {
+                f("gateway", U64(gateway.into()));
+                f("epoch", U64(epoch));
+            }
+            TraceEvent::GwHandoff {
+                from_gateway,
+                to_gateway,
+                request_id,
+            } => {
+                f("from_gateway", U64(from_gateway.into()));
+                f("to_gateway", U64(to_gateway.into()));
+                f("request_id", U64(request_id));
+            }
+            TraceEvent::GwClientSubmit {
+                uid,
+                client_id,
+                gateway,
+            } => {
+                f("uid", U64(uid));
+                f("client_id", U64(client_id));
+                f("gateway", U64(gateway.into()));
+            }
+            TraceEvent::GwClientComplete {
+                uid,
+                gateway,
+                failed,
+            } => {
+                f("uid", U64(uid));
+                f("gateway", U64(gateway.into()));
+                f("failed", Bool(failed));
+            }
+            TraceEvent::GwBounce {
+                gateway,
+                uid,
+                reason,
+            } => {
+                f("gateway", U64(gateway.into()));
+                f("uid", U64(uid));
+                f("reason", Str(reason));
             }
         }
     }

@@ -13,13 +13,16 @@
 //! including the §6.4 four-lambda program whose compilation reproduces
 //! Figure 9. [`tenants`] adds the multi-tenant fleet — many tiny
 //! per-tenant lambdas under Zipf popularity — for the virtualization
-//! ablation.
+//! ablation. [`planet`] adds a million-client planetary traffic model
+//! (diurnal regions, flash crowds, heavy-tailed clients) that drives
+//! the sharded gateway tier.
 
 #![warn(missing_docs)]
 
 pub mod helpers;
 pub mod image;
 pub mod kv;
+pub mod planet;
 pub mod suite;
 pub mod tenants;
 pub mod web;
