@@ -133,6 +133,23 @@ impl Admission {
         Ok(())
     }
 
+    /// Re-targets the per-workload rate limit, e.g. when the tier
+    /// controller rebalances a global budget across the surviving
+    /// shards. Existing buckets are dropped so the new slice takes
+    /// effect immediately; each rebalance therefore refills at most one
+    /// fresh burst per workload, which bounds the transient over-admit
+    /// to `rebalances * burst` per workload.
+    pub fn set_rate(&mut self, rate_per_sec: f64, burst: f64) {
+        self.params.rate_per_sec = rate_per_sec;
+        self.params.burst = burst;
+        self.buckets.clear();
+    }
+
+    /// The sustained per-workload admit rate currently in force.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.params.rate_per_sec
+    }
+
     /// Requests admitted so far.
     pub fn admitted(&self) -> u64 {
         self.admitted
@@ -250,6 +267,27 @@ mod tests {
         assert_eq!(a.check(SimTime::ZERO, 1, 0), Err("rate"));
         // A different workload has its own bucket.
         assert!(a.check(SimTime::ZERO, 2, 0).is_ok());
+    }
+
+    #[test]
+    fn set_rate_applies_immediately_and_resets_buckets() {
+        let mut a = Admission::new(AdmissionParams {
+            rate_per_sec: 1000.0,
+            burst: 1.0,
+            max_in_flight: 0,
+        });
+        assert!(a.check(SimTime::ZERO, 1, 0).is_ok());
+        assert_eq!(a.check(SimTime::ZERO, 1, 0), Err("rate"));
+        // Rebalance to a wider slice: the fresh bucket admits a new
+        // burst at once, then enforces the new rate.
+        a.set_rate(2000.0, 2.0);
+        assert_eq!(a.rate_per_sec(), 2000.0);
+        assert!(a.check(SimTime::ZERO, 1, 0).is_ok());
+        assert!(a.check(SimTime::ZERO, 1, 0).is_ok());
+        assert_eq!(a.check(SimTime::ZERO, 1, 0), Err("rate"));
+        // Rebalance to zero disables rate limiting entirely.
+        a.set_rate(0.0, 1.0);
+        assert!(a.check(SimTime::ZERO, 1, 0).is_ok());
     }
 
     proptest! {

@@ -539,6 +539,44 @@ impl Testbed {
         }
     }
 
+    /// Re-images a single worker with `program`'s compiled firmware.
+    ///
+    /// A crashed NIC loses its volatile instruction store, so a rack
+    /// that comes back from a power event black-holes requests until
+    /// the deployment controller pushes firmware again. Disaster
+    /// drills call this after the restart fault fires to model that
+    /// re-imaging step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `worker` is out of range or the program fails to
+    /// compile.
+    pub fn redeploy_worker(
+        &mut self,
+        worker: usize,
+        program: &Arc<lnic_mlambda::program::Program>,
+    ) {
+        use lnic_mlambda::compile::compile;
+        let opts = lnic_mlambda::compile::CompileOptions::optimized();
+        let firmware = Arc::new(compile(program, &opts).expect("program compiles"));
+        let worker = &self.workers[worker];
+        match self.backend {
+            BackendKind::Nic => {
+                self.sim
+                    .get_mut::<Nic>(worker.component)
+                    .expect("worker is a NIC")
+                    .install_now(firmware);
+            }
+            BackendKind::BareMetal | BackendKind::Container => {
+                self.sim.post(
+                    worker.component,
+                    SimDuration::ZERO,
+                    lnic_host::DeployProgram::unfenced(Arc::new(firmware.program.clone())),
+                );
+            }
+        }
+    }
+
     /// Hybrid testbeds: deploys `nic_program` to the SmartNICs and
     /// `host_program` to the host backends behind them, placing every
     /// workload of both programs at the workers' (shared) endpoint. NIC
@@ -859,6 +897,58 @@ impl Testbed {
                     let controller = self
                         .failover
                         .expect("ControllerRestart requires enable_failover");
+                    self.sim.post(controller, delay, Restart);
+                }
+                FaultEvent::GatewayRestartStorm {
+                    first,
+                    count,
+                    stagger,
+                    down,
+                } => {
+                    // Staggered crash/restart across `count` shards: the
+                    // correlated rolling failure a bad config push or a
+                    // kernel upgrade wave produces.
+                    for k in 0..count {
+                        let crash_at =
+                            delay + SimDuration::from_nanos(stagger.as_nanos() * k as u64);
+                        let gw = self.gateways[first + k];
+                        self.sim.post(gw, crash_at, Crash);
+                        self.sim.post(gw, crash_at + down, Restart);
+                    }
+                }
+                FaultEvent::RackLoss {
+                    gateway,
+                    workers,
+                    down,
+                } => {
+                    // One rack's power feed: the gateway shard and every
+                    // worker behind it die in the same instant and come
+                    // back together.
+                    self.sim.post(self.gateways[gateway], delay, Crash);
+                    self.sim.post(self.gateways[gateway], delay + down, Restart);
+                    for i in 0..self.workers.len() {
+                        if workers & (1 << i) == 0 {
+                            continue;
+                        }
+                        self.sim.post(self.workers[i].component, delay, Crash);
+                        self.sim
+                            .post(self.workers[i].component, delay + down, Restart);
+                        if let Some(&replica) = self.repkv_replicas.get(i) {
+                            self.sim.post(replica, delay, Crash);
+                            self.sim.post(replica, delay + down, Restart);
+                        }
+                    }
+                }
+                FaultEvent::TierControllerCrash => {
+                    let controller = self
+                        .tier_controller
+                        .expect("TierControllerCrash requires enable_gateway_tier");
+                    self.sim.post(controller, delay, Crash);
+                }
+                FaultEvent::TierControllerRestart => {
+                    let controller = self
+                        .tier_controller
+                        .expect("TierControllerRestart requires enable_gateway_tier");
                     self.sim.post(controller, delay, Restart);
                 }
             }

@@ -22,7 +22,7 @@ use lnic_net::packet::{
 use lnic_net::params::MTU_PAYLOAD_BYTES;
 use lnic_net::transport::{RetryPolicy, RpcTracker, TimeoutAction, UpdateService};
 use lnic_net::{Ipv4Addr, MacAddr, SocketAddr};
-use lnic_sim::fault::{Crash, GrantLease, LeaseAck, NetCutFrom, Restart};
+use lnic_sim::fault::{Crash, EpochQuery, EpochReport, GrantLease, LeaseAck, NetCutFrom, Restart};
 use lnic_sim::prelude::*;
 use lnic_tenant::{TenantDirectory, TenantId, DEFAULT_TENANT};
 use lnic_workloads::kv::{decode_repkv_get_response, decode_repkv_request, RepKvOp};
@@ -340,6 +340,38 @@ pub struct DrainGateway {
     pub successor_gateway: u32,
 }
 
+/// A draining shard's report to the tier controller of how many
+/// in-flight requests it handed to its successor — the controller's
+/// handoff ledger, conserved across controller snapshot/restore
+/// (checker rule 15 audits the ledger against observed `GwHandoff`
+/// events).
+#[derive(Clone, Copy, Debug)]
+pub struct HandoffReport {
+    /// The reporting (draining) gateway component.
+    pub from: ComponentId,
+    /// The draining shard's id.
+    pub from_gateway: u32,
+    /// The adopting shard's id.
+    pub to_gateway: u32,
+    /// Requests handed over.
+    pub count: u64,
+}
+
+/// Control message: the tier controller assigns this shard its slice of
+/// the tier-wide admission budget (rebalanced on every membership
+/// change). A shard partitioned from the controller simply keeps its
+/// last slice — the local fallback that keeps total admission under the
+/// global budget even when the control plane is unreachable.
+#[derive(Clone, Copy, Debug)]
+pub struct SetAdmissionSlice {
+    /// The controller (partition check).
+    pub from: ComponentId,
+    /// Per-workload sustained admit rate for this shard.
+    pub rate_per_sec: f64,
+    /// Token-bucket depth for this shard.
+    pub burst: f64,
+}
+
 /// Gateway-to-gateway handoff of one in-flight request during a drain.
 ///
 /// Adoption bypasses admission — the work was already admitted at the
@@ -473,6 +505,14 @@ pub struct Gateway {
     /// Draining: in-flight work was handed to this successor; new
     /// submits bounce until a rejoin grant re-admits the shard.
     draining: Option<ComponentId>,
+    /// Restart count, carried in every [`LeaseAck`]. A jump tells the
+    /// tier controller this shard lost its in-flight state even though
+    /// it never missed enough heartbeats to be deposed, triggering
+    /// proactive client re-adoption at the router.
+    incarnation: u64,
+    /// The tier controller, learned from the first lease grant (kept
+    /// across crashes — it re-identifies itself on the next grant).
+    tier_controller: Option<ComponentId>,
 }
 
 impl Gateway {
@@ -520,6 +560,8 @@ impl Gateway {
             tier_enrolled: false,
             tier_lease: WorkerView::new(),
             draining: None,
+            incarnation: 0,
+            tier_controller: None,
         }
     }
 
@@ -541,6 +583,20 @@ impl Gateway {
     /// This gateway's shard id (0 when standalone).
     pub fn gateway_id(&self) -> u32 {
         self.gateway_id
+    }
+
+    /// Admission statistics `(admitted, rejected)`, when admission is
+    /// configured.
+    pub fn admission_stats(&self) -> Option<(u64, u64)> {
+        self.admission
+            .as_ref()
+            .map(|a| (a.admitted(), a.rejected()))
+    }
+
+    /// The per-workload admission rate currently in force (a tier
+    /// budget slice, or the locally configured rate).
+    pub fn admission_rate(&self) -> Option<f64> {
+        self.admission.as_ref().map(|a| a.rate_per_sec())
     }
 
     /// The owning tenant of a workload per the installed directory.
@@ -924,6 +980,9 @@ impl Gateway {
             return;
         }
         self.crashed = false;
+        // A new incarnation: the next lease ack announces that whatever
+        // this shard held in flight is gone.
+        self.incarnation += 1;
         ctx.emit(|| TraceEvent::Fault {
             kind: "gateway-restart",
             detail: 0,
@@ -939,6 +998,7 @@ impl Gateway {
             return;
         }
         self.tier_enrolled = true;
+        self.tier_controller = Some(grant.reply_to);
         let delivered = self.tier_lease.deliver(Grant {
             epoch: grant.epoch,
             until: SimTime::from_nanos(grant.until_ns),
@@ -955,6 +1015,7 @@ impl Gateway {
                 from: ctx.self_id(),
                 epoch,
                 seq: grant.seq,
+                incarnation: self.incarnation,
             },
         );
     }
@@ -973,6 +1034,7 @@ impl Gateway {
         ids.sort_unstable();
         let from_gateway = self.gateway_id;
         let to_gateway = drain.successor_gateway;
+        let mut handed = 0u64;
         for request_id in ids {
             let Some(rec) = self.tracker.abandon(request_id) else {
                 // Meta and tracker retire together on every terminal
@@ -991,6 +1053,7 @@ impl Gateway {
                 request_id,
             });
             self.counters.handed_off += 1;
+            handed += 1;
             // The handoff costs one proxy occupancy on the wire out.
             ctx.send(
                 drain.successor,
@@ -1004,6 +1067,24 @@ impl Gateway {
                     from_gateway,
                 },
             );
+        }
+        // Report the batch to the tier controller's handoff ledger —
+        // zero-delay, so the ledger entry follows the `GwHandoff`
+        // events it accounts for in the same instant.
+        if handed > 0 {
+            if let Some(tc) = self.tier_controller {
+                let from = ctx.self_id();
+                ctx.send(
+                    tc,
+                    SimDuration::ZERO,
+                    HandoffReport {
+                        from,
+                        from_gateway,
+                        to_gateway,
+                        count: handed,
+                    },
+                );
+            }
         }
     }
 
@@ -1713,6 +1794,48 @@ impl Component for Gateway {
         let msg = match msg.downcast::<GrantLease>() {
             Ok(g) => {
                 self.on_tier_grant(ctx, *g);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<EpochQuery>() {
+            Ok(q) => {
+                // Restore-time reconciliation: report the tier lease
+                // epoch this shard actually holds so a restarted
+                // controller never regresses below live state.
+                let from = ctx.self_id();
+                let epoch = self.tier_lease.epoch();
+                let lease_until_ns = self.tier_lease.lease.map_or(0, |l| l.until.as_nanos());
+                ctx.send(
+                    q.reply_to,
+                    SimDuration::ZERO,
+                    EpochReport {
+                        from,
+                        epoch,
+                        lease_until_ns,
+                    },
+                );
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<SetAdmissionSlice>() {
+            Ok(s) => {
+                if self.is_cut(s.from, ctx.now()) {
+                    return; // partitioned: keep the local slice
+                }
+                match self.admission.as_mut() {
+                    Some(adm) => adm.set_rate(s.rate_per_sec, s.burst),
+                    None => {
+                        if s.rate_per_sec > 0.0 {
+                            self.admission = Some(Admission::new(AdmissionParams {
+                                rate_per_sec: s.rate_per_sec,
+                                burst: s.burst,
+                                max_in_flight: 0,
+                            }));
+                        }
+                    }
+                }
                 return;
             }
             Err(other) => other,

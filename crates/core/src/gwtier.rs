@@ -26,20 +26,20 @@
 //! re-routed one), but the router delivers exactly one completion per
 //! client uid and the online checker (rule 14) asserts it on every run.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
 
 use lnic_net::packet::RC_FENCED;
-use lnic_sim::fault::{GrantLease, LeaseAck, NetCutFrom};
+use lnic_sim::fault::{Crash, EpochQuery, EpochReport, GrantLease, LeaseAck, NetCutFrom, Restart};
 use lnic_sim::prelude::*;
 use lnic_workloads::planet::PlanetModel;
 use rand::Rng;
 
 use crate::driver::{CompletedRequest, JobSpec, StartDriver};
-use crate::gateway::{DrainGateway, RequestDone, SubmitRequest};
+use crate::gateway::{DrainGateway, HandoffReport, RequestDone, SetAdmissionSlice, SubmitRequest};
 use crate::lease::ControllerView;
 
 /// Identifier of one gateway shard in the tier: its index in the
@@ -185,6 +185,200 @@ impl ShardMap {
         let idx = self.members.binary_search(&gateway).ok()?;
         Some(self.members[(idx + 1) % self.members.len()])
     }
+
+    /// Ring points contributed per member.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+}
+
+/// Magic prefix of an encoded [`TierSnapshot`] (`"LNTS"`).
+const TIER_SNAP_MAGIC: u32 = 0x4C4E_5453;
+/// Snapshot wire-format version. Bumped on any layout change; a restore
+/// refuses snapshots from any other version (cold rebuild instead).
+const TIER_SNAP_VERSION: u16 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Per-shard state captured in a [`TierSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSnap {
+    /// The shard's fencing token as the controller knew it.
+    pub epoch: u64,
+    /// Upper bound on any lease granted to the shard (ns).
+    pub lease_until_ns: u64,
+    /// The shard's restart count as last acked.
+    pub incarnation: u64,
+    /// Whether the shard was fenced.
+    pub fenced: bool,
+    /// Whether the shard was administratively retired.
+    pub retired: bool,
+}
+
+/// A deterministic snapshot of the tier controller's durable state:
+/// the shard map (epoch + membership — the ring itself is a pure
+/// function of those), the lease table, and the handoff ledger.
+///
+/// The wire format is versioned (`magic, version` header) and
+/// checksummed (FNV-1a over everything before the trailer), so a
+/// corrupted, truncated, or foreign snapshot is *rejected* by
+/// [`TierSnapshot::decode`] — the restore path then falls back to a
+/// cold rebuild and reconciles from live state instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// Monotonic snapshot sequence number.
+    pub seq: u64,
+    /// The map epoch at snapshot time.
+    pub epoch: u64,
+    /// The controller's renewal round at snapshot time.
+    pub round: u64,
+    /// The handoff-ledger total at snapshot time.
+    pub handed_off: u64,
+    /// Ring points per member (the map rebuild parameter).
+    pub vnodes: u32,
+    /// Member shards at snapshot time, sorted.
+    pub members: Vec<u32>,
+    /// Per-shard lease state, indexed by shard id.
+    pub shards: Vec<ShardSnap>,
+}
+
+impl TierSnapshot {
+    /// Encodes the snapshot: little-endian fields, FNV-1a checksum
+    /// trailer. Byte-for-byte deterministic.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.members.len() * 4 + self.shards.len() * 25);
+        out.extend_from_slice(&TIER_SNAP_MAGIC.to_le_bytes());
+        out.extend_from_slice(&TIER_SNAP_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.handed_off.to_le_bytes());
+        out.extend_from_slice(&self.vnodes.to_le_bytes());
+        out.extend_from_slice(&(self.members.len() as u32).to_le_bytes());
+        for &m in &self.members {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for s in &self.shards {
+            out.extend_from_slice(&s.epoch.to_le_bytes());
+            out.extend_from_slice(&s.lease_until_ns.to_le_bytes());
+            out.extend_from_slice(&s.incarnation.to_le_bytes());
+            out.push(u8::from(s.fenced) | (u8::from(s.retired) << 1));
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes an encoded snapshot, rejecting anything malformed:
+    /// short buffers, wrong magic or version, counts that overrun the
+    /// buffer, checksum mismatches (any single bit flip), and trailing
+    /// garbage.
+    pub fn decode(bytes: &[u8]) -> Result<TierSnapshot, &'static str> {
+        struct Cursor<'a> {
+            buf: &'a [u8],
+            at: usize,
+        }
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], &'static str> {
+                let end = self.at.checked_add(n).ok_or("length overflow")?;
+                if end > self.buf.len() {
+                    return Err("truncated snapshot");
+                }
+                let s = &self.buf[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            fn u8(&mut self) -> Result<u8, &'static str> {
+                Ok(self.take(1)?[0])
+            }
+            fn u16(&mut self) -> Result<u16, &'static str> {
+                Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+            }
+            fn u32(&mut self) -> Result<u32, &'static str> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64, &'static str> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+        }
+        if bytes.len() < 8 {
+            return Err("truncated snapshot");
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let sum = u64::from_le_bytes(trailer.try_into().unwrap());
+        if fnv1a64(payload) != sum {
+            return Err("checksum mismatch");
+        }
+        let mut c = Cursor {
+            buf: payload,
+            at: 0,
+        };
+        if c.u32()? != TIER_SNAP_MAGIC {
+            return Err("bad magic");
+        }
+        if c.u16()? != TIER_SNAP_VERSION {
+            return Err("unsupported snapshot version");
+        }
+        let seq = c.u64()?;
+        let epoch = c.u64()?;
+        let round = c.u64()?;
+        let handed_off = c.u64()?;
+        let vnodes = c.u32()?;
+        let n_members = c.u32()? as usize;
+        // Bounds-check counts against the remaining bytes before
+        // allocating, so a forged count cannot balloon memory.
+        if n_members > (payload.len() - c.at) / 4 {
+            return Err("member count overruns buffer");
+        }
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            members.push(c.u32()?);
+        }
+        let n_shards = c.u32()? as usize;
+        if n_shards > (payload.len() - c.at) / 25 {
+            return Err("shard count overruns buffer");
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let epoch = c.u64()?;
+            let lease_until_ns = c.u64()?;
+            let incarnation = c.u64()?;
+            let flags = c.u8()?;
+            if flags > 0b11 {
+                return Err("unknown shard flags");
+            }
+            shards.push(ShardSnap {
+                epoch,
+                lease_until_ns,
+                incarnation,
+                fenced: flags & 1 != 0,
+                retired: flags & 2 != 0,
+            });
+        }
+        if c.at != payload.len() {
+            return Err("trailing bytes");
+        }
+        Ok(TierSnapshot {
+            seq,
+            epoch,
+            round,
+            handed_off,
+            vnodes,
+            members,
+            shards,
+        })
+    }
 }
 
 /// Gateway-tier configuration: the lease regime over shards and the
@@ -211,6 +405,22 @@ pub struct TierConfig {
     /// Re-route attempts per client request before the router gives up
     /// and delivers a failure.
     pub max_reroutes: u32,
+    /// Cadence of controller snapshots to (modeled) stable storage.
+    /// `ZERO` disables both the cadence and transition write-through —
+    /// a restarted controller then rebuilds cold and reconciles.
+    pub snapshot_interval: SimDuration,
+    /// Tier-wide admission budget (requests/s per workload), divided
+    /// evenly across the live member shards on every membership change.
+    /// `0.0` leaves each shard's locally configured admission alone.
+    pub global_rate_per_sec: f64,
+    /// Tier-wide burst budget, divided like the rate (each shard's
+    /// slice is at least one request).
+    pub global_burst: f64,
+    /// Proactively re-adopt a restarted shard's affine clients the
+    /// moment its ack reveals a new incarnation, instead of waiting out
+    /// the resubmit watchdog. `false` is the baseline arm of the
+    /// disaster bench: recovery then takes `resubmit_timeout`.
+    pub readopt: bool,
 }
 
 impl Default for TierConfig {
@@ -223,6 +433,10 @@ impl Default for TierConfig {
             resubmit_timeout: SimDuration::from_millis(250),
             bounce_retry: SimDuration::from_millis(5),
             max_reroutes: 200,
+            snapshot_interval: SimDuration::from_millis(100),
+            global_rate_per_sec: 0.0,
+            global_burst: 32.0,
+            readopt: true,
         }
     }
 }
@@ -269,6 +483,27 @@ pub struct DrainShard {
     pub rejoin_after: bool,
 }
 
+/// Control message: the tier controller asks the router for its current
+/// map (restore-time reconciliation — the router's installed map never
+/// trails the controller's stable snapshot, so adopting the fresher of
+/// the two can only move the epoch forward).
+#[derive(Clone, Copy, Debug)]
+pub struct MapQuery {
+    /// Where to send the [`InstallShardMap`] reply.
+    pub reply_to: ComponentId,
+}
+
+/// Control message: the controller tells the router that `gateway` came
+/// back with a new incarnation (it crashed and lost its in-flight
+/// work); the router immediately re-submits every pending client
+/// request whose current owner is `gateway` instead of waiting for the
+/// resubmit watchdog. Duplicate suppression keeps this safe.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadoptClients {
+    /// The shard whose affine clients should be re-submitted.
+    pub gateway: u32,
+}
+
 /// Router liveness watchdog for one pending client request.
 #[derive(Debug)]
 struct ResubmitCheck {
@@ -281,9 +516,18 @@ struct Reroute {
     uid: u64,
 }
 
-/// Tier-controller lease tick.
+/// Tier-controller lease tick. The generation stamp keeps ticks armed
+/// before a crash from firing after the restart re-arms its own.
 #[derive(Debug)]
-struct TierTick;
+struct TierTick {
+    gen: u64,
+}
+
+/// Tier-controller snapshot-cadence tick.
+#[derive(Debug)]
+struct SnapTick {
+    gen: u64,
+}
 
 /// Router statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -300,6 +544,9 @@ pub struct RouterCounters {
     pub bounced: u64,
     /// Suppressed duplicate completions (the exactly-once filter).
     pub duplicates: u64,
+    /// Pending requests re-submitted by [`ReadoptClients`] (a shard
+    /// came back under a new incarnation).
+    pub readopted: u64,
 }
 
 /// One client request the router has routed but not yet delivered.
@@ -324,10 +571,12 @@ pub struct ShardRouter {
     cfg: TierConfig,
     next_uid: u64,
     pending: HashMap<u64, PendingClient>,
-    /// Uids whose completion has been delivered — the exactly-once
-    /// filter. Grows for the life of the run (simulation memory, not a
-    /// production design; a real router would age this out by lease).
-    delivered: HashSet<u64>,
+    /// Uid → delivery instant for every completion delivered — the
+    /// exactly-once filter, and the recovery-time probe the disaster
+    /// bench reads. Grows for the life of the run (simulation memory,
+    /// not a production design; a real router would age this out by
+    /// lease).
+    delivered: HashMap<u64, SimTime>,
     counters: RouterCounters,
     /// Direct peers currently cut (component index → until).
     cut_from: HashMap<usize, SimTime>,
@@ -348,7 +597,7 @@ impl ShardRouter {
             cfg,
             next_uid: 0,
             pending: HashMap::new(),
-            delivered: HashSet::new(),
+            delivered: HashMap::new(),
             counters: RouterCounters::default(),
             cut_from: HashMap::new(),
         }
@@ -367,6 +616,25 @@ impl ShardRouter {
     /// Client requests routed but not yet delivered.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// When the completion for `uid` was delivered to its client, if it
+    /// has been — the disaster bench's per-orphan recovery-time probe.
+    pub fn delivered_at(&self, uid: u64) -> Option<SimTime> {
+        self.delivered.get(&uid).copied()
+    }
+
+    /// The pending client uids currently owned by `gateway`, sorted —
+    /// the orphan set a crash of that shard would strand.
+    pub fn pending_owned_by(&self, gateway: u32) -> Vec<u64> {
+        let mut uids: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.owner == gateway)
+            .map(|(&uid, _)| uid)
+            .collect();
+        uids.sort_unstable();
+        uids
     }
 
     fn is_cut(&self, peer: ComponentId, now: SimTime) -> bool {
@@ -427,7 +695,7 @@ impl ShardRouter {
         let Some(p) = self.pending.remove(&uid) else {
             return;
         };
-        self.delivered.insert(uid);
+        self.delivered.insert(uid, ctx.now());
         let gateway = p.owner;
         let failed = done.failed;
         ctx.emit(|| TraceEvent::GwClientComplete {
@@ -457,7 +725,7 @@ impl ShardRouter {
 
     fn on_done(&mut self, ctx: &mut Ctx<'_>, done: RequestDone) {
         let uid = done.token;
-        if self.delivered.contains(&uid) {
+        if self.delivered.contains_key(&uid) {
             // A second completion for an already-delivered request: the
             // orphaned copy of a handoff, or both sides of a partition
             // answering. Exactly-once means exactly this suppression.
@@ -540,6 +808,18 @@ impl ShardRouter {
             self.reroute(ctx, uid);
         }
     }
+
+    /// Re-submits every pending request owned by `gateway` right now —
+    /// the shard restarted with empty state, so anything it owned is
+    /// orphaned until re-sent. This bounds recovery by the lease
+    /// heartbeat that detected the new incarnation, not by the resubmit
+    /// watchdog.
+    fn on_readopt(&mut self, ctx: &mut Ctx<'_>, gateway: u32) {
+        for uid in self.pending_owned_by(gateway) {
+            self.counters.readopted += 1;
+            self.reroute(ctx, uid);
+        }
+    }
 }
 
 impl Component for ShardRouter {
@@ -602,6 +882,26 @@ impl Component for ShardRouter {
             }
             Err(other) => other,
         };
+        let msg = match msg.downcast::<ReadoptClients>() {
+            Ok(r) => {
+                self.on_readopt(ctx, r.gateway);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<MapQuery>() {
+            Ok(q) => {
+                ctx.send(
+                    q.reply_to,
+                    SimDuration::ZERO,
+                    InstallShardMap {
+                        map: Arc::clone(&self.map),
+                    },
+                );
+                return;
+            }
+            Err(other) => other,
+        };
         match msg.downcast::<NetCutFrom>() {
             Ok(c) => {
                 let until = ctx.now() + c.duration;
@@ -624,8 +924,22 @@ pub struct TierCounters {
     pub rejoined: u64,
     /// Administrative drains executed.
     pub drains: u64,
+    /// Drain commands refused (double-drain, last live shard, unknown
+    /// shard).
+    pub drains_refused: u64,
     /// Shard maps installed (including the initial one).
     pub map_installs: u64,
+    /// Snapshots written to (modeled) stable storage.
+    pub snapshots: u64,
+    /// Restores completed after a controller restart (warm or cold).
+    pub restores: u64,
+    /// Restores that fell back to a cold rebuild (missing, corrupted,
+    /// truncated, or wrong-version snapshot).
+    pub cold_restores: u64,
+    /// [`ReadoptClients`] notifications sent to the router.
+    pub readopts: u64,
+    /// Global-admission rebalances pushed to the member shards.
+    pub budget_rebalances: u64,
 }
 
 /// Per-shard controller-side state.
@@ -638,6 +952,9 @@ struct ShardState {
     acked: bool,
     /// Administratively retired: never probed for rejoin.
     retired: bool,
+    /// The shard's restart count as last acked. A jump means the shard
+    /// crashed and lost its in-flight work — trigger re-adoption.
+    incarnation: u64,
 }
 
 /// The tier's membership controller: runs the [`crate::lease`] algebra
@@ -655,6 +972,23 @@ pub struct TierController {
     started: bool,
     /// Direct peers currently cut (component index → until).
     cut_from: HashMap<usize, SimTime>,
+    /// Crashed: every message except `Restart` is blackholed.
+    crashed: bool,
+    /// Lease-tick generation; bumped on restart so pre-crash ticks die.
+    tick_gen: u64,
+    /// Snapshot-tick generation; bumped on restart likewise.
+    snap_gen: u64,
+    /// Monotonic snapshot sequence.
+    snap_seq: u64,
+    /// Modeled stable storage: the last encoded snapshot. Kept as raw
+    /// bytes so every restore exercises the real codec path.
+    stable: Option<Vec<u8>>,
+    /// A restore ran and its `TierRestore` event is owed at the next
+    /// tick: `(snapshot seq restored, epoch reports reconciled)`.
+    restore_pending: Option<(u64, u64)>,
+    /// Handoff ledger: total requests shards reported handing to their
+    /// drain successors. Snapshot/restore must conserve it (rule 15).
+    ledger_handed_off: u64,
 }
 
 impl TierController {
@@ -683,6 +1017,7 @@ impl TierController {
                     missed: 0,
                     acked: false,
                     retired: false,
+                    incarnation: 0,
                 })
                 .collect(),
             map,
@@ -690,6 +1025,13 @@ impl TierController {
             counters: TierCounters::default(),
             started: false,
             cut_from: HashMap::new(),
+            crashed: false,
+            tick_gen: 0,
+            snap_gen: 0,
+            snap_seq: 0,
+            stable: None,
+            restore_pending: None,
+            ledger_handed_off: 0,
         }
     }
 
@@ -708,6 +1050,21 @@ impl TierController {
         self.map.members()
     }
 
+    /// The handoff-ledger total.
+    pub fn handed_off(&self) -> u64 {
+        self.ledger_handed_off
+    }
+
+    /// The raw bytes on (modeled) stable storage, if any — test hook.
+    pub fn stable_bytes(&self) -> Option<&[u8]> {
+        self.stable.as_deref()
+    }
+
+    /// Overwrites (modeled) stable storage — the corruption test hook.
+    pub fn clobber_stable(&mut self, bytes: Vec<u8>) {
+        self.stable = Some(bytes);
+    }
+
     fn is_cut(&self, peer: ComponentId, now: SimTime) -> bool {
         self.cut_from
             .get(&peer.index())
@@ -715,8 +1072,9 @@ impl TierController {
     }
 
     /// Publishes the current map: one `GwShardMap` trace event (the
-    /// checker's epoch-monotonicity subject) and an install at the
-    /// router.
+    /// checker's epoch-monotonicity subject), an install at the router,
+    /// and — membership changed — a rebalance of the global admission
+    /// budget over the new member set.
     fn install(&mut self, ctx: &mut Ctx<'_>) {
         self.counters.map_installs += 1;
         let epoch = self.map.epoch();
@@ -729,6 +1087,208 @@ impl TierController {
                 map: Arc::clone(&self.map),
             },
         );
+        self.rebalance_budget(ctx);
+    }
+
+    /// Divides the tier-wide admission budget evenly over the live
+    /// member shards and pushes each its slice. A shard partitioned
+    /// from the controller keeps its last slice (local fallback), which
+    /// cannot overshoot: survivors only get wider slices at a depose,
+    /// and a depose requires the departed shard's lease to have
+    /// provably expired — by then it bounces everything it receives.
+    fn rebalance_budget(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.global_rate_per_sec <= 0.0 {
+            return;
+        }
+        self.counters.budget_rebalances += 1;
+        let n = self.map.members().len() as f64;
+        let from = ctx.self_id();
+        let slice = SetAdmissionSlice {
+            from,
+            rate_per_sec: self.cfg.global_rate_per_sec / n,
+            burst: (self.cfg.global_burst / n).max(1.0),
+        };
+        for &g in self.map.members() {
+            ctx.send(self.shards[g as usize].component, SimDuration::ZERO, slice);
+        }
+    }
+
+    /// Writes the controller's durable state to (modeled) stable
+    /// storage as encoded bytes, and emits the `TierSnapshot` event
+    /// rule 15 audits.
+    fn take_snapshot(&mut self, ctx: &mut Ctx<'_>) {
+        self.snap_seq += 1;
+        let snap = TierSnapshot {
+            seq: self.snap_seq,
+            epoch: self.map.epoch(),
+            round: self.seq,
+            handed_off: self.ledger_handed_off,
+            vnodes: self.map.vnodes(),
+            members: self.map.members().to_vec(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardSnap {
+                    epoch: s.view.epoch,
+                    lease_until_ns: s.view.lease_until.as_nanos(),
+                    incarnation: s.incarnation,
+                    fenced: s.view.fenced,
+                    retired: s.retired,
+                })
+                .collect(),
+        };
+        self.stable = Some(snap.encode());
+        self.counters.snapshots += 1;
+        let (seq, epoch, shards, handed_off) = (
+            snap.seq,
+            snap.epoch,
+            snap.members.len() as u64,
+            snap.handed_off,
+        );
+        ctx.emit(|| TraceEvent::TierSnapshot {
+            seq,
+            epoch,
+            shards,
+            handed_off,
+        });
+    }
+
+    /// Snapshot at a state transition (depose, rejoin, drain, handoff
+    /// report) — skipped when snapshotting is disabled.
+    fn write_through(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.cfg.snapshot_interval.is_zero() {
+            self.take_snapshot(ctx);
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_>) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "tier-controller-crash",
+            detail: 0,
+        });
+    }
+
+    /// Recovers the controller: decode the stable snapshot (warm) or
+    /// keep reconciling from scratch (cold), conservatively re-bound
+    /// every lease, then query the router's map and every live shard's
+    /// epoch. The map epoch never regresses: the stable snapshot is
+    /// written through on every membership change, so it can never
+    /// trail the router's installed map, and the `MapQuery` reply only
+    /// moves the controller forward.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        ctx.emit(|| TraceEvent::Fault {
+            kind: "tier-controller-restart",
+            detail: 0,
+        });
+        self.tick_gen += 1;
+        self.snap_gen += 1;
+        if !self.started {
+            return;
+        }
+        let now = ctx.now();
+        let warm = self
+            .stable
+            .as_deref()
+            .and_then(|bytes| TierSnapshot::decode(bytes).ok())
+            // A snapshot for a different shard roster cannot be ours.
+            .filter(|snap| snap.shards.len() == self.shards.len() && !snap.members.is_empty());
+        let restored_seq = match warm {
+            Some(snap) => {
+                self.map = Arc::new(ShardMap::new(snap.epoch, &snap.members, snap.vnodes));
+                self.seq = snap.round;
+                self.ledger_handed_off = snap.handed_off;
+                for (s, ss) in self.shards.iter_mut().zip(&snap.shards) {
+                    s.view = ControllerView::restore(
+                        ss.epoch,
+                        ss.fenced,
+                        SimTime::from_nanos(ss.lease_until_ns),
+                        now,
+                        self.cfg.lease,
+                    );
+                    s.retired = ss.retired;
+                    s.incarnation = ss.incarnation;
+                    s.missed = 0;
+                    s.acked = false;
+                }
+                snap.seq
+            }
+            None => {
+                // Cold rebuild: the snapshot is missing or rejected by
+                // the codec. Keep the in-memory state (equivalent to
+                // what the reconcile queries below would hand back) but
+                // trust none of its timing: re-bound every unfenced
+                // lease as if a grant left the instant before the
+                // crash.
+                self.counters.cold_restores += 1;
+                for s in &mut self.shards {
+                    if !s.view.fenced {
+                        s.view.lease_until = s.view.lease_until.max(now + self.cfg.lease);
+                    }
+                    s.missed = 0;
+                    s.acked = false;
+                }
+                0
+            }
+        };
+        // Reconcile: the router's map (never behind stable — every map
+        // change writes through before the install leaves) and every
+        // live shard's current epoch, all zero-delay so the reports
+        // land before the first post-restore tick.
+        let reply_to = ctx.self_id();
+        ctx.send(self.router, SimDuration::ZERO, MapQuery { reply_to });
+        for g in 0..self.shards.len() {
+            if !self.shards[g].retired {
+                ctx.send(
+                    self.shards[g].component,
+                    SimDuration::ZERO,
+                    EpochQuery { reply_to },
+                );
+            }
+        }
+        self.restore_pending = Some((restored_seq, 0));
+        ctx.send_self(self.cfg.heartbeat, TierTick { gen: self.tick_gen });
+        if !self.cfg.snapshot_interval.is_zero() {
+            ctx.send_self(self.cfg.snapshot_interval, SnapTick { gen: self.snap_gen });
+        }
+    }
+
+    /// A shard's answer to the restore-time [`EpochQuery`]: adopt the
+    /// fresher of the recorded and reported views (epochs never move
+    /// backwards on reconcile).
+    fn on_epoch_report(&mut self, ctx: &mut Ctx<'_>, report: EpochReport) {
+        if self.is_cut(report.from, ctx.now()) {
+            return;
+        }
+        let Some(g) = self.shards.iter().position(|s| s.component == report.from) else {
+            return;
+        };
+        let s = &mut self.shards[g];
+        s.view.epoch = s.view.epoch.max(report.epoch);
+        s.view.lease_until = s
+            .view
+            .lease_until
+            .max(SimTime::from_nanos(report.lease_until_ns));
+        if let Some((_, reconciled)) = self.restore_pending.as_mut() {
+            *reconciled += 1;
+        }
+    }
+
+    /// The router's reply to the restore-time [`MapQuery`]: adopt its
+    /// map when fresher. No re-emit, no re-install — the router already
+    /// holds it, and re-emitting `GwShardMap` at an already-published
+    /// epoch would trip rule 14.
+    fn on_map_reply(&mut self, map: Arc<ShardMap>) {
+        if map.epoch() > self.map.epoch() {
+            self.map = map;
+        }
     }
 
     /// Deposes shard `g`: its epoch is recorded as dead, and the map
@@ -744,9 +1304,25 @@ impl TierController {
         self.counters.deposed += 1;
         self.map = Arc::new(map);
         self.install(ctx);
+        self.write_through(ctx);
     }
 
     fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        // A restore owes its `TierRestore` event: emit it on the first
+        // tick after the zero-delay reconcile replies have landed. The
+        // epoch is read *now* (not at restore time) so a rejoin racing
+        // the restore can only push it forward.
+        if let Some((seq, reconciled)) = self.restore_pending.take() {
+            let epoch = self.map.epoch();
+            let handed_off = self.ledger_handed_off;
+            ctx.emit(|| TraceEvent::TierRestore {
+                seq,
+                epoch,
+                reconciled,
+                handed_off,
+            });
+            self.counters.restores += 1;
+        }
         let now = ctx.now();
         let reply_to = ctx.self_id();
         self.seq += 1;
@@ -814,7 +1390,7 @@ impl TierController {
                 self.depose(ctx, g as u32);
             }
         }
-        ctx.send_self(self.cfg.heartbeat, TierTick);
+        ctx.send_self(self.cfg.heartbeat, TierTick { gen: self.tick_gen });
     }
 
     fn on_ack(&mut self, ctx: &mut Ctx<'_>, ack: LeaseAck) {
@@ -832,6 +1408,21 @@ impl TierController {
         }
         let now = ctx.now();
         self.shards[g].view.on_ack(now, ack.epoch, self.cfg.lease);
+        if ack.incarnation > self.shards[g].incarnation {
+            // The shard restarted since its last ack: whatever it held
+            // in flight is gone. Re-adopt its affine clients right now
+            // (fast crash/restart never changes the map, so on_install
+            // would not re-home them — only the watchdog would).
+            self.shards[g].incarnation = ack.incarnation;
+            if self.cfg.readopt && !was_fenced {
+                self.counters.readopts += 1;
+                ctx.send(
+                    self.router,
+                    SimDuration::ZERO,
+                    ReadoptClients { gateway: g as u32 },
+                );
+            }
+        }
         if was_fenced && !self.shards[g].view.fenced {
             // Rejoin handshake complete: re-admit under the bumped
             // epoch.
@@ -843,15 +1434,28 @@ impl TierController {
                 self.map = Arc::new(map);
                 self.install(ctx);
             }
+            self.write_through(ctx);
         }
     }
 
     fn on_drain(&mut self, ctx: &mut Ctx<'_>, drain: DrainShard) {
         let g = drain.gateway;
-        if !self.map.contains(g) {
+        // Refuse rather than wedge: unknown shards, shards already
+        // fenced or draining (a concurrent double-drain would hand off
+        // twice and depose an empty entry), and the last live shard
+        // (mirror of the never-fence-the-last-shard guard — nothing
+        // could adopt its work).
+        if !self.map.contains(g)
+            || self
+                .shards
+                .get(g as usize)
+                .is_none_or(|s| s.view.fenced || s.retired)
+        {
+            self.counters.drains_refused += 1;
             return;
         }
         let Some(successor) = self.map.successor(g) else {
+            self.counters.drains_refused += 1;
             return; // last shard standing: nothing can adopt its work
         };
         self.counters.drains += 1;
@@ -881,11 +1485,34 @@ impl Component for TierController {
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMessage) {
+        let msg = match msg.downcast::<Crash>() {
+            Ok(_) => {
+                self.on_crash(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<Restart>() {
+            Ok(_) => {
+                self.on_restart(ctx);
+                return;
+            }
+            Err(other) => other,
+        };
+        if self.crashed {
+            // Down: acks, ticks, drains, and reports all blackhole.
+            drop(msg);
+            return;
+        }
         let msg = match msg.downcast::<StartTier>() {
             Ok(_) => {
                 if !self.started {
                     self.started = true;
                     self.install(ctx);
+                    if !self.cfg.snapshot_interval.is_zero() {
+                        self.take_snapshot(ctx);
+                        ctx.send_self(self.cfg.snapshot_interval, SnapTick { gen: self.snap_gen });
+                    }
                     self.on_tick(ctx);
                 }
                 return;
@@ -893,8 +1520,20 @@ impl Component for TierController {
             Err(other) => other,
         };
         let msg = match msg.downcast::<TierTick>() {
-            Ok(_) => {
-                self.on_tick(ctx);
+            Ok(t) => {
+                if t.gen == self.tick_gen {
+                    self.on_tick(ctx);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<SnapTick>() {
+            Ok(t) => {
+                if t.gen == self.snap_gen {
+                    self.take_snapshot(ctx);
+                    ctx.send_self(self.cfg.snapshot_interval, SnapTick { gen: t.gen });
+                }
                 return;
             }
             Err(other) => other,
@@ -909,6 +1548,30 @@ impl Component for TierController {
         let msg = match msg.downcast::<DrainShard>() {
             Ok(d) => {
                 self.on_drain(ctx, *d);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<EpochReport>() {
+            Ok(r) => {
+                self.on_epoch_report(ctx, *r);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<InstallShardMap>() {
+            Ok(i) => {
+                self.on_map_reply(i.map);
+                return;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.downcast::<HandoffReport>() {
+            Ok(r) => {
+                if !self.is_cut(r.from, ctx.now()) {
+                    self.ledger_handed_off += r.count;
+                    self.write_through(ctx);
+                }
                 return;
             }
             Err(other) => other,
@@ -1178,5 +1841,165 @@ mod tests {
         assert_eq!(GatewayId::of_request(rid), g);
         assert_eq!(GatewayId::of_request(42), GatewayId(0));
         assert_eq!(format!("{g}"), "gw3");
+    }
+
+    use proptest::prelude::*;
+
+    fn arb_snapshot() -> impl Strategy<Value = TierSnapshot> {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            1u32..64,
+            proptest::collection::btree_set(0u32..32, 1..8),
+            proptest::collection::vec(
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<bool>(),
+                    any::<bool>(),
+                ),
+                1..8,
+            ),
+        )
+            .prop_map(|(seq, epoch, round, handed_off, vnodes, members, shards)| {
+                TierSnapshot {
+                    seq,
+                    epoch,
+                    round,
+                    handed_off,
+                    vnodes,
+                    members: members.into_iter().collect(),
+                    shards: shards
+                        .into_iter()
+                        .map(
+                            |(epoch, lease_until_ns, incarnation, fenced, retired)| ShardSnap {
+                                epoch,
+                                lease_until_ns,
+                                incarnation,
+                                fenced,
+                                retired,
+                            },
+                        )
+                        .collect(),
+                }
+            })
+    }
+
+    proptest! {
+        /// Encode/decode is the identity on every well-formed snapshot.
+        #[test]
+        fn snapshot_codec_round_trips(snap in arb_snapshot()) {
+            let bytes = snap.encode();
+            let back = TierSnapshot::decode(&bytes).expect("round trip");
+            prop_assert_eq!(back, snap);
+        }
+
+        /// Any single bit flip anywhere in the encoding is rejected —
+        /// the checksum covers header, payload, and itself.
+        #[test]
+        fn snapshot_codec_rejects_any_bit_flip(
+            snap in arb_snapshot(),
+            bit in any::<u64>(),
+        ) {
+            let mut bytes = snap.encode();
+            let nbits = bytes.len() * 8;
+            let b = bit as usize % nbits;
+            bytes[b / 8] ^= 1 << (b % 8);
+            prop_assert!(
+                TierSnapshot::decode(&bytes).is_err(),
+                "a corrupted snapshot decoded cleanly (bit {})",
+                b
+            );
+        }
+
+        /// Every strict prefix of a valid encoding is rejected.
+        #[test]
+        fn snapshot_codec_rejects_every_truncation(snap in arb_snapshot()) {
+            let bytes = snap.encode();
+            for len in 0..bytes.len() {
+                prop_assert!(
+                    TierSnapshot::decode(&bytes[..len]).is_err(),
+                    "a truncated snapshot ({} of {} bytes) decoded cleanly",
+                    len,
+                    bytes.len()
+                );
+            }
+        }
+
+        /// Ring churn: excluding then re-including a member restores
+        /// the ring byte-identically at a bumped epoch, and only the
+        /// departed member's key range ever moves while it is out.
+        #[test]
+        fn churn_round_trips_ring_and_moves_only_departed_keys(
+            members in proptest::collection::btree_set(0u32..32, 2..8),
+            pick in any::<u64>(),
+            vnodes in 1u32..24,
+        ) {
+            let members: Vec<u32> = members.into_iter().collect();
+            let g = members[pick as usize % members.len()];
+            let map = ShardMap::new(1, &members, vnodes);
+            let smaller = map.exclude(g).expect("more than one member");
+            prop_assert_eq!(smaller.epoch(), 2);
+            for key in 0..512u64 {
+                let before = map.route(key);
+                let after = smaller.route(key);
+                if before == g {
+                    prop_assert!(after != g, "departed member still owns key {}", key);
+                } else {
+                    prop_assert_eq!(
+                        before, after,
+                        "a survivor's key moved on exclude (key {})", key
+                    );
+                }
+            }
+            let back = smaller.include(g).expect("not a member while out");
+            prop_assert_eq!(back.epoch(), 3, "epochs only move forward");
+            prop_assert_eq!(back.members(), map.members());
+            prop_assert_eq!(&back.points, &map.points, "ring must rebuild byte-identically");
+        }
+    }
+
+    #[test]
+    fn snapshot_codec_rejects_wrong_version_and_trailing_bytes() {
+        let snap = TierSnapshot {
+            seq: 3,
+            epoch: 9,
+            round: 40,
+            handed_off: 7,
+            vnodes: 16,
+            members: vec![0, 2],
+            shards: vec![ShardSnap {
+                epoch: 9,
+                lease_until_ns: 1_000_000,
+                incarnation: 1,
+                fenced: false,
+                retired: false,
+            }],
+        };
+        let good = snap.encode();
+        assert_eq!(TierSnapshot::decode(&good).as_ref(), Ok(&snap));
+
+        // Wrong version, checksum re-stamped so only the version trips.
+        let mut wrong_ver = good.clone();
+        wrong_ver[4] = wrong_ver[4].wrapping_add(1);
+        let len = wrong_ver.len();
+        let sum = fnv1a64(&wrong_ver[..len - 8]);
+        wrong_ver[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            TierSnapshot::decode(&wrong_ver),
+            Err("unsupported snapshot version")
+        );
+
+        // Trailing garbage after a valid payload.
+        let mut padded = good.clone();
+        padded.extend_from_slice(&[0u8; 9]);
+        assert!(TierSnapshot::decode(&padded).is_err());
+
+        // Arbitrary garbage.
+        assert!(TierSnapshot::decode(b"not a snapshot at all").is_err());
+        assert!(TierSnapshot::decode(&[]).is_err());
     }
 }

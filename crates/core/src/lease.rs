@@ -84,6 +84,32 @@ impl ControllerView {
         }
     }
 
+    /// Rebuilds a member view from restored (snapshot) state, with the
+    /// lease horizon conservatively re-bounded to `now + duration`.
+    ///
+    /// A snapshot's `lease_until` may be stale by the time the restore
+    /// runs, but the restoring controller cannot know how much serving
+    /// time it promised after the snapshot was taken; the only safe
+    /// assumption is that a grant left the instant before the crash, so
+    /// the restored horizon is the *maximum* of the recorded bound and
+    /// `now + duration`. This keeps [`ControllerView::try_fence`]'s
+    /// precondition sound across a restore: fencing stays blocked until
+    /// every lease the pre-crash controller *could* have granted has
+    /// provably expired.
+    pub fn restore(
+        epoch: u64,
+        fenced: bool,
+        recorded_until: SimTime,
+        now: SimTime,
+        duration: SimDuration,
+    ) -> Self {
+        ControllerView {
+            epoch,
+            lease_until: recorded_until.max(now + duration),
+            fenced,
+        }
+    }
+
     /// Issues a lease grant (or, for a fenced member, a rejoin probe).
     /// The controller extends its own `lease_until` record first, so the
     /// record upper-bounds the member's view even if the grant is lost.
@@ -336,6 +362,25 @@ mod tests {
         let _ = ctrl.grant(now, LEASE);
         assert!(!ctrl.try_fence(now), "fenced inside the granted window");
         assert!(ctrl.try_fence(now + LEASE), "lease provably expired");
+    }
+
+    #[test]
+    fn restore_rebounds_lease_conservatively() {
+        let now = SimTime::from_nanos(10_000);
+        // Recorded bound already past: restore pushes it to now + lease,
+        // so fencing is blocked for a full lease after the restore.
+        let v = ControllerView::restore(7, false, SimTime::from_nanos(100), now, LEASE);
+        assert_eq!(v.epoch, 7);
+        assert!(!v.fenced);
+        assert_eq!(v.lease_until, now + LEASE);
+        let mut v2 = v;
+        assert!(!v2.try_fence(now), "fenced inside the restored window");
+        assert!(v2.try_fence(now + LEASE));
+        // Recorded bound beyond now + lease: the larger bound wins.
+        let far = now + LEASE + LEASE;
+        let v3 = ControllerView::restore(7, true, far, now, LEASE);
+        assert_eq!(v3.lease_until, far);
+        assert!(v3.fenced);
     }
 
     #[test]

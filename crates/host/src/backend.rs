@@ -1181,6 +1181,8 @@ impl Component for HostBackend {
                         from: ctx.self_id(),
                         epoch: self.lease_epoch,
                         seq: grant.seq,
+                        // The restart epoch bumps exactly once per crash.
+                        incarnation: self.restart_epoch,
                     },
                 );
                 return;

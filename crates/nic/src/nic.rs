@@ -448,7 +448,16 @@ impl Nic {
 
     /// Installs firmware immediately on an already-constructed NIC (no
     /// swap downtime); the post-construction form of [`Nic::preload`].
+    ///
+    /// An out-of-band image push supersedes any in-flight swap: the
+    /// pending swap completion is invalidated and the NIC serves the
+    /// new image at once (disaster drills re-image a recovered rack
+    /// this way instead of waiting out the self-reload swap).
     pub fn install_now(&mut self, firmware: Arc<Firmware>) {
+        if self.swapping {
+            self.swapping = false;
+            self.swap_epoch += 1;
+        }
         self.install(firmware);
     }
 
@@ -1530,6 +1539,8 @@ impl Component for Nic {
                         from: ctx.self_id(),
                         epoch: self.lease_epoch,
                         seq: grant.seq,
+                        // The swap epoch bumps exactly once per crash.
+                        incarnation: self.swap_epoch,
                     },
                 );
                 return;

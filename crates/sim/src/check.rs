@@ -77,6 +77,18 @@
 //!     the old gateway exactly once (the successor re-submits it under
 //!     its own id, keeping conservation whole). The rule only engages
 //!     when gateway-tier events appear on the stream.
+//! 15. **Tier-controller snapshot/restore conservation** — tier
+//!     snapshot sequence numbers (`tier_snapshot`) strictly increase; a
+//!     snapshot never claims a map epoch above the last published
+//!     `gw_shard_map` (write-through order) nor a handoff-ledger total
+//!     above the `gw_handoff` events actually observed; a restore
+//!     (`tier_restore`) names a snapshot that was actually taken (seq 0
+//!     is the declared cold rebuild) and never regresses the map epoch
+//!     below the last published one — with requests neither lost nor
+//!     duplicated across the restore (that part is invariant 14's
+//!     exactly-once machinery plus end-of-run conservation, which keep
+//!     running across the controller outage). Engages with the
+//!     gateway-tier rule.
 //!
 //! By default a violation panics immediately with the offending record,
 //! which makes every integration test a correctness gate; use
@@ -420,6 +432,12 @@ pub struct InvariantChecker {
     client_outstanding: HashSet<u64>,
     client_delivered: HashSet<u64>,
     handed_off: u64,
+
+    // Tier-controller snapshot/restore (invariant 15). Kept separate
+    // from invariant 9's `snapshot_seqs`: the placement controller and
+    // the tier controller number their snapshots independently.
+    tier_snapshot_seqs: HashSet<u64>,
+    tier_last_snap_seq: u64,
 }
 
 impl Default for InvariantChecker {
@@ -470,6 +488,8 @@ impl InvariantChecker {
             client_outstanding: HashSet::new(),
             client_delivered: HashSet::new(),
             handed_off: 0,
+            tier_snapshot_seqs: HashSet::new(),
+            tier_last_snap_seq: 0,
         }
     }
 
@@ -1624,6 +1644,71 @@ impl TraceSink for InvariantChecker {
                 }
             }
             TraceEvent::GwBounce { .. } => {}
+
+            // Invariant 15: tier-controller snapshot/restore
+            // conservation.
+            TraceEvent::TierSnapshot {
+                seq,
+                epoch,
+                handed_off,
+                ..
+            } => {
+                self.tier_active = true;
+                if seq <= self.tier_last_snap_seq {
+                    let msg = format!(
+                        "tier snapshot seq went backwards: {seq} after {}",
+                        self.tier_last_snap_seq
+                    );
+                    self.violation(rec.at, msg);
+                }
+                if epoch > self.tier_epoch {
+                    let msg = format!(
+                        "tier snapshot {seq} claims epoch {epoch} above the \
+                         published map epoch {}",
+                        self.tier_epoch
+                    );
+                    self.violation(rec.at, msg);
+                }
+                if handed_off > self.handed_off {
+                    let msg = format!(
+                        "tier snapshot {seq} claims {handed_off} handoffs but only \
+                         {} were observed",
+                        self.handed_off
+                    );
+                    self.violation(rec.at, msg);
+                }
+                self.tier_last_snap_seq = self.tier_last_snap_seq.max(seq);
+                self.tier_snapshot_seqs.insert(seq);
+            }
+            TraceEvent::TierRestore {
+                seq,
+                epoch,
+                handed_off,
+                ..
+            } => {
+                self.tier_active = true;
+                if seq != 0 && !self.tier_snapshot_seqs.contains(&seq) {
+                    let msg =
+                        format!("tier controller restored snapshot {seq} that was never taken");
+                    self.violation(rec.at, msg);
+                }
+                if epoch < self.tier_epoch {
+                    let msg = format!(
+                        "tier restore regressed the map epoch: {epoch} below the \
+                         published {}",
+                        self.tier_epoch
+                    );
+                    self.violation(rec.at, msg);
+                }
+                if handed_off > self.handed_off {
+                    let msg = format!(
+                        "tier restore claims {handed_off} handoffs but only {} \
+                         were observed",
+                        self.handed_off
+                    );
+                    self.violation(rec.at, msg);
+                }
+            }
 
             TraceEvent::LinkTx { .. }
             | TraceEvent::LinkDrop { .. }
@@ -3363,6 +3448,265 @@ mod tests {
             c.violations()
                 .iter()
                 .any(|v| v.contains("shard-map epoch regressed")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn tier_snapshot_restore_cycle_is_clean() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 1,
+                        shards: 2,
+                    },
+                ),
+                (
+                    1,
+                    9,
+                    TraceEvent::TierSnapshot {
+                        seq: 1,
+                        epoch: 1,
+                        shards: 2,
+                        handed_off: 0,
+                    },
+                ),
+                (
+                    5,
+                    9,
+                    TraceEvent::TierSnapshot {
+                        seq: 2,
+                        epoch: 1,
+                        shards: 2,
+                        handed_off: 0,
+                    },
+                ),
+                (
+                    9,
+                    9,
+                    TraceEvent::TierRestore {
+                        seq: 2,
+                        epoch: 1,
+                        reconciled: 2,
+                        handed_off: 0,
+                    },
+                ),
+                // A cold rebuild reports seq 0 and is always legal.
+                (
+                    12,
+                    9,
+                    TraceEvent::TierRestore {
+                        seq: 0,
+                        epoch: 1,
+                        reconciled: 2,
+                        handed_off: 0,
+                    },
+                ),
+            ],
+        );
+        c.on_finish(SimTime::from_nanos(20));
+        c.assert_clean();
+    }
+
+    #[test]
+    fn tier_snapshot_seq_regression_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 1,
+                        shards: 2,
+                    },
+                ),
+                (
+                    1,
+                    9,
+                    TraceEvent::TierSnapshot {
+                        seq: 3,
+                        epoch: 1,
+                        shards: 2,
+                        handed_off: 0,
+                    },
+                ),
+                (
+                    5,
+                    9,
+                    TraceEvent::TierSnapshot {
+                        seq: 2,
+                        epoch: 1,
+                        shards: 2,
+                        handed_off: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("tier snapshot seq went backwards")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn tier_snapshot_of_unpublished_epoch_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 1,
+                        shards: 2,
+                    },
+                ),
+                // Claims an epoch the controller never published.
+                (
+                    1,
+                    9,
+                    TraceEvent::TierSnapshot {
+                        seq: 1,
+                        epoch: 4,
+                        shards: 2,
+                        handed_off: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("above the published map epoch")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn tier_snapshot_overstating_handoffs_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 1,
+                        shards: 2,
+                    },
+                ),
+                (
+                    1,
+                    9,
+                    TraceEvent::TierSnapshot {
+                        seq: 1,
+                        epoch: 1,
+                        shards: 2,
+                        handed_off: 7,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("handoffs but only")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn tier_restore_from_untaken_snapshot_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 1,
+                        shards: 2,
+                    },
+                ),
+                (
+                    1,
+                    9,
+                    TraceEvent::TierRestore {
+                        seq: 5,
+                        epoch: 1,
+                        reconciled: 2,
+                        handed_off: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("that was never taken")),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn tier_restore_epoch_regression_is_caught() {
+        let mut c = InvariantChecker::collecting();
+        feed(
+            &mut c,
+            &[
+                (
+                    0,
+                    9,
+                    TraceEvent::GwShardMap {
+                        epoch: 3,
+                        shards: 2,
+                    },
+                ),
+                (
+                    1,
+                    9,
+                    TraceEvent::TierSnapshot {
+                        seq: 1,
+                        epoch: 3,
+                        shards: 2,
+                        handed_off: 0,
+                    },
+                ),
+                // The restore reports an epoch below the published map:
+                // the controller rolled the tier backwards.
+                (
+                    5,
+                    9,
+                    TraceEvent::TierRestore {
+                        seq: 1,
+                        epoch: 2,
+                        reconciled: 2,
+                        handed_off: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.contains("regressed the map epoch")),
             "{:?}",
             c.violations()
         );

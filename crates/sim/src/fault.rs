@@ -163,6 +163,12 @@ pub struct LeaseAck {
     pub epoch: u64,
     /// The renewal round being acked.
     pub seq: u64,
+    /// The acker's restart count (0 if it never crashed). A controller
+    /// that sees this jump between acks knows the member lost its
+    /// volatile state even though the lease handshake looks healthy —
+    /// the signal behind proactive client re-adoption after a fast
+    /// crash/restart that never tripped the miss threshold.
+    pub incarnation: u64,
 }
 
 /// Control message: a restarted controller asking a worker what epoch it
@@ -336,6 +342,44 @@ pub enum FaultEvent {
         /// How long the partition lasts before healing.
         duration: SimDuration,
     },
+    /// A correlated restart storm across the gateway tier: `count`
+    /// shards starting at index `first` crash one after another,
+    /// `stagger` apart, and each restarts `down` after its own crash —
+    /// the rolling-deploy-gone-wrong / cluster-power-event shape where
+    /// each crash is individually too fast to trip the miss threshold
+    /// but together they orphan work tier-wide.
+    GatewayRestartStorm {
+        /// First gateway shard index hit by the storm.
+        first: usize,
+        /// How many consecutive shards crash.
+        count: usize,
+        /// Gap between successive crashes.
+        stagger: SimDuration,
+        /// Downtime of each shard before its restart.
+        down: SimDuration,
+    },
+    /// Rack power loss: gateway shard `gateway` and every worker named
+    /// in the `workers` bitmask (bit *i* = worker *i*) crash at the
+    /// same instant and restart together `down` later — the correlated
+    /// failure domain a top-of-rack event produces, losing both the
+    /// routing layer and the compute behind it at once.
+    RackLoss {
+        /// Index of the gateway shard in the failure domain.
+        gateway: usize,
+        /// Bitmask of worker indices sharing the rack.
+        workers: u64,
+        /// Downtime before the rack comes back.
+        down: SimDuration,
+    },
+    /// The gateway-tier controller crashes: its shard map, lease table,
+    /// and handoff ledger survive only as the last stable tier
+    /// snapshot. Leases stop renewing, so shards self-fence if the
+    /// outage outlives them.
+    TierControllerCrash,
+    /// The gateway-tier controller restarts, restores from its last
+    /// stable snapshot (cold-rebuilding if it is missing or corrupt),
+    /// and reconciles live shard epochs via query/report before acting.
+    TierControllerRestart,
 }
 
 /// A [`FaultEvent`] with its injection time.
@@ -543,6 +587,63 @@ impl FaultPlan {
         self.push(at, FaultEvent::GatewayPartition { gateway, duration })
     }
 
+    /// Schedules a staggered crash/restart storm over `count` gateway
+    /// shards starting at `first`.
+    pub fn restart_storm(
+        self,
+        first: usize,
+        count: usize,
+        at: SimTime,
+        stagger: SimDuration,
+        down: SimDuration,
+    ) -> FaultPlan {
+        assert!(count >= 1, "a storm needs at least one shard");
+        self.push(
+            at,
+            FaultEvent::GatewayRestartStorm {
+                first,
+                count,
+                stagger,
+                down,
+            },
+        )
+    }
+
+    /// Schedules a rack loss: gateway shard `gateway` plus the listed
+    /// workers crash simultaneously and restart `down` later.
+    pub fn rack_loss(
+        self,
+        gateway: usize,
+        workers: &[usize],
+        at: SimTime,
+        down: SimDuration,
+    ) -> FaultPlan {
+        let mut mask = 0u64;
+        for &w in workers {
+            assert!(w < 64, "rack-loss bitmask holds worker indices < 64");
+            mask |= 1 << w;
+        }
+        self.push(
+            at,
+            FaultEvent::RackLoss {
+                gateway,
+                workers: mask,
+                down,
+            },
+        )
+    }
+
+    /// Schedules a gateway-tier controller crash.
+    pub fn tier_controller_crash(self, at: SimTime) -> FaultPlan {
+        self.push(at, FaultEvent::TierControllerCrash)
+    }
+
+    /// Schedules a gateway-tier controller restart from its last stable
+    /// tier snapshot.
+    pub fn tier_controller_restart(self, at: SimTime) -> FaultPlan {
+        self.push(at, FaultEvent::TierControllerRestart)
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[TimedFault] {
         &self.events
@@ -598,6 +699,42 @@ mod tests {
             }
         );
         assert_eq!(plan.horizon(), Some(t(3)));
+    }
+
+    #[test]
+    fn disaster_builders_record_events() {
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        let plan = FaultPlan::new()
+            .restart_storm(
+                1,
+                2,
+                t(100),
+                SimDuration::from_millis(80),
+                SimDuration::from_millis(60),
+            )
+            .rack_loss(1, &[0, 2], t(200), SimDuration::from_millis(120))
+            .tier_controller_crash(t(300))
+            .tier_controller_restart(t(400));
+        assert_eq!(plan.events().len(), 4);
+        assert_eq!(
+            plan.events()[0].event,
+            FaultEvent::GatewayRestartStorm {
+                first: 1,
+                count: 2,
+                stagger: SimDuration::from_millis(80),
+                down: SimDuration::from_millis(60),
+            }
+        );
+        assert_eq!(
+            plan.events()[1].event,
+            FaultEvent::RackLoss {
+                gateway: 1,
+                workers: 0b101,
+                down: SimDuration::from_millis(120),
+            }
+        );
+        assert_eq!(plan.events()[2].event, FaultEvent::TierControllerCrash);
+        assert_eq!(plan.horizon(), Some(t(400)));
     }
 
     #[test]

@@ -562,6 +562,39 @@ pub enum TraceEvent {
         /// Why (`"fenced"`, `"draining"`, `"crashed"`).
         reason: &'static str,
     },
+    /// The gateway-tier controller wrote a snapshot of its durable state
+    /// (shard map, per-shard lease views, handoff ledger) to modeled
+    /// stable storage. Sequence numbers are strictly increasing and the
+    /// snapshot may not claim an epoch or ledger the stream has never
+    /// shown (checker rule 15). Distinct from [`Self::SnapshotTaken`],
+    /// which belongs to the placement failover controller and runs its
+    /// own sequence.
+    TierSnapshot {
+        /// Monotonic tier-snapshot sequence number.
+        seq: u64,
+        /// The map epoch captured in the snapshot.
+        epoch: u64,
+        /// Member shards captured in the snapshot.
+        shards: u64,
+        /// Handoff-ledger total captured in the snapshot.
+        handed_off: u64,
+    },
+    /// The gateway-tier controller finished restoring after a crash:
+    /// stable state re-adopted (or a cold rebuild when the snapshot was
+    /// missing/corrupt) and live shard epochs reconciled via
+    /// query/report. The restored epoch must cover every epoch the
+    /// stream has shown and the ledger may not exceed the observed
+    /// handoffs (checker rule 15).
+    TierRestore {
+        /// The snapshot sequence restored from (0 = cold rebuild).
+        seq: u64,
+        /// The map epoch in force after the restore.
+        epoch: u64,
+        /// Shard epoch reports reconciled before this emit.
+        reconciled: u64,
+        /// Handoff-ledger total after the restore.
+        handed_off: u64,
+    },
 }
 
 impl TraceEvent {
@@ -619,6 +652,8 @@ impl TraceEvent {
             TraceEvent::GwClientSubmit { .. } => "gw_client_submit",
             TraceEvent::GwClientComplete { .. } => "gw_client_complete",
             TraceEvent::GwBounce { .. } => "gw_bounce",
+            TraceEvent::TierSnapshot { .. } => "tier_snapshot",
+            TraceEvent::TierRestore { .. } => "tier_restore",
         }
     }
 
@@ -1014,6 +1049,28 @@ impl TraceEvent {
                 f("gateway", U64(gateway.into()));
                 f("uid", U64(uid));
                 f("reason", Str(reason));
+            }
+            TraceEvent::TierSnapshot {
+                seq,
+                epoch,
+                shards,
+                handed_off,
+            } => {
+                f("seq", U64(seq));
+                f("epoch", U64(epoch));
+                f("shards", U64(shards));
+                f("handed_off", U64(handed_off));
+            }
+            TraceEvent::TierRestore {
+                seq,
+                epoch,
+                reconciled,
+                handed_off,
+            } => {
+                f("seq", U64(seq));
+                f("epoch", U64(epoch));
+                f("reconciled", U64(reconciled));
+                f("handed_off", U64(handed_off));
             }
         }
     }
